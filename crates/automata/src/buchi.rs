@@ -1,0 +1,501 @@
+//! Lazily expanded Büchi automata.
+//!
+//! The sticky decision procedure (Section 6.5 / Appendix D.2 of the
+//! paper) reduces non-termination to the emptiness of a deterministic
+//! Büchi automaton whose state space is finite but astronomically
+//! large if materialised eagerly. This module therefore works with an
+//! *implicit* automaton: a trait supplying initial states, a finite
+//! alphabet and a transition function; states are interned on the fly
+//! and only the reachable fragment is ever built.
+
+use std::hash::Hash;
+
+/// An implicitly represented Büchi automaton, deterministic per input
+/// symbol (the paper's `A_T` is deterministic; nondeterminism lives in
+/// the choice of the input word, i.e. which edge to follow).
+pub trait BuchiAutomaton {
+    /// Automaton states. Cheaply clonable; interned by the explorer.
+    type State: Clone + Eq + Hash;
+    /// Input symbols (the caterpillar alphabet `Λ_T`).
+    type Symbol: Clone;
+
+    /// The initial states (the union over start pairs `(e₀, Π₀)`).
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// The finite input alphabet.
+    fn alphabet(&self) -> Vec<Self::Symbol>;
+
+    /// The successor of `state` on `symbol`; `None` encodes the reject
+    /// sink (transitions into it are dropped from the graph).
+    fn next(&self, state: &Self::State, symbol: &Self::Symbol) -> Option<Self::State>;
+
+    /// Büchi acceptance: the run must visit accepting states
+    /// infinitely often.
+    fn is_accepting(&self, state: &Self::State) -> bool;
+}
+
+/// An ultimately periodic word `prefix · cycleᵚ` witnessing
+/// non-emptiness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lasso<Sym> {
+    /// The finite prefix.
+    pub prefix: Vec<Sym>,
+    /// The repeated cycle (non-empty; visits an accepting state).
+    pub cycle: Vec<Sym>,
+}
+
+/// Outcome of an emptiness check.
+#[derive(Debug, Clone)]
+pub enum Emptiness<Sym> {
+    /// `L(A) = ∅` within the explored fragment, which is exhaustive.
+    Empty {
+        /// Number of reachable states.
+        states: usize,
+    },
+    /// A witness lasso was found.
+    NonEmpty {
+        /// The accepting lasso.
+        lasso: Lasso<Sym>,
+        /// Number of states explored before the witness was returned.
+        states: usize,
+    },
+    /// The state cap was hit before the search finished; the result is
+    /// unknown. (A resource guard, never a silent truncation.)
+    Capped {
+        /// The cap that was hit.
+        cap: usize,
+    },
+}
+
+impl<Sym> Emptiness<Sym> {
+    /// `true` iff the language was proven empty.
+    pub fn is_empty_language(&self) -> bool {
+        matches!(self, Emptiness::Empty { .. })
+    }
+
+    /// The witness lasso, if any.
+    pub fn lasso(&self) -> Option<&Lasso<Sym>> {
+        match self {
+            Emptiness::NonEmpty { lasso, .. } => Some(lasso),
+            _ => None,
+        }
+    }
+}
+
+/// Explores an implicit Büchi automaton and decides emptiness.
+pub struct Explorer<A: BuchiAutomaton> {
+    automaton: A,
+    cap: usize,
+}
+
+struct ReachableGraph<S, Sym> {
+    states: Vec<S>,
+    /// Edges `(from, symbol index, to)`.
+    edges: Vec<(usize, usize, usize)>,
+    accepting: Vec<bool>,
+    initial: Vec<usize>,
+    symbols: Vec<Sym>,
+}
+
+impl<A: BuchiAutomaton> Explorer<A> {
+    /// Creates an explorer with a state cap (resource guard).
+    pub fn new(automaton: A, cap: usize) -> Self {
+        Explorer { automaton, cap }
+    }
+
+    /// Access to the wrapped automaton.
+    pub fn automaton(&self) -> &A {
+        &self.automaton
+    }
+
+    fn build_graph(&self) -> Result<ReachableGraph<A::State, A::Symbol>, usize> {
+        use std::collections::hash_map::Entry;
+        use std::collections::HashMap;
+        let symbols = self.automaton.alphabet();
+        let mut states: Vec<A::State> = Vec::new();
+        let mut index: HashMap<A::State, usize> = HashMap::new();
+        let mut edges = Vec::new();
+        let mut initial = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        for s in self.automaton.initial_states() {
+            match index.entry(s.clone()) {
+                Entry::Occupied(e) => initial.push(*e.get()),
+                Entry::Vacant(e) => {
+                    let id = states.len();
+                    e.insert(id);
+                    states.push(s);
+                    initial.push(id);
+                    queue.push_back(id);
+                }
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for (si, sym) in symbols.iter().enumerate() {
+                let Some(next) = self.automaton.next(&states[u], sym) else {
+                    continue;
+                };
+                let v = match index.entry(next.clone()) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        if states.len() >= self.cap {
+                            return Err(self.cap);
+                        }
+                        let id = states.len();
+                        e.insert(id);
+                        states.push(next);
+                        queue.push_back(id);
+                        id
+                    }
+                };
+                edges.push((u, si, v));
+            }
+        }
+        let accepting = states.iter().map(|s| self.automaton.is_accepting(s)).collect();
+        Ok(ReachableGraph {
+            states,
+            edges,
+            accepting,
+            initial,
+            symbols,
+        })
+    }
+
+    /// Decides emptiness by SCC analysis of the reachable graph: the
+    /// language is non-empty iff some accepting state lies in a
+    /// non-trivial SCC (or has a self-loop). Returns a witness lasso
+    /// in that case.
+    pub fn emptiness(&self) -> Emptiness<A::Symbol> {
+        let graph = match self.build_graph() {
+            Ok(g) => g,
+            Err(cap) => return Emptiness::Capped { cap },
+        };
+        let n = graph.states.len();
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (symbol, to)
+        for &(f, s, t) in &graph.edges {
+            adj[f].push((s, t));
+        }
+        let comp = sccs(n, &adj);
+        // Size of each component and self-loops.
+        let mut comp_size = vec![0usize; n];
+        for &c in &comp {
+            comp_size[c] += 1;
+        }
+        let mut target = None;
+        'outer: for q in 0..n {
+            if !graph.accepting[q] {
+                continue;
+            }
+            let nontrivial =
+                comp_size[comp[q]] > 1 || adj[q].iter().any(|&(_, t)| t == q);
+            if nontrivial {
+                target = Some(q);
+                break 'outer;
+            }
+        }
+        let Some(q) = target else {
+            return Emptiness::Empty { states: n };
+        };
+        // Witness: shortest prefix init → q, then shortest non-empty
+        // cycle q → q inside the component.
+        let prefix = bfs_path(&adj, &graph.initial, |v| v == q).expect("q reachable");
+        let cycle = bfs_cycle(&adj, q, &comp).expect("q on a cycle");
+        let to_syms = |path: Vec<usize>| {
+            path.into_iter()
+                .map(|si| graph.symbols[si].clone())
+                .collect::<Vec<_>>()
+        };
+        Emptiness::NonEmpty {
+            lasso: Lasso {
+                prefix: to_syms(prefix),
+                cycle: to_syms(cycle),
+            },
+            states: n,
+        }
+    }
+
+    /// The number of reachable states (diagnostics / benchmarks), or
+    /// `None` if the cap is hit.
+    pub fn reachable_states(&self) -> Option<usize> {
+        self.build_graph().ok().map(|g| g.states.len())
+    }
+}
+
+/// Iterative Tarjan SCC; returns component id per node.
+fn sccs(n: usize, adj: &[Vec<(usize, usize)>]) -> Vec<usize> {
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&(v, child)) = call.last() {
+            if child < adj[v].len() {
+                let (_, w) = adj[v][child];
+                call.last_mut().expect("nonempty").1 += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("stack nonempty");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// BFS from `starts` until `goal` holds; returns the symbol sequence.
+fn bfs_path(
+    adj: &[Vec<(usize, usize)>],
+    starts: &[usize],
+    goal: impl Fn(usize) -> bool,
+) -> Option<Vec<usize>> {
+    let n = adj.len();
+    let mut prev: Vec<Option<(usize, usize)>> = vec![None; n]; // (from, symbol)
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &s in starts {
+        if !visited[s] {
+            visited[s] = true;
+            queue.push_back(s);
+        }
+    }
+    let mut found = starts.iter().copied().find(|&s| goal(s));
+    while found.is_none() {
+        let u = queue.pop_front()?;
+        for &(sym, v) in &adj[u] {
+            if !visited[v] {
+                visited[v] = true;
+                prev[v] = Some((u, sym));
+                if goal(v) {
+                    found = Some(v);
+                    break;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = found?;
+    while let Some((from, sym)) = prev[cur] {
+        path.push(sym);
+        cur = from;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Shortest non-empty cycle through `q` staying inside `q`'s SCC.
+fn bfs_cycle(adj: &[Vec<(usize, usize)>], q: usize, comp: &[usize]) -> Option<Vec<usize>> {
+    // One step out of q (within the SCC), then BFS back to q.
+    let cq = comp[q];
+    for &(sym, first) in &adj[q] {
+        if comp[first] != cq {
+            continue;
+        }
+        if first == q {
+            return Some(vec![sym]);
+        }
+        let restricted: Vec<Vec<(usize, usize)>> = adj
+            .iter()
+            .enumerate()
+            .map(|(u, outs)| {
+                if comp[u] == cq {
+                    outs.iter().copied().filter(|&(_, t)| comp[t] == cq).collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        if let Some(back) = bfs_path(&restricted, &[first], |v| v == q) {
+            let mut cycle = vec![sym];
+            cycle.extend(back);
+            return Some(cycle);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy automaton over the alphabet {0, 1}: states are `u8`
+    /// counters mod `modulus`; symbol 0 increments, symbol 1 resets;
+    /// accepting iff the counter equals `accept`. Transitions out of
+    /// `dead` states (counter == modulus-1 when `trap` is set) reject.
+    struct Toy {
+        modulus: u8,
+        accept: u8,
+        trap: bool,
+    }
+
+    impl BuchiAutomaton for Toy {
+        type State = u8;
+        type Symbol = u8;
+
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn alphabet(&self) -> Vec<u8> {
+            vec![0, 1]
+        }
+
+        fn next(&self, state: &u8, symbol: &u8) -> Option<u8> {
+            if self.trap && *state == self.modulus - 1 {
+                return None;
+            }
+            Some(match symbol {
+                0 => (state + 1) % self.modulus,
+                _ => 0,
+            })
+        }
+
+        fn is_accepting(&self, state: &u8) -> bool {
+            *state == self.accept
+        }
+    }
+
+    #[test]
+    fn nonempty_with_reachable_accepting_cycle() {
+        let e = Explorer::new(
+            Toy {
+                modulus: 5,
+                accept: 3,
+                trap: false,
+            },
+            1000,
+        );
+        match e.emptiness() {
+            Emptiness::NonEmpty { lasso, states } => {
+                assert_eq!(states, 5);
+                assert!(!lasso.cycle.is_empty());
+                // Replay the lasso and check it visits state 3 in the cycle.
+                let toy = Toy {
+                    modulus: 5,
+                    accept: 3,
+                    trap: false,
+                };
+                let mut s = 0u8;
+                for sym in &lasso.prefix {
+                    s = toy.next(&s, sym).unwrap();
+                }
+                let mut hit = s == 3;
+                let entry = s;
+                for sym in &lasso.cycle {
+                    s = toy.next(&s, sym).unwrap();
+                    hit |= s == 3;
+                }
+                assert_eq!(s, entry, "cycle must return to its entry state");
+                assert!(hit, "cycle must visit an accepting state");
+            }
+            other => panic!("expected NonEmpty, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_when_accepting_state_unreachable() {
+        let e = Explorer::new(
+            Toy {
+                modulus: 5,
+                accept: 7, // never reached (counter < 5)
+                trap: false,
+            },
+            1000,
+        );
+        assert!(e.emptiness().is_empty_language());
+    }
+
+    #[test]
+    fn empty_when_accepting_state_not_on_cycle() {
+        // With trap=true, state 4 has no outgoing edges. Accepting
+        // state 4 is reachable but on no cycle.
+        let e = Explorer::new(
+            Toy {
+                modulus: 5,
+                accept: 4,
+                trap: true,
+            },
+            1000,
+        );
+        assert!(e.emptiness().is_empty_language());
+    }
+
+    #[test]
+    fn self_loop_accepted() {
+        // modulus 1: single state 0, symbol 0 self-loops.
+        let e = Explorer::new(
+            Toy {
+                modulus: 1,
+                accept: 0,
+                trap: false,
+            },
+            10,
+        );
+        match e.emptiness() {
+            Emptiness::NonEmpty { lasso, .. } => {
+                assert!(lasso.prefix.is_empty());
+                assert_eq!(lasso.cycle.len(), 1);
+            }
+            other => panic!("expected NonEmpty, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cap_reported() {
+        let e = Explorer::new(
+            Toy {
+                modulus: 200,
+                accept: 199,
+                trap: false,
+            },
+            10,
+        );
+        assert!(matches!(e.emptiness(), Emptiness::Capped { cap: 10 }));
+    }
+
+    #[test]
+    fn reachable_state_count() {
+        let e = Explorer::new(
+            Toy {
+                modulus: 7,
+                accept: 0,
+                trap: false,
+            },
+            1000,
+        );
+        assert_eq!(e.reachable_states(), Some(7));
+    }
+}

@@ -1,0 +1,110 @@
+//! Experiments E1 and E9: chase-engine behaviour and throughput.
+//!
+//! * E1 — the intro example: restricted chase cost (a satisfaction
+//!   check, no steps) vs oblivious chase cost per budget (unbounded
+//!   growth). The *shape*: restricted is O(check), oblivious scales
+//!   linearly with the step budget.
+//! * E9 — result sizes and runtimes of restricted vs semi-oblivious vs
+//!   oblivious on terminating workloads, plus the index ablation
+//!   (position-indexed matching vs predicate-only scans).
+
+use chase_bench::{closure_workload, setup, setup_with_db};
+use chase_core::instance::{IndexMode, Instance};
+use chase_engine::oblivious::ObliviousChase;
+use chase_engine::restricted::{Budget, RestrictedChase, Strategy};
+use chase_engine::trigger::all_triggers;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn e1_intro_example(c: &mut Criterion) {
+    let (_, set, db) = setup("R(a,b). R(x,y) -> exists z. R(x,z).");
+    let mut group = c.benchmark_group("e1_intro");
+    group.bench_function("restricted_full_check", |b| {
+        let engine = RestrictedChase::new(&set).record_derivation(false);
+        b.iter(|| black_box(engine.run(&db, Budget::steps(1_000))));
+    });
+    for budget in [50usize, 100, 200] {
+        group.bench_with_input(
+            BenchmarkId::new("oblivious_steps", budget),
+            &budget,
+            |b, &budget| {
+                let engine = ObliviousChase::new(&set);
+                b.iter(|| black_box(engine.run(&db, Budget::steps(budget))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e9_engine_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_engines");
+    for nodes in [12usize, 24] {
+        let (_, set, db) = closure_workload(nodes, nodes * 2);
+        group.bench_with_input(
+            BenchmarkId::new("restricted_closure", nodes),
+            &nodes,
+            |b, _| {
+                let engine = RestrictedChase::new(&set)
+                    .strategy(Strategy::Fifo)
+                    .record_derivation(false);
+                b.iter(|| black_box(engine.run(&db, Budget::steps(100_000))));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oblivious_closure", nodes),
+            &nodes,
+            |b, _| {
+                let engine = ObliviousChase::new(&set);
+                b.iter(|| black_box(engine.run(&db, Budget::steps(100_000))));
+            },
+        );
+    }
+    // Existential workload where the restricted chase's smaller result
+    // pays off: one null per Emp under restricted, many under oblivious.
+    let facts: String = (0..40)
+        .map(|i| format!("Emp(p{i},d{}). ", i % 4))
+        .collect();
+    let (_, set, db) = setup_with_db(
+        "Emp(e,d) -> exists m. Mgr(d,m).
+         Mgr(d,m) -> Dept(d).",
+        &facts,
+    );
+    group.bench_function("restricted_dept", |b| {
+        let engine = RestrictedChase::new(&set).record_derivation(false);
+        b.iter(|| black_box(engine.run(&db, Budget::steps(100_000))));
+    });
+    group.bench_function("semi_oblivious_dept", |b| {
+        let engine = ObliviousChase::new(&set).semi_oblivious();
+        b.iter(|| black_box(engine.run(&db, Budget::steps(100_000))));
+    });
+    group.bench_function("oblivious_dept", |b| {
+        let engine = ObliviousChase::new(&set);
+        b.iter(|| black_box(engine.run(&db, Budget::steps(100_000))));
+    });
+    group.finish();
+}
+
+fn e9_index_ablation(c: &mut Criterion) {
+    let (_, set, db) = closure_workload(24, 48);
+    // Saturate first, then benchmark trigger enumeration over the
+    // closed instance with and without the position index.
+    let closed = RestrictedChase::new(&set)
+        .record_derivation(false)
+        .run(&db, Budget::steps(100_000))
+        .instance;
+    let mut unindexed = Instance::with_mode(IndexMode::PredicateOnly);
+    for atom in closed.iter() {
+        unindexed.insert(atom.clone());
+    }
+    let mut group = c.benchmark_group("e9_index_ablation");
+    group.bench_function("enumerate_triggers_indexed", |b| {
+        b.iter(|| black_box(all_triggers(&set, &closed).len()));
+    });
+    group.bench_function("enumerate_triggers_scan", |b| {
+        b.iter(|| black_box(all_triggers(&set, &unindexed).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, e1_intro_example, e9_engine_comparison, e9_index_ablation);
+criterion_main!(benches);

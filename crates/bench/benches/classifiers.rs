@@ -1,0 +1,65 @@
+//! Experiment E8 support: cost of the class recognisers and baseline
+//! criteria (these are the cheap filters a production system runs
+//! before the full deciders).
+
+use chase_bench::setup;
+use chase_engine::restricted::Budget;
+use chase_workloads::families;
+use chase_workloads::random::{random_tgds, RandomTgdParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tgd_classes::baselines::semi_oblivious_critical;
+use tgd_classes::guarded::all_guarded;
+use tgd_classes::sticky::Marking;
+use tgd_classes::weakly_acyclic::DependencyGraph;
+
+fn classify_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_classifiers");
+    for rules in [4usize, 16, 64] {
+        let params = RandomTgdParams {
+            rules,
+            ..RandomTgdParams::default()
+        };
+        let (vocab, set, _) = setup(&random_tgds(&params, 11));
+        group.bench_with_input(BenchmarkId::new("sticky_marking", rules), &rules, |b, _| {
+            b.iter(|| black_box(Marking::compute(&set)));
+        });
+        group.bench_with_input(BenchmarkId::new("guardedness", rules), &rules, |b, _| {
+            b.iter(|| black_box(all_guarded(&set)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("weak_acyclicity", rules),
+            &rules,
+            |b, _| {
+                b.iter(|| black_box(DependencyGraph::build(&set, &vocab).has_special_cycle()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn baseline_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_baselines");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        let (vocab, set, _) = setup(&families::data_exchange(n));
+        group.bench_with_input(
+            BenchmarkId::new("semi_oblivious_critical", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut scratch = vocab.clone();
+                    black_box(semi_oblivious_critical(
+                        &set,
+                        &mut scratch,
+                        Budget::steps(20_000),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, classify_scaling, baseline_cost);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Experiments E6 and E7: decision-procedure cost.
+//!
+//! * E6 — the sticky Büchi decider: runtime over the sticky suite
+//!   entries and scaling in predicate arity (the `arity_shift` /
+//!   `arity_keep` families) and in rule count (`linear_cycle`,
+//!   `sticky_join_loop`).
+//! * E7 — the guarded portfolio decider over the guarded suite
+//!   entries and the `guarded_side_bounded` family.
+
+use chase_bench::setup;
+use chase_termination::sticky::decide_sticky;
+use chase_termination::{decide, DeciderConfig};
+use chase_workloads::families;
+use chase_workloads::suite::labelled_suite;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tgd_classes::guarded::all_guarded;
+use tgd_classes::sticky::is_sticky;
+
+fn e6_sticky_arity_scaling(c: &mut Criterion) {
+    let config = DeciderConfig::default();
+    let mut group = c.benchmark_group("e6_sticky_arity");
+    for a in 2usize..=4 {
+        let (vocab, set, _) = setup(&families::arity_shift(a));
+        group.bench_with_input(BenchmarkId::new("shift_nonterminating", a), &a, |b, _| {
+            b.iter(|| black_box(decide_sticky(&set, &vocab, &config)));
+        });
+        let (vocab_k, set_k, _) = setup(&families::arity_keep(a));
+        group.bench_with_input(BenchmarkId::new("keep_terminating", a), &a, |b, _| {
+            b.iter(|| black_box(decide_sticky(&set_k, &vocab_k, &config)));
+        });
+    }
+    group.finish();
+}
+
+fn e6_sticky_rule_scaling(c: &mut Criterion) {
+    let config = DeciderConfig::default();
+    let mut group = c.benchmark_group("e6_sticky_rules");
+    for n in [1usize, 2, 3] {
+        let (vocab, set, _) = setup(&families::linear_cycle(n.max(1)));
+        group.bench_with_input(BenchmarkId::new("linear_cycle", n), &n, |b, _| {
+            b.iter(|| black_box(decide_sticky(&set, &vocab, &config)));
+        });
+        let (vocab_j, set_j, _) = setup(&families::sticky_join_loop(n));
+        group.bench_with_input(BenchmarkId::new("sticky_join_loop", n), &n, |b, _| {
+            b.iter(|| black_box(decide_sticky(&set_j, &vocab_j, &config)));
+        });
+    }
+    group.finish();
+}
+
+fn e6_e7_suite(c: &mut Criterion) {
+    let config = DeciderConfig::default();
+    let mut group = c.benchmark_group("e6_e7_suite");
+    group.sample_size(10);
+    for entry in labelled_suite() {
+        let (vocab, set) = entry.build();
+        let tag = if is_sticky(&set) {
+            "sticky"
+        } else if all_guarded(&set) {
+            "guarded"
+        } else {
+            "other"
+        };
+        group.bench_function(BenchmarkId::new(tag, entry.name), |b| {
+            b.iter(|| black_box(decide(&set, &vocab, &config)));
+        });
+    }
+    group.finish();
+}
+
+fn e7_guarded_family(c: &mut Criterion) {
+    let config = DeciderConfig::default();
+    let mut group = c.benchmark_group("e7_guarded_family");
+    group.sample_size(10);
+    for n in [1usize, 2, 4] {
+        let (vocab, set, _) = setup(&families::guarded_side_bounded(n));
+        group.bench_with_input(BenchmarkId::new("side_bounded", n), &n, |b, _| {
+            b.iter(|| black_box(decide(&set, &vocab, &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e6_sticky_arity_scaling,
+    e6_sticky_rule_scaling,
+    e6_e7_suite,
+    e7_guarded_family
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Experiments E2, E3 and E4 in benchmark form: the real oblivious
+//! chase construction, the stop/before relations, the chaseable-set
+//! round-trip and the fairness machinery.
+
+use chase_bench::setup;
+use chase_engine::chaseable::roundtrip_theorem_5_3;
+use chase_engine::fairness::{persistently_active, repair};
+use chase_engine::real_oblivious::{OchaseLimits, RealOchase};
+use chase_engine::relations::OchaseRelations;
+use chase_engine::restricted::{Budget, RestrictedChase, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const EXAMPLE_3_2: &str = "
+    P(a,b).
+    P(x1,y1) -> R(x1,y1).
+    P(x2,y2) -> S(x2).
+    R(x3,y3) -> S(x3).
+    S(x4) -> exists y4. R(x4,y4).
+";
+
+fn e3_real_oblivious_chase(c: &mut Criterion) {
+    let (_, set, db) = setup(EXAMPLE_3_2);
+    let mut group = c.benchmark_group("e3_real_oblivious");
+    for depth in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("build_depth", depth), &depth, |b, &d| {
+            b.iter(|| {
+                black_box(RealOchase::build(
+                    &db,
+                    &set,
+                    OchaseLimits {
+                        max_nodes: 5_000,
+                        max_depth: d,
+                    },
+                ))
+            });
+        });
+    }
+    let fragment = RealOchase::build(
+        &db,
+        &set,
+        OchaseLimits {
+            max_nodes: 500,
+            max_depth: 5,
+        },
+    );
+    group.bench_function("stop_before_relations", |b| {
+        b.iter(|| black_box(OchaseRelations::compute(&fragment, &set)));
+    });
+    group.finish();
+}
+
+fn e4_chaseable_roundtrip(c: &mut Criterion) {
+    let (_, set, db) = setup(
+        "E(a,b). E(b,c). E(c,d).
+         E(x,y) -> exists z. F(x,z).
+         F(u,v) -> G(u).",
+    );
+    let run = RestrictedChase::new(&set)
+        .strategy(Strategy::Fifo)
+        .run(&db, Budget::steps(100));
+    let fragment = RealOchase::build(&db, &set, OchaseLimits::default());
+    let mut group = c.benchmark_group("e4_chaseable");
+    group.bench_function("theorem_5_3_roundtrip", |b| {
+        b.iter(|| black_box(roundtrip_theorem_5_3(&db, &set, &run.derivation, &fragment)));
+    });
+    group.finish();
+}
+
+fn e2_fairness(c: &mut Criterion) {
+    let (_, set, db) = setup(
+        "R(a,b).
+         R(x,y) -> exists z. R(y,z).
+         R(x,y) -> S(x).",
+    );
+    let mut group = c.benchmark_group("e2_fairness");
+    for horizon in [20usize, 40] {
+        let run = RestrictedChase::new(&set)
+            .strategy(Strategy::PriorityTgd)
+            .run(&db, Budget::steps(horizon));
+        group.bench_with_input(
+            BenchmarkId::new("persistently_active", horizon),
+            &horizon,
+            |b, _| {
+                b.iter(|| black_box(persistently_active(&db, &set, &run.derivation).len()));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("repair", horizon), &horizon, |b, _| {
+            b.iter(|| black_box(repair(&db, &set, &run.derivation, 8, 5)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e3_real_oblivious_chase, e4_chaseable_roundtrip, e2_fairness);
+criterion_main!(benches);

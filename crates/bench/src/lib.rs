@@ -1,0 +1,43 @@
+//! Shared helpers for the benchmark harness and the experiment
+//! report binary (`expreport`). One bench group exists per experiment
+//! row of EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use chase_core::instance::Instance;
+use chase_core::parser::parse_program;
+use chase_core::tgd::TgdSet;
+use chase_core::vocab::Vocabulary;
+
+/// Parses combined rules + facts source into `(vocab, set, database)`.
+pub fn setup(src: &str) -> (Vocabulary, TgdSet, Instance) {
+    let mut vocab = Vocabulary::new();
+    let program = parse_program(src, &mut vocab).expect("benchmark source must parse");
+    let set = program.tgd_set(&vocab).expect("benchmark set must validate");
+    (vocab, set, program.database)
+}
+
+/// Parses rules-only source plus a separately generated database.
+pub fn setup_with_db(rules: &str, facts: &str) -> (Vocabulary, TgdSet, Instance) {
+    setup(&format!("{rules}\n{facts}"))
+}
+
+/// A transitive-closure workload over a random graph: `nodes`
+/// vertices, `edges` edges, plus `E(x,y), E(y,z) -> E(x,z)`.
+pub fn closure_workload(nodes: usize, edges: usize) -> (Vocabulary, TgdSet, Instance) {
+    let facts = chase_workloads::families::edge_database("E", nodes, edges, 7);
+    setup_with_db("E(x,y), E(y,z) -> E(x,z).", &facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_workload_builds() {
+        let (_, set, db) = closure_workload(10, 20);
+        assert_eq!(set.len(), 1);
+        assert!(!db.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Baseline sufficient conditions for all-instances restricted chase
+//! termination, used for the E8 comparison:
+//!
+//! * weak acyclicity (re-exported from [`crate::weakly_acyclic`]);
+//! * termination of the **semi-oblivious** chase on the critical
+//!   database (Marnette's criterion: the critical database is critical
+//!   for the semi-oblivious chase, and semi-oblivious termination for
+//!   every database implies restricted termination for every
+//!   database);
+//! * termination of the **oblivious** chase on the critical database
+//!   (a still stronger requirement).
+//!
+//! Both chase-based checks are budget-bounded: `Some(true)` proves the
+//! criterion, `Some(false)` is impossible by construction, and `None`
+//! means the budget ran out (the criterion very likely fails; on all
+//! suite workloads the budget is decisive).
+
+use chase_core::tgd::TgdSet;
+use chase_core::vocab::Vocabulary;
+use chase_engine::critical::critical_database;
+use chase_engine::oblivious::ObliviousChase;
+use chase_engine::restricted::{Budget, Outcome};
+
+/// Outcome of a budget-bounded termination criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CriterionOutcome {
+    /// The chase on the critical database reached a fixpoint: the
+    /// criterion holds, hence `T ∈ CT^res_∀∀`.
+    Holds {
+        /// Trigger applications needed to saturate.
+        steps: usize,
+    },
+    /// The budget was exhausted; the criterion is not established
+    /// (and, for the workloads in this repository, fails).
+    BudgetExhausted,
+}
+
+impl CriterionOutcome {
+    /// `true` iff the criterion is established.
+    pub fn holds(self) -> bool {
+        matches!(self, CriterionOutcome::Holds { .. })
+    }
+}
+
+/// Checks whether the *oblivious* chase terminates on the critical
+/// database within the budget.
+pub fn oblivious_critical(set: &TgdSet, vocab: &mut Vocabulary, budget: Budget) -> CriterionOutcome {
+    let db = critical_database(set, vocab);
+    let run = ObliviousChase::new(set).run(&db, budget);
+    match run.outcome {
+        Outcome::Terminated => CriterionOutcome::Holds { steps: run.steps },
+        Outcome::BudgetExhausted => CriterionOutcome::BudgetExhausted,
+    }
+}
+
+/// Checks whether the *semi-oblivious* chase terminates on the
+/// critical database within the budget (Marnette's criterion).
+pub fn semi_oblivious_critical(
+    set: &TgdSet,
+    vocab: &mut Vocabulary,
+    budget: Budget,
+) -> CriterionOutcome {
+    let db = critical_database(set, vocab);
+    let run = ObliviousChase::new(set).semi_oblivious().run(&db, budget);
+    match run.outcome {
+        Outcome::Terminated => CriterionOutcome::Holds { steps: run.steps },
+        Outcome::BudgetExhausted => CriterionOutcome::BudgetExhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_tgds;
+
+    fn outcome(src: &str, semi: bool) -> CriterionOutcome {
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds(src, &mut vocab).unwrap();
+        let budget = Budget::steps(5_000);
+        if semi {
+            semi_oblivious_critical(&set, &mut vocab, budget)
+        } else {
+            oblivious_critical(&set, &mut vocab, budget)
+        }
+    }
+
+    #[test]
+    fn full_tgds_pass_both() {
+        let src = "E(x,y), E(y,z) -> E(x,z).";
+        assert!(outcome(src, false).holds());
+        assert!(outcome(src, true).holds());
+    }
+
+    #[test]
+    fn intro_rule_separates_the_criteria() {
+        // R(x,y) -> ∃z R(x,z): oblivious diverges (new null every
+        // round), semi-oblivious terminates (null keyed by frontier x),
+        // restricted terminates for all instances. This is the paper's
+        // flagship gap between the chase variants.
+        let src = "R(x,y) -> exists z. R(x,z).";
+        assert_eq!(outcome(src, false), CriterionOutcome::BudgetExhausted);
+        assert!(outcome(src, true).holds());
+    }
+
+    #[test]
+    fn right_recursion_fails_both() {
+        let src = "R(x,y) -> exists z. R(y,z).";
+        assert_eq!(outcome(src, false), CriterionOutcome::BudgetExhausted);
+        assert_eq!(outcome(src, true), CriterionOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn semi_oblivious_divergence_detected() {
+        // R(x,y) -> ∃z R(z,x): on the critical database {R(c,c)} the
+        // restricted chase stops immediately (z ↦ c satisfies the
+        // head), but the semi-oblivious chase keeps inventing nulls —
+        // the frontier x takes ever-new values R(n0,c), R(n1,n0), ...
+        let src = "R(x,y) -> exists z. R(z,x).";
+        assert_eq!(outcome(src, true), CriterionOutcome::BudgetExhausted);
+    }
+}

@@ -1,0 +1,226 @@
+//! `chasectl` — command-line front end for the restricted-chase
+//! toolkit.
+//!
+//! ```text
+//! chasectl classify <file>          structural class profile
+//! chasectl chase <file> [--steps N] [--strategy fifo|lifo|random|priority]
+//! chasectl oblivious <file> [--steps N] [--semi]
+//! chasectl decide <file>            all-instances termination verdict
+//! chasectl dot <file> [--steps N]   chase, then emit the derivation as graphviz
+//! chasectl suite                    run the deciders over the labelled suite
+//! ```
+//!
+//! Rule files contain TGDs and facts in the syntax of DESIGN.md §5.
+
+use std::process::ExitCode;
+
+use chase_core::parser::parse_program;
+use chase_core::vocab::Vocabulary;
+use chase_engine::oblivious::ObliviousChase;
+use chase_engine::restricted::{Budget, Outcome, RestrictedChase, Strategy};
+use chase_termination::{decide, DeciderConfig, TerminationVerdict};
+use chase_workloads::suite::{labelled_suite, Expected};
+use tgd_classes::profile::ClassProfile;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("chasectl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: chasectl <classify|chase|oblivious|decide|dot|suite> [<file>] [options]\n\
+     options: --steps N   --strategy fifo|lifo|random|priority   --semi"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "suite" => cmd_suite(),
+        "classify" | "chase" | "oblivious" | "decide" | "dot" => {
+            let path = args.get(1).ok_or_else(usage)?;
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut vocab = Vocabulary::new();
+            let program = parse_program(&src, &mut vocab).map_err(|e| e.to_string())?;
+            let set = program.tgd_set(&vocab).map_err(|e| e.to_string())?;
+            let steps = flag_value(args, "--steps")
+                .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
+                .transpose()?
+                .unwrap_or(10_000);
+            match command.as_str() {
+                "classify" => cmd_classify(&set, &vocab),
+                "chase" => {
+                    let strategy = match flag_value(args, "--strategy").as_deref() {
+                        None | Some("fifo") => Strategy::Fifo,
+                        Some("lifo") => Strategy::Lifo,
+                        Some("random") => Strategy::Random(0xC0FFEE),
+                        Some("priority") => Strategy::PriorityTgd,
+                        Some(other) => return Err(format!("unknown strategy '{other}'")),
+                    };
+                    cmd_chase(&program.database, &set, &vocab, strategy, steps)
+                }
+                "oblivious" => cmd_oblivious(
+                    &program.database,
+                    &set,
+                    &vocab,
+                    args.iter().any(|a| a == "--semi"),
+                    steps,
+                ),
+                "decide" => cmd_decide(&set, &vocab),
+                "dot" => cmd_dot(&program.database, &set, &vocab, steps),
+                _ => unreachable!(),
+            }
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_classify(set: &chase_core::tgd::TgdSet, vocab: &Vocabulary) -> Result<(), String> {
+    let profile = ClassProfile::analyse(set, vocab, Budget::steps(20_000));
+    println!("rules: {}", set.len());
+    println!(
+        "schema: {} predicates, max arity {}",
+        set.schema_preds().len(),
+        set.max_arity()
+    );
+    println!("profile: {}", profile.summary());
+    println!(
+        "decidable fragment (single-head guarded or sticky): {}",
+        profile.in_decidable_fragment()
+    );
+    Ok(())
+}
+
+fn cmd_chase(
+    db: &chase_core::instance::Instance,
+    set: &chase_core::tgd::TgdSet,
+    vocab: &Vocabulary,
+    strategy: Strategy,
+    steps: usize,
+) -> Result<(), String> {
+    let run = RestrictedChase::new(set)
+        .strategy(strategy)
+        .run(db, Budget::steps(steps));
+    println!(
+        "restricted chase ({strategy:?}): {} after {} steps, {} atoms",
+        match run.outcome {
+            Outcome::Terminated => "terminated",
+            Outcome::BudgetExhausted => "budget exhausted",
+        },
+        run.steps,
+        run.instance.len()
+    );
+    if run.instance.len() <= 50 {
+        println!("{}", run.instance.display(vocab));
+    }
+    Ok(())
+}
+
+fn cmd_oblivious(
+    db: &chase_core::instance::Instance,
+    set: &chase_core::tgd::TgdSet,
+    vocab: &Vocabulary,
+    semi: bool,
+    steps: usize,
+) -> Result<(), String> {
+    let engine = if semi {
+        ObliviousChase::new(set).semi_oblivious()
+    } else {
+        ObliviousChase::new(set)
+    };
+    let run = engine.run(db, Budget::steps(steps));
+    println!(
+        "{} chase: {} after {} steps, {} atoms",
+        if semi { "semi-oblivious" } else { "oblivious" },
+        match run.outcome {
+            Outcome::Terminated => "terminated",
+            Outcome::BudgetExhausted => "budget exhausted",
+        },
+        run.steps,
+        run.instance.len()
+    );
+    if run.instance.len() <= 50 {
+        println!("{}", run.instance.display(vocab));
+    }
+    Ok(())
+}
+
+fn cmd_decide(set: &chase_core::tgd::TgdSet, vocab: &Vocabulary) -> Result<(), String> {
+    let verdict = decide(set, vocab, &DeciderConfig::default());
+    let profile = ClassProfile::analyse(set, vocab, Budget::steps(20_000));
+    print!(
+        "{}",
+        chase_termination::report::explain(&verdict, set, vocab, Some(&profile))
+    );
+    Ok(())
+}
+
+fn cmd_dot(
+    db: &chase_core::instance::Instance,
+    set: &chase_core::tgd::TgdSet,
+    vocab: &Vocabulary,
+    steps: usize,
+) -> Result<(), String> {
+    let run = RestrictedChase::new(set)
+        .strategy(Strategy::Fifo)
+        .run(db, Budget::steps(steps.min(200)));
+    print!(
+        "{}",
+        chase_engine::dot::derivation_to_dot(&run.derivation, set, vocab)
+    );
+    Ok(())
+}
+
+fn cmd_suite() -> Result<(), String> {
+    let config = DeciderConfig::default();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    println!("{:<34} {:>15} {:>16} agree", "entry", "expected", "verdict");
+    for entry in labelled_suite() {
+        let (vocab, set) = entry.build();
+        let verdict = decide(&set, &vocab, &config);
+        let verdict_str = match &verdict {
+            TerminationVerdict::AllInstancesTerminating(_) => "terminating",
+            TerminationVerdict::NonTerminating(_) => "non-terminating",
+            TerminationVerdict::Unknown { .. } => "unknown",
+        };
+        let expected_str = match entry.expected {
+            Expected::Terminating => "terminating",
+            Expected::NonTerminating => "non-terminating",
+        };
+        let agree = verdict_str == expected_str;
+        total += 1;
+        if agree {
+            correct += 1;
+        }
+        println!(
+            "{:<34} {:>15} {:>16} {}",
+            entry.name,
+            expected_str,
+            verdict_str,
+            if agree { "yes" } else { "NO" }
+        );
+    }
+    println!("---\n{correct}/{total} correct");
+    if correct == total {
+        Ok(())
+    } else {
+        Err("suite disagreement".into())
+    }
+}

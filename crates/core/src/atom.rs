@@ -1,0 +1,167 @@
+//! Atoms and positions (Section 2 of the paper).
+
+use crate::ids::{PredId, VarId};
+use crate::term::Term;
+use crate::vocab::Vocabulary;
+
+/// A position `(R, i)` of a schema: the `i`-th argument (0-based in
+/// code, 1-based in the paper) of predicate `R`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position {
+    /// The predicate.
+    pub pred: PredId,
+    /// The 0-based argument index.
+    pub index: usize,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(pred: PredId, index: usize) -> Self {
+        Position { pred, index }
+    }
+}
+
+/// An atom `R(t1, ..., tn)` over interned terms.
+///
+/// Atoms over constants and nulls populate instances; atoms containing
+/// variables appear in dependency bodies and heads.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// The predicate symbol.
+    pub pred: PredId,
+    /// The argument terms, length equal to the predicate arity.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom. The caller is responsible for arity agreement
+    /// (the parser and the engines always construct atoms through a
+    /// [`Vocabulary`]-validated path).
+    pub fn new(pred: PredId, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// The arity of the atom.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The term at position `i` (0-based), the paper's `R(t̄)[i]`.
+    #[inline]
+    pub fn term_at(&self, i: usize) -> Term {
+        self.args[i]
+    }
+
+    /// Returns `true` if no argument is a variable, i.e. the atom may
+    /// be a member of an instance.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| t.is_ground())
+    }
+
+    /// Returns `true` if every argument is a constant, i.e. the atom
+    /// is a *fact* in the paper's sense.
+    pub fn is_fact(&self) -> bool {
+        self.args.iter().all(|t| t.is_const())
+    }
+
+    /// Iterates over the variables of the atom, with repetitions, in
+    /// argument order.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+
+    /// The paper's `pos(R(t̄), x)`: the 0-based positions at which the
+    /// variable `x` occurs in this atom.
+    pub fn positions_of_var(&self, x: VarId) -> Vec<usize> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_var() == Some(x))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The 0-based positions at which the ground term `t` occurs.
+    pub fn positions_of_term(&self, t: Term) -> Vec<usize> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| **u == t)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Returns `true` if the ground term `t` occurs in this atom.
+    pub fn mentions(&self, t: Term) -> bool {
+        self.args.contains(&t)
+    }
+
+    /// Renders the atom using the vocabulary.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        let args: Vec<String> = self
+            .args
+            .iter()
+            .map(|&t| vocab.term_to_string(t))
+            .collect();
+        format!("{}({})", vocab.pred_name(self.pred), args.join(","))
+    }
+}
+
+/// Renders a set of atoms as `{A, B, ...}` for diagnostics.
+pub fn display_atoms<'a>(atoms: impl IntoIterator<Item = &'a Atom>, vocab: &Vocabulary) -> String {
+    let mut parts: Vec<String> = atoms.into_iter().map(|a| a.display(vocab)).collect();
+    parts.sort();
+    format!("{{{}}}", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ConstId;
+
+    fn atom(pred: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId(pred), args.to_vec())
+    }
+
+    #[test]
+    fn groundness_and_factness() {
+        let c = Term::Const(ConstId(0));
+        let n = Term::Null(crate::ids::NullId(0));
+        let v = Term::Var(VarId(0));
+        assert!(atom(0, &[c, c]).is_fact());
+        assert!(atom(0, &[c, n]).is_ground());
+        assert!(!atom(0, &[c, n]).is_fact());
+        assert!(!atom(0, &[c, v]).is_ground());
+    }
+
+    #[test]
+    fn positions_of_var_matches_paper_pos() {
+        let x = VarId(0);
+        let y = VarId(1);
+        let a = atom(0, &[Term::Var(x), Term::Var(y), Term::Var(x)]);
+        assert_eq!(a.positions_of_var(x), vec![0, 2]);
+        assert_eq!(a.positions_of_var(y), vec![1]);
+        assert_eq!(a.positions_of_var(VarId(9)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn positions_of_term() {
+        let c = Term::Const(ConstId(5));
+        let d = Term::Const(ConstId(6));
+        let a = atom(1, &[c, d, c]);
+        assert_eq!(a.positions_of_term(c), vec![0, 2]);
+        assert!(a.mentions(d));
+        assert!(!a.mentions(Term::Const(ConstId(7))));
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let mut vocab = Vocabulary::new();
+        let r = vocab.pred("R", 2).unwrap();
+        let a = vocab.constant("a");
+        let b = vocab.constant("b");
+        let at = Atom::new(r, vec![Term::Const(a), Term::Const(b)]);
+        assert_eq!(at.display(&vocab), "R(a,b)");
+    }
+}

@@ -1,0 +1,355 @@
+//! The homomorphism engine: backtracking conjunctive matching of atom
+//! lists against instances.
+//!
+//! This is the workhorse under every chase step (finding triggers,
+//! checking whether a trigger is active) and under TGD satisfaction
+//! checking. Candidate atoms are fetched through the instance's
+//! inverted indexes when available; atoms are matched in a
+//! most-bound-first dynamic order.
+
+use std::ops::ControlFlow;
+
+use crate::atom::Atom;
+use crate::instance::Instance;
+use crate::subst::Binding;
+use crate::term::Term;
+use crate::tgd::{Tgd, TgdSet};
+
+/// Attempts to unify `pattern` (which may contain variables) with the
+/// ground atom `target` under `binding`, extending the binding.
+/// Returns `Some(mark)` (the trail mark to truncate to on undo) on
+/// success, `None` on failure (in which case the binding is restored).
+fn unify_atom(pattern: &Atom, target: &Atom, binding: &mut Binding) -> Option<usize> {
+    debug_assert_eq!(pattern.pred, target.pred);
+    debug_assert_eq!(pattern.arity(), target.arity());
+    let mark = binding.mark();
+    for (p, &t) in pattern.args.iter().zip(target.args.iter()) {
+        match *p {
+            Term::Var(v) => match binding.get(v) {
+                Some(bound) => {
+                    if bound != t {
+                        binding.truncate(mark);
+                        return None;
+                    }
+                }
+                None => binding.push(v, t),
+            },
+            ground => {
+                if ground != t {
+                    binding.truncate(mark);
+                    return None;
+                }
+            }
+        }
+    }
+    Some(mark)
+}
+
+/// How "bound" a pattern atom is under the current binding: the number
+/// of argument positions already forced to a ground term. Used to pick
+/// the next atom to match (most selective first).
+fn boundness(pattern: &Atom, binding: &Binding) -> usize {
+    pattern
+        .args
+        .iter()
+        .filter(|t| match **t {
+            Term::Var(v) => binding.get(v).is_some(),
+            _ => true,
+        })
+        .count()
+}
+
+/// Fetches the slots of candidate atoms for `pattern` under `binding`.
+/// Uses the tightest single-position index available; falls back to
+/// the per-predicate list.
+fn candidate_slots<'i>(pattern: &Atom, binding: &Binding, instance: &'i Instance) -> &'i [usize] {
+    let mut best: Option<&[usize]> = None;
+    for (i, term) in pattern.args.iter().enumerate() {
+        let ground = match *term {
+            Term::Var(v) => match binding.get(v) {
+                Some(t) => t,
+                None => continue,
+            },
+            t => t,
+        };
+        if let Some(slots) = instance.slots_with_pred_pos(pattern.pred, i, ground) {
+            match best {
+                Some(b) if b.len() <= slots.len() => {}
+                _ => best = Some(slots),
+            }
+            if slots.is_empty() {
+                return slots;
+            }
+        }
+    }
+    best.unwrap_or_else(|| instance.slots_with_pred(pattern.pred))
+}
+
+fn search(
+    remaining: &mut Vec<&Atom>,
+    instance: &Instance,
+    binding: &mut Binding,
+    f: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    if remaining.is_empty() {
+        return f(binding);
+    }
+    // Pick the most-bound pattern atom (dynamic selectivity order).
+    let mut best_idx = 0;
+    let mut best_score = 0;
+    for (i, atom) in remaining.iter().enumerate() {
+        let score = boundness(atom, binding);
+        if i == 0 || score > best_score {
+            best_idx = i;
+            best_score = score;
+        }
+    }
+    let pattern = remaining.swap_remove(best_idx);
+    let slots: Vec<usize> = candidate_slots(pattern, binding, instance).to_vec();
+    for slot in slots {
+        let target = instance.atom(slot);
+        if let Some(mark) = unify_atom(pattern, target, binding) {
+            let flow = search(remaining, instance, binding, f);
+            binding.truncate(mark);
+            if flow.is_break() {
+                // `remaining` only needs to hold the same multiset of
+                // atoms on exit; position is irrelevant.
+                remaining.push(pattern);
+                return ControlFlow::Break(());
+            }
+        }
+    }
+    remaining.push(pattern);
+    ControlFlow::Continue(())
+}
+
+/// Enumerates all homomorphisms from the conjunction `patterns` into
+/// `instance` that extend `binding`, invoking `f` for each. Stops
+/// early if `f` breaks. Returns the final flow.
+pub fn for_each_homomorphism(
+    patterns: &[Atom],
+    instance: &Instance,
+    binding: &mut Binding,
+    f: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    // Fast precheck: every pattern predicate must be populated.
+    for p in patterns {
+        if instance.slots_with_pred(p.pred).is_empty() {
+            return ControlFlow::Continue(());
+        }
+    }
+    let mut remaining: Vec<&Atom> = patterns.iter().collect();
+    search(&mut remaining, instance, binding, f)
+}
+
+/// Whether some homomorphism from `patterns` into `instance` extends
+/// `binding`.
+pub fn exists_homomorphism(patterns: &[Atom], instance: &Instance, binding: &Binding) -> bool {
+    let mut b = binding.clone();
+    for_each_homomorphism(patterns, instance, &mut b, &mut |_| ControlFlow::Break(())).is_break()
+}
+
+/// Collects every homomorphism from `patterns` into `instance` as an
+/// owned [`Binding`]. Intended for tests and small inputs; engines use
+/// [`for_each_homomorphism`] to avoid allocation.
+pub fn all_homomorphisms(patterns: &[Atom], instance: &Instance) -> Vec<Binding> {
+    let mut out = Vec::new();
+    let mut binding = Binding::new();
+    let _ = for_each_homomorphism(patterns, instance, &mut binding, &mut |b| {
+        out.push(b.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Whether `instance |= tgd`: for every homomorphism `h` of the body,
+/// some extension of `h|fr` maps the head into the instance.
+pub fn satisfies(instance: &Instance, tgd: &Tgd) -> bool {
+    let mut binding = Binding::new();
+    let flow = for_each_homomorphism(tgd.body(), instance, &mut binding, &mut |h| {
+        let restricted = h.restricted_to(tgd.frontier());
+        if exists_homomorphism(tgd.head(), instance, &restricted) {
+            ControlFlow::Continue(())
+        } else {
+            ControlFlow::Break(())
+        }
+    });
+    flow.is_continue()
+}
+
+/// Whether `instance |= T` for every TGD in the set.
+pub fn satisfies_all(instance: &Instance, set: &TgdSet) -> bool {
+    set.tgds().iter().all(|t| satisfies(instance, t))
+}
+
+/// Checks for a homomorphism from the set of ground atoms `from` onto
+/// the set `to` (both as instances); used by tests for universal-model
+/// reasoning. Nulls are treated as variables, constants are fixed.
+pub fn ground_homomorphism_exists(from: &Instance, to: &Instance) -> bool {
+    // Translate nulls of `from` into variables and reuse the matcher.
+    use crate::ids::{fx_map, VarId};
+    let mut var_of_null = fx_map();
+    let mut next = 0u32;
+    let patterns: Vec<Atom> = from
+        .iter()
+        .map(|a| {
+            Atom::new(
+                a.pred,
+                a.args
+                    .iter()
+                    .map(|&t| match t {
+                        Term::Null(n) => {
+                            let v = *var_of_null.entry(n).or_insert_with(|| {
+                                let v = VarId(u32::MAX - next);
+                                next += 1;
+                                v
+                            });
+                            Term::Var(v)
+                        }
+                        other => other,
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    exists_homomorphism(&patterns, to, &Binding::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ConstId, NullId, PredId};
+    use crate::vocab::Vocabulary;
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn v(i: u32) -> Term {
+        Term::Var(crate::ids::VarId(i))
+    }
+
+    fn atom(p: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId(p), args.to_vec())
+    }
+
+    /// Instance { R(0,1), R(1,2), R(2,0), P(1) } with R=pred 0, P=pred 1.
+    fn triangle() -> Instance {
+        Instance::from_atoms([
+            atom(0, &[c(0), c(1)]),
+            atom(0, &[c(1), c(2)]),
+            atom(0, &[c(2), c(0)]),
+            atom(1, &[c(1)]),
+        ])
+    }
+
+    #[test]
+    fn single_atom_all_matches() {
+        let inst = triangle();
+        let homs = all_homomorphisms(&[atom(0, &[v(0), v(1)])], &inst);
+        assert_eq!(homs.len(), 3);
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        let inst = triangle();
+        // R(x,y), R(y,z): paths of length 2 — three of them in a triangle.
+        let homs = all_homomorphisms(&[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])], &inst);
+        assert_eq!(homs.len(), 3);
+        for h in &homs {
+            let x = h.get(crate::ids::VarId(0)).unwrap();
+            let z = h.get(crate::ids::VarId(2)).unwrap();
+            assert_ne!(x, z); // in a 3-cycle, 2-paths never close on themselves
+        }
+    }
+
+    #[test]
+    fn join_with_unary_filter() {
+        let inst = triangle();
+        // R(x,y), P(x): only x=1 has P.
+        let homs = all_homomorphisms(&[atom(0, &[v(0), v(1)]), atom(1, &[v(0)])], &inst);
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get(crate::ids::VarId(0)), Some(c(1)));
+    }
+
+    #[test]
+    fn repeated_variable_in_pattern() {
+        let mut inst = triangle();
+        inst.insert(atom(0, &[c(3), c(3)]));
+        let homs = all_homomorphisms(&[atom(0, &[v(0), v(0)])], &inst);
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get(crate::ids::VarId(0)), Some(c(3)));
+    }
+
+    #[test]
+    fn empty_predicate_short_circuits() {
+        let inst = triangle();
+        assert!(all_homomorphisms(&[atom(7, &[v(0)])], &inst).is_empty());
+    }
+
+    #[test]
+    fn respects_initial_binding() {
+        let inst = triangle();
+        let mut binding = Binding::new();
+        binding.push(crate::ids::VarId(0), c(2));
+        let mut count = 0;
+        let _ = for_each_homomorphism(&[atom(0, &[v(0), v(1)])], &inst, &mut binding, &mut |h| {
+            assert_eq!(h.get(crate::ids::VarId(0)), Some(c(2)));
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn works_without_position_index() {
+        let mut inst = Instance::with_mode(crate::instance::IndexMode::PredicateOnly);
+        for a in triangle().iter() {
+            inst.insert(a.clone());
+        }
+        let homs = all_homomorphisms(&[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])], &inst);
+        assert_eq!(homs.len(), 3);
+    }
+
+    #[test]
+    fn satisfaction_of_intro_example() {
+        // D = {R(a,b)}, T = { R(x,y) -> exists z . R(x,z) }.
+        // The restricted chase detects the TGD is already satisfied.
+        let mut vocab = Vocabulary::new();
+        let mut b = crate::tgd::RuleBuilder::new(&mut vocab);
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.body("R", &[x, y]).unwrap();
+        b.head("R", &[x, z]).unwrap();
+        let tgd = b.build().unwrap();
+        let r = vocab.lookup_pred("R").unwrap();
+        let inst = Instance::from_atoms([Atom::new(r, vec![c(0), c(1)])]);
+        assert!(satisfies(&inst, &tgd));
+    }
+
+    #[test]
+    fn violation_detected() {
+        // R(x,y) -> exists z . R(y,z) is violated by {R(a,b)}.
+        let mut vocab = Vocabulary::new();
+        let mut b = crate::tgd::RuleBuilder::new(&mut vocab);
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.body("R", &[x, y]).unwrap();
+        b.head("R", &[y, z]).unwrap();
+        let tgd = b.build().unwrap();
+        let r = vocab.lookup_pred("R").unwrap();
+        let violated = Instance::from_atoms([Atom::new(r, vec![c(0), c(1)])]);
+        assert!(!satisfies(&violated, &tgd));
+        // ...but {R(a,a)} satisfies it.
+        let loopy = Instance::from_atoms([Atom::new(r, vec![c(0), c(0)])]);
+        assert!(satisfies(&loopy, &tgd));
+    }
+
+    #[test]
+    fn ground_homomorphism_folds_nulls() {
+        // {R(a, n0)} maps into {R(a, b)} by n0 -> b.
+        let from = Instance::from_atoms([atom(0, &[c(0), Term::Null(NullId(0))])]);
+        let to = Instance::from_atoms([atom(0, &[c(0), c(1)])]);
+        assert!(ground_homomorphism_exists(&from, &to));
+        // but not the other way round: constants are rigid.
+        assert!(!ground_homomorphism_exists(&to, &from));
+    }
+}

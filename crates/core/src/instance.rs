@@ -1,0 +1,294 @@
+//! Instances and databases: duplicate-free, insertion-ordered sets of
+//! ground atoms with inverted indexes for homomorphism search.
+
+use crate::atom::Atom;
+use crate::ids::{fx_map, fx_set, FxHashMap, FxHashSet, PredId};
+use crate::term::Term;
+use crate::vocab::Vocabulary;
+
+/// Controls how much indexing an [`Instance`] maintains.
+///
+/// `Full` maintains, in addition to the per-predicate lists, an
+/// inverted index from `(predicate, position, term)` to atom slots;
+/// this is what makes body matching sub-linear. `PredicateOnly`
+/// exists for the index-ablation experiment (E9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Per-predicate lists plus a `(pred, position, term)` inverted index.
+    #[default]
+    Full,
+    /// Per-predicate lists only; matching falls back to scans.
+    PredicateOnly,
+}
+
+/// A (finite) instance: a duplicate-free set of ground atoms over
+/// constants and nulls, remembering insertion order.
+///
+/// Insertion order matters because chase derivations are sequences;
+/// the engines identify atoms by their *slot* (insertion index).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    atoms: Vec<Atom>,
+    set: FxHashSet<Atom>,
+    by_pred: FxHashMap<PredId, Vec<usize>>,
+    by_pos: FxHashMap<(PredId, u16, Term), Vec<usize>>,
+    mode: IndexMode,
+}
+
+impl Default for Instance {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Instance {
+    /// Creates an empty, fully indexed instance.
+    pub fn new() -> Self {
+        Self::with_mode(IndexMode::Full)
+    }
+
+    /// Creates an empty instance with the given index mode.
+    pub fn with_mode(mode: IndexMode) -> Self {
+        Instance {
+            atoms: Vec::new(),
+            set: fx_set(),
+            by_pred: fx_map(),
+            by_pos: fx_map(),
+            mode,
+        }
+    }
+
+    /// Builds an instance from ground atoms, ignoring duplicates.
+    ///
+    /// Atoms containing variables are rejected by debug assertion;
+    /// library callers construct instances from parser output or
+    /// engine output, both of which are ground by construction.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = Atom>) -> Self {
+        let mut inst = Instance::new();
+        for atom in atoms {
+            inst.insert(atom);
+        }
+        inst
+    }
+
+    /// The index mode this instance maintains.
+    pub fn index_mode(&self) -> IndexMode {
+        self.mode
+    }
+
+    /// Inserts an atom; returns its slot and whether it was new.
+    ///
+    /// Duplicate inserts are no-ops returning the existing slot's
+    /// `(slot, false)`... actually, for simplicity and speed the
+    /// duplicate case returns `(usize::MAX, false)`; callers that need
+    /// the original slot use [`Instance::slot_of`].
+    pub fn insert(&mut self, atom: Atom) -> (usize, bool) {
+        debug_assert!(atom.is_ground(), "instances hold ground atoms only");
+        if self.set.contains(&atom) {
+            return (usize::MAX, false);
+        }
+        let slot = self.atoms.len();
+        self.by_pred.entry(atom.pred).or_default().push(slot);
+        if self.mode == IndexMode::Full {
+            for (i, &t) in atom.args.iter().enumerate() {
+                self.by_pos
+                    .entry((atom.pred, i as u16, t))
+                    .or_default()
+                    .push(slot);
+            }
+        }
+        self.set.insert(atom.clone());
+        self.atoms.push(atom);
+        (slot, true)
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.set.contains(atom)
+    }
+
+    /// Finds the slot of an atom, if present (linear in the number of
+    /// atoms of its predicate).
+    pub fn slot_of(&self, atom: &Atom) -> Option<usize> {
+        self.by_pred
+            .get(&atom.pred)?
+            .iter()
+            .copied()
+            .find(|&s| &self.atoms[s] == atom)
+    }
+
+    /// Number of atoms.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the instance is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The atom stored at `slot`.
+    #[inline]
+    pub fn atom(&self, slot: usize) -> &Atom {
+        &self.atoms[slot]
+    }
+
+    /// Iterates over atoms in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
+        self.atoms.iter()
+    }
+
+    /// Slots of all atoms with the given predicate.
+    pub fn slots_with_pred(&self, pred: PredId) -> &[usize] {
+        self.by_pred.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Slots of all atoms with `pred` whose argument at `position`
+    /// equals `term`. Only available in [`IndexMode::Full`]; in
+    /// predicate-only mode returns `None` so callers fall back to a
+    /// scan.
+    pub fn slots_with_pred_pos(&self, pred: PredId, position: usize, term: Term) -> Option<&[usize]> {
+        if self.mode != IndexMode::Full {
+            return None;
+        }
+        Some(
+            self.by_pos
+                .get(&(pred, position as u16, term))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+        )
+    }
+
+    /// The active domain `dom(I)`: all terms occurring in the
+    /// instance, deduplicated, in first-occurrence order.
+    pub fn active_domain(&self) -> Vec<Term> {
+        let mut seen = fx_set();
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            for &t in &atom.args {
+                if seen.insert(t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if every atom is a fact (constants only), i.e.
+    /// the instance is a *database*.
+    pub fn is_database(&self) -> bool {
+        self.atoms.iter().all(Atom::is_fact)
+    }
+
+    /// Renders the instance for diagnostics, atoms sorted textually.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        crate::atom::display_atoms(self.atoms.iter(), vocab)
+    }
+
+    /// Consumes the instance, returning its atoms in insertion order.
+    pub fn into_atoms(self) -> Vec<Atom> {
+        self.atoms
+    }
+}
+
+impl FromIterator<Atom> for Instance {
+    fn from_iter<T: IntoIterator<Item = Atom>>(iter: T) -> Self {
+        Instance::from_atoms(iter)
+    }
+}
+
+impl PartialEq for Instance {
+    /// Set equality (insertion order and index mode are irrelevant).
+    fn eq(&self, other: &Self) -> bool {
+        self.set == other.set
+    }
+}
+impl Eq for Instance {}
+
+/// A database is an instance whose atoms are all facts. This is a
+/// semantic alias: code that requires a database should check
+/// [`Instance::is_database`] or construct via the parser, which
+/// guarantees it.
+pub type Database = Instance;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ConstId, NullId};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn atom(p: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId(p), args.to_vec())
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut inst = Instance::new();
+        let a = atom(0, &[c(0), c(1)]);
+        assert_eq!(inst.insert(a.clone()), (0, true));
+        assert_eq!(inst.insert(a.clone()).1, false);
+        assert_eq!(inst.len(), 1);
+        assert!(inst.contains(&a));
+        assert_eq!(inst.slot_of(&a), Some(0));
+    }
+
+    #[test]
+    fn pred_and_position_indexes() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, &[c(0), c(1)]));
+        inst.insert(atom(0, &[c(0), c(2)]));
+        inst.insert(atom(1, &[c(0)]));
+        assert_eq!(inst.slots_with_pred(PredId(0)), &[0, 1]);
+        assert_eq!(inst.slots_with_pred(PredId(1)), &[2]);
+        assert_eq!(
+            inst.slots_with_pred_pos(PredId(0), 0, c(0)).unwrap(),
+            &[0, 1]
+        );
+        assert_eq!(
+            inst.slots_with_pred_pos(PredId(0), 1, c(2)).unwrap(),
+            &[1]
+        );
+        assert!(inst
+            .slots_with_pred_pos(PredId(0), 1, c(9))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn predicate_only_mode_disables_position_index() {
+        let mut inst = Instance::with_mode(IndexMode::PredicateOnly);
+        inst.insert(atom(0, &[c(0), c(1)]));
+        assert!(inst.slots_with_pred_pos(PredId(0), 0, c(0)).is_none());
+        assert_eq!(inst.slots_with_pred(PredId(0)), &[0]);
+    }
+
+    #[test]
+    fn active_domain_first_occurrence_order() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, &[c(1), c(0)]));
+        inst.insert(atom(0, &[c(0), c(2)]));
+        assert_eq!(inst.active_domain(), vec![c(1), c(0), c(2)]);
+    }
+
+    #[test]
+    fn database_check() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, &[c(0)]));
+        assert!(inst.is_database());
+        inst.insert(atom(0, &[Term::Null(NullId(0))]));
+        assert!(!inst.is_database());
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let a = Instance::from_atoms([atom(0, &[c(0)]), atom(0, &[c(1)])]);
+        let b = Instance::from_atoms([atom(0, &[c(1)]), atom(0, &[c(0)])]);
+        assert_eq!(a, b);
+    }
+}

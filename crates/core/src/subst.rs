@@ -1,0 +1,150 @@
+//! Variable bindings (substitutions restricted to variables) with a
+//! trail, supporting cheap push/undo during backtracking search.
+//!
+//! Rule bodies are small (rarely more than a handful of variables), so
+//! a linear-scan association list beats a hash map here.
+
+use crate::atom::Atom;
+use crate::ids::VarId;
+use crate::term::Term;
+
+/// A substitution from variables to ground terms, built incrementally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Binding {
+    entries: Vec<(VarId, Term)>,
+}
+
+impl Binding {
+    /// Creates an empty binding.
+    pub fn new() -> Self {
+        Binding {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Looks up the image of a variable.
+    #[inline]
+    pub fn get(&self, var: VarId) -> Option<Term> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(v, _)| *v == var)
+            .map(|&(_, t)| t)
+    }
+
+    /// Binds `var` to `term`. The caller must ensure `var` is unbound
+    /// (checked in debug builds); rebinding is a logic error because
+    /// undo works by truncation.
+    #[inline]
+    pub fn push(&mut self, var: VarId, term: Term) {
+        debug_assert!(self.get(var).is_none(), "rebinding {var:?}");
+        self.entries.push((var, term));
+    }
+
+    /// Current length of the trail, for later [`Binding::truncate`].
+    #[inline]
+    pub fn mark(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Undoes all bindings pushed after `mark`.
+    #[inline]
+    pub fn truncate(&mut self, mark: usize) {
+        self.entries.truncate(mark);
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(variable, image)` pairs in binding order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Term)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Applies the binding to a term: bound variables are replaced by
+    /// their image, ground terms and unbound variables are unchanged.
+    #[inline]
+    pub fn apply_term(&self, term: Term) -> Term {
+        match term {
+            Term::Var(v) => self.get(v).unwrap_or(term),
+            other => other,
+        }
+    }
+
+    /// Applies the binding to an atom.
+    pub fn apply_atom(&self, atom: &Atom) -> Atom {
+        Atom::new(
+            atom.pred,
+            atom.args.iter().map(|&t| self.apply_term(t)).collect(),
+        )
+    }
+
+    /// Returns the restriction of this binding to the given variables
+    /// (the paper's `h|x̄`).
+    pub fn restricted_to(&self, vars: &[VarId]) -> Binding {
+        Binding {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Builds a binding from pairs; later pairs must not rebind.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (VarId, Term)>) -> Binding {
+        let mut b = Binding::new();
+        for (v, t) in pairs {
+            b.push(v, t);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ConstId, PredId};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    #[test]
+    fn push_get_truncate() {
+        let mut b = Binding::new();
+        b.push(VarId(0), c(0));
+        let m = b.mark();
+        b.push(VarId(1), c(1));
+        assert_eq!(b.get(VarId(1)), Some(c(1)));
+        b.truncate(m);
+        assert_eq!(b.get(VarId(1)), None);
+        assert_eq!(b.get(VarId(0)), Some(c(0)));
+    }
+
+    #[test]
+    fn apply_atom_substitutes_bound_vars() {
+        let mut b = Binding::new();
+        b.push(VarId(0), c(7));
+        let atom = Atom::new(PredId(0), vec![Term::Var(VarId(0)), Term::Var(VarId(1)), c(1)]);
+        let out = b.apply_atom(&atom);
+        assert_eq!(out.args, vec![c(7), Term::Var(VarId(1)), c(1)]);
+    }
+
+    #[test]
+    fn restriction_matches_paper_h_bar() {
+        let b = Binding::from_pairs([(VarId(0), c(0)), (VarId(1), c(1)), (VarId(2), c(2))]);
+        let r = b.restricted_to(&[VarId(0), VarId(2)]);
+        assert_eq!(r.get(VarId(0)), Some(c(0)));
+        assert_eq!(r.get(VarId(1)), None);
+        assert_eq!(r.get(VarId(2)), Some(c(2)));
+    }
+}

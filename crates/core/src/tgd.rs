@@ -1,0 +1,450 @@
+//! Tuple-generating dependencies (TGDs) and validated sets thereof.
+//!
+//! The paper works with *single-head* TGDs `ϕ(x̄,ȳ) → ∃z̄ R(x̄,z̄)`.
+//! The engine layer also supports multi-head TGDs (heads that are
+//! conjunctions), which the paper needs exactly once: Example B.1
+//! shows the Fairness Theorem fails for multi-head TGDs. The
+//! termination deciders enforce single-headedness.
+
+use crate::atom::Atom;
+use crate::error::CoreError;
+use crate::ids::{fx_set, PredId, VarId};
+use crate::term::Term;
+use crate::vocab::Vocabulary;
+
+/// Identifies a TGD within a [`TgdSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TgdId(pub u32);
+
+impl TgdId {
+    /// Raw index into the owning set.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A tuple-generating dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tgd {
+    body: Vec<Atom>,
+    head: Vec<Atom>,
+    frontier: Vec<VarId>,
+    existentials: Vec<VarId>,
+    body_vars: Vec<VarId>,
+}
+
+impl Tgd {
+    /// Builds and validates a TGD from body and head atom lists.
+    ///
+    /// Validation: non-empty body and head; constant-free (atoms may
+    /// not mention constants or nulls); every head variable either
+    /// occurs in the body (frontier) or is existential.
+    pub fn new(body: Vec<Atom>, head: Vec<Atom>) -> Result<Self, CoreError> {
+        if body.is_empty() {
+            return Err(CoreError::EmptyBody);
+        }
+        if head.is_empty() {
+            return Err(CoreError::EmptyHead);
+        }
+        for atom in body.iter().chain(head.iter()) {
+            for &t in &atom.args {
+                if !t.is_var() {
+                    return Err(CoreError::ConstantInRule {
+                        constant: format!("{t:?}"),
+                    });
+                }
+            }
+        }
+        let mut body_vars: Vec<VarId> = Vec::new();
+        for atom in &body {
+            for v in atom.vars() {
+                if !body_vars.contains(&v) {
+                    body_vars.push(v);
+                }
+            }
+        }
+        let mut frontier: Vec<VarId> = Vec::new();
+        let mut existentials: Vec<VarId> = Vec::new();
+        for atom in &head {
+            for v in atom.vars() {
+                if body_vars.contains(&v) {
+                    if !frontier.contains(&v) {
+                        frontier.push(v);
+                    }
+                } else if !existentials.contains(&v) {
+                    existentials.push(v);
+                }
+            }
+        }
+        frontier.sort();
+        existentials.sort();
+        Ok(Tgd {
+            body,
+            head,
+            frontier,
+            existentials,
+            body_vars,
+        })
+    }
+
+    /// The body `ϕ(x̄,ȳ)` as a list of atoms.
+    #[inline]
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
+
+    /// The head as a list of atoms (singleton for single-head TGDs).
+    #[inline]
+    pub fn head(&self) -> &[Atom] {
+        &self.head
+    }
+
+    /// The head atom of a single-head TGD, or `None` for multi-head.
+    pub fn single_head(&self) -> Option<&Atom> {
+        if self.head.len() == 1 {
+            Some(&self.head[0])
+        } else {
+            None
+        }
+    }
+
+    /// Whether this TGD is single-head.
+    pub fn is_single_head(&self) -> bool {
+        self.head.len() == 1
+    }
+
+    /// The frontier `fr(σ)`: variables occurring in both body and
+    /// head, sorted.
+    #[inline]
+    pub fn frontier(&self) -> &[VarId] {
+        &self.frontier
+    }
+
+    /// The existentially quantified variables `z̄`, sorted.
+    #[inline]
+    pub fn existentials(&self) -> &[VarId] {
+        &self.existentials
+    }
+
+    /// All body variables, in first-occurrence order.
+    #[inline]
+    pub fn body_vars(&self) -> &[VarId] {
+        &self.body_vars
+    }
+
+    /// Whether `v` is existentially quantified in this TGD.
+    pub fn is_existential(&self, v: VarId) -> bool {
+        self.existentials.binary_search(&v).is_ok()
+    }
+
+    /// Whether `v` belongs to the frontier.
+    pub fn is_frontier(&self, v: VarId) -> bool {
+        self.frontier.binary_search(&v).is_ok()
+    }
+
+    /// All predicates mentioned by this TGD (body then head, deduped).
+    pub fn predicates(&self) -> Vec<PredId> {
+        let mut out = Vec::new();
+        for atom in self.body.iter().chain(self.head.iter()) {
+            if !out.contains(&atom.pred) {
+                out.push(atom.pred);
+            }
+        }
+        out
+    }
+
+    /// Renders the TGD, e.g. `R(?x,?y), P(?y,?z) -> exists ?w . T(?x,?y,?w)`.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        let body: Vec<String> = self.body.iter().map(|a| a.display(vocab)).collect();
+        let head: Vec<String> = self.head.iter().map(|a| a.display(vocab)).collect();
+        let ex = if self.existentials.is_empty() {
+            String::new()
+        } else {
+            let vars: Vec<String> = self
+                .existentials
+                .iter()
+                .map(|&v| format!("?{}", vocab.var_name(v)))
+                .collect();
+            format!("exists {} . ", vars.join(","))
+        };
+        format!("{} -> {}{}", body.join(", "), ex, head.join(", "))
+    }
+}
+
+/// A validated, variable-disjoint set of TGDs (the paper's `T`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TgdSet {
+    tgds: Vec<Tgd>,
+    max_arity: usize,
+    preds: Vec<PredId>,
+}
+
+impl TgdSet {
+    /// Builds a TGD set, verifying that distinct TGDs do not share
+    /// variables (the paper's standing w.l.o.g. assumption, which the
+    /// stickiness marking procedure relies upon).
+    pub fn new(tgds: Vec<Tgd>, vocab: &Vocabulary) -> Result<Self, CoreError> {
+        let mut seen = fx_set();
+        for tgd in &tgds {
+            let mut mine = fx_set();
+            for atom in tgd.body.iter().chain(tgd.head.iter()) {
+                for v in atom.vars() {
+                    mine.insert(v);
+                }
+            }
+            for v in &mine {
+                if !seen.insert(*v) {
+                    return Err(CoreError::SharedVariables);
+                }
+            }
+        }
+        let mut preds: Vec<PredId> = Vec::new();
+        let mut max_arity = 0;
+        for tgd in &tgds {
+            for p in tgd.predicates() {
+                if !preds.contains(&p) {
+                    preds.push(p);
+                    max_arity = max_arity.max(vocab.arity(p));
+                }
+            }
+        }
+        Ok(TgdSet {
+            tgds,
+            max_arity,
+            preds,
+        })
+    }
+
+    /// The TGDs, in declaration order.
+    #[inline]
+    pub fn tgds(&self) -> &[Tgd] {
+        &self.tgds
+    }
+
+    /// Number of TGDs.
+    pub fn len(&self) -> usize {
+        self.tgds.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tgds.is_empty()
+    }
+
+    /// The TGD with the given identifier.
+    #[inline]
+    pub fn tgd(&self, id: TgdId) -> &Tgd {
+        &self.tgds[id.index()]
+    }
+
+    /// Iterates over `(id, tgd)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TgdId, &Tgd)> {
+        self.tgds
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TgdId(i as u32), t))
+    }
+
+    /// The schema `sch(T)`: predicates occurring in the set.
+    #[inline]
+    pub fn schema_preds(&self) -> &[PredId] {
+        &self.preds
+    }
+
+    /// The paper's `ar(T)`: maximum arity over `sch(T)`.
+    #[inline]
+    pub fn max_arity(&self) -> usize {
+        self.max_arity
+    }
+
+    /// Whether every TGD is single-head; the termination deciders
+    /// require this.
+    pub fn all_single_head(&self) -> bool {
+        self.tgds.iter().all(Tgd::is_single_head)
+    }
+
+    /// Returns an error naming the first multi-head TGD, if any.
+    pub fn require_single_head(&self) -> Result<(), CoreError> {
+        match self.tgds.iter().position(|t| !t.is_single_head()) {
+            None => Ok(()),
+            Some(i) => Err(CoreError::NotSingleHead { tgd_index: i }),
+        }
+    }
+
+    /// Renders the whole set, one TGD per line.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        self.tgds
+            .iter()
+            .map(|t| t.display(vocab))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Convenience builder for constructing TGDs programmatically (used by
+/// the workload generators and tests). Each builder owns a private
+/// variable scope, so rules built by separate builders are
+/// automatically variable-disjoint.
+#[derive(Debug)]
+pub struct RuleBuilder<'v> {
+    vocab: &'v mut Vocabulary,
+    vars: Vec<(String, VarId)>,
+    body: Vec<Atom>,
+    head: Vec<Atom>,
+}
+
+impl<'v> RuleBuilder<'v> {
+    /// Starts a new rule with a fresh variable scope.
+    pub fn new(vocab: &'v mut Vocabulary) -> Self {
+        RuleBuilder {
+            vocab,
+            vars: Vec::new(),
+            body: Vec::new(),
+            head: Vec::new(),
+        }
+    }
+
+    /// Returns the variable named `name` in this rule's scope,
+    /// creating it on first use.
+    pub fn var(&mut self, name: &str) -> Term {
+        if let Some((_, v)) = self.vars.iter().find(|(n, _)| n == name) {
+            return Term::Var(*v);
+        }
+        let v = self.vocab.fresh_var(name);
+        self.vars.push((name.to_string(), v));
+        Term::Var(v)
+    }
+
+    /// Adds a body atom.
+    pub fn body(&mut self, pred: &str, args: &[Term]) -> Result<&mut Self, CoreError> {
+        let p = self.vocab.pred(pred, args.len())?;
+        self.body.push(Atom::new(p, args.to_vec()));
+        Ok(self)
+    }
+
+    /// Adds a head atom.
+    pub fn head(&mut self, pred: &str, args: &[Term]) -> Result<&mut Self, CoreError> {
+        let p = self.vocab.pred(pred, args.len())?;
+        self.head.push(Atom::new(p, args.to_vec()));
+        Ok(self)
+    }
+
+    /// Finalises the rule.
+    pub fn build(self) -> Result<Tgd, CoreError> {
+        Tgd::new(self.body, self.head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds `R(x,y) -> exists z . R(x,z)` (the intro example).
+    fn intro_rule(vocab: &mut Vocabulary) -> Tgd {
+        let mut b = RuleBuilder::new(vocab);
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.body("R", &[x, y]).unwrap();
+        b.head("R", &[x, z]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn frontier_and_existentials() {
+        let mut vocab = Vocabulary::new();
+        let tgd = intro_rule(&mut vocab);
+        assert_eq!(tgd.frontier().len(), 1);
+        assert_eq!(tgd.existentials().len(), 1);
+        assert_eq!(tgd.body_vars().len(), 2);
+        assert!(tgd.is_single_head());
+        let x = tgd.body()[0].args[0].as_var().unwrap();
+        let y = tgd.body()[0].args[1].as_var().unwrap();
+        let z = tgd.head()[0].args[1].as_var().unwrap();
+        assert!(tgd.is_frontier(x));
+        assert!(!tgd.is_frontier(y));
+        assert!(tgd.is_existential(z));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let mut vocab = Vocabulary::new();
+        let p = vocab.pred("P", 1).unwrap();
+        let x = vocab.fresh_var("x");
+        let err = Tgd::new(vec![], vec![Atom::new(p, vec![Term::Var(x)])]).unwrap_err();
+        assert_eq!(err, CoreError::EmptyBody);
+    }
+
+    #[test]
+    fn constants_in_rules_rejected() {
+        let mut vocab = Vocabulary::new();
+        let p = vocab.pred("P", 1).unwrap();
+        let a = vocab.constant("a");
+        let err = Tgd::new(
+            vec![Atom::new(p, vec![Term::Const(a)])],
+            vec![Atom::new(p, vec![Term::Const(a)])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::ConstantInRule { .. }));
+    }
+
+    #[test]
+    fn tgd_set_rejects_shared_variables() {
+        let mut vocab = Vocabulary::new();
+        let p = vocab.pred("P", 1).unwrap();
+        let x = vocab.fresh_var("x");
+        let t1 = Tgd::new(
+            vec![Atom::new(p, vec![Term::Var(x)])],
+            vec![Atom::new(p, vec![Term::Var(x)])],
+        )
+        .unwrap();
+        let t2 = t1.clone();
+        let err = TgdSet::new(vec![t1, t2], &vocab).unwrap_err();
+        assert_eq!(err, CoreError::SharedVariables);
+    }
+
+    #[test]
+    fn tgd_set_schema_and_arity() {
+        let mut vocab = Vocabulary::new();
+        let t1 = intro_rule(&mut vocab);
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (u, v, w) = (b.var("u"), b.var("v"), b.var("w"));
+        b.body("T3", &[u, v, w]).unwrap();
+        b.head("R", &[u, v]).unwrap();
+        let t2 = b.build().unwrap();
+        let set = TgdSet::new(vec![t1, t2], &vocab).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.max_arity(), 3);
+        assert_eq!(set.schema_preds().len(), 2);
+        assert!(set.all_single_head());
+        assert!(set.require_single_head().is_ok());
+    }
+
+    #[test]
+    fn multi_head_detected() {
+        let mut vocab = Vocabulary::new();
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.body("R", &[x, y]).unwrap();
+        b.head("P", &[x]).unwrap();
+        b.head("Q", &[y]).unwrap();
+        let t = b.build().unwrap();
+        assert!(!t.is_single_head());
+        assert!(t.single_head().is_none());
+        let set = TgdSet::new(vec![t], &vocab).unwrap();
+        assert!(matches!(
+            set.require_single_head(),
+            Err(CoreError::NotSingleHead { tgd_index: 0 })
+        ));
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let mut vocab = Vocabulary::new();
+        let tgd = intro_rule(&mut vocab);
+        let s = tgd.display(&vocab);
+        assert!(s.contains("R(?x,?y)"));
+        assert!(s.contains("exists ?z"));
+    }
+}

@@ -1,0 +1,212 @@
+//! The vocabulary: interning tables for predicate, constant and
+//! variable names, together with display helpers.
+//!
+//! A [`Vocabulary`] is the single source of truth for symbol names.
+//! All structural code paths work on interned identifiers only; names
+//! are needed just for parsing and pretty-printing.
+
+use crate::error::CoreError;
+use crate::ids::{fx_map, ConstId, FxHashMap, NullId, PredId, VarId};
+use crate::term::Term;
+
+/// Metadata for an interned predicate symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredInfo {
+    /// The predicate name as written in rule files.
+    pub name: String,
+    /// The arity (`> 0` as in the paper).
+    pub arity: usize,
+}
+
+/// Interning tables for every named symbol in a program.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    preds: Vec<PredInfo>,
+    pred_by_name: FxHashMap<String, PredId>,
+    consts: Vec<String>,
+    const_by_name: FxHashMap<String, ConstId>,
+    vars: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary {
+            preds: Vec::new(),
+            pred_by_name: fx_map(),
+            consts: Vec::new(),
+            const_by_name: fx_map(),
+            vars: Vec::new(),
+        }
+    }
+
+    /// Interns a predicate with the given arity.
+    ///
+    /// Returns an error if the same name was previously interned with
+    /// a different arity (schemas assign a single arity per symbol).
+    pub fn pred(&mut self, name: &str, arity: usize) -> Result<PredId, CoreError> {
+        if let Some(&id) = self.pred_by_name.get(name) {
+            let known = self.preds[id.index()].arity;
+            if known != arity {
+                return Err(CoreError::ArityMismatch {
+                    predicate: name.to_string(),
+                    expected: known,
+                    found: arity,
+                });
+            }
+            return Ok(id);
+        }
+        if arity == 0 {
+            return Err(CoreError::ZeroArity {
+                predicate: name.to_string(),
+            });
+        }
+        let id = PredId(self.preds.len() as u32);
+        self.preds.push(PredInfo {
+            name: name.to_string(),
+            arity,
+        });
+        self.pred_by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a predicate by name without interning.
+    pub fn lookup_pred(&self, name: &str) -> Option<PredId> {
+        self.pred_by_name.get(name).copied()
+    }
+
+    /// Interns a constant name.
+    pub fn constant(&mut self, name: &str) -> ConstId {
+        if let Some(&id) = self.const_by_name.get(name) {
+            return id;
+        }
+        let id = ConstId(self.consts.len() as u32);
+        self.consts.push(name.to_string());
+        self.const_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Allocates a fresh variable with the given display name.
+    ///
+    /// Variables are deliberately *not* deduplicated by name: each
+    /// rule gets its own scope, so rules never share `VarId`s (the
+    /// paper assumes TGDs do not share variables, w.l.o.g.).
+    pub fn fresh_var(&mut self, name: &str) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(name.to_string());
+        id
+    }
+
+    /// Returns the arity of an interned predicate.
+    #[inline]
+    pub fn arity(&self, pred: PredId) -> usize {
+        self.preds[pred.index()].arity
+    }
+
+    /// Returns the name of an interned predicate.
+    pub fn pred_name(&self, pred: PredId) -> &str {
+        &self.preds[pred.index()].name
+    }
+
+    /// Returns the name of an interned constant, or a stable
+    /// placeholder for constants minted outside this vocabulary (e.g.
+    /// by the witness realiser, which allocates structural constants).
+    pub fn const_name(&self, c: ConstId) -> &str {
+        self.consts
+            .get(c.index())
+            .map(String::as_str)
+            .unwrap_or("⟨fresh⟩")
+    }
+
+    /// Returns the display name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        self.vars
+            .get(v.index())
+            .map(String::as_str)
+            .unwrap_or("?unknown")
+    }
+
+    /// Number of interned predicates.
+    pub fn pred_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Number of interned constants.
+    pub fn const_count(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// Iterates over all interned predicates.
+    pub fn preds(&self) -> impl Iterator<Item = (PredId, &PredInfo)> {
+        self.preds
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (PredId(i as u32), info))
+    }
+
+    /// Renders a term for human consumption. Nulls render as `_:nK`;
+    /// constants unknown to this vocabulary render as `⟨cK⟩`.
+    pub fn term_to_string(&self, term: Term) -> String {
+        match term {
+            Term::Const(c) => match self.consts.get(c.index()) {
+                Some(name) => name.clone(),
+                None => format!("⟨c{}⟩", c.0),
+            },
+            Term::Null(NullId(n)) => format!("_:n{n}"),
+            Term::Var(v) => format!("?{}", self.var_name(v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pred_interning_dedups_by_name() {
+        let mut v = Vocabulary::new();
+        let r1 = v.pred("R", 2).unwrap();
+        let r2 = v.pred("R", 2).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(v.pred_count(), 1);
+        assert_eq!(v.arity(r1), 2);
+        assert_eq!(v.pred_name(r1), "R");
+    }
+
+    #[test]
+    fn pred_arity_conflict_is_an_error() {
+        let mut v = Vocabulary::new();
+        v.pred("R", 2).unwrap();
+        let err = v.pred("R", 3).unwrap_err();
+        assert!(matches!(err, CoreError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn zero_arity_rejected() {
+        let mut v = Vocabulary::new();
+        assert!(matches!(v.pred("P", 0), Err(CoreError::ZeroArity { .. })));
+    }
+
+    #[test]
+    fn constants_dedup_variables_do_not() {
+        let mut v = Vocabulary::new();
+        let a1 = v.constant("a");
+        let a2 = v.constant("a");
+        assert_eq!(a1, a2);
+        let x1 = v.fresh_var("x");
+        let x2 = v.fresh_var("x");
+        assert_ne!(x1, x2);
+        assert_eq!(v.var_name(x1), "x");
+        assert_eq!(v.var_name(x2), "x");
+    }
+
+    #[test]
+    fn term_rendering() {
+        let mut v = Vocabulary::new();
+        let a = v.constant("alice");
+        let x = v.fresh_var("x");
+        assert_eq!(v.term_to_string(Term::Const(a)), "alice");
+        assert_eq!(v.term_to_string(Term::Var(x)), "?x");
+        assert_eq!(v.term_to_string(Term::Null(NullId(3))), "_:n3");
+    }
+}

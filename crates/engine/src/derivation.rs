@@ -1,0 +1,301 @@
+//! Chase derivations: recorded step sequences, replay and validation.
+//!
+//! A (finite prefix of a) restricted chase derivation `(I_i)` is
+//! represented by its start database plus the sequence of trigger
+//! applications. [`Derivation::validate`] replays the sequence and
+//! checks the defining conditions of Section 3.2: every step's trigger
+//! is a trigger on the current instance *and is active*; a derivation
+//! claimed to be terminating must leave no active trigger.
+
+use chase_core::atom::Atom;
+use chase_core::hom::exists_homomorphism;
+use chase_core::instance::Instance;
+use chase_core::tgd::TgdSet;
+use chase_core::vocab::Vocabulary;
+
+use crate::skolem::SkolemTable;
+use crate::trigger::Trigger;
+
+/// One chase step: the trigger applied and the atoms it added.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The applied trigger.
+    pub trigger: Trigger,
+    /// The atoms `result(σ,h)` (singleton for single-head TGDs).
+    pub added: Vec<Atom>,
+}
+
+/// A recorded derivation prefix.
+#[derive(Debug, Clone, Default)]
+pub struct Derivation {
+    /// The steps, in application order.
+    pub steps: Vec<Step>,
+}
+
+/// Why a derivation failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DerivationFault {
+    /// The trigger at this step index is not a homomorphism of its
+    /// TGD body into the instance at that point.
+    NotATrigger(usize),
+    /// The trigger at this step index is not active (the restricted
+    /// chase may only apply active triggers).
+    NotActive(usize),
+    /// The step claims to add atoms different from `result(σ,h)`.
+    WrongResult(usize),
+    /// The derivation is marked terminated but an active trigger
+    /// remains on the final instance.
+    NotSaturated,
+}
+
+impl std::fmt::Display for DerivationFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DerivationFault::NotATrigger(i) => write!(f, "step {i}: not a trigger"),
+            DerivationFault::NotActive(i) => write!(f, "step {i}: trigger not active"),
+            DerivationFault::WrongResult(i) => write!(f, "step {i}: added atoms differ from result(σ,h)"),
+            DerivationFault::NotSaturated => write!(f, "final instance still has an active trigger"),
+        }
+    }
+}
+
+impl Derivation {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the derivation has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Replays the derivation from `database`, checking that each step
+    /// applies an *active* trigger whose result matches the recorded
+    /// atoms. If `must_saturate` is set, additionally checks that no
+    /// active trigger remains at the end.
+    ///
+    /// Returns the final instance on success.
+    pub fn validate(
+        &self,
+        database: &Instance,
+        set: &TgdSet,
+        must_saturate: bool,
+    ) -> Result<Instance, DerivationFault> {
+        let mut instance = database.clone();
+        for (i, step) in self.steps.iter().enumerate() {
+            let tgd = set.tgd(step.trigger.tgd);
+            // (a) it is a trigger: h maps every body atom into I.
+            let grounded_body: Vec<Atom> = tgd
+                .body()
+                .iter()
+                .map(|a| step.trigger.binding.apply_atom(a))
+                .collect();
+            if !grounded_body.iter().all(|a| a.is_ground() && instance.contains(a)) {
+                return Err(DerivationFault::NotATrigger(i));
+            }
+            // (b) it is active.
+            if !step.trigger.is_active(tgd, &instance) {
+                return Err(DerivationFault::NotActive(i));
+            }
+            // (c) the added atoms are result(σ,h) up to null renaming:
+            // frontier positions must carry the frontier images and
+            // existential positions must carry nulls consistent with
+            // the head's variable repetition pattern.
+            if !added_atoms_consistent(&step.added, tgd, &step.trigger) {
+                return Err(DerivationFault::WrongResult(i));
+            }
+            for atom in &step.added {
+                instance.insert(atom.clone());
+            }
+        }
+        if must_saturate {
+            let saturated = crate::trigger::active_triggers(set, &instance).is_empty();
+            if !saturated {
+                return Err(DerivationFault::NotSaturated);
+            }
+        }
+        Ok(instance)
+    }
+
+    /// Renders the derivation for diagnostics.
+    pub fn display(&self, _set: &TgdSet, vocab: &Vocabulary) -> String {
+        let mut out = String::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let added: Vec<String> = step.added.iter().map(|a| a.display(vocab)).collect();
+            out.push_str(&format!(
+                "{i:4}: σ{} ⇒ {}\n",
+                step.trigger.tgd.0,
+                added.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Checks that `added` instantiates the head pattern of `tgd` under
+/// the trigger's binding: frontier variables carry their images and
+/// existential variables carry nulls, equal nulls exactly where the
+/// head repeats a variable.
+fn added_atoms_consistent(added: &[Atom], tgd: &chase_core::tgd::Tgd, trigger: &Trigger) -> bool {
+    if added.len() != tgd.head().len() {
+        return false;
+    }
+    let mut witness: Vec<(chase_core::ids::VarId, chase_core::term::Term)> = Vec::new();
+    for (head, atom) in tgd.head().iter().zip(added.iter()) {
+        if head.pred != atom.pred {
+            return false;
+        }
+        for (ht, &at) in head.args.iter().zip(atom.args.iter()) {
+            match *ht {
+                chase_core::term::Term::Var(v) => {
+                    if let Some(image) = trigger.binding.get(v) {
+                        if image != at {
+                            return false;
+                        }
+                    } else {
+                        // Existential: must be a null, consistently.
+                        if !at.is_null() {
+                            return false;
+                        }
+                        match witness.iter().find(|(w, _)| *w == v) {
+                            Some(&(_, t)) => {
+                                if t != at {
+                                    return false;
+                                }
+                            }
+                            None => witness.push((v, at)),
+                        }
+                    }
+                }
+                _ => return false, // heads are constant-free
+            }
+        }
+    }
+    true
+}
+
+/// Checks whether the instance satisfies every TGD (`I |= T`), i.e.
+/// the chase has reached a model. Exposed here for symmetry with
+/// validation.
+pub fn is_model(instance: &Instance, set: &TgdSet) -> bool {
+    set.tgds().iter().all(|tgd| {
+        let mut ok = true;
+        let mut binding = chase_core::subst::Binding::new();
+        let _ = chase_core::hom::for_each_homomorphism(
+            tgd.body(),
+            instance,
+            &mut binding,
+            &mut |h| {
+                let r = h.restricted_to(tgd.frontier());
+                if exists_homomorphism(tgd.head(), instance, &r) {
+                    std::ops::ControlFlow::Continue(())
+                } else {
+                    ok = false;
+                    std::ops::ControlFlow::Break(())
+                }
+            },
+        );
+        ok
+    })
+}
+
+/// Re-derives the result atoms for a trigger (convenience for tests
+/// that construct derivations manually).
+pub fn apply_trigger(
+    trigger: &Trigger,
+    set: &TgdSet,
+    skolem: &mut SkolemTable,
+    instance: &mut Instance,
+) -> Vec<Atom> {
+    let atoms = trigger.result(set.tgd(trigger.tgd), skolem);
+    for a in &atoms {
+        instance.insert(a.clone());
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skolem::SkolemPolicy;
+    use crate::trigger::active_triggers;
+    use chase_core::parser::parse_program;
+    use chase_core::vocab::Vocabulary;
+
+    #[test]
+    fn manual_derivation_validates() {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program("R(a,b). R(x,y) -> S(y).", &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let mut inst = p.database.clone();
+        let mut skolem = SkolemTable::new(SkolemPolicy::PerTrigger);
+        let t = active_triggers(&set, &inst).pop().unwrap();
+        let added = apply_trigger(&t, &set, &mut skolem, &mut inst);
+        let derivation = Derivation {
+            steps: vec![Step { trigger: t, added }],
+        };
+        let final_inst = derivation.validate(&p.database, &set, true).unwrap();
+        assert_eq!(final_inst.len(), 2);
+        assert!(is_model(&final_inst, &set));
+    }
+
+    #[test]
+    fn non_active_step_rejected() {
+        let mut vocab = Vocabulary::new();
+        // The TGD is already satisfied: its only trigger is non-active.
+        let p = parse_program("R(a,b). S(b). R(x,y) -> S(y).", &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let mut all = crate::trigger::all_triggers(&set, &p.database);
+        let t = all.pop().unwrap();
+        let mut skolem = SkolemTable::new(SkolemPolicy::PerTrigger);
+        let added = t.result(set.tgd(t.tgd), &mut skolem);
+        let d = Derivation {
+            steps: vec![Step { trigger: t, added }],
+        };
+        assert_eq!(
+            d.validate(&p.database, &set, false),
+            Err(DerivationFault::NotActive(0))
+        );
+    }
+
+    #[test]
+    fn unsaturated_termination_claim_rejected() {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program("R(a,b). R(x,y) -> S(y).", &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let d = Derivation::default();
+        assert_eq!(
+            d.validate(&p.database, &set, true),
+            Err(DerivationFault::NotSaturated)
+        );
+        assert!(d.validate(&p.database, &set, false).is_ok());
+    }
+
+    #[test]
+    fn wrong_result_rejected() {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program("R(a,b). R(x,y) -> exists z. S(y,z).", &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let t = active_triggers(&set, &p.database).pop().unwrap();
+        // Claim the step added S(y, b) — a constant instead of a null.
+        let s = vocab.lookup_pred("S").unwrap();
+        let b = vocab.constant("b");
+        let d = Derivation {
+            steps: vec![Step {
+                trigger: t,
+                added: vec![Atom::new(
+                    s,
+                    vec![
+                        chase_core::term::Term::Const(b),
+                        chase_core::term::Term::Const(b),
+                    ],
+                )],
+            }],
+        };
+        assert_eq!(
+            d.validate(&p.database, &set, false),
+            Err(DerivationFault::WrongResult(0))
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! The oblivious and semi-oblivious chase (Section 3.1).
+//!
+//! The oblivious chase applies every trigger — active or not — exactly
+//! once; its result `I_{D,T}` is the unique ⊆-minimal instance
+//! containing `D` closed under trigger applications. The semi-oblivious
+//! variant identifies triggers that agree on the frontier. Both are
+//! used as baselines (E1, E8, E9) and as the substrate of the
+//! MFA-style termination check in `tgd-classes`.
+
+use std::collections::VecDeque;
+use std::ops::ControlFlow;
+
+use chase_core::ids::fx_set;
+use chase_core::instance::Instance;
+use chase_core::tgd::TgdSet;
+
+use crate::restricted::{Budget, Outcome};
+use crate::skolem::{SkolemPolicy, SkolemTable};
+use crate::trigger::{for_each_trigger, for_each_trigger_using, Trigger};
+
+/// The result of an oblivious chase run.
+#[derive(Debug, Clone)]
+pub struct ObliviousRun {
+    /// Terminated (fixpoint) or out of budget.
+    pub outcome: Outcome,
+    /// The final instance.
+    pub instance: Instance,
+    /// Trigger applications performed (including ones that re-derived
+    /// an existing atom).
+    pub steps: usize,
+}
+
+/// A configured oblivious-chase engine.
+#[derive(Debug, Clone)]
+pub struct ObliviousChase<'a> {
+    set: &'a TgdSet,
+    policy: SkolemPolicy,
+}
+
+impl<'a> ObliviousChase<'a> {
+    /// Creates an engine running the (fully) oblivious chase.
+    pub fn new(set: &'a TgdSet) -> Self {
+        ObliviousChase {
+            set,
+            policy: SkolemPolicy::PerTrigger,
+        }
+    }
+
+    /// Switches to the semi-oblivious chase (nulls keyed by frontier).
+    pub fn semi_oblivious(mut self) -> Self {
+        self.policy = SkolemPolicy::PerFrontier;
+        self
+    }
+
+    /// Runs the chase on `database` within `budget`.
+    ///
+    /// Trigger identity follows the paper: a trigger `(σ, h)` is
+    /// applied at most once; under the semi-oblivious policy triggers
+    /// agreeing on `h|fr(σ)` are identified.
+    pub fn run(&self, database: &Instance, budget: Budget) -> ObliviousRun {
+        let mut instance = database.clone();
+        let mut skolem = SkolemTable::above(
+            self.policy,
+            instance.iter().flat_map(|a| a.args.iter().copied()),
+        );
+        let mut queue: VecDeque<Trigger> = VecDeque::new();
+        let mut applied = fx_set();
+
+        // For the semi-oblivious chase, triggers are identified by
+        // their frontier image.
+        let key = |t: &Trigger, set: &TgdSet, policy: SkolemPolicy| {
+            let tgd = set.tgd(t.tgd);
+            match policy {
+                SkolemPolicy::PerTrigger => t.key(tgd),
+                SkolemPolicy::PerFrontier => (
+                    t.tgd,
+                    tgd.frontier()
+                        .iter()
+                        .map(|&v| t.binding.get(v).expect("frontier bound"))
+                        .collect(),
+                ),
+            }
+        };
+
+        let _ = for_each_trigger(self.set, &instance, &mut |t| {
+            if applied.insert(key(&t, self.set, self.policy)) {
+                queue.push_back(t);
+            }
+            ControlFlow::Continue(())
+        });
+
+        let mut steps = 0usize;
+        while let Some(trigger) = queue.pop_front() {
+            if steps >= budget.max_steps || instance.len() >= budget.max_atoms {
+                return ObliviousRun {
+                    outcome: Outcome::BudgetExhausted,
+                    instance,
+                    steps,
+                };
+            }
+            let tgd = self.set.tgd(trigger.tgd);
+            let added = trigger.result(tgd, &mut skolem);
+            steps += 1;
+            let mut new_slots = Vec::new();
+            for atom in added {
+                let (slot, fresh) = instance.insert(atom);
+                if fresh {
+                    new_slots.push(slot);
+                }
+            }
+            for slot in new_slots {
+                let _ = for_each_trigger_using(self.set, &instance, slot, &mut |t| {
+                    if applied.insert(key(&t, self.set, self.policy)) {
+                        queue.push_back(t);
+                    }
+                    ControlFlow::Continue(())
+                });
+            }
+        }
+        ObliviousRun {
+            outcome: Outcome::Terminated,
+            instance,
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::hom::satisfies_all;
+    use chase_core::parser::parse_program;
+    use chase_core::vocab::Vocabulary;
+
+    fn run_oblivious(src: &str, budget: Budget, semi: bool) -> (ObliviousRun, TgdSet) {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(src, &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let engine = if semi {
+            ObliviousChase::new(&set).semi_oblivious()
+        } else {
+            ObliviousChase::new(&set)
+        };
+        (engine.run(&p.database, budget), set)
+    }
+
+    #[test]
+    fn intro_example_diverges_obliviously() {
+        // The restricted chase performs 0 steps here; the oblivious
+        // chase builds R(a,ν0), R(a,ν1), ... without bound (§1).
+        let (run, _) = run_oblivious(
+            "R(a,b). R(x,y) -> exists z. R(x,z).",
+            Budget::steps(50),
+            false,
+        );
+        assert_eq!(run.outcome, Outcome::BudgetExhausted);
+        assert_eq!(run.instance.len(), 51);
+    }
+
+    #[test]
+    fn full_tgds_reach_fixpoint() {
+        let (run, set) = run_oblivious(
+            "E(a,b). E(b,c). E(x,y), E(y,z) -> E(x,z).",
+            Budget::steps(1000),
+            false,
+        );
+        assert_eq!(run.outcome, Outcome::Terminated);
+        assert!(satisfies_all(&run.instance, &set));
+        // transitive closure of a 2-path: E(a,b), E(b,c), E(a,c)
+        assert_eq!(run.instance.len(), 3);
+    }
+
+    #[test]
+    fn oblivious_result_is_a_model_when_terminating() {
+        let (run, set) = run_oblivious(
+            "R(a,b). R(x,y) -> exists z. S(y,z). S(u,v) -> T(u).",
+            Budget::steps(1000),
+            false,
+        );
+        assert_eq!(run.outcome, Outcome::Terminated);
+        assert!(satisfies_all(&run.instance, &set));
+    }
+
+    #[test]
+    fn semi_oblivious_is_coarser() {
+        // σ: R(x,y) -> exists z. S(x,z). Two triggers share frontier x=a:
+        // the oblivious chase invents two nulls, the semi-oblivious one.
+        let src = "R(a,b). R(a,c). R(x,y) -> exists z. S(x,z).";
+        let (full, _) = run_oblivious(src, Budget::steps(100), false);
+        let (semi, _) = run_oblivious(src, Budget::steps(100), true);
+        assert_eq!(full.outcome, Outcome::Terminated);
+        assert_eq!(semi.outcome, Outcome::Terminated);
+        assert_eq!(full.instance.len(), 4); // 2 db + 2 S-atoms
+        assert_eq!(semi.instance.len(), 3); // 2 db + 1 S-atom
+    }
+
+    #[test]
+    fn oblivious_chase_is_deterministic() {
+        // The oblivious chase result I_{D,T} is unique (Section 3.1):
+        // two runs must produce identical instances, nulls included,
+        // because null names are determined by the trigger (Def 3.1).
+        let src = "
+            R(a,b). R(b,c).
+            R(x,y) -> exists z. S(y,z).
+            S(u,v) -> exists w. R(v,w).
+        ";
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(src, &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let a = ObliviousChase::new(&set).run(&p.database, Budget::steps(200));
+        let b = ObliviousChase::new(&set).run(&p.database, Budget::steps(200));
+        assert_eq!(a.instance, b.instance);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn oblivious_contains_restricted_result() {
+        use crate::restricted::{RestrictedChase, Strategy};
+        let src = "
+            R(a,b).
+            R(x,y) -> exists z. S(y,z).
+            S(x,y) -> T(x).
+        ";
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(src, &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let r = RestrictedChase::new(&set)
+            .strategy(Strategy::Fifo)
+            .run(&p.database, Budget::steps(1000));
+        let o = ObliviousChase::new(&set).run(&p.database, Budget::steps(1000));
+        // The restricted result maps homomorphically into the oblivious
+        // chase (both are universal models here), and is no larger.
+        assert!(r.instance.len() <= o.instance.len());
+        assert!(chase_core::hom::ground_homomorphism_exists(
+            &r.instance,
+            &o.instance
+        ));
+    }
+}

@@ -1,0 +1,295 @@
+//! The stop relation `≺s` (Section 3.1) and the before relation `≺b`
+//! (Section 5.1) over fragments of the real oblivious chase.
+
+use chase_core::atom::Atom;
+use chase_core::term::Term;
+use chase_core::tgd::TgdSet;
+
+use crate::real_oblivious::{NodeId, RealOchase};
+use crate::trigger::Trigger;
+
+/// Whether `candidate ≺s target`: there is a homomorphism `h'` with
+/// `h'(target) = candidate` that is the identity on the terms at
+/// `frontier_positions` of `target` (the positions that carry frontier
+/// terms of the trigger that produced `target`).
+///
+/// Constants are rigid under homomorphisms; nulls may map to anything,
+/// consistently.
+pub fn stops(candidate: &Atom, target: &Atom, frontier_positions: &[usize]) -> bool {
+    if candidate.pred != target.pred {
+        return false;
+    }
+    debug_assert_eq!(candidate.arity(), target.arity());
+    // Build the required substitution positionwise and check it is a
+    // well-defined homomorphism.
+    let mut map: Vec<(Term, Term)> = Vec::with_capacity(target.arity());
+    for i in 0..target.arity() {
+        let src = target.args[i];
+        let dst = candidate.args[i];
+        if src.is_const() && src != dst {
+            return false; // constants must map to themselves
+        }
+        match map.iter().find(|(s, _)| *s == src) {
+            Some(&(_, d)) => {
+                if d != dst {
+                    return false; // not a function
+                }
+            }
+            None => map.push((src, dst)),
+        }
+    }
+    // Identity on frontier terms.
+    for &i in frontier_positions {
+        if target.args[i] != candidate.args[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether a trigger is active *iff* no atom of the instance stops its
+/// result — Fact 3.5, used as a cross-check between the two
+/// formulations. Exposed mainly for tests.
+pub fn active_iff_unstopped(
+    trigger: &Trigger,
+    set: &TgdSet,
+    instance: &chase_core::instance::Instance,
+    result: &Atom,
+) -> (bool, bool) {
+    let tgd = set.tgd(trigger.tgd);
+    let active = trigger.is_active(tgd, instance);
+    let frontier_positions = Trigger::frontier_positions(tgd);
+    let unstopped = !instance
+        .iter()
+        .any(|alpha| stops(alpha, result, &frontier_positions));
+    (active, unstopped)
+}
+
+/// The binary relations of Section 5.1 computed over a finite fragment
+/// of the real oblivious chase: `≺p` (parent), `≺s` (stop) and
+/// `≺b = {(db, non-db)} ∪ ≺p ∪ ≺s⁻¹` (before).
+#[derive(Debug, Clone)]
+pub struct OchaseRelations {
+    /// `(v, u)` with `v ≺p u`.
+    pub parent: Vec<(NodeId, NodeId)>,
+    /// `(v, u)` with `λ(v) ≺s λ(u)`.
+    pub stop: Vec<(NodeId, NodeId)>,
+    /// `(v, u)` with `v ≺b u` (includes database-before-derived pairs).
+    pub before: Vec<(NodeId, NodeId)>,
+    node_count: usize,
+}
+
+impl OchaseRelations {
+    /// Computes all three relations on `fragment`. Quadratic in the
+    /// fragment size (this is an analysis structure, not a hot path).
+    pub fn compute(fragment: &RealOchase, set: &TgdSet) -> Self {
+        let mut parent = Vec::new();
+        let mut stop = Vec::new();
+        let mut before = Vec::new();
+        for (u, node) in fragment.iter() {
+            for &p in &node.parents {
+                parent.push((p, u));
+            }
+        }
+        for (u, node_u) in fragment.iter() {
+            let Some(trigger) = node_u.trigger.as_ref() else {
+                continue; // database atoms are not stopped by anything
+            };
+            let frontier_positions = Trigger::frontier_positions(set.tgd(trigger.tgd));
+            for (v, node_v) in fragment.iter() {
+                if v == u {
+                    continue;
+                }
+                if stops(&node_v.atom, &node_u.atom, &frontier_positions) {
+                    stop.push((v, u));
+                }
+            }
+        }
+        for (v, _) in fragment.iter() {
+            if !fragment.is_database_node(v) {
+                continue;
+            }
+            for (u, _) in fragment.iter() {
+                if !fragment.is_database_node(u) {
+                    before.push((v, u));
+                }
+            }
+        }
+        before.extend(parent.iter().copied());
+        before.extend(stop.iter().map(|&(v, u)| (u, v))); // ≺s⁻¹
+        before.sort();
+        before.dedup();
+        OchaseRelations {
+            parent,
+            stop,
+            before,
+            node_count: fragment.len(),
+        }
+    }
+
+    /// Adjacency list of `≺b` restricted to `members` (a subset of the
+    /// fragment's vertices).
+    pub fn before_adjacency(&self, members: &[NodeId]) -> Vec<Vec<usize>> {
+        let mut index_of = vec![usize::MAX; self.node_count];
+        for (i, &m) in members.iter().enumerate() {
+            index_of[m.index()] = i;
+        }
+        let mut adj = vec![Vec::new(); members.len()];
+        for &(v, u) in &self.before {
+            let (iv, iu) = (index_of[v.index()], index_of[u.index()]);
+            if iv != usize::MAX && iu != usize::MAX {
+                adj[iv].push(iu);
+            }
+        }
+        adj
+    }
+
+    /// Whether `≺b` restricted to `members` is acyclic; if so, returns
+    /// a topological order of `members`.
+    pub fn topo_order(&self, members: &[NodeId]) -> Option<Vec<NodeId>> {
+        let adj = self.before_adjacency(members);
+        let mut indeg = vec![0usize; members.len()];
+        for edges in &adj {
+            for &u in edges {
+                indeg[u] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..members.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(members.len());
+        while let Some(i) = queue.pop() {
+            order.push(members[i]);
+            for &u in &adj[i] {
+                indeg[u] -= 1;
+                if indeg[u] == 0 {
+                    queue.push(u);
+                }
+            }
+        }
+        if order.len() == members.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::ids::{ConstId, NullId, PredId};
+    use chase_core::parser::parse_program;
+    use chase_core::vocab::Vocabulary;
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn n(i: u32) -> Term {
+        Term::Null(NullId(i))
+    }
+
+    fn atom(p: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId(p), args.to_vec())
+    }
+
+    #[test]
+    fn stops_requires_frontier_identity() {
+        // target R(a, ν0) produced with frontier at position 0;
+        // candidate R(a, b) stops it (ν0 -> b).
+        assert!(stops(&atom(0, &[c(0), c(1)]), &atom(0, &[c(0), n(0)]), &[0]));
+        // candidate R(c, b) does not: frontier term differs.
+        assert!(!stops(&atom(0, &[c(2), c(1)]), &atom(0, &[c(0), n(0)]), &[0]));
+    }
+
+    #[test]
+    fn stops_is_reflexive_on_equal_atoms() {
+        let a = atom(0, &[c(0), n(3)]);
+        assert!(stops(&a, &a, &[0, 1]));
+    }
+
+    #[test]
+    fn constants_are_rigid() {
+        // target has constant b at a non-frontier position: a candidate
+        // with a different constant there cannot stop it.
+        assert!(!stops(&atom(0, &[c(0), c(2)]), &atom(0, &[c(0), c(1)]), &[0]));
+        // Nulls, by contrast, may fold onto constants.
+        assert!(stops(&atom(0, &[c(0), c(2)]), &atom(0, &[c(0), n(0)]), &[0]));
+    }
+
+    #[test]
+    fn substitution_must_be_functional() {
+        // target S(ν0, ν0): a candidate S(a, b) would need ν0 ↦ a and
+        // ν0 ↦ b simultaneously.
+        assert!(!stops(&atom(0, &[c(0), c(1)]), &atom(0, &[n(0), n(0)]), &[]));
+        assert!(stops(&atom(0, &[c(0), c(0)]), &atom(0, &[n(0), n(0)]), &[]));
+    }
+
+    #[test]
+    fn fact_3_5_active_iff_unstopped() {
+        // Cross-validate the two formulations of "active" on a small
+        // instance with both satisfied and violated triggers.
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(
+            "R(a,b). R(b,b). S(a,a).
+             R(x,y) -> exists z. S(x,z).",
+            &mut vocab,
+        )
+        .unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let mut skolem =
+            crate::skolem::SkolemTable::new(crate::skolem::SkolemPolicy::PerTrigger);
+        for trigger in crate::trigger::all_triggers(&set, &p.database) {
+            let result = trigger.result(set.tgd(trigger.tgd), &mut skolem);
+            let (active, unstopped) =
+                active_iff_unstopped(&trigger, &set, &p.database, &result[0]);
+            assert_eq!(active, unstopped, "Fact 3.5 violated for {trigger:?}");
+        }
+    }
+
+    #[test]
+    fn relations_on_example_3_2_fragment() {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(
+            "P(a,b).
+             P(x1,y1) -> R(x1,y1).
+             P(x2,y2) -> S(x2).
+             R(x3,y3) -> S(x3).
+             S(x4) -> exists y4. R(x4,y4).",
+            &mut vocab,
+        )
+        .unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let fragment = crate::real_oblivious::RealOchase::build(
+            &p.database,
+            &set,
+            crate::real_oblivious::OchaseLimits {
+                max_nodes: 200,
+                max_depth: 2,
+            },
+        );
+        let rel = OchaseRelations::compute(&fragment, &set);
+        // Two copies of S(a) stop each other.
+        let s = vocab.lookup_pred("S").unwrap();
+        let s_nodes: Vec<NodeId> = fragment
+            .iter()
+            .filter(|(_, nd)| nd.atom.pred == s)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(s_nodes.len(), 2);
+        assert!(rel.stop.contains(&(s_nodes[0], s_nodes[1])));
+        assert!(rel.stop.contains(&(s_nodes[1], s_nodes[0])));
+        // Database atoms come before derived atoms.
+        let db: Vec<NodeId> = fragment.database_nodes().collect();
+        assert!(rel.before.iter().any(|&(v, _)| v == db[0]));
+        // The full fragment has a ≺b cycle (mutual stops), so no topo order.
+        let all: Vec<NodeId> = fragment.iter().map(|(id, _)| id).collect();
+        assert!(rel.topo_order(&all).is_none());
+        // Dropping one S(a) copy breaks the cycle.
+        let without: Vec<NodeId> = all
+            .iter()
+            .copied()
+            .filter(|id| *id != s_nodes[1])
+            .collect();
+        assert!(rel.topo_order(&without).is_some());
+    }
+}

@@ -1,0 +1,385 @@
+//! The restricted (a.k.a. standard) chase, Section 3.2 of the paper.
+//!
+//! The engine maintains a queue of *candidate triggers*, discovered
+//! semi-naively: when an atom is inserted, only triggers whose body
+//! uses that atom are (re-)enumerated. A candidate popped from the
+//! queue is applied only if it is still **active** — the defining
+//! feature of the restricted chase. The queue discipline is pluggable:
+//!
+//! * [`Strategy::Fifo`] processes triggers in discovery order, which
+//!   makes every run **fair** (every trigger that stays active is
+//!   eventually applied, hence deactivated);
+//! * [`Strategy::Lifo`] prefers the newest triggers and can produce
+//!   **unfair** infinite derivations — exactly the behaviour the
+//!   Fairness Theorem (Section 4) reasons about;
+//! * [`Strategy::Random`] samples uniformly (seeded, reproducible).
+
+use std::collections::VecDeque;
+use std::ops::ControlFlow;
+
+use chase_core::ids::fx_set;
+use chase_core::instance::Instance;
+use chase_core::tgd::TgdSet;
+
+use crate::derivation::{Derivation, Step};
+use crate::skolem::{SkolemPolicy, SkolemTable};
+use crate::trigger::{for_each_trigger, for_each_trigger_using, Trigger};
+
+/// Queue discipline for candidate triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// First-in-first-out; fair by construction.
+    Fifo,
+    /// Last-in-first-out; may be unfair.
+    Lifo,
+    /// Uniform random choice with the given seed (xorshift64).
+    Random(u64),
+    /// Always prefer triggers of the TGD with the smallest identifier
+    /// (newest such trigger first). Deliberately *unfair*: a
+    /// low-priority trigger can stay active forever — the behaviour
+    /// the Fairness Theorem (Section 4) repairs.
+    PriorityTgd,
+}
+
+/// Resource budget for a chase run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Maximum number of trigger applications.
+    pub max_steps: usize,
+    /// Maximum number of atoms in the instance (including the
+    /// database); exceeded ⇒ the run stops with
+    /// [`Outcome::BudgetExhausted`].
+    pub max_atoms: usize,
+}
+
+impl Budget {
+    /// A budget bounding only the number of steps.
+    pub fn steps(max_steps: usize) -> Self {
+        Budget {
+            max_steps,
+            max_atoms: usize::MAX,
+        }
+    }
+
+    /// A budget bounding steps and atoms.
+    pub fn new(max_steps: usize, max_atoms: usize) -> Self {
+        Budget {
+            max_steps,
+            max_atoms,
+        }
+    }
+}
+
+/// How a chase run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// No active trigger remains: the derivation is finite and its
+    /// result satisfies the TGD set.
+    Terminated,
+    /// The budget ran out with active triggers still pending. This is
+    /// evidence (not proof) of non-termination.
+    BudgetExhausted,
+}
+
+/// The result of a chase run.
+#[derive(Debug, Clone)]
+pub struct ChaseRun {
+    /// Terminated or out of budget.
+    pub outcome: Outcome,
+    /// The final instance.
+    pub instance: Instance,
+    /// Number of trigger applications performed.
+    pub steps: usize,
+    /// The recorded derivation (empty if recording was disabled).
+    pub derivation: Derivation,
+}
+
+/// A tiny deterministic xorshift64 PRNG, so the engine does not need a
+/// `rand` dependency for its `Random` strategy.
+#[derive(Debug, Clone)]
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A configured restricted-chase engine.
+#[derive(Debug, Clone)]
+pub struct RestrictedChase<'a> {
+    set: &'a TgdSet,
+    strategy: Strategy,
+    record: bool,
+}
+
+impl<'a> RestrictedChase<'a> {
+    /// Creates an engine with FIFO (fair) strategy and derivation
+    /// recording enabled.
+    pub fn new(set: &'a TgdSet) -> Self {
+        RestrictedChase {
+            set,
+            strategy: Strategy::Fifo,
+            record: true,
+        }
+    }
+
+    /// Selects the queue discipline.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables or disables derivation recording (disable in benches).
+    pub fn record_derivation(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Runs the restricted chase on `database` within `budget`.
+    pub fn run(&self, database: &Instance, budget: Budget) -> ChaseRun {
+        let mut instance = database.clone();
+        let mut skolem = SkolemTable::above(
+            SkolemPolicy::PerTrigger,
+            instance.iter().flat_map(|a| a.args.iter().copied()),
+        );
+        let mut queue: VecDeque<Trigger> = VecDeque::new();
+        let mut seen = fx_set();
+        let mut rng = match self.strategy {
+            Strategy::Random(seed) => Some(XorShift64::new(seed)),
+            _ => None,
+        };
+
+        // Seed: all triggers on the database.
+        let _ = for_each_trigger(self.set, &instance, &mut |t| {
+            if seen.insert(t.key(self.set.tgd(t.tgd))) {
+                queue.push_back(t);
+            }
+            ControlFlow::Continue(())
+        });
+
+        let mut steps = 0usize;
+        let mut derivation = Derivation::default();
+        while let Some(trigger) = self.pop(&mut queue, &mut rng) {
+            let tgd = self.set.tgd(trigger.tgd);
+            if !trigger.is_active(tgd, &instance) {
+                continue; // deactivated since discovery — monotone, stays so
+            }
+            if steps >= budget.max_steps || instance.len() >= budget.max_atoms {
+                // Put it back so the caller can inspect pending work.
+                queue.push_front(trigger);
+                return ChaseRun {
+                    outcome: Outcome::BudgetExhausted,
+                    instance,
+                    steps,
+                    derivation,
+                };
+            }
+            let added = trigger.result(tgd, &mut skolem);
+            let mut new_slots = Vec::with_capacity(added.len());
+            for atom in &added {
+                let (slot, fresh) = instance.insert(atom.clone());
+                if fresh {
+                    new_slots.push(slot);
+                }
+            }
+            steps += 1;
+            if self.record {
+                derivation.steps.push(Step {
+                    trigger: trigger.clone(),
+                    added,
+                });
+            }
+            for slot in new_slots {
+                let _ = for_each_trigger_using(self.set, &instance, slot, &mut |t| {
+                    if seen.insert(t.key(self.set.tgd(t.tgd))) {
+                        queue.push_back(t);
+                    }
+                    ControlFlow::Continue(())
+                });
+            }
+        }
+        ChaseRun {
+            outcome: Outcome::Terminated,
+            instance,
+            steps,
+            derivation,
+        }
+    }
+
+    fn pop(&self, queue: &mut VecDeque<Trigger>, rng: &mut Option<XorShift64>) -> Option<Trigger> {
+        if queue.is_empty() {
+            return None;
+        }
+        match self.strategy {
+            Strategy::Fifo => queue.pop_front(),
+            Strategy::Lifo => queue.pop_back(),
+            Strategy::Random(_) => {
+                let rng = rng.as_mut().expect("rng initialised for Random strategy");
+                let i = rng.below(queue.len());
+                queue.swap(i, 0);
+                queue.pop_front()
+            }
+            Strategy::PriorityTgd => {
+                let min_tgd = queue.iter().map(|t| t.tgd).min()?;
+                let i = queue
+                    .iter()
+                    .rposition(|t| t.tgd == min_tgd)
+                    .expect("min exists");
+                queue.swap(i, 0);
+                queue.pop_front()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::hom::satisfies_all;
+    use chase_core::parser::parse_program;
+    use chase_core::vocab::Vocabulary;
+
+    fn run(src: &str, strategy: Strategy, budget: Budget) -> (ChaseRun, TgdSet, Instance) {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(src, &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let run = RestrictedChase::new(&set).strategy(strategy).run(&p.database, budget);
+        (run, set, p.database)
+    }
+
+    #[test]
+    fn intro_example_terminates_in_zero_steps() {
+        let (run, set, db) = run(
+            "R(a,b). R(x,y) -> exists z. R(x,z).",
+            Strategy::Fifo,
+            Budget::steps(100),
+        );
+        assert_eq!(run.outcome, Outcome::Terminated);
+        assert_eq!(run.steps, 0);
+        assert_eq!(run.instance, db);
+        assert!(satisfies_all(&run.instance, &set));
+    }
+
+    #[test]
+    fn right_recursion_exhausts_budget() {
+        let (run, _, _) = run(
+            "R(a,b). R(x,y) -> exists z. R(y,z).",
+            Strategy::Fifo,
+            Budget::steps(50),
+        );
+        assert_eq!(run.outcome, Outcome::BudgetExhausted);
+        assert_eq!(run.steps, 50);
+        assert_eq!(run.instance.len(), 51);
+    }
+
+    #[test]
+    fn terminating_run_produces_model_and_valid_derivation() {
+        let src = "
+            E(a,b). E(b,c).
+            E(x,y) -> exists z. F(x,z).
+            F(x,z) -> G(x).
+        ";
+        let (run, set, db) = run(src, Strategy::Fifo, Budget::steps(1000));
+        assert_eq!(run.outcome, Outcome::Terminated);
+        assert!(satisfies_all(&run.instance, &set));
+        let replayed = run.derivation.validate(&db, &set, true).unwrap();
+        assert_eq!(replayed, run.instance);
+    }
+
+    #[test]
+    fn strategies_agree_on_termination_for_terminating_sets() {
+        let src = "
+            R(a,b).
+            R(x,y) -> exists z. S(y,z).
+            S(x,y) -> T(x).
+        ";
+        for strategy in [Strategy::Fifo, Strategy::Lifo, Strategy::Random(7)] {
+            let (run, set, _) = run(src, strategy, Budget::steps(1000));
+            assert_eq!(run.outcome, Outcome::Terminated, "{strategy:?}");
+            assert!(satisfies_all(&run.instance, &set));
+        }
+    }
+
+    #[test]
+    fn restricted_chase_does_not_fire_satisfied_tgds() {
+        // Example-style: head already witnessed for one tuple but not
+        // the other.
+        let src = "
+            R(a,b). R(b,b).
+            R(x,y) -> exists z. R(y,z).
+        ";
+        let (run, set, _) = run(src, Strategy::Fifo, Budget::steps(100));
+        // R(b,b) satisfies the head for both R(a,b) (needs R(b,_)) and
+        // itself, so nothing fires.
+        assert_eq!(run.outcome, Outcome::Terminated);
+        assert_eq!(run.steps, 0);
+        assert!(satisfies_all(&run.instance, &set));
+    }
+
+    #[test]
+    fn random_strategy_is_reproducible() {
+        let src = "
+            R(a,b).
+            R(x,y) -> exists z. S(y,z).
+            S(x,y) -> exists z. T(x,z).
+            R(x,y) -> P(x).
+        ";
+        let (r1, _, _) = run(src, Strategy::Random(42), Budget::steps(100));
+        let (r2, _, _) = run(src, Strategy::Random(42), Budget::steps(100));
+        assert_eq!(r1.steps, r2.steps);
+        assert_eq!(r1.instance, r2.instance);
+    }
+
+    #[test]
+    fn multi_head_supported_by_engine() {
+        // Example B.1's first TGD shape (multi-head).
+        let src = "
+            R(a,b,b).
+            R(x,y,y) -> exists z. R(x,z,y), R(z,y,y).
+        ";
+        let (run, set, _) = run(src, Strategy::Fifo, Budget::steps(10));
+        assert_eq!(run.outcome, Outcome::BudgetExhausted);
+        assert!(run.instance.len() > 3);
+        let _ = set;
+    }
+
+    #[test]
+    fn symmetric_body_trigger_discovered_once() {
+        // R(x,y), R(y,x) -> S(x) on {R(a,a)}: the delta enumeration
+        // finds the same trigger through both body atoms; the seen-set
+        // must deduplicate so it is applied exactly once.
+        let (run, set, _) = run(
+            "R(a,a). R(x,y), R(y,x) -> S(x).",
+            Strategy::Fifo,
+            Budget::steps(100),
+        );
+        assert_eq!(run.outcome, Outcome::Terminated);
+        assert_eq!(run.steps, 1);
+        assert!(satisfies_all(&run.instance, &set));
+    }
+
+    #[test]
+    fn atom_budget_respected() {
+        let (run, _, _) = run(
+            "R(a,b). R(x,y) -> exists z. R(y,z).",
+            Strategy::Fifo,
+            Budget::new(usize::MAX, 10),
+        );
+        assert_eq!(run.outcome, Outcome::BudgetExhausted);
+        assert!(run.instance.len() <= 10);
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic null invention.
+//!
+//! Definition 3.1 of the paper maps each existentially quantified head
+//! variable `x` of a trigger `(σ, h)` to a fresh null `c^{σ,h}_x`
+//! "whose name is uniquely determined by the trigger and `x` itself".
+//! [`SkolemTable`] realises exactly that: it memoises
+//! `(σ, h, x) → NullId`, so re-presenting the same trigger yields the
+//! same atom — which is what makes the (real) oblivious chase a
+//! well-defined fixpoint.
+//!
+//! The semi-oblivious variant keys nulls by `(σ, h|fr(σ), x)` instead,
+//! identifying triggers that agree on the frontier.
+
+use chase_core::ids::{fx_map, FxHashMap, NullId, VarId};
+use chase_core::subst::Binding;
+use chase_core::term::{NullFactory, Term};
+use chase_core::tgd::{Tgd, TgdId};
+
+/// Which part of the body homomorphism identifies a null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SkolemPolicy {
+    /// `c^{σ,h}_x` — the paper's oblivious-chase naming (Def 3.1).
+    #[default]
+    PerTrigger,
+    /// `c^{σ,h|fr}_x` — semi-oblivious naming: triggers agreeing on
+    /// the frontier reuse nulls.
+    PerFrontier,
+}
+
+/// Memoising allocator of labelled nulls.
+#[derive(Debug, Clone)]
+pub struct SkolemTable {
+    policy: SkolemPolicy,
+    map: FxHashMap<(TgdId, Vec<Term>, VarId), NullId>,
+    factory: NullFactory,
+}
+
+impl SkolemTable {
+    /// Creates a table with the given policy, starting nulls at `ν0`.
+    pub fn new(policy: SkolemPolicy) -> Self {
+        SkolemTable {
+            policy,
+            map: fx_map(),
+            factory: NullFactory::new(),
+        }
+    }
+
+    /// Creates a table whose nulls will not collide with nulls already
+    /// appearing in `existing` terms.
+    pub fn above(policy: SkolemPolicy, existing: impl IntoIterator<Item = Term>) -> Self {
+        SkolemTable {
+            policy,
+            map: fx_map(),
+            factory: NullFactory::above(existing),
+        }
+    }
+
+    /// The key terms identifying the trigger under the current policy:
+    /// images of all body variables (per-trigger) or frontier
+    /// variables only (per-frontier), in sorted-variable order.
+    fn key_terms(&self, tgd: &Tgd, binding: &Binding) -> Vec<Term> {
+        let vars: Vec<VarId> = match self.policy {
+            SkolemPolicy::PerTrigger => {
+                let mut vs = tgd.body_vars().to_vec();
+                vs.sort();
+                vs
+            }
+            SkolemPolicy::PerFrontier => tgd.frontier().to_vec(),
+        };
+        vars.iter()
+            .map(|&v| binding.get(v).unwrap_or(Term::Var(v)))
+            .collect()
+    }
+
+    /// The null witnessing existential variable `x` for trigger
+    /// `(tgd_id, binding)`.
+    pub fn null_for(&mut self, tgd_id: TgdId, tgd: &Tgd, binding: &Binding, x: VarId) -> NullId {
+        let key = (tgd_id, self.key_terms(tgd, binding), x);
+        if let Some(&n) = self.map.get(&key) {
+            return n;
+        }
+        let n = self.factory.fresh();
+        self.map.insert(key, n);
+        n
+    }
+
+    /// Total nulls invented so far.
+    pub fn invented(&self) -> u32 {
+        self.factory.allocated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::prelude::*;
+
+    /// `R(x,y) -> exists z. S(y,z)`.
+    fn rule(vocab: &mut Vocabulary) -> (TgdSet, VarId, VarId, VarId) {
+        let mut b = RuleBuilder::new(vocab);
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.body("R", &[x, y]).unwrap();
+        b.head("S", &[y, z]).unwrap();
+        let tgd = b.build().unwrap();
+        let set = TgdSet::new(vec![tgd], vocab).unwrap();
+        (
+            set,
+            x.as_var().unwrap(),
+            y.as_var().unwrap(),
+            z.as_var().unwrap(),
+        )
+    }
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    #[test]
+    fn per_trigger_distinguishes_non_frontier_bindings() {
+        let mut vocab = Vocabulary::new();
+        let (set, x, y, z) = rule(&mut vocab);
+        let tgd = set.tgd(TgdId(0));
+        let mut table = SkolemTable::new(SkolemPolicy::PerTrigger);
+        let h1 = Binding::from_pairs([(x, c(0)), (y, c(1))]);
+        let h2 = Binding::from_pairs([(x, c(9)), (y, c(1))]); // same frontier y
+        let n1 = table.null_for(TgdId(0), tgd, &h1, z);
+        let n2 = table.null_for(TgdId(0), tgd, &h2, z);
+        assert_ne!(n1, n2);
+        // Memoisation: same trigger, same null.
+        assert_eq!(table.null_for(TgdId(0), tgd, &h1, z), n1);
+    }
+
+    #[test]
+    fn per_frontier_identifies_frontier_equal_triggers() {
+        let mut vocab = Vocabulary::new();
+        let (set, x, y, z) = rule(&mut vocab);
+        let tgd = set.tgd(TgdId(0));
+        let mut table = SkolemTable::new(SkolemPolicy::PerFrontier);
+        let h1 = Binding::from_pairs([(x, c(0)), (y, c(1))]);
+        let h2 = Binding::from_pairs([(x, c(9)), (y, c(1))]);
+        let n1 = table.null_for(TgdId(0), tgd, &h1, z);
+        let n2 = table.null_for(TgdId(0), tgd, &h2, z);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn starts_above_existing_nulls() {
+        let mut vocab = Vocabulary::new();
+        let (set, x, y, z) = rule(&mut vocab);
+        let tgd = set.tgd(TgdId(0));
+        let mut table = SkolemTable::above(
+            SkolemPolicy::PerTrigger,
+            [Term::Null(NullId(4))],
+        );
+        let h = Binding::from_pairs([(x, c(0)), (y, c(1))]);
+        assert_eq!(table.null_for(TgdId(0), tgd, &h, z), NullId(5));
+    }
+}

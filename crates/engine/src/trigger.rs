@@ -1,0 +1,280 @@
+//! Triggers and trigger application (Definition 3.1).
+
+use std::ops::ControlFlow;
+
+use chase_core::atom::Atom;
+use chase_core::hom::{exists_homomorphism, for_each_homomorphism};
+use chase_core::instance::Instance;
+use chase_core::subst::Binding;
+use chase_core::term::Term;
+use chase_core::tgd::{Tgd, TgdId, TgdSet};
+
+use crate::skolem::SkolemTable;
+
+/// A trigger `(σ, h)` for a TGD set on some instance: a TGD identifier
+/// plus a homomorphism from its body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trigger {
+    /// Which TGD.
+    pub tgd: TgdId,
+    /// The body homomorphism `h`, with one entry per body variable.
+    pub binding: Binding,
+}
+
+impl Trigger {
+    /// A canonical fingerprint of this trigger: the TGD plus the
+    /// images of its body variables in sorted-variable order. Two
+    /// triggers are the same trigger iff their keys agree.
+    pub fn key(&self, tgd: &Tgd) -> (TgdId, Vec<Term>) {
+        let mut vars = tgd.body_vars().to_vec();
+        vars.sort();
+        (
+            self.tgd,
+            vars.iter()
+                .map(|&v| self.binding.get(v).unwrap_or(Term::Var(v)))
+                .collect(),
+        )
+    }
+
+    /// Whether this trigger is *active* on `instance`: no extension of
+    /// `h|fr(σ)` maps the head into the instance (Definition 3.1).
+    pub fn is_active(&self, tgd: &Tgd, instance: &Instance) -> bool {
+        let restricted = self.binding.restricted_to(tgd.frontier());
+        !exists_homomorphism(tgd.head(), instance, &restricted)
+    }
+
+    /// Computes `result(σ, h)` — the head atoms with frontier
+    /// variables instantiated by `h` and existential variables
+    /// witnessed by nulls from `skolem` (Definition 3.1). Single-head
+    /// TGDs yield exactly one atom.
+    pub fn result(&self, tgd: &Tgd, skolem: &mut SkolemTable) -> Vec<Atom> {
+        let mut out = Vec::with_capacity(tgd.head().len());
+        for head in tgd.head() {
+            let args = head
+                .args
+                .iter()
+                .map(|&t| match t {
+                    Term::Var(v) => {
+                        if let Some(image) = self.binding.get(v) {
+                            image
+                        } else {
+                            Term::Null(skolem.null_for(self.tgd, tgd, &self.binding, v))
+                        }
+                    }
+                    ground => ground,
+                })
+                .collect();
+            out.push(Atom::new(head.pred, args));
+        }
+        out
+    }
+
+    /// The 0-based positions of the (single) head atom that carry
+    /// frontier terms — the paper's `fr(result(σ,h))` position set
+    /// `⋃_{x∈fr(σ)} pos(head(σ), x)`.
+    pub fn frontier_positions(tgd: &Tgd) -> Vec<usize> {
+        let head = match tgd.single_head() {
+            Some(h) => h,
+            None => return Vec::new(),
+        };
+        head.args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, Term::Var(v) if tgd.is_frontier(*v)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Enumerates every trigger for `set` on `instance`, calling `f` for
+/// each; stops early when `f` breaks.
+pub fn for_each_trigger(
+    set: &TgdSet,
+    instance: &Instance,
+    f: &mut dyn FnMut(Trigger) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    for (id, tgd) in set.iter() {
+        let mut binding = Binding::new();
+        let flow = for_each_homomorphism(tgd.body(), instance, &mut binding, &mut |b| {
+            f(Trigger {
+                tgd: id,
+                binding: b.clone(),
+            })
+        });
+        if flow.is_break() {
+            return ControlFlow::Break(());
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// Enumerates the triggers for `set` on `instance` in which the body
+/// atom at some position is matched to the atom stored at
+/// `new_slot` — the semi-naive delta used after inserting that atom.
+/// Triggers not involving the new atom are *not* reported.
+pub fn for_each_trigger_using(
+    set: &TgdSet,
+    instance: &Instance,
+    new_slot: usize,
+    f: &mut dyn FnMut(Trigger) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let new_atom = instance.atom(new_slot).clone();
+    for (id, tgd) in set.iter() {
+        for (i, body_atom) in tgd.body().iter().enumerate() {
+            if body_atom.pred != new_atom.pred {
+                continue;
+            }
+            // Seed the binding by unifying body_atom with the new atom.
+            let mut binding = Binding::new();
+            let mut ok = true;
+            for (p, &t) in body_atom.args.iter().zip(new_atom.args.iter()) {
+                match *p {
+                    Term::Var(v) => match binding.get(v) {
+                        Some(bound) if bound != t => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => binding.push(v, t),
+                    },
+                    ground => {
+                        if ground != t {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Complete the rest of the body against the instance.
+            let rest: Vec<Atom> = tgd
+                .body()
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, a)| a.clone())
+                .collect();
+            let flow = for_each_homomorphism(&rest, instance, &mut binding, &mut |b| {
+                f(Trigger {
+                    tgd: id,
+                    binding: b.clone(),
+                })
+            });
+            if flow.is_break() {
+                return ControlFlow::Break(());
+            }
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// Collects all triggers on an instance (test/diagnostic helper).
+pub fn all_triggers(set: &TgdSet, instance: &Instance) -> Vec<Trigger> {
+    let mut out = Vec::new();
+    let _ = for_each_trigger(set, instance, &mut |t| {
+        out.push(t);
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Collects all *active* triggers on an instance.
+pub fn active_triggers(set: &TgdSet, instance: &Instance) -> Vec<Trigger> {
+    all_triggers(set, instance)
+        .into_iter()
+        .filter(|t| t.is_active(set.tgd(t.tgd), instance))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skolem::SkolemPolicy;
+    use chase_core::parser::parse_program;
+    use chase_core::vocab::Vocabulary;
+
+    #[test]
+    fn intro_example_has_trigger_but_not_active() {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program("R(a,b). R(x,y) -> exists z. R(x,z).", &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let triggers = all_triggers(&set, &p.database);
+        assert_eq!(triggers.len(), 1);
+        assert!(!triggers[0].is_active(set.tgd(TgdId(0)), &p.database));
+        assert!(active_triggers(&set, &p.database).is_empty());
+    }
+
+    #[test]
+    fn violated_tgd_gives_active_trigger_and_result() {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program("R(a,b). R(x,y) -> exists z. R(y,z).", &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let active = active_triggers(&set, &p.database);
+        assert_eq!(active.len(), 1);
+        let mut skolem = SkolemTable::new(SkolemPolicy::PerTrigger);
+        let atoms = active[0].result(set.tgd(TgdId(0)), &mut skolem);
+        assert_eq!(atoms.len(), 1);
+        // result = R(b, ν0)
+        let b = vocab.lookup_pred("R").unwrap();
+        assert_eq!(atoms[0].pred, b);
+        assert!(atoms[0].args[1].is_null());
+        // Determinism: recomputing the result yields the same atom.
+        let again = active[0].result(set.tgd(TgdId(0)), &mut skolem);
+        assert_eq!(atoms, again);
+    }
+
+    #[test]
+    fn frontier_positions_of_single_head() {
+        let mut vocab = Vocabulary::new();
+        // T(x,y,z) -> exists w. S(y,w): head S(y,w), frontier {y} at position 0.
+        let p = parse_program("T(x,y,z) -> exists w. S(y,w).", &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        assert_eq!(Trigger::frontier_positions(set.tgd(TgdId(0))), vec![0]);
+    }
+
+    #[test]
+    fn delta_enumeration_matches_full_enumeration() {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(
+            "R(a,b). R(b,c). R(x,y), R(y,z) -> exists w. R(z,w).",
+            &mut vocab,
+        )
+        .unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let full = all_triggers(&set, &p.database);
+        assert_eq!(full.len(), 1); // only R(a,b),R(b,c) chains
+        // Insert R(c,d); delta triggers using the new atom.
+        let mut inst = p.database.clone();
+        let r = vocab.lookup_pred("R").unwrap();
+        let c = vocab.constant("c");
+        let d = vocab.constant("d");
+        let (slot, fresh) = inst.insert(Atom::new(
+            r,
+            vec![Term::Const(c), Term::Const(d)],
+        ));
+        assert!(fresh);
+        let mut delta = Vec::new();
+        let _ = for_each_trigger_using(&set, &inst, slot, &mut |t| {
+            delta.push(t);
+            ControlFlow::Continue(())
+        });
+        // New triggers: (R(b,c),R(c,d)) and (R(c,d),?) — only the former completes.
+        assert_eq!(delta.len(), 1);
+        let all_after = all_triggers(&set, &inst);
+        assert_eq!(all_after.len(), 2);
+    }
+
+    #[test]
+    fn trigger_key_canonical() {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program("R(a,b). R(x,y) -> exists z. R(y,z).", &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let t = &all_triggers(&set, &p.database)[0];
+        let k1 = t.key(set.tgd(t.tgd));
+        let k2 = t.key(set.tgd(t.tgd));
+        assert_eq!(k1, k2);
+        assert_eq!(k1.1.len(), 2);
+    }
+}

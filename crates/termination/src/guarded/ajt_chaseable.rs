@@ -1,0 +1,269 @@
+//! Chaseable abstract join trees (Definition 5.10): the conditions the
+//! paper's MSOL sentence `ϕ_T` expresses, executed directly over
+//! finite abstract join trees.
+//!
+//! Over a finite tree condition (1) (finitely many `≺b`-predecessors)
+//! is automatic; the executable content is condition (2) — every
+//! sideatom type of every generating TGD has a side-parent node — and
+//! condition (3) — acyclicity of the before relation
+//! `≺b = {(F-node, rule-node)} ∪ ≺p ∪ ≺s⁻¹`.
+
+use chase_core::atom::Atom;
+use chase_core::term::Term;
+use chase_core::tgd::TgdSet;
+use chase_core::vocab::Vocabulary;
+use chase_engine::relations::stops;
+use tgd_classes::guarded::guard_index;
+
+use super::ajt::{AbstractJoinTree, AjtFault, Origin};
+use super::sideatom::body_as_sideatom_types;
+
+/// Why a (valid) abstract join tree fails to be chaseable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseableAjtFault {
+    /// The tree is not even a valid abstract join tree (Def 5.8).
+    Invalid(AjtFault),
+    /// Condition (2): node `node`'s generating TGD needs a π-sideatom
+    /// (the `index`-th one) of its father's atom, and no node of the
+    /// tree provides it.
+    MissingSideParent {
+        /// The rule node lacking a side-parent.
+        node: usize,
+        /// Index of the unsatisfied sideatom type.
+        index: usize,
+    },
+    /// Condition (3): the before relation has a cycle.
+    BeforeCycle,
+    /// A rule node's TGD is unguarded or multi-head (outside `G`).
+    NotGuarded(usize),
+}
+
+/// Checks Definition 5.10 on a finite abstract join tree. On success
+/// returns a topological order of the nodes w.r.t. `≺b` — the order in
+/// which a restricted chase derivation can generate `Δ(T)`.
+pub fn check_chaseable_ajt(
+    tree: &AbstractJoinTree,
+    set: &TgdSet,
+    vocab: &Vocabulary,
+) -> Result<Vec<usize>, ChaseableAjtFault> {
+    tree.validate(set, vocab).map_err(ChaseableAjtFault::Invalid)?;
+    let atoms: Vec<Atom> = tree.node_atoms(vocab);
+    let n = tree.nodes.len();
+
+    // ≺p: tree edges plus side-parents (condition (2) en passant).
+    let mut parent_edges: Vec<(usize, usize)> = Vec::new();
+    for (y, node) in tree.nodes.iter().enumerate() {
+        let Some(x) = node.parent else { continue };
+        parent_edges.push((x, y));
+        let Origin::Rule(sigma) = node.origin else {
+            continue;
+        };
+        let tgd = set.tgd(sigma);
+        let gi = guard_index(tgd).ok_or(ChaseableAjtFault::NotGuarded(y))?;
+        let types =
+            body_as_sideatom_types(tgd, gi).ok_or(ChaseableAjtFault::NotGuarded(y))?;
+        for (i, pi) in types.iter().enumerate() {
+            let providers: Vec<usize> = (0..n)
+                .filter(|&z| pi.matches(&atoms[z], &atoms[x]))
+                .collect();
+            if providers.is_empty() {
+                return Err(ChaseableAjtFault::MissingSideParent { node: y, index: i });
+            }
+            for z in providers {
+                parent_edges.push((z, y));
+            }
+        }
+    }
+
+    // ≺s: x stops y (y a rule node), via the decoded atoms.
+    let mut stop_edges: Vec<(usize, usize)> = Vec::new();
+    for (y, node) in tree.nodes.iter().enumerate() {
+        let Origin::Rule(sigma) = node.origin else {
+            continue;
+        };
+        let tgd = set.tgd(sigma);
+        let head = match tgd.single_head() {
+            Some(h) => h,
+            None => return Err(ChaseableAjtFault::NotGuarded(y)),
+        };
+        let fpos: Vec<usize> = head
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, Term::Var(v) if tgd.is_frontier(*v)))
+            .map(|(i, _)| i)
+            .collect();
+        for x in 0..n {
+            if x != y && atoms[x].pred == atoms[y].pred && stops(&atoms[x], &atoms[y], &fpos) {
+                stop_edges.push((x, y));
+            }
+        }
+    }
+
+    // ≺b and its topological order.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let push = |adj: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+        }
+    };
+    for (x, node_x) in tree.nodes.iter().enumerate() {
+        if node_x.origin != Origin::Fact {
+            continue;
+        }
+        for (y, node_y) in tree.nodes.iter().enumerate() {
+            if node_y.origin != Origin::Fact {
+                push(&mut adj, x, y);
+            }
+        }
+    }
+    for &(x, y) in &parent_edges {
+        push(&mut adj, x, y);
+    }
+    for &(x, y) in &stop_edges {
+        push(&mut adj, y, x); // ≺s⁻¹: the stopped atom comes first
+    }
+    let mut indeg = vec![0usize; n];
+    for edges in &adj {
+        for &t in edges {
+            indeg[t] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &t in &adj[v] {
+            indeg[t] -= 1;
+            if indeg[t] == 0 {
+                queue.push(t);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(ChaseableAjtFault::BeforeCycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guarded::ajt::{forced_child_label, EqRel};
+    use chase_core::parser::parse_tgds;
+    use chase_core::tgd::TgdId;
+
+    /// Right recursion P(x,y) → ∃z P(y,z): the forced chain tree is
+    /// chaseable — each level's atom escapes its ancestors' stops.
+    #[test]
+    fn right_recursion_chain_is_chaseable() {
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds("P(x,y) -> exists z. P(y,z).", &mut vocab).unwrap();
+        let p = vocab.lookup_pred("P").unwrap();
+        let ar_t = set.max_arity();
+        let mut tree =
+            AbstractJoinTree::new(ar_t, p, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
+        let mut cur = 0;
+        for _ in 0..5 {
+            let label = {
+                let node = tree.nodes[cur].eq.clone();
+                forced_child_label(&set, ar_t, TgdId(0), |i, j| node.mm(i, j)).unwrap()
+            };
+            cur = tree.add_child(cur, p, Origin::Rule(TgdId(0)), label);
+        }
+        let order = check_chaseable_ajt(&tree, &set, &vocab).unwrap();
+        assert_eq!(order.len(), 6);
+        // The root (the only fact) must come first.
+        assert_eq!(order[0], 0);
+    }
+
+    /// Left recursion P(x,y) → ∃z P(x,z): every level is stopped by
+    /// its guard-parent (same frontier term x), so ≺b cycles.
+    #[test]
+    fn left_recursion_chain_is_not_chaseable() {
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds("P(x,y) -> exists z. P(x,z).", &mut vocab).unwrap();
+        let p = vocab.lookup_pred("P").unwrap();
+        let ar_t = set.max_arity();
+        let mut tree =
+            AbstractJoinTree::new(ar_t, p, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
+        let label = {
+            let node = tree.nodes[0].eq.clone();
+            forced_child_label(&set, ar_t, TgdId(0), |i, j| node.mm(i, j)).unwrap()
+        };
+        tree.add_child(0, p, Origin::Rule(TgdId(0)), label);
+        assert_eq!(
+            check_chaseable_ajt(&tree, &set, &vocab),
+            Err(ChaseableAjtFault::BeforeCycle)
+        );
+    }
+
+    /// Example 5.6 as an abstract join tree: R(a,b) at the root,
+    /// S(b,c) as a fact child sharing b, T(b) generated from S, and
+    /// the P-chain under R using T(b) as a side-parent.
+    #[test]
+    fn example_5_6_tree_is_chaseable_with_the_side_parent() {
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds(
+            "S(x1,y1) -> T(x1).
+             R(x2,y2), T(y2) -> P(x2,y2).
+             P(x3,y3) -> exists z3. P(y3,z3).",
+            &mut vocab,
+        )
+        .unwrap();
+        let r = vocab.lookup_pred("R").unwrap();
+        let s = vocab.lookup_pred("S").unwrap();
+        let t = vocab.lookup_pred("T").unwrap();
+        let p = vocab.lookup_pred("P").unwrap();
+        let ar_t = set.max_arity();
+        // Root: R(a,b), all-distinct.
+        let mut tree =
+            AbstractJoinTree::new(ar_t, r, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
+        // S(b,c): S's 1st term equals R's 2nd → fm(1, 0).
+        let s_node = tree.add_child(
+            0,
+            s,
+            Origin::Fact,
+            EqRel::from_pairs(ar_t, &[(1, ar_t)]),
+        );
+        // T(b) from σ0 with guard S: forced label.
+        let t_label = {
+            let node = tree.nodes[s_node].eq.clone();
+            forced_child_label(&set, ar_t, TgdId(0), |i, j| node.mm(i, j)).unwrap()
+        };
+        let _t_node = tree.add_child(s_node, t, Origin::Rule(TgdId(0)), t_label);
+        // P(a,b) from σ1 with guard R at the root; its side atom T(y2)
+        // must be provided by the T(b) node — which works because T's
+        // decoded term is S's first term = R's second term.
+        let p_label = {
+            let node = tree.nodes[0].eq.clone();
+            forced_child_label(&set, ar_t, TgdId(1), |i, j| node.mm(i, j)).unwrap()
+        };
+        let p_node = tree.add_child(0, p, Origin::Rule(TgdId(1)), p_label);
+        // Two more P-chain levels from σ2.
+        let mut cur = p_node;
+        for _ in 0..2 {
+            let label = {
+                let node = tree.nodes[cur].eq.clone();
+                forced_child_label(&set, ar_t, TgdId(2), |i, j| node.mm(i, j)).unwrap()
+            };
+            cur = tree.add_child(cur, p, Origin::Rule(TgdId(2)), label);
+        }
+        let order = check_chaseable_ajt(&tree, &set, &vocab).unwrap();
+        assert_eq!(order.len(), tree.nodes.len());
+
+        // Removing the S-subtree breaks condition (2): P's side atom
+        // T(b) has no provider.
+        let mut no_side = AbstractJoinTree::new(ar_t, r, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
+        let p_label2 = {
+            let node = no_side.nodes[0].eq.clone();
+            forced_child_label(&set, ar_t, TgdId(1), |i, j| node.mm(i, j)).unwrap()
+        };
+        no_side.add_child(0, p, Origin::Rule(TgdId(1)), p_label2);
+        assert!(matches!(
+            check_chaseable_ajt(&no_side, &set, &vocab),
+            Err(ChaseableAjtFault::MissingSideParent { .. })
+        ));
+    }
+}

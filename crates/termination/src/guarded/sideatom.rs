@@ -1,0 +1,138 @@
+//! Sideatom types (Section 5.3 / Appendix C.2): the finite vocabulary
+//! with which a guarded body is described relative to its guard.
+//!
+//! A sideatom type `π = ⟨P, m, ξ⟩` says: an atom with predicate `P`
+//! whose `i`-th term equals the `ξ(i)`-th term of a guard of arity
+//! `m`. `β ⊆π γ` ("β is a π-sideatom of γ") holds when β's terms are
+//! exactly γ's terms rearranged by ξ.
+
+use chase_core::atom::Atom;
+use chase_core::ids::PredId;
+use chase_core::term::Term;
+use chase_core::tgd::Tgd;
+
+/// A sideatom type `⟨P, m, ξ⟩`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SideatomType {
+    /// The side atom's predicate.
+    pub pred: PredId,
+    /// The guard arity `m`.
+    pub guard_arity: usize,
+    /// `ξ: [n] → [m]`, 0-based.
+    pub xi: Vec<usize>,
+}
+
+impl SideatomType {
+    /// Whether `beta ⊆π gamma` under this type.
+    pub fn matches(&self, beta: &Atom, gamma: &Atom) -> bool {
+        beta.pred == self.pred
+            && gamma.arity() == self.guard_arity
+            && beta.arity() == self.xi.len()
+            && self
+                .xi
+                .iter()
+                .enumerate()
+                .all(|(i, &gi)| beta.args[i] == gamma.args[gi])
+    }
+
+    /// The unique atom `β` with `β ⊆π gamma`, instantiated from the
+    /// guard's terms.
+    pub fn instantiate(&self, gamma: &Atom) -> Atom {
+        debug_assert_eq!(gamma.arity(), self.guard_arity);
+        Atom::new(
+            self.pred,
+            self.xi.iter().map(|&gi| gamma.args[gi]).collect(),
+        )
+    }
+}
+
+/// Represents a guarded body as `(guard index, sideatom types)`: every
+/// non-guard atom of a guarded TGD is a π-sideatom of the guard for
+/// exactly one type π (Section 5.3's `γ, π₁, ..., πm` representation).
+pub fn body_as_sideatom_types(tgd: &Tgd, guard: usize) -> Option<Vec<SideatomType>> {
+    let guard_atom = &tgd.body()[guard];
+    let mut out = Vec::new();
+    for (i, atom) in tgd.body().iter().enumerate() {
+        if i == guard {
+            continue;
+        }
+        let mut xi = Vec::with_capacity(atom.arity());
+        for t in &atom.args {
+            let Term::Var(v) = *t else { return None };
+            // Guardedness: every body variable occurs in the guard.
+            let gi = guard_atom
+                .args
+                .iter()
+                .position(|g| *g == Term::Var(v))?;
+            xi.push(gi);
+        }
+        out.push(SideatomType {
+            pred: atom.pred,
+            guard_arity: guard_atom.arity(),
+            xi,
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::ids::ConstId;
+    use chase_core::parser::parse_tgds;
+    use chase_core::vocab::Vocabulary;
+    use tgd_classes::guarded::guard_index;
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    #[test]
+    fn paper_example_p_of_abc_is_sideatom_of_r() {
+        // β = P(a,b,c) is a π-sideatom of γ = R(a,d,c,b) with
+        // ξ = {1↦1, 2↦4, 3↦3} (1-based in the paper, 0-based here).
+        let beta = Atom::new(PredId(0), vec![c(0), c(1), c(2)]);
+        let gamma = Atom::new(PredId(1), vec![c(0), c(3), c(2), c(1)]);
+        let pi = SideatomType {
+            pred: PredId(0),
+            guard_arity: 4,
+            xi: vec![0, 3, 2],
+        };
+        assert!(pi.matches(&beta, &gamma));
+        assert_eq!(pi.instantiate(&gamma), beta);
+        // A wrong ξ does not match.
+        let bad = SideatomType {
+            pred: PredId(0),
+            guard_arity: 4,
+            xi: vec![0, 1, 2],
+        };
+        assert!(!bad.matches(&beta, &gamma));
+    }
+
+    #[test]
+    fn guarded_body_decomposes() {
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds("S(x), G(x,y,z), P(y,z) -> exists w. H(x,w).", &mut vocab).unwrap();
+        let tgd = &set.tgds()[0];
+        let gi = guard_index(tgd).unwrap();
+        assert_eq!(gi, 1);
+        let types = body_as_sideatom_types(tgd, gi).unwrap();
+        assert_eq!(types.len(), 2);
+        // S(x): ξ = [0]; P(y,z): ξ = [1,2].
+        assert_eq!(types[0].xi, vec![0]);
+        assert_eq!(types[1].xi, vec![1, 2]);
+        // Instantiating against a ground guard reproduces the side
+        // atoms.
+        let guard = Atom::new(tgd.body()[1].pred, vec![c(10), c(11), c(12)]);
+        assert_eq!(types[1].instantiate(&guard).args, vec![c(11), c(12)]);
+    }
+
+    #[test]
+    fn unguarded_body_fails_decomposition() {
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds("R(x,y), P(y,z) -> T(x,z).", &mut vocab).unwrap();
+        let tgd = &set.tgds()[0];
+        // Neither atom guards; decomposition against atom 0 fails on z.
+        assert!(body_as_sideatom_types(tgd, 0).is_none());
+    }
+}

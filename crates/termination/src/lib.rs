@@ -1,0 +1,101 @@
+//! # chase-termination
+//!
+//! Decision procedures for **all-instances restricted chase
+//! termination** (`CT^res_∀∀`), reproducing *All-Instances Restricted
+//! Chase Termination* (Gogacz, Marcinkowski & Pieris, PODS 2020):
+//!
+//! * [`sticky`] — the complete decision procedure for sticky
+//!   single-head TGDs (Theorem 6.1) via emptiness of a Büchi automaton
+//!   over caterpillar words (Appendix D.2), with replay-validated
+//!   non-termination witnesses (finitary caterpillar realisations);
+//! * [`guarded`] — the guarded procedure (Theorem 5.1) with the
+//!   documented substitution of DESIGN.md §4.2 for the MSOL step:
+//!   faithful sideatom types, abstract join trees and treeification,
+//!   plus a certificate-producing portfolio decider;
+//! * [`decide`] — the top-level dispatcher.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod common;
+pub mod guarded;
+pub mod linear;
+pub mod orders;
+pub mod partitions;
+pub mod report;
+pub mod sticky;
+
+use chase_core::tgd::TgdSet;
+use chase_core::vocab::Vocabulary;
+use tgd_classes::sticky::is_sticky;
+
+pub use common::{DeciderConfig, NonTerminationWitness, TerminationCertificate, TerminationVerdict};
+
+/// Decides `CT^res_∀∀` for a single-head TGD set, dispatching on its
+/// class: sticky sets get the exact automaton procedure, everything
+/// else the guarded/portfolio decider.
+pub fn decide(set: &TgdSet, vocab: &Vocabulary, config: &DeciderConfig) -> TerminationVerdict {
+    if set.require_single_head().is_err() {
+        return TerminationVerdict::Unknown {
+            reason: "multi-head TGDs: the paper's theorems (and the Fairness Theorem they rest \
+                     on) require single-head TGDs"
+                .into(),
+        };
+    }
+    if is_sticky(set) {
+        let v = sticky::decide_sticky(set, vocab, config);
+        if !v.is_unknown() {
+            return v;
+        }
+    }
+    guarded::decide_guarded(set, vocab, config)
+}
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::common::{
+        DeciderConfig, NonTerminationWitness, TerminationCertificate, TerminationVerdict,
+    };
+    pub use crate::decide;
+    pub use crate::guarded::decide_guarded;
+    pub use crate::linear::decide_linear;
+    pub use crate::orders::{all_orders_terminate, diverging_subset_run, OrderSearchLimits};
+    pub use crate::report::explain;
+    pub use crate::sticky::decide_sticky;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_tgds;
+
+    #[test]
+    fn dispatch_prefers_the_exact_sticky_decider() {
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds("R(x,y) -> exists z. R(y,z).", &mut vocab).unwrap();
+        let v = decide(&set, &vocab, &DeciderConfig::default());
+        assert!(v.is_non_terminating());
+    }
+
+    #[test]
+    fn dispatch_falls_back_to_guarded() {
+        // Not sticky (paper's non-sticky example) but guarded... it is
+        // unguarded too; the portfolio still applies (weak acyclicity).
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds(
+            "T(x1,y1,z1) -> exists w1. S(x1,w1).
+             R(x2,y2), P(y2,z2) -> exists w2. T(x2,y2,w2).",
+            &mut vocab,
+        )
+        .unwrap();
+        let v = decide(&set, &vocab, &DeciderConfig::default());
+        assert!(v.is_terminating(), "{v:?}");
+    }
+
+    #[test]
+    fn multi_head_rejected_at_top_level() {
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds("R(x,y) -> S(x), T(y).", &mut vocab).unwrap();
+        assert!(decide(&set, &vocab, &DeciderConfig::default()).is_unknown());
+    }
+}

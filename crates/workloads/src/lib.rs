@@ -1,0 +1,20 @@
+//! # chase-workloads
+//!
+//! Workload generation for the restricted-chase toolkit: parametric
+//! TGD families ([`families`]), seeded random rule sets and databases
+//! ([`random`]), and the hand-labelled ground-truth suite covering
+//! every example of the paper ([`suite`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod families;
+pub mod random;
+pub mod suite;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::families;
+    pub use crate::random::{random_database, random_tgds, RandomTgdParams};
+    pub use crate::suite::{decider_suite, labelled_suite, Expected, SuiteEntry};
+}

@@ -1,0 +1,90 @@
+//! The termination portfolio over the labelled ground-truth suite:
+//! experiment E8 in executable form. For every suite entry, print its
+//! structural classes, what the baseline criteria say, and the
+//! decider's verdict — exhibiting the strict hierarchy
+//!
+//! ```text
+//! weak acyclicity ⊂ joint acyclicity ⊂ semi-oblivious-critical ⊂ CT^res_∀∀
+//! ```
+//!
+//! Run with `cargo run --example termination_portfolio`.
+
+use restricted_chase::prelude::*;
+
+fn main() {
+    let config = DeciderConfig::default();
+    let budget = Budget::steps(20_000);
+
+    println!(
+        "{:<34} {:>7} {:>7} {:>4} {:>4} {:>4} {:>16} {:>16}",
+        "entry", "guarded", "sticky", "WA", "JA", "SO*", "verdict", "expected"
+    );
+    println!("{}", "-".repeat(102));
+
+    let (mut wa_holds, mut ja_holds, mut so_holds, mut ct_holds) = (0usize, 0usize, 0usize, 0usize);
+    let mut agreements = 0usize;
+    let suite = labelled_suite();
+    for entry in &suite {
+        let (vocab, set) = entry.build();
+        let mut scratch = vocab.clone();
+        let guarded = all_guarded(&set);
+        let sticky = is_sticky(&set);
+        let wa = is_weakly_acyclic(&set, &vocab);
+        let ja = is_jointly_acyclic(&set);
+        let so = semi_oblivious_critical(&set, &mut scratch, budget).holds();
+        let verdict = decide(&set, &vocab, &config);
+        let v = match &verdict {
+            TerminationVerdict::AllInstancesTerminating(_) => "terminating",
+            TerminationVerdict::NonTerminating(_) => "non-terminating",
+            TerminationVerdict::Unknown { .. } => "unknown",
+        };
+        let expected = match entry.expected {
+            Expected::Terminating => "terminating",
+            Expected::NonTerminating => "non-terminating",
+        };
+        if v == expected {
+            agreements += 1;
+        }
+        wa_holds += usize::from(wa);
+        ja_holds += usize::from(ja);
+        so_holds += usize::from(so);
+        ct_holds += usize::from(entry.expected == Expected::Terminating);
+        println!(
+            "{:<34} {:>7} {:>7} {:>4} {:>4} {:>4} {:>16} {:>16}",
+            entry.name,
+            yn(guarded),
+            yn(sticky),
+            yn(wa),
+            yn(ja),
+            yn(so),
+            v,
+            expected
+        );
+    }
+
+    println!("{}", "-".repeat(102));
+    println!(
+        "criteria coverage over {} entries: weakly-acyclic {}, jointly-acyclic {}, \
+         semi-oblivious-critical {}, CT^res_∀∀ (ground truth) {}",
+        suite.len(),
+        wa_holds,
+        ja_holds,
+        so_holds,
+        ct_holds
+    );
+    println!("decider agreement with ground truth: {agreements}/{}", suite.len());
+    assert_eq!(agreements, suite.len(), "decider must match ground truth");
+    assert!(
+        wa_holds < ja_holds && ja_holds <= so_holds && so_holds < ct_holds,
+        "strict hierarchy"
+    );
+    println!("strict hierarchy WA ⊂ JA ⊆ SO-critical ⊂ CT^res_∀∀ confirmed");
+}
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}

@@ -1,0 +1,50 @@
+//! # restricted-chase
+//!
+//! A Rust reproduction of *All-Instances Restricted Chase Termination*
+//! (Gogacz, Marcinkowski & Pieris, PODS 2020): chase engines, TGD
+//! class recognisers, and decision procedures for all-instances
+//! restricted chase termination of guarded and sticky single-head
+//! TGDs.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] (`chase-core`) — terms, atoms, instances, TGDs, parser;
+//! * [`engine`] (`chase-engine`) — restricted/oblivious/real-oblivious
+//!   chase, fairness machinery;
+//! * [`classes`] (`tgd-classes`) — guarded/sticky/weakly-acyclic
+//!   recognisers and baseline criteria;
+//! * [`automata`] (`chase-automata`) — lazy Büchi emptiness;
+//! * [`termination`] (`chase-termination`) — the deciders;
+//! * [`workloads`] (`chase-workloads`) — families and the labelled
+//!   suite.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use restricted_chase::prelude::*;
+//!
+//! let mut vocab = Vocabulary::new();
+//! let set = parse_tgds("R(x,y) -> exists z. R(x,z).", &mut vocab).unwrap();
+//! let verdict = decide(&set, &vocab, &DeciderConfig::default());
+//! assert!(verdict.is_terminating());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use chase_automata as automata;
+pub use chase_core as core;
+pub use chase_engine as engine;
+pub use chase_termination as termination;
+pub use chase_workloads as workloads;
+pub use tgd_classes as classes;
+
+/// One-stop imports across the whole toolkit.
+pub mod prelude {
+    pub use chase_automata::prelude::*;
+    pub use chase_core::prelude::*;
+    pub use chase_engine::prelude::*;
+    pub use chase_termination::prelude::*;
+    pub use chase_workloads::prelude::*;
+    pub use tgd_classes::prelude::*;
+}
