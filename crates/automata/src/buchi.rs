@@ -150,7 +150,10 @@ impl<A: BuchiAutomaton> Explorer<A> {
                 edges.push((u, si, v));
             }
         }
-        let accepting = states.iter().map(|s| self.automaton.is_accepting(s)).collect();
+        let accepting = states
+            .iter()
+            .map(|s| self.automaton.is_accepting(s))
+            .collect();
         Ok(ReachableGraph {
             states,
             edges,
@@ -185,8 +188,7 @@ impl<A: BuchiAutomaton> Explorer<A> {
             if !graph.accepting[q] {
                 continue;
             }
-            let nontrivial =
-                comp_size[comp[q]] > 1 || adj[q].iter().any(|&(_, t)| t == q);
+            let nontrivial = comp_size[comp[q]] > 1 || adj[q].iter().any(|&(_, t)| t == q);
             if nontrivial {
                 target = Some(q);
                 break 'outer;
@@ -332,7 +334,10 @@ fn bfs_cycle(adj: &[Vec<(usize, usize)>], q: usize, comp: &[usize]) -> Option<Ve
             .enumerate()
             .map(|(u, outs)| {
                 if comp[u] == cq {
-                    outs.iter().copied().filter(|&(_, t)| comp[t] == cq).collect()
+                    outs.iter()
+                        .copied()
+                        .filter(|&(_, t)| comp[t] == cq)
+                        .collect()
                 } else {
                     Vec::new()
                 }

@@ -13,6 +13,7 @@ use chase_core::instance::{IndexMode, Instance};
 use chase_engine::oblivious::ObliviousChase;
 use chase_engine::restricted::{Budget, RestrictedChase, Strategy};
 use chase_engine::trigger::all_triggers;
+use chase_telemetry::{CountingObserver, NullObserver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -61,9 +62,7 @@ fn e9_engine_comparison(c: &mut Criterion) {
     }
     // Existential workload where the restricted chase's smaller result
     // pays off: one null per Emp under restricted, many under oblivious.
-    let facts: String = (0..40)
-        .map(|i| format!("Emp(p{i},d{}). ", i % 4))
-        .collect();
+    let facts: String = (0..40).map(|i| format!("Emp(p{i},d{}). ", i % 4)).collect();
     let (_, set, db) = setup_with_db(
         "Emp(e,d) -> exists m. Mgr(d,m).
          Mgr(d,m) -> Dept(d).",
@@ -106,5 +105,38 @@ fn e9_index_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, e1_intro_example, e9_engine_comparison, e9_index_ablation);
+/// Telemetry overhead: an unobserved run vs the same run through
+/// `run_observed` with the (monomorphised-away) `NullObserver`, vs a
+/// live `CountingObserver`. The first two must be indistinguishable.
+fn telemetry_overhead(c: &mut Criterion) {
+    let (_, set, db) = closure_workload(24, 48);
+    let engine = RestrictedChase::new(&set)
+        .strategy(Strategy::Fifo)
+        .record_derivation(false);
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.bench_function("unobserved", |b| {
+        b.iter(|| black_box(engine.run(&db, Budget::steps(100_000))));
+    });
+    group.bench_function("null_observer", |b| {
+        b.iter(|| {
+            let mut obs = NullObserver;
+            black_box(engine.run_observed(&db, Budget::steps(100_000), &mut obs))
+        });
+    });
+    group.bench_function("counting_observer", |b| {
+        b.iter(|| {
+            let mut obs = CountingObserver::new();
+            black_box(engine.run_observed(&db, Budget::steps(100_000), &mut obs))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e1_intro_example,
+    e9_engine_comparison,
+    e9_index_ablation,
+    telemetry_overhead
+);
 criterion_main!(benches);

@@ -92,5 +92,10 @@ fn e2_fairness(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, e3_real_oblivious_chase, e4_chaseable_roundtrip, e2_fairness);
+criterion_group!(
+    benches,
+    e3_real_oblivious_chase,
+    e4_chaseable_roundtrip,
+    e2_fairness
+);
 criterion_main!(benches);

@@ -10,8 +10,10 @@ use chase_engine::oblivious::ObliviousChase;
 use chase_engine::real_oblivious::{OchaseLimits, RealOchase};
 use chase_engine::restricted::{Budget, Outcome, RestrictedChase, Strategy};
 use chase_engine::skolem::{SkolemPolicy, SkolemTable};
-use chase_termination::{decide, DeciderConfig, TerminationCertificate, TerminationVerdict};
+use chase_telemetry::summary::format_nanos;
+use chase_termination::{DeciderConfig, TerminationCertificate, TerminationVerdict};
 use chase_workloads::families;
+use chase_workloads::runner::run_labelled_suite;
 use chase_workloads::suite::{labelled_suite, Expected};
 use tgd_classes::baselines::semi_oblivious_critical;
 use tgd_classes::jointly_acyclic::is_jointly_acyclic;
@@ -165,14 +167,9 @@ fn e5() {
         .run(&db, Budget::steps(20));
     let pairs = chase_engine_longs_for(&set, &db, &run);
     println!("longs-for pairs discovered: {pairs}");
-    let dac = chase_termination::guarded::treeify::treeify(
-        &set,
-        &mut vocab,
-        &db,
-        &run.derivation,
-        4,
-    )
-    .expect("treeify");
+    let dac =
+        chase_termination::guarded::treeify::treeify(&set, &mut vocab, &db, &run.derivation, 4)
+            .expect("treeify");
     let dac_run = RestrictedChase::new(&set)
         .strategy(Strategy::Fifo)
         .run(&dac, Budget::steps(100));
@@ -206,24 +203,16 @@ fn e6_e7_e8() {
     println!("== E6/E7: deciders vs ground truth; E8: criterion hierarchy ==");
     let config = DeciderConfig::default();
     let budget = Budget::steps(20_000);
-    let mut agree = 0usize;
     let (mut wa, mut ja, mut so, mut ct) = (0usize, 0usize, 0usize, 0usize);
     let mut max_states = 0usize;
     let suite = labelled_suite();
-    for entry in &suite {
+    let run = run_labelled_suite(&config);
+    for (entry, result) in suite.iter().zip(&run.entries) {
         let (vocab, set) = entry.build();
         let mut scratch = vocab.clone();
-        let verdict = decide(&set, &vocab, &config);
-        let ok = match entry.expected {
-            Expected::Terminating => verdict.is_terminating(),
-            Expected::NonTerminating => verdict.is_non_terminating(),
-        };
-        if ok {
-            agree += 1;
-        }
         if let TerminationVerdict::AllInstancesTerminating(
             TerminationCertificate::StickyAutomatonEmpty { states },
-        ) = &verdict
+        ) = &result.verdict
         {
             max_states = max_states.max(*states);
         }
@@ -232,7 +221,24 @@ fn e6_e7_e8() {
         so += usize::from(semi_oblivious_critical(&set, &mut scratch, budget).holds());
         ct += usize::from(entry.expected == Expected::Terminating);
     }
-    println!("decider agreement: {agree}/{} suite entries", suite.len());
+    println!(
+        "decider agreement: {}/{} suite entries in {}",
+        run.correct(),
+        run.total(),
+        format_nanos(run.total_nanos())
+    );
+    let aggregate = run.aggregate_telemetry();
+    println!("decider time by phase (whole suite):");
+    for (phase, nanos) in &aggregate.phases {
+        println!("  {:<24} {:>10}", phase, format_nanos(*nanos));
+    }
+    let mut slowest: Vec<_> = run.entries.iter().collect();
+    slowest.sort_by_key(|e| std::cmp::Reverse(e.nanos));
+    print!("slowest entries:");
+    for e in slowest.iter().take(3) {
+        print!("  {}→{}", e.name, format_nanos(e.nanos));
+    }
+    println!();
     println!("criterion hierarchy: WA={wa} ⊂ JA={ja} ⊆ SO-critical={so} ⊂ CT(ground truth)={ct}");
     print!("sticky automaton states by arity (arity_keep, terminating):");
     for a in 2usize..=5 {
@@ -249,9 +255,7 @@ fn e6_e7_e8() {
 
 fn e9() {
     println!("== E9: result sizes — restricted vs semi-oblivious vs oblivious ==");
-    let facts: String = (0..40)
-        .map(|i| format!("Emp(p{i},d{}). ", i % 4))
-        .collect();
+    let facts: String = (0..40).map(|i| format!("Emp(p{i},d{}). ", i % 4)).collect();
     let (_, set, db) = setup(&format!(
         "Emp(e,d) -> exists m. Mgr(d,m).
          Mgr(d,m) -> Dept(d).

@@ -14,7 +14,9 @@ use chase_core::vocab::Vocabulary;
 pub fn setup(src: &str) -> (Vocabulary, TgdSet, Instance) {
     let mut vocab = Vocabulary::new();
     let program = parse_program(src, &mut vocab).expect("benchmark source must parse");
-    let set = program.tgd_set(&vocab).expect("benchmark set must validate");
+    let set = program
+        .tgd_set(&vocab)
+        .expect("benchmark set must validate");
     (vocab, set, program.database)
 }
 

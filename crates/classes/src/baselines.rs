@@ -44,7 +44,11 @@ impl CriterionOutcome {
 
 /// Checks whether the *oblivious* chase terminates on the critical
 /// database within the budget.
-pub fn oblivious_critical(set: &TgdSet, vocab: &mut Vocabulary, budget: Budget) -> CriterionOutcome {
+pub fn oblivious_critical(
+    set: &TgdSet,
+    vocab: &mut Vocabulary,
+    budget: Budget,
+) -> CriterionOutcome {
     let db = critical_database(set, vocab);
     let run = ObliviousChase::new(set).run(&db, budget);
     match run.outcome {

@@ -98,11 +98,9 @@ mod tests {
 
     #[test]
     fn example_5_6_is_guarded() {
-        let (_, s) = set(
-            "S(x1,y1) -> T(x1).
+        let (_, s) = set("S(x1,y1) -> T(x1).
              R(x2,y2), T(y2) -> P(x2,y2).
-             P(x3,y3) -> exists z3. P(y3,z3).",
-        );
+             P(x3,y3) -> exists z3. P(y3,z3).");
         assert!(all_guarded(&s));
         let table = guard_table(&s);
         assert_eq!(table, vec![Some(0), Some(0), Some(0)]);

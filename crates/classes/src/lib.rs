@@ -18,10 +18,10 @@ pub mod weakly_acyclic;
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
-    pub use crate::baselines::{
-        oblivious_critical, semi_oblivious_critical, CriterionOutcome,
+    pub use crate::baselines::{oblivious_critical, semi_oblivious_critical, CriterionOutcome};
+    pub use crate::guarded::{
+        all_guarded, all_linear, guard_index, guard_of, is_guarded, is_linear,
     };
-    pub use crate::guarded::{all_guarded, all_linear, guard_index, guard_of, is_guarded, is_linear};
     pub use crate::jointly_acyclic::is_jointly_acyclic;
     pub use crate::profile::ClassProfile;
     pub use crate::sticky::{check_sticky, is_sticky, Marking, StickinessViolation};

@@ -7,8 +7,8 @@ use chase_engine::restricted::Budget;
 
 use crate::baselines::{semi_oblivious_critical, CriterionOutcome};
 use crate::guarded::{all_guarded, all_linear};
-use crate::sticky::is_sticky;
 use crate::jointly_acyclic::is_jointly_acyclic;
+use crate::sticky::is_sticky;
 use crate::weakly_acyclic::is_weakly_acyclic;
 
 /// Structural class membership and baseline results for a TGD set.

@@ -155,13 +155,12 @@ pub fn check_sticky(set: &TgdSet) -> Result<Marking, StickinessViolation> {
             if !marking.is_marked(v) {
                 continue;
             }
-            let occurrences: usize = tgd
-                .body()
-                .iter()
-                .map(|a| a.positions_of_var(v).len())
-                .sum();
+            let occurrences: usize = tgd.body().iter().map(|a| a.positions_of_var(v).len()).sum();
             if occurrences >= 2 {
-                return Err(StickinessViolation { tgd: id, variable: v });
+                return Err(StickinessViolation {
+                    tgd: id,
+                    variable: v,
+                });
             }
         }
     }
@@ -187,10 +186,8 @@ mod tests {
     /// The paper's Section 2 sticky example.
     #[test]
     fn paper_sticky_example_accepted() {
-        let s = set(
-            "T(x1,y1,z1) -> exists w1. S(y1,w1).
-             R(x2,y2), P(y2,z2) -> exists w2. T(x2,y2,w2).",
-        );
+        let s = set("T(x1,y1,z1) -> exists w1. S(y1,w1).
+             R(x2,y2), P(y2,z2) -> exists w2. T(x2,y2,w2).");
         assert!(is_sticky(&s));
     }
 
@@ -198,10 +195,8 @@ mod tests {
     /// instead of S(y,·) marks y, which occurs twice in σ2's body.
     #[test]
     fn paper_non_sticky_example_rejected() {
-        let s = set(
-            "T(x1,y1,z1) -> exists w1. S(x1,w1).
-             R(x2,y2), P(y2,z2) -> exists w2. T(x2,y2,w2).",
-        );
+        let s = set("T(x1,y1,z1) -> exists w1. S(x1,w1).
+             R(x2,y2), P(y2,z2) -> exists w2. T(x2,y2,w2).");
         let err = check_sticky(&s).unwrap_err();
         assert_eq!(err.tgd, TgdId(1));
     }
@@ -222,10 +217,8 @@ mod tests {
         // σ1: R(x,y) -> T(x,y); σ2: T(u,v) -> S(u).
         // v is marked in σ2 (not in its head); then y in σ1 becomes
         // marked because T's position 2 is marked in σ2's body.
-        let s = set(
-            "R(x,y) -> T(x,y).
-             T(u,v) -> S(u).",
-        );
+        let s = set("R(x,y) -> T(x,y).
+             T(u,v) -> S(u).");
         let marking = Marking::compute(&s);
         let sigma1 = &s.tgds()[0];
         let y = sigma1.body()[0].args[1].as_var().unwrap();
@@ -243,10 +236,8 @@ mod tests {
 
     #[test]
     fn linear_tgds_are_always_sticky() {
-        let s = set(
-            "R(x,y) -> exists z. R(y,z).
-             R(u,v) -> S(u).",
-        );
+        let s = set("R(x,y) -> exists z. R(y,z).
+             R(u,v) -> S(u).");
         assert!(is_sticky(&s));
     }
 
@@ -257,10 +248,8 @@ mod tests {
         // T-heads is mortal (nulls born there can be consumed and
         // forgotten), while position 0 (x/u, never marked) is
         // immortal: whatever lands there is propagated for ever.
-        let s = set(
-            "R(x,y) -> exists z. T(x,z).
-             T(u,v) -> exists w. T(u,w).",
-        );
+        let s = set("R(x,y) -> exists z. T(x,z).
+             T(u,v) -> exists w. T(u,w).");
         let marking = Marking::compute(&s);
         let sigma1 = &s.tgds()[0];
         assert_eq!(marking.immortal_head_positions(sigma1), vec![0]);
@@ -273,11 +262,9 @@ mod tests {
     #[test]
     fn all_positions_mortal_when_everything_marked() {
         // Head variable y is marked via σ2 dropping it.
-        let s = set(
-            "R(x,y) -> S(y).
+        let s = set("R(x,y) -> S(y).
              S(u) -> T(u).
-             T(v) -> P(v,v).",
-        );
+             T(v) -> P(v,v).");
         let marking = Marking::compute(&s);
         // v occurs twice in the head of σ3 but heads may repeat
         // variables freely; stickiness constrains bodies only.

@@ -3,24 +3,44 @@
 //!
 //! ```text
 //! chasectl classify <file>          structural class profile
-//! chasectl chase <file> [--steps N] [--strategy fifo|lifo|random|priority]
+//! chasectl chase <file> [--steps N] [--strategy fifo|lifo|random|priority] [--seed N]
 //! chasectl oblivious <file> [--steps N] [--semi]
 //! chasectl decide <file>            all-instances termination verdict
 //! chasectl dot <file> [--steps N]   chase, then emit the derivation as graphviz
-//! chasectl suite                    run the deciders over the labelled suite
+//! chasectl suite [--metrics]        run the deciders over the labelled suite
+//! chasectl stats <trace.jsonl>      aggregate a --trace file into a counter table
 //! ```
+//!
+//! `chase`, `oblivious` and `decide` additionally accept the telemetry
+//! flags `--trace <file.jsonl>` (stream every event as JSON Lines) and
+//! `--metrics` (print a counter/phase table after the run).
 //!
 //! Rule files contain TGDs and facts in the syntax of DESIGN.md §5.
 
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 use chase_core::parser::parse_program;
 use chase_core::vocab::Vocabulary;
 use chase_engine::oblivious::ObliviousChase;
 use chase_engine::restricted::{Budget, Outcome, RestrictedChase, Strategy};
-use chase_termination::{decide, DeciderConfig, TerminationVerdict};
-use chase_workloads::suite::{labelled_suite, Expected};
+use chase_telemetry::summary::format_nanos;
+use chase_telemetry::{
+    time_phase, ChaseObserver, CountingObserver, Event, JsonlWriter, TelemetrySummary,
+};
+use chase_termination::{decide_observed, DeciderConfig};
+use chase_workloads::runner::run_labelled_suite;
 use tgd_classes::profile::ClassProfile;
+
+mod stats;
+
+/// Default RNG seed for `--strategy random` (overridable via `--seed`).
+const DEFAULT_RANDOM_SEED: u64 = 0xC0FFEE;
+
+/// Step cap applied to `chasectl dot` when no `--steps` is given; an
+/// explicit `--steps` is always honoured verbatim.
+const DEFAULT_DOT_STEPS: usize = 200;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,8 +54,11 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: chasectl <classify|chase|oblivious|decide|dot|suite> [<file>] [options]\n\
-     options: --steps N   --strategy fifo|lifo|random|priority   --semi"
+    "usage: chasectl <classify|chase|oblivious|decide|dot|suite|stats> [<file>] [options]\n\
+     options: --steps N     --strategy fifo|lifo|random|priority   --semi\n\
+     \u{20}        --seed N      RNG seed for --strategy random (default 0xC0FFEE)\n\
+     \u{20}        --trace F     write one JSON event per line to F (chase|oblivious|decide)\n\
+     \u{20}        --metrics     print counter/phase table (chase|oblivious|decide|suite)"
         .to_string()
 }
 
@@ -44,7 +67,11 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(usage());
     };
     match command.as_str() {
-        "suite" => cmd_suite(),
+        "suite" => cmd_suite(args.iter().any(|a| a == "--metrics")),
+        "stats" => {
+            let path = args.get(1).ok_or_else(usage)?;
+            stats::cmd_stats(path)
+        }
         "classify" | "chase" | "oblivious" | "decide" | "dot" => {
             let path = args.get(1).ok_or_else(usage)?;
             let src =
@@ -52,31 +79,57 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut vocab = Vocabulary::new();
             let program = parse_program(&src, &mut vocab).map_err(|e| e.to_string())?;
             let set = program.tgd_set(&vocab).map_err(|e| e.to_string())?;
-            let steps = flag_value(args, "--steps")
+            let steps_flag = flag_value(args, "--steps")?
                 .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
-                .transpose()?
-                .unwrap_or(10_000);
+                .transpose()?;
+            let steps = steps_flag.unwrap_or(10_000);
             match command.as_str() {
                 "classify" => cmd_classify(&set, &vocab),
                 "chase" => {
-                    let strategy = match flag_value(args, "--strategy").as_deref() {
+                    let seed = match flag_value(args, "--seed")? {
+                        Some(s) => Some(parse_seed(&s)?),
+                        None => None,
+                    };
+                    let strategy = match flag_value(args, "--strategy")?.as_deref() {
                         None | Some("fifo") => Strategy::Fifo,
                         Some("lifo") => Strategy::Lifo,
-                        Some("random") => Strategy::Random(0xC0FFEE),
+                        Some("random") => Strategy::Random(seed.unwrap_or(DEFAULT_RANDOM_SEED)),
                         Some("priority") => Strategy::PriorityTgd,
                         Some(other) => return Err(format!("unknown strategy '{other}'")),
                     };
-                    cmd_chase(&program.database, &set, &vocab, strategy, steps)
+                    if seed.is_some() && !matches!(strategy, Strategy::Random(_)) {
+                        eprintln!("chasectl: note: --seed only affects --strategy random");
+                    }
+                    let mut telemetry = CliTelemetry::from_args(args)?;
+                    cmd_chase(
+                        &program.database,
+                        &set,
+                        &vocab,
+                        strategy,
+                        steps,
+                        &mut telemetry,
+                    )?;
+                    telemetry.finish(true)
                 }
-                "oblivious" => cmd_oblivious(
-                    &program.database,
-                    &set,
-                    &vocab,
-                    args.iter().any(|a| a == "--semi"),
-                    steps,
-                ),
-                "decide" => cmd_decide(&set, &vocab),
-                "dot" => cmd_dot(&program.database, &set, &vocab, steps),
+                "oblivious" => {
+                    let mut telemetry = CliTelemetry::from_args(args)?;
+                    cmd_oblivious(
+                        &program.database,
+                        &set,
+                        &vocab,
+                        args.iter().any(|a| a == "--semi"),
+                        steps,
+                        &mut telemetry,
+                    )?;
+                    telemetry.finish(true)
+                }
+                "decide" => {
+                    let mut telemetry = CliTelemetry::from_args(args)?;
+                    cmd_decide(&set, &vocab, &mut telemetry)?;
+                    // `explain` already embedded the metrics table.
+                    telemetry.finish(false)
+                }
+                "dot" => cmd_dot(&program.database, &set, &vocab, steps_flag),
                 _ => unreachable!(),
             }
         }
@@ -84,11 +137,92 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Looks up `flag`'s value. A flag present without a following value
+/// is an error, not a silent fallback to the default.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("{flag} requires a value")),
+        },
+    }
+}
+
+/// Parses a `--seed` value, accepting decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse::<u64>(),
+    };
+    parsed.map_err(|e| format!("invalid --seed '{s}': {e}"))
+}
+
+/// The telemetry sinks requested on the command line: an optional
+/// `--trace <file.jsonl>` JSON Lines stream and an optional
+/// `--metrics` counter aggregation. Implements [`ChaseObserver`] by
+/// fanning each event out to whichever sinks are present; with
+/// neither flag it reports `enabled() == false` and the engines skip
+/// event construction entirely.
+struct CliTelemetry {
+    trace: Option<(String, JsonlWriter<BufWriter<File>>)>,
+    metrics: Option<CountingObserver>,
+}
+
+impl CliTelemetry {
+    fn from_args(args: &[String]) -> Result<Self, String> {
+        let trace = match flag_value(args, "--trace")? {
+            Some(path) => {
+                let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+                Some((path, JsonlWriter::new(BufWriter::new(file))))
+            }
+            None => None,
+        };
+        let metrics = args
+            .iter()
+            .any(|a| a == "--metrics")
+            .then(CountingObserver::new);
+        Ok(CliTelemetry { trace, metrics })
+    }
+
+    /// The metrics aggregation so far, if `--metrics` was given.
+    fn summary(&self) -> Option<TelemetrySummary> {
+        self.metrics.as_ref().map(CountingObserver::summary)
+    }
+
+    /// Closes the trace file (surfacing any deferred I/O error) and,
+    /// when `print_metrics`, renders the `--metrics` table to stdout.
+    fn finish(self, print_metrics: bool) -> Result<(), String> {
+        if let Some((path, writer)) = self.trace {
+            let events = writer.events_written();
+            writer
+                .finish()
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("chasectl: trace: {events} event(s) written to {path}");
+        }
+        if print_metrics {
+            if let Some(metrics) = self.metrics {
+                println!("telemetry:");
+                print!("{}", metrics.summary().render_table());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ChaseObserver for CliTelemetry {
+    fn enabled(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        if let Some((_, writer)) = self.trace.as_mut() {
+            writer.on_event(event);
+        }
+        if let Some(metrics) = self.metrics.as_mut() {
+            metrics.on_event(event);
+        }
+    }
 }
 
 fn cmd_classify(set: &chase_core::tgd::TgdSet, vocab: &Vocabulary) -> Result<(), String> {
@@ -113,10 +247,13 @@ fn cmd_chase(
     vocab: &Vocabulary,
     strategy: Strategy,
     steps: usize,
+    telemetry: &mut CliTelemetry,
 ) -> Result<(), String> {
-    let run = RestrictedChase::new(set)
-        .strategy(strategy)
-        .run(db, Budget::steps(steps));
+    let run = time_phase(telemetry, "chase", |obs| {
+        RestrictedChase::new(set)
+            .strategy(strategy)
+            .run_observed(db, Budget::steps(steps), obs)
+    });
     println!(
         "restricted chase ({strategy:?}): {} after {} steps, {} atoms",
         match run.outcome {
@@ -138,13 +275,16 @@ fn cmd_oblivious(
     vocab: &Vocabulary,
     semi: bool,
     steps: usize,
+    telemetry: &mut CliTelemetry,
 ) -> Result<(), String> {
     let engine = if semi {
         ObliviousChase::new(set).semi_oblivious()
     } else {
         ObliviousChase::new(set)
     };
-    let run = engine.run(db, Budget::steps(steps));
+    let run = time_phase(telemetry, "chase", |obs| {
+        engine.run_observed(db, Budget::steps(steps), obs)
+    });
     println!(
         "{} chase: {} after {} steps, {} atoms",
         if semi { "semi-oblivious" } else { "oblivious" },
@@ -161,12 +301,17 @@ fn cmd_oblivious(
     Ok(())
 }
 
-fn cmd_decide(set: &chase_core::tgd::TgdSet, vocab: &Vocabulary) -> Result<(), String> {
-    let verdict = decide(set, vocab, &DeciderConfig::default());
+fn cmd_decide(
+    set: &chase_core::tgd::TgdSet,
+    vocab: &Vocabulary,
+    telemetry: &mut CliTelemetry,
+) -> Result<(), String> {
+    let verdict = decide_observed(set, vocab, &DeciderConfig::default(), telemetry);
     let profile = ClassProfile::analyse(set, vocab, Budget::steps(20_000));
+    let summary = telemetry.summary();
     print!(
         "{}",
-        chase_termination::report::explain(&verdict, set, vocab, Some(&profile))
+        chase_termination::report::explain(&verdict, set, vocab, Some(&profile), summary.as_ref())
     );
     Ok(())
 }
@@ -175,11 +320,24 @@ fn cmd_dot(
     db: &chase_core::instance::Instance,
     set: &chase_core::tgd::TgdSet,
     vocab: &Vocabulary,
-    steps: usize,
+    steps_flag: Option<usize>,
 ) -> Result<(), String> {
+    // An explicit --steps is honoured verbatim; only the default
+    // budget is capped (graph output for huge derivations is rarely
+    // what anyone wants by accident).
+    let steps = match steps_flag {
+        Some(explicit) => explicit,
+        None => {
+            eprintln!(
+                "chasectl dot: no --steps given; capping the derivation at {DEFAULT_DOT_STEPS} \
+                 steps (pass --steps N to override)"
+            );
+            DEFAULT_DOT_STEPS
+        }
+    };
     let run = RestrictedChase::new(set)
         .strategy(Strategy::Fifo)
-        .run(db, Budget::steps(steps.min(200)));
+        .run(db, Budget::steps(steps));
     print!(
         "{}",
         chase_engine::dot::derivation_to_dot(&run.derivation, set, vocab)
@@ -187,38 +345,38 @@ fn cmd_dot(
     Ok(())
 }
 
-fn cmd_suite() -> Result<(), String> {
-    let config = DeciderConfig::default();
-    let mut correct = 0usize;
-    let mut total = 0usize;
-    println!("{:<34} {:>15} {:>16} agree", "entry", "expected", "verdict");
-    for entry in labelled_suite() {
-        let (vocab, set) = entry.build();
-        let verdict = decide(&set, &vocab, &config);
-        let verdict_str = match &verdict {
-            TerminationVerdict::AllInstancesTerminating(_) => "terminating",
-            TerminationVerdict::NonTerminating(_) => "non-terminating",
-            TerminationVerdict::Unknown { .. } => "unknown",
-        };
-        let expected_str = match entry.expected {
-            Expected::Terminating => "terminating",
-            Expected::NonTerminating => "non-terminating",
-        };
-        let agree = verdict_str == expected_str;
-        total += 1;
-        if agree {
-            correct += 1;
-        }
+fn cmd_suite(metrics: bool) -> Result<(), String> {
+    let run = run_labelled_suite(&DeciderConfig::default());
+    println!(
+        "{:<34} {:>15} {:>16} {:>5} {:>10}",
+        "entry", "expected", "verdict", "agree", "decide-in"
+    );
+    for entry in &run.entries {
         println!(
-            "{:<34} {:>15} {:>16} {}",
+            "{:<34} {:>15} {:>16} {:>5} {:>10}",
             entry.name,
-            expected_str,
-            verdict_str,
-            if agree { "yes" } else { "NO" }
+            entry.expected_label(),
+            entry.verdict_label(),
+            if entry.agrees() { "yes" } else { "NO" },
+            format_nanos(entry.nanos)
         );
+        if metrics {
+            for (phase, nanos) in &entry.telemetry.phases {
+                println!("    {:<30} {:>10}", phase, format_nanos(*nanos));
+            }
+        }
     }
-    println!("---\n{correct}/{total} correct");
-    if correct == total {
+    println!(
+        "---\n{}/{} correct in {}",
+        run.correct(),
+        run.total(),
+        format_nanos(run.total_nanos())
+    );
+    if metrics {
+        println!("aggregate telemetry:");
+        print!("{}", run.aggregate_telemetry().render_table());
+    }
+    if run.correct() == run.total() {
         Ok(())
     } else {
         Err("suite disagreement".into())

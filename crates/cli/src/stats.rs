@@ -1,0 +1,482 @@
+//! `chasectl stats` — offline aggregation of a `--trace` JSON Lines
+//! file into the same counter/phase table the live `--metrics` flag
+//! prints.
+//!
+//! Each line of a trace is one flat JSON object (see the event schema
+//! in the `chase-telemetry` crate docs). A tiny hand-rolled parser for
+//! exactly that shape — string, integer and boolean values, no nesting
+//! — keeps the CLI dependency-free; a malformed line is a hard error
+//! with its line number, so `stats` doubles as a trace validator.
+
+use std::collections::BTreeMap;
+
+use chase_telemetry::summary::format_nanos;
+use chase_telemetry::{names, HistogramSnapshot, TelemetrySummary};
+
+/// One scalar value of a flat JSON event object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scalar {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A non-negative JSON integer.
+    Num(u64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl Scalar {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<u64> {
+        match self {
+            Scalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one trace line: a flat JSON object with scalar values.
+pub fn parse_line(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.scalar()?;
+            if out.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key \"{key}\""));
+            }
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                Some(c) => return Err(format!("expected ',' or '}}', found '{}'", c as char)),
+                None => return Err("unterminated object".into()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content after object at byte {}", p.pos));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            Some(b) => Err(format!(
+                "expected '{}', found '{}' at byte {}",
+                want as char,
+                b as char,
+                self.pos - 1
+            )),
+            None => Err(format!("expected '{}', found end of line", want as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    Some(c) => return Err(format!("bad escape '\\{}'", c as char)),
+                    None => return Err("unterminated string".into()),
+                },
+                Some(b) if b < 0x20 => return Err("raw control character in string".into()),
+                Some(b) => {
+                    // Multi-byte UTF-8 passes through byte-wise: the
+                    // input was a &str, so the bytes are valid UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..end])
+                                .map_err(|_| "invalid UTF-8")?,
+                        );
+                        self.pos = end;
+                    }
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Scalar::Str(self.string()?)),
+            Some(b't') => self.literal("true").map(|()| Scalar::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Scalar::Bool(false)),
+            Some(b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                text.parse::<u64>()
+                    .map(Scalar::Num)
+                    .map_err(|e| format!("bad integer '{text}': {e}"))
+            }
+            Some(c) => Err(format!("unsupported value starting with '{}'", c as char)),
+            None => Err("expected a value, found end of line".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{word}'"))
+        }
+    }
+}
+
+/// The aggregation of one whole trace file.
+#[derive(Debug, Default)]
+pub struct TraceStats {
+    /// Lines (= events) seen.
+    pub events: u64,
+    /// Event kind → occurrence count.
+    pub kinds: BTreeMap<String, u64>,
+    /// Counter name → value, in the `chase-telemetry` vocabulary.
+    pub counters: BTreeMap<String, u64>,
+    /// `(phase, total nanos)` in completion order.
+    pub phases: Vec<(String, u64)>,
+    /// Aggregated `queue_depth` samples.
+    pub queue_depth: Option<HistogramSnapshot>,
+}
+
+impl TraceStats {
+    fn bump(&mut self, counter: &str, delta: u64) {
+        *self.counters.entry(counter.to_string()).or_insert(0) += delta;
+    }
+
+    /// Folds one parsed event into the statistics.
+    pub fn record(&mut self, event: &BTreeMap<String, Scalar>) -> Result<(), String> {
+        let kind = event
+            .get("event")
+            .and_then(Scalar::as_str)
+            .ok_or("missing string \"event\" key")?
+            .to_string();
+        self.events += 1;
+        *self.kinds.entry(kind.clone()).or_insert(0) += 1;
+        let num = |key: &str| -> Result<u64, String> {
+            event
+                .get(key)
+                .and_then(Scalar::as_num)
+                .ok_or_else(|| format!("{kind}: missing integer \"{key}\""))
+        };
+        match kind.as_str() {
+            "trigger_discovered" => self.bump(names::TRIGGERS_DISCOVERED, 1),
+            "trigger_checked" => {
+                self.bump(names::TRIGGERS_CHECKED, 1);
+                let active = event
+                    .get("active")
+                    .and_then(Scalar::as_bool)
+                    .ok_or("trigger_checked: missing boolean \"active\"")?;
+                if active {
+                    self.bump(names::TRIGGERS_ACTIVE, 1);
+                }
+            }
+            "trigger_applied" => self.bump(names::TRIGGERS_APPLIED, 1),
+            "trigger_deactivated" => self.bump(names::TRIGGERS_DEACTIVATED, 1),
+            "null_invented" => self.bump(names::NULLS_INVENTED, 1),
+            "atom_inserted" => {
+                self.bump(names::ATOMS_INSERTED, 1);
+                if event.get("fresh").and_then(Scalar::as_bool) == Some(true) {
+                    self.bump(names::ATOMS_FRESH, 1);
+                }
+            }
+            "queue_depth" => {
+                let depth = num("depth")?;
+                let hist = self.queue_depth.get_or_insert(HistogramSnapshot {
+                    count: 0,
+                    sum: 0,
+                    max: 0,
+                    buckets: [0; 65],
+                });
+                hist.count += 1;
+                hist.sum += depth;
+                hist.max = hist.max.max(depth);
+                hist.buckets[(u64::BITS - depth.leading_zeros()) as usize] += 1;
+            }
+            "counter_add" => {
+                let name = event
+                    .get("name")
+                    .and_then(Scalar::as_str)
+                    .ok_or("counter_add: missing string \"name\"")?
+                    .to_string();
+                let delta = num("delta")?;
+                self.bump(&name, delta);
+            }
+            "phase_entered" => {}
+            "phase_exited" => {
+                let phase = event
+                    .get("phase")
+                    .and_then(Scalar::as_str)
+                    .ok_or("phase_exited: missing string \"phase\"")?;
+                let nanos = num("nanos")?;
+                match self.phases.iter_mut().find(|(p, _)| p == phase) {
+                    Some((_, total)) => *total += nanos,
+                    None => self.phases.push((phase.to_string(), nanos)),
+                }
+            }
+            // Unknown kinds are tolerated (newer traces) but still
+            // counted in the per-kind table.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// The stats as a [`TelemetrySummary`], for table rendering.
+    pub fn summary(&self) -> TelemetrySummary {
+        TelemetrySummary {
+            phases: self.phases.clone(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, value)| (name.clone(), *value))
+                .collect(),
+            histograms: self
+                .queue_depth
+                .as_ref()
+                .map(|h| vec![(names::QUEUE_DEPTH.to_string(), h.clone())])
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// Parses a whole trace, one event per non-empty line.
+pub fn aggregate(text: &str) -> Result<TraceStats, String> {
+    let mut stats = TraceStats::default();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = parse_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        stats
+            .record(&event)
+            .map_err(|e| format!("line {}: {e}", idx + 1))?;
+    }
+    Ok(stats)
+}
+
+/// The `chasectl stats <file>` entry point.
+pub fn cmd_stats(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let stats = aggregate(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("trace: {path}: {} event(s)", stats.events);
+    if stats.events == 0 {
+        return Ok(());
+    }
+    println!("  {:<32} {:>12}", "event kind", "count");
+    for (kind, count) in &stats.kinds {
+        println!("  {kind:<32} {count:>12}");
+    }
+    print!("{}", stats.summary().render_table());
+    let total_phase_nanos: u64 = stats.phases.iter().map(|&(_, n)| n).sum();
+    if total_phase_nanos > 0 {
+        println!(
+            "  {:<32} {:>12}",
+            "total phase wall-clock",
+            format_nanos(total_phase_nanos)
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_telemetry::{EngineKind, Event};
+
+    #[test]
+    fn parses_every_event_kind_the_writer_emits() {
+        let engine = EngineKind::Restricted;
+        let events = [
+            Event::TriggerDiscovered {
+                engine,
+                tgd: 1,
+                step: 0,
+            },
+            Event::TriggerChecked {
+                engine,
+                tgd: 1,
+                step: 0,
+                active: false,
+            },
+            Event::TriggerApplied {
+                engine,
+                tgd: 1,
+                step: 1,
+                new_atoms: 2,
+                new_nulls: 1,
+            },
+            Event::TriggerDeactivated {
+                engine,
+                tgd: 1,
+                step: 2,
+            },
+            Event::NullInvented {
+                engine,
+                null: 3,
+                step: 1,
+            },
+            Event::AtomInserted {
+                engine,
+                predicate: 0,
+                step: 1,
+                fresh: true,
+            },
+            Event::QueueDepth {
+                engine,
+                step: 1,
+                depth: 4,
+            },
+            Event::CounterAdd {
+                name: "sticky.automaton_states",
+                delta: 17,
+            },
+            Event::PhaseEntered { phase: "classify" },
+            Event::PhaseExited {
+                phase: "classify",
+                nanos: 1200,
+            },
+        ];
+        for e in &events {
+            let parsed = parse_line(&e.to_json()).unwrap_or_else(|err| panic!("{err}: {e:?}"));
+            assert_eq!(
+                parsed.get("event").and_then(Scalar::as_str),
+                Some(e.kind()),
+                "{e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_line_rejects_malformed_input() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("{").is_err());
+        assert!(parse_line("{\"a\":1,}").is_err());
+        assert!(parse_line("{\"a\":1} trailing").is_err());
+        assert!(parse_line("{\"a\":[1]}").is_err()); // nesting unsupported
+        assert!(parse_line("{\"a\":1,\"a\":2}").is_err()); // duplicate key
+        assert!(parse_line("[1,2]").is_err());
+    }
+
+    #[test]
+    fn parse_line_unescapes_strings() {
+        let parsed = parse_line("{\"s\":\"a\\\"b\\\\c\\nd\\u0041\"}").unwrap();
+        assert_eq!(
+            parsed.get("s").and_then(Scalar::as_str),
+            Some("a\"b\\c\nd\u{41}")
+        );
+    }
+
+    #[test]
+    fn aggregate_reproduces_counter_semantics() {
+        let trace = "\
+{\"event\":\"trigger_discovered\",\"engine\":\"restricted\",\"tgd\":0,\"step\":0}
+{\"event\":\"trigger_checked\",\"engine\":\"restricted\",\"tgd\":0,\"step\":0,\"active\":true}
+{\"event\":\"trigger_applied\",\"engine\":\"restricted\",\"tgd\":0,\"step\":1,\"new_atoms\":1,\"new_nulls\":1}
+{\"event\":\"trigger_checked\",\"engine\":\"restricted\",\"tgd\":0,\"step\":1,\"active\":false}
+{\"event\":\"trigger_deactivated\",\"engine\":\"restricted\",\"tgd\":0,\"step\":1}
+{\"event\":\"queue_depth\",\"engine\":\"restricted\",\"step\":1,\"depth\":3}
+{\"event\":\"counter_add\",\"name\":\"guarded.seeds_tried\",\"delta\":2}
+{\"event\":\"phase_exited\",\"phase\":\"classify\",\"nanos\":100}
+{\"event\":\"phase_exited\",\"phase\":\"classify\",\"nanos\":50}
+";
+        let stats = aggregate(trace).unwrap();
+        assert_eq!(stats.events, 9);
+        assert_eq!(stats.counters[names::TRIGGERS_CHECKED], 2);
+        assert_eq!(stats.counters[names::TRIGGERS_ACTIVE], 1);
+        assert_eq!(stats.counters[names::TRIGGERS_APPLIED], 1);
+        assert_eq!(stats.counters[names::TRIGGERS_DEACTIVATED], 1);
+        assert_eq!(stats.counters["guarded.seeds_tried"], 2);
+        let summary = stats.summary();
+        assert_eq!(summary.phase_nanos("classify"), Some(150));
+        let depth = summary.histogram(names::QUEUE_DEPTH).unwrap();
+        assert_eq!(depth.count, 1);
+        assert_eq!(depth.max, 3);
+    }
+
+    #[test]
+    fn aggregate_reports_the_failing_line() {
+        let err =
+            aggregate("{\"event\":\"phase_entered\",\"phase\":\"x\"}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

@@ -99,11 +99,7 @@ impl Atom {
 
     /// Renders the atom using the vocabulary.
     pub fn display(&self, vocab: &Vocabulary) -> String {
-        let args: Vec<String> = self
-            .args
-            .iter()
-            .map(|&t| vocab.term_to_string(t))
-            .collect();
+        let args: Vec<String> = self.args.iter().map(|&t| vocab.term_to_string(t)).collect();
         format!("{}({})", vocab.pred_name(self.pred), args.join(","))
     }
 }

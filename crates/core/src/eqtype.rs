@@ -72,7 +72,11 @@ impl EqType {
 
     /// Number of equivalence classes (distinct terms).
     pub fn class_count(&self) -> usize {
-        self.classes.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+        self.classes
+            .iter()
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Positions (0-based) belonging to class `c`.

@@ -150,7 +150,12 @@ impl Instance {
     /// equals `term`. Only available in [`IndexMode::Full`]; in
     /// predicate-only mode returns `None` so callers fall back to a
     /// scan.
-    pub fn slots_with_pred_pos(&self, pred: PredId, position: usize, term: Term) -> Option<&[usize]> {
+    pub fn slots_with_pred_pos(
+        &self,
+        pred: PredId,
+        position: usize,
+        term: Term,
+    ) -> Option<&[usize]> {
         if self.mode != IndexMode::Full {
             return None;
         }
@@ -232,7 +237,7 @@ mod tests {
         let mut inst = Instance::new();
         let a = atom(0, &[c(0), c(1)]);
         assert_eq!(inst.insert(a.clone()), (0, true));
-        assert_eq!(inst.insert(a.clone()).1, false);
+        assert!(!inst.insert(a.clone()).1);
         assert_eq!(inst.len(), 1);
         assert!(inst.contains(&a));
         assert_eq!(inst.slot_of(&a), Some(0));
@@ -250,10 +255,7 @@ mod tests {
             inst.slots_with_pred_pos(PredId(0), 0, c(0)).unwrap(),
             &[0, 1]
         );
-        assert_eq!(
-            inst.slots_with_pred_pos(PredId(0), 1, c(2)).unwrap(),
-            &[1]
-        );
+        assert_eq!(inst.slots_with_pred_pos(PredId(0), 1, c(2)).unwrap(), &[1]);
         assert!(inst
             .slots_with_pred_pos(PredId(0), 1, c(9))
             .unwrap()

@@ -270,9 +270,10 @@ impl<'v> Parser<'v> {
         raw: RawAtom,
         scope: &mut Vec<(String, VarId)>,
     ) -> Result<Atom, CoreError> {
-        let pred = self.vocab.pred(&raw.pred, raw.args.len()).map_err(|e| {
-            self.rewrap_arity(e, raw.line, raw.col)
-        })?;
+        let pred = self
+            .vocab
+            .pred(&raw.pred, raw.args.len())
+            .map_err(|e| self.rewrap_arity(e, raw.line, raw.col))?;
         let args = raw
             .args
             .into_iter()
@@ -293,9 +294,10 @@ impl<'v> Parser<'v> {
 
     /// Resolves a raw atom as a fact: all arguments are constants.
     fn resolve_fact_atom(&mut self, raw: RawAtom) -> Result<Atom, CoreError> {
-        let pred = self.vocab.pred(&raw.pred, raw.args.len()).map_err(|e| {
-            self.rewrap_arity(e, raw.line, raw.col)
-        })?;
+        let pred = self
+            .vocab
+            .pred(&raw.pred, raw.args.len())
+            .map_err(|e| self.rewrap_arity(e, raw.line, raw.col))?;
         let args = raw
             .args
             .into_iter()
@@ -336,12 +338,16 @@ impl<'v> Parser<'v> {
                             loop {
                                 match self.bump() {
                                     Some(Tok::Ident(v)) => declared.push(v),
-                                    _ => return Err(self.error("expected a variable after 'exists'")),
+                                    _ => {
+                                        return Err(self.error("expected a variable after 'exists'"))
+                                    }
                                 }
                                 match self.bump() {
                                     Some(Tok::Comma) => continue,
                                     Some(Tok::Dot) => break,
-                                    _ => return Err(self.error("expected ',' or '.' in exists list")),
+                                    _ => {
+                                        return Err(self.error("expected ',' or '.' in exists list"))
+                                    }
                                 }
                             }
                         }
@@ -372,7 +378,8 @@ impl<'v> Parser<'v> {
                         return Err(self.error("expected '->' after atom list"));
                     }
                     self.expect(Tok::Dot, "'.' at end of fact")?;
-                    let fact = self.resolve_fact_atom(atoms.into_iter().next().expect("one atom"))?;
+                    let fact =
+                        self.resolve_fact_atom(atoms.into_iter().next().expect("one atom"))?;
                     database.insert(fact);
                 }
             }

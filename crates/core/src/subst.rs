@@ -134,7 +134,10 @@ mod tests {
     fn apply_atom_substitutes_bound_vars() {
         let mut b = Binding::new();
         b.push(VarId(0), c(7));
-        let atom = Atom::new(PredId(0), vec![Term::Var(VarId(0)), Term::Var(VarId(1)), c(1)]);
+        let atom = Atom::new(
+            PredId(0),
+            vec![Term::Var(VarId(0)), Term::Var(VarId(1)), c(1)],
+        );
         let out = b.apply_atom(&atom);
         assert_eq!(out.args, vec![c(7), Term::Var(VarId(1)), c(1)]);
     }

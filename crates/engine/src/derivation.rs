@@ -53,8 +53,12 @@ impl std::fmt::Display for DerivationFault {
         match self {
             DerivationFault::NotATrigger(i) => write!(f, "step {i}: not a trigger"),
             DerivationFault::NotActive(i) => write!(f, "step {i}: trigger not active"),
-            DerivationFault::WrongResult(i) => write!(f, "step {i}: added atoms differ from result(σ,h)"),
-            DerivationFault::NotSaturated => write!(f, "final instance still has an active trigger"),
+            DerivationFault::WrongResult(i) => {
+                write!(f, "step {i}: added atoms differ from result(σ,h)")
+            }
+            DerivationFault::NotSaturated => {
+                write!(f, "final instance still has an active trigger")
+            }
         }
     }
 }
@@ -91,7 +95,10 @@ impl Derivation {
                 .iter()
                 .map(|a| step.trigger.binding.apply_atom(a))
                 .collect();
-            if !grounded_body.iter().all(|a| a.is_ground() && instance.contains(a)) {
+            if !grounded_body
+                .iter()
+                .all(|a| a.is_ground() && instance.contains(a))
+            {
                 return Err(DerivationFault::NotATrigger(i));
             }
             // (b) it is active.
@@ -182,11 +189,8 @@ pub fn is_model(instance: &Instance, set: &TgdSet) -> bool {
     set.tgds().iter().all(|tgd| {
         let mut ok = true;
         let mut binding = chase_core::subst::Binding::new();
-        let _ = chase_core::hom::for_each_homomorphism(
-            tgd.body(),
-            instance,
-            &mut binding,
-            &mut |h| {
+        let _ =
+            chase_core::hom::for_each_homomorphism(tgd.body(), instance, &mut binding, &mut |h| {
                 let r = h.restricted_to(tgd.frontier());
                 if exists_homomorphism(tgd.head(), instance, &r) {
                     std::ops::ControlFlow::Continue(())
@@ -194,8 +198,7 @@ pub fn is_model(instance: &Instance, set: &TgdSet) -> bool {
                     ok = false;
                     std::ops::ControlFlow::Break(())
                 }
-            },
-        );
+            });
         ok
     })
 }

@@ -18,12 +18,10 @@ fn escape(s: &str) -> String {
 
 /// Renders a derivation as a DOT digraph: one node per step, edges
 /// from the steps that produced a body atom to the steps consuming it.
-pub fn derivation_to_dot(
-    derivation: &Derivation,
-    set: &TgdSet,
-    vocab: &Vocabulary,
-) -> String {
-    let mut out = String::from("digraph derivation {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+pub fn derivation_to_dot(derivation: &Derivation, set: &TgdSet, vocab: &Vocabulary) -> String {
+    let mut out = String::from(
+        "digraph derivation {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     // Map produced atoms to step indexes.
     let mut producer: Vec<(chase_core::atom::Atom, usize)> = Vec::new();
     for (i, step) in derivation.steps.iter().enumerate() {

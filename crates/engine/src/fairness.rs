@@ -395,7 +395,9 @@ mod tests {
                 SkolemPolicy::PerTrigger,
                 run.instance.iter().flat_map(|a| a.args.iter().copied()),
             );
-            let result = target.trigger.result(set.tgd(target.trigger.tgd), &mut skolem);
+            let result = target
+                .trigger
+                .result(set.tgd(target.trigger.tgd), &mut skolem);
             sizes.push(stopped_indices(&set, &run.derivation, &result).len());
         }
         assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
@@ -410,7 +412,9 @@ mod tests {
             SkolemPolicy::PerTrigger,
             run1.instance.iter().flat_map(|a| a.args.iter().copied()),
         );
-        let result1 = p1[0].trigger.result(set1.tgd(p1[0].trigger.tgd), &mut skolem);
+        let result1 = p1[0]
+            .trigger
+            .result(set1.tgd(p1[0].trigger.tgd), &mut skolem);
         assert!(stopped_indices(&set1, &run1.derivation, &result1).is_empty());
     }
 

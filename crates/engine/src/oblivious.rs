@@ -13,6 +13,7 @@ use std::ops::ControlFlow;
 use chase_core::ids::fx_set;
 use chase_core::instance::Instance;
 use chase_core::tgd::TgdSet;
+use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
 
 use crate::restricted::{Budget, Outcome};
 use crate::skolem::{SkolemPolicy, SkolemTable};
@@ -58,6 +59,22 @@ impl<'a> ObliviousChase<'a> {
     /// applied at most once; under the semi-oblivious policy triggers
     /// agreeing on `h|fr(σ)` are identified.
     pub fn run(&self, database: &Instance, budget: Budget) -> ObliviousRun {
+        self.run_observed(database, budget, &mut NullObserver)
+    }
+
+    /// Runs the chase, streaming telemetry [`Event`]s to `obs`. The
+    /// oblivious chase performs no activeness checks, so the event
+    /// stream never contains `trigger_checked`/`trigger_deactivated`.
+    pub fn run_observed<O: ChaseObserver + ?Sized>(
+        &self,
+        database: &Instance,
+        budget: Budget,
+        obs: &mut O,
+    ) -> ObliviousRun {
+        let engine_kind = match self.policy {
+            SkolemPolicy::PerTrigger => EngineKind::Oblivious,
+            SkolemPolicy::PerFrontier => EngineKind::SemiOblivious,
+        };
         let mut instance = database.clone();
         let mut skolem = SkolemTable::above(
             self.policy,
@@ -84,9 +101,19 @@ impl<'a> ObliviousChase<'a> {
 
         let _ = for_each_trigger(self.set, &instance, &mut |t| {
             if applied.insert(key(&t, self.set, self.policy)) {
+                emit(obs, || Event::TriggerDiscovered {
+                    engine: engine_kind,
+                    tgd: t.tgd.0,
+                    step: 0,
+                });
                 queue.push_back(t);
             }
             ControlFlow::Continue(())
+        });
+        emit(obs, || Event::QueueDepth {
+            engine: engine_kind,
+            step: 0,
+            depth: queue.len() as u64,
         });
 
         let mut steps = 0usize;
@@ -99,23 +126,58 @@ impl<'a> ObliviousChase<'a> {
                 };
             }
             let tgd = self.set.tgd(trigger.tgd);
+            let nulls_before = skolem.invented();
             let added = trigger.result(tgd, &mut skolem);
+            let nulls_after = skolem.invented();
             steps += 1;
             let mut new_slots = Vec::new();
+            let mut fresh_atoms = 0u32;
             for atom in added {
+                let pred = atom.pred.0;
                 let (slot, fresh) = instance.insert(atom);
+                emit(obs, || Event::AtomInserted {
+                    engine: engine_kind,
+                    predicate: pred,
+                    step: steps as u64,
+                    fresh,
+                });
                 if fresh {
+                    fresh_atoms += 1;
                     new_slots.push(slot);
                 }
             }
+            for null in nulls_before..nulls_after {
+                emit(obs, || Event::NullInvented {
+                    engine: engine_kind,
+                    null,
+                    step: steps as u64,
+                });
+            }
+            emit(obs, || Event::TriggerApplied {
+                engine: engine_kind,
+                tgd: trigger.tgd.0,
+                step: steps as u64,
+                new_atoms: fresh_atoms,
+                new_nulls: nulls_after - nulls_before,
+            });
             for slot in new_slots {
                 let _ = for_each_trigger_using(self.set, &instance, slot, &mut |t| {
                     if applied.insert(key(&t, self.set, self.policy)) {
+                        emit(obs, || Event::TriggerDiscovered {
+                            engine: engine_kind,
+                            tgd: t.tgd.0,
+                            step: steps as u64,
+                        });
                         queue.push_back(t);
                     }
                     ControlFlow::Continue(())
                 });
             }
+            emit(obs, || Event::QueueDepth {
+                engine: engine_kind,
+                step: steps as u64,
+                depth: queue.len() as u64,
+            });
         }
         ObliviousRun {
             outcome: Outcome::Terminated,

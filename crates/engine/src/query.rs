@@ -47,7 +47,10 @@ impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryError::ChaseBudgetExhausted => {
-                write!(f, "restricted chase exhausted its budget; cannot certify answers")
+                write!(
+                    f,
+                    "restricted chase exhausted its budget; cannot certify answers"
+                )
             }
             QueryError::UnsafeAnswerVariable(v) => {
                 write!(f, "answer variable {v:?} does not occur in the query body")
@@ -193,11 +196,7 @@ mod tests {
     fn cq(src: &str, vocab: &mut Vocabulary) -> ConjunctiveQuery {
         let p = chase_core::parser::parse_program(src, vocab).unwrap();
         let rule = &p.rules[0];
-        ConjunctiveQuery::new(
-            rule.body().to_vec(),
-            rule.head()[0].vars().collect(),
-        )
-        .unwrap()
+        ConjunctiveQuery::new(rule.body().to_vec(), rule.head()[0].vars().collect()).unwrap()
     }
 
     #[test]

@@ -18,6 +18,7 @@ use chase_core::instance::Instance;
 use chase_core::subst::Binding;
 use chase_core::term::Term;
 use chase_core::tgd::{TgdId, TgdSet};
+use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
 
 use crate::skolem::{SkolemPolicy, SkolemTable};
 use crate::trigger::Trigger;
@@ -81,6 +82,21 @@ pub struct RealOchase {
 impl RealOchase {
     /// Builds the fragment of `ochase(database, set)` within `limits`.
     pub fn build(database: &Instance, set: &TgdSet, limits: OchaseLimits) -> Self {
+        Self::build_observed(database, set, limits, &mut NullObserver)
+    }
+
+    /// Builds the fragment, streaming telemetry [`Event`]s to `obs`:
+    /// one `trigger_applied` per created vertex group, plus
+    /// `atom_inserted` (with `fresh` = the atom is new to the
+    /// *distinct-atom* view) and `null_invented` events. The `step`
+    /// field carries the vertex count at emission time.
+    pub fn build_observed<O: ChaseObserver + ?Sized>(
+        database: &Instance,
+        set: &TgdSet,
+        limits: OchaseLimits,
+        obs: &mut O,
+    ) -> Self {
+        const ENGINE: EngineKind = EngineKind::RealOblivious;
         let mut nodes: Vec<OchaseNode> = Vec::new();
         // Distinct-atom view used for homomorphism search, plus the
         // vertices carrying each atom.
@@ -155,15 +171,18 @@ impl RealOchase {
                                 complete = false;
                                 break 'product;
                             }
+                            let nulls_before = skolem.invented();
                             let result = {
                                 let atoms = trigger.result(tgd, &mut skolem);
                                 debug_assert_eq!(atoms.len(), tgd.head().len());
                                 atoms
                             };
+                            let nulls_after = skolem.invented();
                             // The real oblivious chase of the paper is
                             // defined for single-head TGDs; for
                             // multi-head we create one vertex per head
                             // atom sharing the parents.
+                            let mut fresh_atoms = 0u32;
                             for atom in result {
                                 let id = NodeId(nodes.len() as u32);
                                 nodes.push(OchaseNode {
@@ -172,10 +191,34 @@ impl RealOchase {
                                     parents: parents.clone(),
                                     depth,
                                 });
-                                inst.insert(atom.clone());
+                                let pred = atom.pred.0;
+                                let (_, fresh) = inst.insert(atom.clone());
+                                emit(obs, || Event::AtomInserted {
+                                    engine: ENGINE,
+                                    predicate: pred,
+                                    step: nodes.len() as u64,
+                                    fresh,
+                                });
+                                if fresh {
+                                    fresh_atoms += 1;
+                                }
                                 nodes_of_atom.entry(atom).or_default().push(id);
                                 grew = true;
                             }
+                            for null in nulls_before..nulls_after {
+                                emit(obs, || Event::NullInvented {
+                                    engine: ENGINE,
+                                    null,
+                                    step: nodes.len() as u64,
+                                });
+                            }
+                            emit(obs, || Event::TriggerApplied {
+                                engine: ENGINE,
+                                tgd: trigger.tgd.0,
+                                step: nodes.len() as u64,
+                                new_atoms: fresh_atoms,
+                                new_nulls: nulls_after - nulls_before,
+                            });
                         }
                     } else {
                         complete = false;
@@ -323,10 +366,7 @@ mod tests {
         let s_a = Atom::new(s, vec![a]);
         assert_eq!(fragment.multiplicity(&s_a), 2);
         // The two S(a) vertices have different parents.
-        let s_nodes: Vec<_> = fragment
-            .iter()
-            .filter(|(_, n)| n.atom == s_a)
-            .collect();
+        let s_nodes: Vec<_> = fragment.iter().filter(|(_, n)| n.atom == s_a).collect();
         assert_eq!(s_nodes.len(), 2);
         let p0 = fragment.node(s_nodes[0].1.parents[0]).atom.clone();
         let p1 = fragment.node(s_nodes[1].1.parents[0]).atom.clone();

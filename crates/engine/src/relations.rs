@@ -196,9 +196,17 @@ mod tests {
     fn stops_requires_frontier_identity() {
         // target R(a, ν0) produced with frontier at position 0;
         // candidate R(a, b) stops it (ν0 -> b).
-        assert!(stops(&atom(0, &[c(0), c(1)]), &atom(0, &[c(0), n(0)]), &[0]));
+        assert!(stops(
+            &atom(0, &[c(0), c(1)]),
+            &atom(0, &[c(0), n(0)]),
+            &[0]
+        ));
         // candidate R(c, b) does not: frontier term differs.
-        assert!(!stops(&atom(0, &[c(2), c(1)]), &atom(0, &[c(0), n(0)]), &[0]));
+        assert!(!stops(
+            &atom(0, &[c(2), c(1)]),
+            &atom(0, &[c(0), n(0)]),
+            &[0]
+        ));
     }
 
     #[test]
@@ -211,16 +219,28 @@ mod tests {
     fn constants_are_rigid() {
         // target has constant b at a non-frontier position: a candidate
         // with a different constant there cannot stop it.
-        assert!(!stops(&atom(0, &[c(0), c(2)]), &atom(0, &[c(0), c(1)]), &[0]));
+        assert!(!stops(
+            &atom(0, &[c(0), c(2)]),
+            &atom(0, &[c(0), c(1)]),
+            &[0]
+        ));
         // Nulls, by contrast, may fold onto constants.
-        assert!(stops(&atom(0, &[c(0), c(2)]), &atom(0, &[c(0), n(0)]), &[0]));
+        assert!(stops(
+            &atom(0, &[c(0), c(2)]),
+            &atom(0, &[c(0), n(0)]),
+            &[0]
+        ));
     }
 
     #[test]
     fn substitution_must_be_functional() {
         // target S(ν0, ν0): a candidate S(a, b) would need ν0 ↦ a and
         // ν0 ↦ b simultaneously.
-        assert!(!stops(&atom(0, &[c(0), c(1)]), &atom(0, &[n(0), n(0)]), &[]));
+        assert!(!stops(
+            &atom(0, &[c(0), c(1)]),
+            &atom(0, &[n(0), n(0)]),
+            &[]
+        ));
         assert!(stops(&atom(0, &[c(0), c(0)]), &atom(0, &[n(0), n(0)]), &[]));
     }
 
@@ -236,12 +256,10 @@ mod tests {
         )
         .unwrap();
         let set = p.tgd_set(&vocab).unwrap();
-        let mut skolem =
-            crate::skolem::SkolemTable::new(crate::skolem::SkolemPolicy::PerTrigger);
+        let mut skolem = crate::skolem::SkolemTable::new(crate::skolem::SkolemPolicy::PerTrigger);
         for trigger in crate::trigger::all_triggers(&set, &p.database) {
             let result = trigger.result(set.tgd(trigger.tgd), &mut skolem);
-            let (active, unstopped) =
-                active_iff_unstopped(&trigger, &set, &p.database, &result[0]);
+            let (active, unstopped) = active_iff_unstopped(&trigger, &set, &p.database, &result[0]);
             assert_eq!(active, unstopped, "Fact 3.5 violated for {trigger:?}");
         }
     }
@@ -285,11 +303,7 @@ mod tests {
         let all: Vec<NodeId> = fragment.iter().map(|(id, _)| id).collect();
         assert!(rel.topo_order(&all).is_none());
         // Dropping one S(a) copy breaks the cycle.
-        let without: Vec<NodeId> = all
-            .iter()
-            .copied()
-            .filter(|id| *id != s_nodes[1])
-            .collect();
+        let without: Vec<NodeId> = all.iter().copied().filter(|id| *id != s_nodes[1]).collect();
         assert!(rel.topo_order(&without).is_some());
     }
 }

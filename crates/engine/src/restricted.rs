@@ -20,6 +20,7 @@ use std::ops::ControlFlow;
 use chase_core::ids::fx_set;
 use chase_core::instance::Instance;
 use chase_core::tgd::TgdSet;
+use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
 
 use crate::derivation::{Derivation, Step};
 use crate::skolem::{SkolemPolicy, SkolemTable};
@@ -113,7 +114,13 @@ impl XorShift64 {
         x
     }
 
+    /// A uniform-ish index in `0..n`. Total: returns 0 for `n <= 1`
+    /// (in particular it must not divide by zero for `n == 0`, which a
+    /// naive modulo would).
     fn below(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
         (self.next() % n as u64) as usize
     }
 }
@@ -151,6 +158,20 @@ impl<'a> RestrictedChase<'a> {
 
     /// Runs the restricted chase on `database` within `budget`.
     pub fn run(&self, database: &Instance, budget: Budget) -> ChaseRun {
+        self.run_observed(database, budget, &mut NullObserver)
+    }
+
+    /// Runs the restricted chase, streaming telemetry [`Event`]s to
+    /// `obs`. With [`NullObserver`] this monomorphises to exactly the
+    /// unobserved loop — `enabled()` is a constant `false` and every
+    /// emission site folds away.
+    pub fn run_observed<O: ChaseObserver + ?Sized>(
+        &self,
+        database: &Instance,
+        budget: Budget,
+        obs: &mut O,
+    ) -> ChaseRun {
+        const ENGINE: EngineKind = EngineKind::Restricted;
         let mut instance = database.clone();
         let mut skolem = SkolemTable::above(
             SkolemPolicy::PerTrigger,
@@ -166,16 +187,38 @@ impl<'a> RestrictedChase<'a> {
         // Seed: all triggers on the database.
         let _ = for_each_trigger(self.set, &instance, &mut |t| {
             if seen.insert(t.key(self.set.tgd(t.tgd))) {
+                emit(obs, || Event::TriggerDiscovered {
+                    engine: ENGINE,
+                    tgd: t.tgd.0,
+                    step: 0,
+                });
                 queue.push_back(t);
             }
             ControlFlow::Continue(())
+        });
+        emit(obs, || Event::QueueDepth {
+            engine: ENGINE,
+            step: 0,
+            depth: queue.len() as u64,
         });
 
         let mut steps = 0usize;
         let mut derivation = Derivation::default();
         while let Some(trigger) = self.pop(&mut queue, &mut rng) {
             let tgd = self.set.tgd(trigger.tgd);
-            if !trigger.is_active(tgd, &instance) {
+            let active = trigger.is_active(tgd, &instance);
+            emit(obs, || Event::TriggerChecked {
+                engine: ENGINE,
+                tgd: trigger.tgd.0,
+                step: steps as u64,
+                active,
+            });
+            if !active {
+                emit(obs, || Event::TriggerDeactivated {
+                    engine: ENGINE,
+                    tgd: trigger.tgd.0,
+                    step: steps as u64,
+                });
                 continue; // deactivated since discovery — monotone, stays so
             }
             if steps >= budget.max_steps || instance.len() >= budget.max_atoms {
@@ -188,15 +231,39 @@ impl<'a> RestrictedChase<'a> {
                     derivation,
                 };
             }
+            let nulls_before = skolem.invented();
             let added = trigger.result(tgd, &mut skolem);
+            let nulls_after = skolem.invented();
             let mut new_slots = Vec::with_capacity(added.len());
+            let mut fresh_atoms = 0u32;
             for atom in &added {
                 let (slot, fresh) = instance.insert(atom.clone());
+                emit(obs, || Event::AtomInserted {
+                    engine: ENGINE,
+                    predicate: atom.pred.0,
+                    step: steps as u64 + 1,
+                    fresh,
+                });
                 if fresh {
+                    fresh_atoms += 1;
                     new_slots.push(slot);
                 }
             }
             steps += 1;
+            for null in nulls_before..nulls_after {
+                emit(obs, || Event::NullInvented {
+                    engine: ENGINE,
+                    null,
+                    step: steps as u64,
+                });
+            }
+            emit(obs, || Event::TriggerApplied {
+                engine: ENGINE,
+                tgd: trigger.tgd.0,
+                step: steps as u64,
+                new_atoms: fresh_atoms,
+                new_nulls: nulls_after - nulls_before,
+            });
             if self.record {
                 derivation.steps.push(Step {
                     trigger: trigger.clone(),
@@ -206,12 +273,30 @@ impl<'a> RestrictedChase<'a> {
             for slot in new_slots {
                 let _ = for_each_trigger_using(self.set, &instance, slot, &mut |t| {
                     if seen.insert(t.key(self.set.tgd(t.tgd))) {
+                        emit(obs, || Event::TriggerDiscovered {
+                            engine: ENGINE,
+                            tgd: t.tgd.0,
+                            step: steps as u64,
+                        });
                         queue.push_back(t);
                     }
                     ControlFlow::Continue(())
                 });
             }
+            emit(obs, || Event::QueueDepth {
+                engine: ENGINE,
+                step: steps as u64,
+                depth: queue.len() as u64,
+            });
         }
+        // Final sample: a terminated run has drained its queue, even
+        // when the tail of the queue was all deactivated triggers
+        // (which emit no per-step sample).
+        emit(obs, || Event::QueueDepth {
+            engine: ENGINE,
+            step: steps as u64,
+            depth: queue.len() as u64,
+        });
         ChaseRun {
             outcome: Outcome::Terminated,
             instance,
@@ -257,7 +342,9 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let p = parse_program(src, &mut vocab).unwrap();
         let set = p.tgd_set(&vocab).unwrap();
-        let run = RestrictedChase::new(&set).strategy(strategy).run(&p.database, budget);
+        let run = RestrictedChase::new(&set)
+            .strategy(strategy)
+            .run(&p.database, budget);
         (run, set, p.database)
     }
 
@@ -370,6 +457,50 @@ mod tests {
         assert_eq!(run.outcome, Outcome::Terminated);
         assert_eq!(run.steps, 1);
         assert!(satisfies_all(&run.instance, &set));
+    }
+
+    #[test]
+    fn xorshift_below_is_total() {
+        // Regression: `below` used `next() % n`, which panicked with a
+        // divide-by-zero for n == 0. It must be total.
+        let mut rng = XorShift64::new(1);
+        assert_eq!(rng.below(0), 0);
+        assert_eq!(rng.below(1), 0);
+        for n in 2..50 {
+            let i = rng.below(n);
+            assert!(i < n, "below({n}) returned {i}");
+        }
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        use chase_telemetry::{names, CountingObserver};
+        let src = "
+            E(a,b). E(b,c).
+            E(x,y) -> exists z. F(x,z).
+            F(x,z) -> G(x).
+        ";
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(src, &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let engine = RestrictedChase::new(&set);
+        let plain = engine.run(&p.database, Budget::steps(1000));
+        let mut obs = CountingObserver::new();
+        let observed = engine.run_observed(&p.database, Budget::steps(1000), &mut obs);
+        assert_eq!(plain.outcome, observed.outcome);
+        assert_eq!(plain.steps, observed.steps);
+        assert_eq!(plain.instance, observed.instance);
+        let s = obs.summary();
+        assert_eq!(
+            s.counter(names::TRIGGERS_APPLIED),
+            Some(observed.steps as u64)
+        );
+        assert_eq!(
+            s.counter(names::ATOMS_FRESH).unwrap() as usize,
+            observed.instance.len() - p.database.len()
+        );
+        // Every applied trigger was checked active first.
+        assert!(s.counter(names::TRIGGERS_ACTIVE) >= s.counter(names::TRIGGERS_APPLIED));
     }
 
     #[test]

@@ -148,10 +148,7 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let (set, x, y, z) = rule(&mut vocab);
         let tgd = set.tgd(TgdId(0));
-        let mut table = SkolemTable::above(
-            SkolemPolicy::PerTrigger,
-            [Term::Null(NullId(4))],
-        );
+        let mut table = SkolemTable::above(SkolemPolicy::PerTrigger, [Term::Null(NullId(4))]);
         let h = Binding::from_pairs([(x, c(0)), (y, c(1))]);
         assert_eq!(table.null_for(TgdId(0), tgd, &h, z), NullId(5));
     }

@@ -245,15 +245,12 @@ mod tests {
         let set = p.tgd_set(&vocab).unwrap();
         let full = all_triggers(&set, &p.database);
         assert_eq!(full.len(), 1); // only R(a,b),R(b,c) chains
-        // Insert R(c,d); delta triggers using the new atom.
+                                   // Insert R(c,d); delta triggers using the new atom.
         let mut inst = p.database.clone();
         let r = vocab.lookup_pred("R").unwrap();
         let c = vocab.constant("c");
         let d = vocab.constant("d");
-        let (slot, fresh) = inst.insert(Atom::new(
-            r,
-            vec![Term::Const(c), Term::Const(d)],
-        ));
+        let (slot, fresh) = inst.insert(Atom::new(r, vec![Term::Const(c), Term::Const(d)]));
         assert!(fresh);
         let mut delta = Vec::new();
         let _ = for_each_trigger_using(&set, &inst, slot, &mut |t| {

@@ -62,9 +62,7 @@ fn retract_away(instance: &Instance, prey: NullId) -> Option<Instance> {
         // Guard against permutations: some *other* null could have
         // been mapped onto `prey`, leaving the null count unchanged
         // and the loop non-terminating. Accept only genuine shrinkage.
-        let prey_survives = folded
-            .iter()
-            .any(|a| a.args.contains(&Term::Null(prey)));
+        let prey_survives = folded.iter().any(|a| a.args.contains(&Term::Null(prey)));
         if prey_survives {
             return ControlFlow::Continue(());
         }
@@ -113,9 +111,7 @@ pub fn core_of(instance: &Instance) -> Instance {
 /// Whether `instance` is its own core (no null can be retracted away).
 pub fn is_core(instance: &Instance) -> bool {
     core_of(instance).len() == instance.len()
-        && core_of(instance)
-            .iter()
-            .all(|a| instance.contains(a))
+        && core_of(instance).iter().all(|a| instance.contains(a))
 }
 
 #[cfg(test)]

@@ -1,0 +1,341 @@
+//! The structured event vocabulary emitted by engines and deciders.
+
+use std::fmt;
+
+/// Which chase variant produced an engine event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The restricted (standard) chase.
+    Restricted,
+    /// The (fully) oblivious chase.
+    Oblivious,
+    /// The semi-oblivious chase.
+    SemiOblivious,
+    /// The real oblivious chase `ochase(D,T)` (labelled graph).
+    RealOblivious,
+}
+
+impl EngineKind {
+    /// Stable snake_case name used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Restricted => "restricted",
+            EngineKind::Oblivious => "oblivious",
+            EngineKind::SemiOblivious => "semi_oblivious",
+            EngineKind::RealOblivious => "real_oblivious",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single telemetry event.
+///
+/// Engine events carry the `step` counter current when they were
+/// emitted (the number of trigger applications performed so far), so a
+/// trace can be replayed against a recorded derivation. Identifier
+/// fields (`tgd`, `null`, `predicate`) are the raw `u32` indices of the
+/// corresponding interned ids in `chase-core`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A candidate trigger passed the seen-set and was enqueued.
+    TriggerDiscovered {
+        /// Producing engine.
+        engine: EngineKind,
+        /// Index of the trigger's TGD.
+        tgd: u32,
+        /// Steps performed when the trigger was discovered.
+        step: u64,
+    },
+    /// A popped trigger was tested for activeness (restricted chase
+    /// only — the oblivious variants never check).
+    TriggerChecked {
+        /// Producing engine.
+        engine: EngineKind,
+        /// Index of the trigger's TGD.
+        tgd: u32,
+        /// Steps performed when the check ran.
+        step: u64,
+        /// Whether the trigger was still active.
+        active: bool,
+    },
+    /// An active trigger was applied (one chase step).
+    TriggerApplied {
+        /// Producing engine.
+        engine: EngineKind,
+        /// Index of the trigger's TGD.
+        tgd: u32,
+        /// Step number of this application (1-based: the value of the
+        /// step counter *after* the application).
+        step: u64,
+        /// Head atoms that were new to the instance.
+        new_atoms: u32,
+        /// Labelled nulls invented by this application.
+        new_nulls: u32,
+    },
+    /// A popped trigger was found deactivated and dropped — the
+    /// defining behaviour of the restricted chase (Section 3.2).
+    TriggerDeactivated {
+        /// Producing engine.
+        engine: EngineKind,
+        /// Index of the trigger's TGD.
+        tgd: u32,
+        /// Steps performed when the trigger was dropped.
+        step: u64,
+    },
+    /// A labelled null was invented by the Skolem table.
+    NullInvented {
+        /// Producing engine.
+        engine: EngineKind,
+        /// Raw index of the invented null.
+        null: u32,
+        /// Steps performed when the null was invented.
+        step: u64,
+    },
+    /// A head atom was inserted into the instance.
+    AtomInserted {
+        /// Producing engine.
+        engine: EngineKind,
+        /// Raw index of the atom's predicate.
+        predicate: u32,
+        /// Steps performed when the insertion happened.
+        step: u64,
+        /// Whether the atom was new (`false` = already present).
+        fresh: bool,
+    },
+    /// The candidate-trigger queue depth, sampled after a step.
+    QueueDepth {
+        /// Producing engine.
+        engine: EngineKind,
+        /// Steps performed at the sample point.
+        step: u64,
+        /// Number of queued candidate triggers.
+        depth: u64,
+    },
+    /// A named counter was bumped by a decider (e.g. automaton states
+    /// explored, seeds tried) — the generic escape hatch for metrics
+    /// without a dedicated event variant.
+    CounterAdd {
+        /// Counter name (use the [`crate::names`] constants where one
+        /// exists).
+        name: &'static str,
+        /// Amount added.
+        delta: u64,
+    },
+    /// A named decider/engine phase began.
+    PhaseEntered {
+        /// Phase name (see the crate docs for the vocabulary).
+        phase: &'static str,
+    },
+    /// A named phase ended after `nanos` of monotonic wall-clock.
+    PhaseExited {
+        /// Phase name matching the corresponding [`Event::PhaseEntered`].
+        phase: &'static str,
+        /// Elapsed monotonic nanoseconds.
+        nanos: u64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case kind name — the `"event"` key of the JSONL
+    /// schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::TriggerDiscovered { .. } => "trigger_discovered",
+            Event::TriggerChecked { .. } => "trigger_checked",
+            Event::TriggerApplied { .. } => "trigger_applied",
+            Event::TriggerDeactivated { .. } => "trigger_deactivated",
+            Event::NullInvented { .. } => "null_invented",
+            Event::AtomInserted { .. } => "atom_inserted",
+            Event::QueueDepth { .. } => "queue_depth",
+            Event::CounterAdd { .. } => "counter_add",
+            Event::PhaseEntered { .. } => "phase_entered",
+            Event::PhaseExited { .. } => "phase_exited",
+        }
+    }
+
+    /// Serialises the event as one flat JSON object (no trailing
+    /// newline) into `out`.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"event\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match *self {
+            Event::TriggerDiscovered { engine, tgd, step } => {
+                json_str(out, "engine", engine.as_str());
+                json_u64(out, "tgd", tgd as u64);
+                json_u64(out, "step", step);
+            }
+            Event::TriggerChecked {
+                engine,
+                tgd,
+                step,
+                active,
+            } => {
+                json_str(out, "engine", engine.as_str());
+                json_u64(out, "tgd", tgd as u64);
+                json_u64(out, "step", step);
+                json_bool(out, "active", active);
+            }
+            Event::TriggerApplied {
+                engine,
+                tgd,
+                step,
+                new_atoms,
+                new_nulls,
+            } => {
+                json_str(out, "engine", engine.as_str());
+                json_u64(out, "tgd", tgd as u64);
+                json_u64(out, "step", step);
+                json_u64(out, "new_atoms", new_atoms as u64);
+                json_u64(out, "new_nulls", new_nulls as u64);
+            }
+            Event::TriggerDeactivated { engine, tgd, step } => {
+                json_str(out, "engine", engine.as_str());
+                json_u64(out, "tgd", tgd as u64);
+                json_u64(out, "step", step);
+            }
+            Event::NullInvented { engine, null, step } => {
+                json_str(out, "engine", engine.as_str());
+                json_u64(out, "null", null as u64);
+                json_u64(out, "step", step);
+            }
+            Event::AtomInserted {
+                engine,
+                predicate,
+                step,
+                fresh,
+            } => {
+                json_str(out, "engine", engine.as_str());
+                json_u64(out, "predicate", predicate as u64);
+                json_u64(out, "step", step);
+                json_bool(out, "fresh", fresh);
+            }
+            Event::QueueDepth {
+                engine,
+                step,
+                depth,
+            } => {
+                json_str(out, "engine", engine.as_str());
+                json_u64(out, "step", step);
+                json_u64(out, "depth", depth);
+            }
+            Event::CounterAdd { name, delta } => {
+                json_str(out, "name", name);
+                json_u64(out, "delta", delta);
+            }
+            Event::PhaseEntered { phase } => {
+                json_str(out, "phase", phase);
+            }
+            Event::PhaseExited { phase, nanos } => {
+                json_str(out, "phase", phase);
+                json_u64(out, "nanos", nanos);
+            }
+        }
+        out.push('}');
+    }
+
+    /// The serialised form as an owned string (convenience for tests
+    /// and the CLI).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(&mut s);
+        s
+    }
+}
+
+fn json_key(out: &mut String, key: &str) {
+    out.push(',');
+    out.push('"');
+    out.push_str(key); // keys are static identifiers, never escaped
+    out.push_str("\":");
+}
+
+fn json_u64(out: &mut String, key: &str, value: u64) {
+    json_key(out, key);
+    out.push_str(&itoa(value));
+}
+
+fn json_bool(out: &mut String, key: &str, value: bool) {
+    json_key(out, key);
+    out.push_str(if value { "true" } else { "false" });
+}
+
+fn json_str(out: &mut String, key: &str, value: &str) {
+    json_key(out, key);
+    out.push('"');
+    escape_json(out, value);
+    out.push('"');
+}
+
+/// Escapes `value` per RFC 8259 into `out` (quotes not included).
+pub fn escape_json(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).expect("hex digit"));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn itoa(value: u64) -> String {
+    // `u64::to_string` allocates too, but routing through one helper
+    // keeps the encoder self-contained and easy to swap for a
+    // stack-buffer version if it ever shows up in profiles.
+    value.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_snake_case() {
+        let e = Event::TriggerChecked {
+            engine: EngineKind::Restricted,
+            tgd: 0,
+            step: 3,
+            active: true,
+        };
+        assert_eq!(e.kind(), "trigger_checked");
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"trigger_checked\",\"engine\":\"restricted\",\"tgd\":0,\"step\":3,\"active\":true}"
+        );
+    }
+
+    #[test]
+    fn phase_events_roundtrip_names() {
+        let e = Event::PhaseExited {
+            phase: "sticky.emptiness",
+            nanos: 12345,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"phase_exited\",\"phase\":\"sticky.emptiness\",\"nanos\":12345}"
+        );
+    }
+
+    #[test]
+    fn escape_handles_controls_and_quotes() {
+        let mut out = String::new();
+        escape_json(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

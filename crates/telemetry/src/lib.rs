@@ -1,0 +1,144 @@
+//! # chase-telemetry
+//!
+//! Structured observability for the restricted-chase toolkit: a
+//! [`ChaseObserver`] trait fed a stream of typed [`Event`]s by the
+//! engines (`chase-engine`) and deciders (`chase-termination`), an
+//! atomics-based [`Counters`] registry, and built-in sinks:
+//!
+//! * [`NullObserver`] — the default; reports `enabled() == false`, so
+//!   monomorphised call sites fold event construction away entirely
+//!   and an unobserved chase pays nothing;
+//! * [`CountingObserver`] — aggregates events into named counters,
+//!   queue-depth histograms and per-phase wall-clock, and produces a
+//!   [`TelemetrySummary`];
+//! * [`JsonlWriter`] — serialises every event as one JSON object per
+//!   line (JSON Lines), with a hand-rolled zero-dependency encoder;
+//! * [`RecordingObserver`] — buffers events in memory, for tests.
+//!
+//! The crate deliberately has **no dependencies**; everything is
+//! `std`-only so the hot path stays transparent to the optimiser.
+//!
+//! ## Event schema
+//!
+//! Every event serialises to a flat JSON object whose `"event"` key is
+//! the snake_case kind name (see [`Event::kind`]); the remaining keys
+//! are the event's fields. Example line produced by [`JsonlWriter`]:
+//!
+//! ```text
+//! {"event":"trigger_checked","engine":"restricted","tgd":0,"step":3,"active":true}
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod counters;
+pub mod event;
+pub mod observer;
+pub mod sinks;
+pub mod summary;
+
+pub use counters::{Counter, Counters, Histogram, HistogramSnapshot, MetricSnapshot};
+pub use event::{EngineKind, Event};
+pub use observer::{emit, time_phase, ChaseObserver, NullObserver, Tee};
+pub use sinks::{CountingObserver, JsonlWriter, RecordingObserver};
+pub use summary::TelemetrySummary;
+
+/// Well-known counter and phase names, shared by producers
+/// (`CountingObserver`) and consumers (`report`, `chasectl stats`)
+/// so the two sides cannot drift apart.
+pub mod names {
+    /// Candidate triggers enqueued (after dedup).
+    pub const TRIGGERS_DISCOVERED: &str = "triggers.discovered";
+    /// Activeness checks performed on popped triggers.
+    pub const TRIGGERS_CHECKED: &str = "triggers.checked";
+    /// Checks that found the trigger still active.
+    pub const TRIGGERS_ACTIVE: &str = "triggers.active";
+    /// Triggers actually applied (chase steps).
+    pub const TRIGGERS_APPLIED: &str = "triggers.applied";
+    /// Popped triggers found deactivated (the restricted chase's
+    /// defining saving over the oblivious chase).
+    pub const TRIGGERS_DEACTIVATED: &str = "triggers.deactivated";
+    /// Labelled nulls invented by trigger applications.
+    pub const NULLS_INVENTED: &str = "nulls.invented";
+    /// Atom insertions attempted (including duplicates).
+    pub const ATOMS_INSERTED: &str = "atoms.inserted";
+    /// Atom insertions that actually grew the instance.
+    pub const ATOMS_FRESH: &str = "atoms.fresh";
+    /// Histogram of sampled queue depths.
+    pub const QUEUE_DEPTH: &str = "queue.depth";
+    /// Büchi states explored by the sticky decider.
+    pub const AUTOMATON_STATES: &str = "sticky.automaton_states";
+    /// Acyclic seed instances tried by the guarded decider.
+    pub const GUARDED_SEEDS: &str = "guarded.seeds_tried";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_is_disabled() {
+        let mut obs = NullObserver;
+        assert!(!ChaseObserver::enabled(&obs));
+        // Must be callable anyway (trait object paths do not consult
+        // `enabled` first).
+        obs.on_event(&Event::PhaseEntered { phase: "x" });
+    }
+
+    #[test]
+    fn emit_skips_construction_when_disabled() {
+        let mut obs = NullObserver;
+        let mut built = false;
+        emit(&mut obs, || {
+            built = true;
+            Event::PhaseEntered { phase: "x" }
+        });
+        assert!(!built);
+
+        let mut rec = RecordingObserver::default();
+        emit(&mut rec, || Event::PhaseEntered { phase: "x" });
+        assert_eq!(rec.events.len(), 1);
+    }
+
+    #[test]
+    fn time_phase_produces_matched_span() {
+        let mut rec = RecordingObserver::default();
+        let out = time_phase(&mut rec, "work", |obs| {
+            obs.on_event(&Event::QueueDepth {
+                engine: EngineKind::Restricted,
+                step: 0,
+                depth: 1,
+            });
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(rec.events.len(), 3);
+        assert_eq!(rec.events[0], Event::PhaseEntered { phase: "work" });
+        match rec.events[2] {
+            Event::PhaseExited { phase, .. } => assert_eq!(phase, "work"),
+            ref e => panic!("expected PhaseExited, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        let mut a = RecordingObserver::default();
+        let mut b = CountingObserver::new();
+        {
+            let mut tee = Tee::new(&mut a, &mut b);
+            tee.on_event(&Event::TriggerApplied {
+                engine: EngineKind::Restricted,
+                tgd: 0,
+                step: 1,
+                new_atoms: 1,
+                new_nulls: 1,
+            });
+        }
+        assert_eq!(a.events.len(), 1);
+        let summary = b.summary();
+        assert_eq!(summary.counter(names::TRIGGERS_APPLIED), Some(1));
+        // Nulls are counted from `NullInvented` events, not from the
+        // per-application totals, so no null was registered here.
+        assert_eq!(summary.counter(names::NULLS_INVENTED), Some(0));
+    }
+}

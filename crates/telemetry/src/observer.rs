@@ -1,0 +1,142 @@
+//! The observer trait, the zero-cost null sink, fan-out, and phase
+//! timing helpers.
+
+use std::time::Instant;
+
+use crate::event::Event;
+
+/// A sink for telemetry [`Event`]s.
+///
+/// Engines are generic over `O: ChaseObserver + ?Sized`, so passing
+/// [`NullObserver`] monomorphises every emission site against an
+/// `enabled()` that is a constant `false` — the optimiser removes the
+/// event construction and the call outright, keeping the unobserved
+/// hot path identical to the pre-telemetry code.
+pub trait ChaseObserver {
+    /// Whether this sink wants events at all. Emission sites check
+    /// this *before* constructing an event (see [`emit`]).
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event. Only called when [`ChaseObserver::enabled`]
+    /// is `true` at the emission site, but implementations must
+    /// tolerate unconditional calls.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// The do-nothing sink; `enabled()` is `false`, so observed code paths
+/// compile down to the unobserved ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl ChaseObserver for NullObserver {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+/// Blanket impl so engines can take `&mut O` and callers can pass
+/// either a concrete observer or a re-borrowed one.
+impl<O: ChaseObserver + ?Sized> ChaseObserver for &mut O {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        (**self).on_event(event)
+    }
+}
+
+/// Fans events out to two observers (e.g. a [`crate::JsonlWriter`]
+/// trace file *and* a [`crate::CountingObserver`] building a summary).
+#[derive(Debug)]
+pub struct Tee<'a, A: ?Sized, B: ?Sized> {
+    a: &'a mut A,
+    b: &'a mut B,
+}
+
+impl<'a, A: ChaseObserver + ?Sized, B: ChaseObserver + ?Sized> Tee<'a, A, B> {
+    /// Combines two observers into one.
+    pub fn new(a: &'a mut A, b: &'a mut B) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl<A: ChaseObserver + ?Sized, B: ChaseObserver + ?Sized> ChaseObserver for Tee<'_, A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        if self.a.enabled() {
+            self.a.on_event(event);
+        }
+        if self.b.enabled() {
+            self.b.on_event(event);
+        }
+    }
+}
+
+/// Emits an event constructed lazily: when the observer is disabled
+/// the closure never runs, so gathering the event's fields costs
+/// nothing on the null path.
+#[inline(always)]
+pub fn emit<O: ChaseObserver + ?Sized>(obs: &mut O, make: impl FnOnce() -> Event) {
+    if obs.enabled() {
+        let event = make();
+        obs.on_event(&event);
+    }
+}
+
+/// Runs `f` inside a named phase span, emitting
+/// [`Event::PhaseEntered`]/[`Event::PhaseExited`] with monotonic
+/// timing around it. With a disabled observer no clock is read.
+pub fn time_phase<T, O: ChaseObserver + ?Sized>(
+    obs: &mut O,
+    phase: &'static str,
+    f: impl FnOnce(&mut O) -> T,
+) -> T {
+    if !obs.enabled() {
+        return f(obs);
+    }
+    obs.on_event(&Event::PhaseEntered { phase });
+    let start = Instant::now();
+    let out = f(obs);
+    let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    obs.on_event(&Event::PhaseExited { phase, nanos });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinks::RecordingObserver;
+
+    #[test]
+    fn mut_ref_blanket_impl_forwards() {
+        let mut rec = RecordingObserver::default();
+        {
+            let via_ref: &mut RecordingObserver = &mut rec;
+            assert!(via_ref.enabled());
+            via_ref.on_event(&Event::PhaseEntered { phase: "p" });
+        }
+        assert_eq!(rec.events.len(), 1);
+    }
+
+    #[test]
+    fn time_phase_skips_clock_when_disabled() {
+        let mut obs = NullObserver;
+        let out = time_phase(&mut obs, "never", |_| 7);
+        assert_eq!(out, 7);
+    }
+}

@@ -1,0 +1,312 @@
+//! Built-in observers: counting, JSON Lines, and in-memory recording.
+
+use std::io::{self, Write};
+use std::sync::Arc;
+
+use crate::counters::{Counter, Counters, Histogram};
+use crate::event::Event;
+use crate::names;
+use crate::observer::ChaseObserver;
+use crate::summary::TelemetrySummary;
+
+/// Aggregates the event stream into the [`Counters`] registry plus
+/// per-phase wall-clock, and renders a [`TelemetrySummary`].
+#[derive(Debug)]
+pub struct CountingObserver {
+    counters: Counters,
+    // Cached handles for the hot counters, registered eagerly so the
+    // registry lock is never taken on the event path.
+    discovered: Arc<Counter>,
+    checked: Arc<Counter>,
+    active: Arc<Counter>,
+    applied: Arc<Counter>,
+    deactivated: Arc<Counter>,
+    nulls: Arc<Counter>,
+    inserted: Arc<Counter>,
+    fresh: Arc<Counter>,
+    queue_depth: Arc<Histogram>,
+    /// `(phase, total nanos)` in completion order.
+    phases: Vec<(String, u64)>,
+}
+
+impl Default for CountingObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CountingObserver {
+    /// An observer with all well-known metrics pre-registered at zero.
+    pub fn new() -> Self {
+        let counters = Counters::new();
+        let discovered = counters.counter(names::TRIGGERS_DISCOVERED);
+        let checked = counters.counter(names::TRIGGERS_CHECKED);
+        let active = counters.counter(names::TRIGGERS_ACTIVE);
+        let applied = counters.counter(names::TRIGGERS_APPLIED);
+        let deactivated = counters.counter(names::TRIGGERS_DEACTIVATED);
+        let nulls = counters.counter(names::NULLS_INVENTED);
+        let inserted = counters.counter(names::ATOMS_INSERTED);
+        let fresh = counters.counter(names::ATOMS_FRESH);
+        let queue_depth = counters.histogram(names::QUEUE_DEPTH);
+        CountingObserver {
+            counters,
+            discovered,
+            checked,
+            active,
+            applied,
+            deactivated,
+            nulls,
+            inserted,
+            fresh,
+            queue_depth,
+            phases: Vec::new(),
+        }
+    }
+
+    /// The underlying registry, for registering decider-specific
+    /// counters (e.g. automaton states explored).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The aggregated summary so far. Histograms with zero
+    /// observations and counters still at zero are kept, so the
+    /// summary's shape is stable across runs.
+    pub fn summary(&self) -> TelemetrySummary {
+        let mut counters = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, snapshot) in self.counters.snapshot() {
+            match snapshot {
+                crate::counters::MetricSnapshot::Counter(v) => counters.push((name, v)),
+                crate::counters::MetricSnapshot::Histogram(h) => histograms.push((name, h)),
+            }
+        }
+        TelemetrySummary {
+            phases: self.phases.clone(),
+            counters,
+            histograms,
+        }
+    }
+}
+
+impl ChaseObserver for CountingObserver {
+    fn on_event(&mut self, event: &Event) {
+        match *event {
+            Event::TriggerDiscovered { .. } => self.discovered.incr(),
+            Event::TriggerChecked { active, .. } => {
+                self.checked.incr();
+                if active {
+                    self.active.incr();
+                }
+            }
+            Event::TriggerApplied {
+                new_atoms,
+                new_nulls,
+                ..
+            } => {
+                self.applied.incr();
+                // `NullInvented`/`AtomInserted` events carry the same
+                // information; the per-application totals here are
+                // deliberately *not* double counted into those
+                // counters.
+                let _ = (new_atoms, new_nulls);
+            }
+            Event::TriggerDeactivated { .. } => self.deactivated.incr(),
+            Event::NullInvented { .. } => self.nulls.incr(),
+            Event::AtomInserted { fresh, .. } => {
+                self.inserted.incr();
+                if fresh {
+                    self.fresh.incr();
+                }
+            }
+            Event::QueueDepth { depth, .. } => self.queue_depth.record(depth),
+            Event::CounterAdd { name, delta } => self.counters.counter(name).add(delta),
+            Event::PhaseEntered { .. } => {}
+            Event::PhaseExited { phase, nanos } => {
+                match self.phases.iter_mut().find(|(p, _)| p == phase) {
+                    Some((_, total)) => *total += nanos,
+                    None => self.phases.push((phase.to_string(), nanos)),
+                }
+            }
+        }
+    }
+}
+
+/// Writes one JSON object per event, newline-terminated (JSON Lines).
+///
+/// I/O errors do not panic mid-chase: the first error is stored,
+/// further writes are skipped, and [`JsonlWriter::finish`] surfaces
+/// it. The writer buffers internally per event only; wrap the target
+/// in a [`std::io::BufWriter`] for file output.
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    buf: String,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// A writer over `out`.
+    pub fn new(out: W) -> Self {
+        JsonlWriter {
+            out,
+            buf: String::with_capacity(128),
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Number of events successfully written.
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer, or the first I/O
+    /// error encountered.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> ChaseObserver for JsonlWriter<W> {
+    fn on_event(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        self.buf.clear();
+        event.write_json(&mut self.buf);
+        self.buf.push('\n');
+        match self.out.write_all(self.buf.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(err) => self.error = Some(err),
+        }
+    }
+}
+
+/// Buffers every event in memory; intended for tests and small traces.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    /// The events in emission order.
+    pub events: Vec<Event>,
+}
+
+impl ChaseObserver for RecordingObserver {
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EngineKind;
+
+    fn sample_events() -> Vec<Event> {
+        let engine = EngineKind::Restricted;
+        vec![
+            Event::TriggerDiscovered {
+                engine,
+                tgd: 0,
+                step: 0,
+            },
+            Event::TriggerChecked {
+                engine,
+                tgd: 0,
+                step: 0,
+                active: true,
+            },
+            Event::NullInvented {
+                engine,
+                null: 0,
+                step: 1,
+            },
+            Event::AtomInserted {
+                engine,
+                predicate: 1,
+                step: 1,
+                fresh: true,
+            },
+            Event::TriggerApplied {
+                engine,
+                tgd: 0,
+                step: 1,
+                new_atoms: 1,
+                new_nulls: 1,
+            },
+            Event::QueueDepth {
+                engine,
+                step: 1,
+                depth: 0,
+            },
+            Event::PhaseExited {
+                phase: "chase",
+                nanos: 500,
+            },
+        ]
+    }
+
+    #[test]
+    fn counting_observer_aggregates() {
+        let mut obs = CountingObserver::new();
+        for e in sample_events() {
+            obs.on_event(&e);
+        }
+        let s = obs.summary();
+        assert_eq!(s.counter(names::TRIGGERS_DISCOVERED), Some(1));
+        assert_eq!(s.counter(names::TRIGGERS_CHECKED), Some(1));
+        assert_eq!(s.counter(names::TRIGGERS_ACTIVE), Some(1));
+        assert_eq!(s.counter(names::TRIGGERS_APPLIED), Some(1));
+        assert_eq!(s.counter(names::TRIGGERS_DEACTIVATED), Some(0));
+        assert_eq!(s.counter(names::NULLS_INVENTED), Some(1));
+        assert_eq!(s.counter(names::ATOMS_INSERTED), Some(1));
+        assert_eq!(s.counter(names::ATOMS_FRESH), Some(1));
+        assert_eq!(s.phase_nanos("chase"), Some(500));
+        let depth = s.histogram(names::QUEUE_DEPTH).unwrap();
+        assert_eq!(depth.count, 1);
+        assert_eq!(depth.max, 0);
+    }
+
+    #[test]
+    fn jsonl_writer_emits_one_line_per_event() {
+        let mut writer = JsonlWriter::new(Vec::new());
+        for e in sample_events() {
+            writer.on_event(&e);
+        }
+        assert_eq!(writer.events_written(), 7);
+        let bytes = writer.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7);
+        for line in &lines {
+            assert!(line.starts_with("{\"event\":\""), "line: {line}");
+            assert!(line.ends_with('}'), "line: {line}");
+        }
+        assert!(lines[0].contains("\"trigger_discovered\""));
+        assert!(lines[6].contains("\"phase_exited\""));
+    }
+
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_remembers_first_error() {
+        let mut writer = JsonlWriter::new(FailingWriter);
+        writer.on_event(&Event::PhaseEntered { phase: "x" });
+        writer.on_event(&Event::PhaseEntered { phase: "y" });
+        assert_eq!(writer.events_written(), 0);
+        assert!(writer.finish().is_err());
+    }
+}

@@ -46,7 +46,8 @@ pub fn check_chaseable_ajt(
     set: &TgdSet,
     vocab: &Vocabulary,
 ) -> Result<Vec<usize>, ChaseableAjtFault> {
-    tree.validate(set, vocab).map_err(ChaseableAjtFault::Invalid)?;
+    tree.validate(set, vocab)
+        .map_err(ChaseableAjtFault::Invalid)?;
     let atoms: Vec<Atom> = tree.node_atoms(vocab);
     let n = tree.nodes.len();
 
@@ -60,8 +61,7 @@ pub fn check_chaseable_ajt(
         };
         let tgd = set.tgd(sigma);
         let gi = guard_index(tgd).ok_or(ChaseableAjtFault::NotGuarded(y))?;
-        let types =
-            body_as_sideatom_types(tgd, gi).ok_or(ChaseableAjtFault::NotGuarded(y))?;
+        let types = body_as_sideatom_types(tgd, gi).ok_or(ChaseableAjtFault::NotGuarded(y))?;
         for (i, pi) in types.iter().enumerate() {
             let providers: Vec<usize> = (0..n)
                 .filter(|&z| pi.matches(&atoms[z], &atoms[x]))
@@ -162,8 +162,7 @@ mod tests {
         let set = parse_tgds("P(x,y) -> exists z. P(y,z).", &mut vocab).unwrap();
         let p = vocab.lookup_pred("P").unwrap();
         let ar_t = set.max_arity();
-        let mut tree =
-            AbstractJoinTree::new(ar_t, p, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
+        let mut tree = AbstractJoinTree::new(ar_t, p, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
         let mut cur = 0;
         for _ in 0..5 {
             let label = {
@@ -186,8 +185,7 @@ mod tests {
         let set = parse_tgds("P(x,y) -> exists z. P(x,z).", &mut vocab).unwrap();
         let p = vocab.lookup_pred("P").unwrap();
         let ar_t = set.max_arity();
-        let mut tree =
-            AbstractJoinTree::new(ar_t, p, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
+        let mut tree = AbstractJoinTree::new(ar_t, p, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
         let label = {
             let node = tree.nodes[0].eq.clone();
             forced_child_label(&set, ar_t, TgdId(0), |i, j| node.mm(i, j)).unwrap()
@@ -218,15 +216,9 @@ mod tests {
         let p = vocab.lookup_pred("P").unwrap();
         let ar_t = set.max_arity();
         // Root: R(a,b), all-distinct.
-        let mut tree =
-            AbstractJoinTree::new(ar_t, r, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
+        let mut tree = AbstractJoinTree::new(ar_t, r, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
         // S(b,c): S's 1st term equals R's 2nd → fm(1, 0).
-        let s_node = tree.add_child(
-            0,
-            s,
-            Origin::Fact,
-            EqRel::from_pairs(ar_t, &[(1, ar_t)]),
-        );
+        let s_node = tree.add_child(0, s, Origin::Fact, EqRel::from_pairs(ar_t, &[(1, ar_t)]));
         // T(b) from σ0 with guard S: forced label.
         let t_label = {
             let node = tree.nodes[s_node].eq.clone();
@@ -255,7 +247,8 @@ mod tests {
 
         // Removing the S-subtree breaks condition (2): P's side atom
         // T(b) has no provider.
-        let mut no_side = AbstractJoinTree::new(ar_t, r, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
+        let mut no_side =
+            AbstractJoinTree::new(ar_t, r, Origin::Fact, EqRel::from_pairs(ar_t, &[]));
         let p_label2 = {
             let node = no_side.nodes[0].eq.clone();
             forced_child_label(&set, ar_t, TgdId(1), |i, j| node.mm(i, j)).unwrap()

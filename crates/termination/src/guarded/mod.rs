@@ -33,6 +33,7 @@ use chase_core::tgd::{TgdId, TgdSet};
 use chase_core::vocab::Vocabulary;
 use chase_engine::critical::critical_database;
 use chase_engine::restricted::{Budget, Outcome, RestrictedChase, Strategy};
+use chase_telemetry::{emit, names, time_phase, ChaseObserver, Event, NullObserver};
 use tgd_classes::baselines::{semi_oblivious_critical, CriterionOutcome};
 use tgd_classes::guarded::guard_index;
 use tgd_classes::weakly_acyclic::is_weakly_acyclic;
@@ -144,9 +145,7 @@ pub fn acyclic_seeds(set: &TgdSet, vocab: &mut Vocabulary, max_seeds: usize) -> 
                     for (kk, &v) in tgd.body_vars().iter().enumerate() {
                         b.push(
                             v,
-                            chase_core::term::Term::Const(
-                                vocab.constant(&format!("⋆s{i}_{kk}")),
-                            ),
+                            chase_core::term::Term::Const(vocab.constant(&format!("⋆s{i}_{kk}"))),
                         );
                     }
                     b.apply_atom(side)
@@ -156,15 +155,12 @@ pub fn acyclic_seeds(set: &TgdSet, vocab: &mut Vocabulary, max_seeds: usize) -> 
                     for (kk, &v) in producer.body_vars().iter().enumerate() {
                         b.push(
                             v,
-                            chase_core::term::Term::Const(
-                                vocab.constant(&format!("⋆s{j}_{kk}")),
-                            ),
+                            chase_core::term::Term::Const(vocab.constant(&format!("⋆s{j}_{kk}"))),
                         );
                     }
                     b
                 };
-                let mut renames: Vec<(chase_core::term::Term, chase_core::term::Term)> =
-                    Vec::new();
+                let mut renames: Vec<(chase_core::term::Term, chase_core::term::Term)> = Vec::new();
                 for (p, ht) in head.args.iter().enumerate() {
                     if let chase_core::term::Term::Var(v) = ht {
                         if producer.is_frontier(*v) {
@@ -273,6 +269,21 @@ pub fn decide_guarded(
     vocab: &Vocabulary,
     config: &DeciderConfig,
 ) -> TerminationVerdict {
+    decide_guarded_observed(set, vocab, config, &mut NullObserver)
+}
+
+/// [`decide_guarded`], streaming telemetry to `obs`: a
+/// `guarded.provers` phase span around the termination provers, a
+/// `guarded.seed_search` span around the non-termination detector
+/// (whose internal restricted-chase runs stream their own trigger and
+/// queue events), and the number of seeds actually chased on the
+/// `guarded.seeds_tried` counter.
+pub fn decide_guarded_observed<O: ChaseObserver + ?Sized>(
+    set: &TgdSet,
+    vocab: &Vocabulary,
+    config: &DeciderConfig,
+    obs: &mut O,
+) -> TerminationVerdict {
     if let Err(e) = set.require_single_head() {
         return TerminationVerdict::Unknown {
             reason: format!("not single-head: {e}"),
@@ -281,72 +292,86 @@ pub fn decide_guarded(
     let mut scratch = vocab.clone();
 
     // ── Termination provers ───────────────────────────────────────
-    let simplified = drop_never_active(set, vocab);
-    if simplified.tgds().iter().all(|t| t.existentials().is_empty()) {
-        // Full TGDs only: the chase stays inside the active domain.
-        return TerminationVerdict::AllInstancesTerminating(
-            TerminationCertificate::ExhaustedSearch { seeds: 0 },
-        );
-    }
-    if is_weakly_acyclic(&simplified, vocab) {
-        return TerminationVerdict::AllInstancesTerminating(
-            TerminationCertificate::WeaklyAcyclic,
-        );
-    }
-    if tgd_classes::jointly_acyclic::is_jointly_acyclic(&simplified) {
-        return TerminationVerdict::AllInstancesTerminating(
-            TerminationCertificate::JointlyAcyclic,
-        );
-    }
-    if let CriterionOutcome::Holds { steps } =
-        semi_oblivious_critical(&simplified, &mut scratch, Budget::steps(config.chase_budget))
-    {
-        return TerminationVerdict::AllInstancesTerminating(
-            TerminationCertificate::SemiObliviousCritical { steps },
-        );
+    let proved = time_phase(obs, "guarded.provers", |_| {
+        let simplified = drop_never_active(set, vocab);
+        if simplified
+            .tgds()
+            .iter()
+            .all(|t| t.existentials().is_empty())
+        {
+            // Full TGDs only: the chase stays inside the active domain.
+            return Some(TerminationVerdict::AllInstancesTerminating(
+                TerminationCertificate::ExhaustedSearch { seeds: 0 },
+            ));
+        }
+        if is_weakly_acyclic(&simplified, vocab) {
+            return Some(TerminationVerdict::AllInstancesTerminating(
+                TerminationCertificate::WeaklyAcyclic,
+            ));
+        }
+        if tgd_classes::jointly_acyclic::is_jointly_acyclic(&simplified) {
+            return Some(TerminationVerdict::AllInstancesTerminating(
+                TerminationCertificate::JointlyAcyclic,
+            ));
+        }
+        if let CriterionOutcome::Holds { steps } = semi_oblivious_critical(
+            &simplified,
+            &mut scratch,
+            Budget::steps(config.chase_budget),
+        ) {
+            return Some(TerminationVerdict::AllInstancesTerminating(
+                TerminationCertificate::SemiObliviousCritical { steps },
+            ));
+        }
+        None
+    });
+    if let Some(verdict) = proved {
+        return verdict;
     }
 
     // ── Non-termination detector over acyclic seeds ───────────────
-    let seeds = acyclic_seeds(set, &mut scratch, config.max_seeds);
-    let engine = RestrictedChase::new(set).strategy(Strategy::Fifo);
-    for seed in &seeds {
-        let b = config.chase_budget / 4;
-        let short = engine.run(seed, Budget::steps(b));
-        if short.outcome == Outcome::Terminated {
-            continue;
-        }
-        let long = engine.run(seed, Budget::steps(2 * b));
-        if long.outcome == Outcome::Terminated {
-            continue;
-        }
-        // Linear growth plus a repeating guard-path signature.
-        let growing = long.steps >= short.steps + b / 2;
-        if growing && has_repeating_guard_path(set, &long) {
-            // Re-run with the witness horizon and validate.
-            let evidence = engine.run(seed, Budget::steps(config.witness_steps));
-            if evidence
-                .derivation
-                .validate(seed, set, false)
-                .is_ok()
-            {
-                return TerminationVerdict::NonTerminating(Box::new(NonTerminationWitness {
-                    database: seed.clone(),
-                    derivation: evidence.derivation,
-                    description: "guarded seed chase with repeating guard-path signature"
-                        .to_string(),
-                    finitary: true,
-                }));
+    time_phase(obs, "guarded.seed_search", |obs| {
+        let seeds = acyclic_seeds(set, &mut scratch, config.max_seeds);
+        let engine = RestrictedChase::new(set).strategy(Strategy::Fifo);
+        for seed in &seeds {
+            emit(obs, || Event::CounterAdd {
+                name: names::GUARDED_SEEDS,
+                delta: 1,
+            });
+            let b = config.chase_budget / 4;
+            let short = engine.run_observed(seed, Budget::steps(b), obs);
+            if short.outcome == Outcome::Terminated {
+                continue;
+            }
+            let long = engine.run_observed(seed, Budget::steps(2 * b), obs);
+            if long.outcome == Outcome::Terminated {
+                continue;
+            }
+            // Linear growth plus a repeating guard-path signature.
+            let growing = long.steps >= short.steps + b / 2;
+            if growing && has_repeating_guard_path(set, &long) {
+                // Re-run with the witness horizon and validate.
+                let evidence = engine.run_observed(seed, Budget::steps(config.witness_steps), obs);
+                if evidence.derivation.validate(seed, set, false).is_ok() {
+                    return TerminationVerdict::NonTerminating(Box::new(NonTerminationWitness {
+                        database: seed.clone(),
+                        derivation: evidence.derivation,
+                        description: "guarded seed chase with repeating guard-path signature"
+                            .to_string(),
+                        finitary: true,
+                    }));
+                }
             }
         }
-    }
-    TerminationVerdict::Unknown {
-        reason: format!(
-            "guarded portfolio inconclusive: {} acyclic seeds terminated within budget {} and no \
-             pumpable guard path was found",
-            seeds.len(),
-            config.chase_budget
-        ),
-    }
+        TerminationVerdict::Unknown {
+            reason: format!(
+                "guarded portfolio inconclusive: {} acyclic seeds terminated within budget {} \
+                 and no pumpable guard path was found",
+                seeds.len(),
+                config.chase_budget
+            ),
+        }
+    })
 }
 
 #[cfg(test)]

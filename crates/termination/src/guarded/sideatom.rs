@@ -60,10 +60,7 @@ pub fn body_as_sideatom_types(tgd: &Tgd, guard: usize) -> Option<Vec<SideatomTyp
         for t in &atom.args {
             let Term::Var(v) = *t else { return None };
             // Guardedness: every body variable occurs in the guard.
-            let gi = guard_atom
-                .args
-                .iter()
-                .position(|g| *g == Term::Var(v))?;
+            let gi = guard_atom.args.iter().position(|g| *g == Term::Var(v))?;
             xi.push(gi);
         }
         out.push(SideatomType {

@@ -84,11 +84,7 @@ impl GuardForest {
 /// The *longs-for* relation (Definition 5.7): database atom `α` longs
 /// for database atom `β` if some guard-descendant `α'` of `α` has a
 /// side-parent `β'` that is a guard-descendant of `β ≠ α`.
-pub fn longs_for(
-    set: &TgdSet,
-    database: &Instance,
-    derivation: &Derivation,
-) -> Vec<(Atom, Atom)> {
+pub fn longs_for(set: &TgdSet, database: &Instance, derivation: &Derivation) -> Vec<(Atom, Atom)> {
     let forest = GuardForest::build(set, database, derivation);
     let mut producer: FxHashMap<Atom, usize> = fx_map();
     for (i, a) in forest.produced.iter().enumerate() {
@@ -106,7 +102,10 @@ pub fn longs_for(
             let beta = if database.contains(beta_prime) {
                 continue;
             } else {
-                match producer.get(beta_prime).and_then(|&j| forest.root[j].clone()) {
+                match producer
+                    .get(beta_prime)
+                    .and_then(|&j| forest.root[j].clone())
+                {
                     Some(b) => b,
                     None => continue,
                 }

@@ -27,14 +27,32 @@ pub mod sticky;
 
 use chase_core::tgd::TgdSet;
 use chase_core::vocab::Vocabulary;
+use chase_telemetry::{
+    time_phase, ChaseObserver, CountingObserver, NullObserver, TelemetrySummary,
+};
 use tgd_classes::sticky::is_sticky;
 
-pub use common::{DeciderConfig, NonTerminationWitness, TerminationCertificate, TerminationVerdict};
+pub use common::{
+    DeciderConfig, NonTerminationWitness, TerminationCertificate, TerminationVerdict,
+};
 
 /// Decides `CT^res_∀∀` for a single-head TGD set, dispatching on its
 /// class: sticky sets get the exact automaton procedure, everything
 /// else the guarded/portfolio decider.
 pub fn decide(set: &TgdSet, vocab: &Vocabulary, config: &DeciderConfig) -> TerminationVerdict {
+    decide_observed(set, vocab, config, &mut NullObserver)
+}
+
+/// [`decide`], streaming telemetry to `obs`: a `classify` phase span
+/// around the stickiness test, then the chosen decider's own phase
+/// spans and counters (see the crate-level docs of `chase-telemetry`
+/// for the vocabulary).
+pub fn decide_observed<O: ChaseObserver + ?Sized>(
+    set: &TgdSet,
+    vocab: &Vocabulary,
+    config: &DeciderConfig,
+    obs: &mut O,
+) -> TerminationVerdict {
     if set.require_single_head().is_err() {
         return TerminationVerdict::Unknown {
             reason: "multi-head TGDs: the paper's theorems (and the Fairness Theorem they rest \
@@ -42,13 +60,28 @@ pub fn decide(set: &TgdSet, vocab: &Vocabulary, config: &DeciderConfig) -> Termi
                 .into(),
         };
     }
-    if is_sticky(set) {
-        let v = sticky::decide_sticky(set, vocab, config);
+    let sticky_input = time_phase(obs, "classify", |_| is_sticky(set));
+    if sticky_input {
+        let v = sticky::decide_sticky_observed(set, vocab, config, obs);
         if !v.is_unknown() {
             return v;
         }
     }
-    guarded::decide_guarded(set, vocab, config)
+    guarded::decide_guarded_observed(set, vocab, config, obs)
+}
+
+/// [`decide`] with a [`TelemetrySummary`] attached: phase wall-clock,
+/// trigger/atom counters of the decider's internal chases, automaton
+/// state counts and seed counts. This is what `chasectl decide
+/// --metrics` and the experiment report surface.
+pub fn decide_with_telemetry(
+    set: &TgdSet,
+    vocab: &Vocabulary,
+    config: &DeciderConfig,
+) -> (TerminationVerdict, TelemetrySummary) {
+    let mut counting = CountingObserver::new();
+    let verdict = decide_observed(set, vocab, config, &mut counting);
+    (verdict, counting.summary())
 }
 
 /// One-stop imports.
@@ -56,12 +89,12 @@ pub mod prelude {
     pub use crate::common::{
         DeciderConfig, NonTerminationWitness, TerminationCertificate, TerminationVerdict,
     };
-    pub use crate::decide;
-    pub use crate::guarded::decide_guarded;
+    pub use crate::guarded::{decide_guarded, decide_guarded_observed};
     pub use crate::linear::decide_linear;
     pub use crate::orders::{all_orders_terminate, diverging_subset_run, OrderSearchLimits};
     pub use crate::report::explain;
-    pub use crate::sticky::decide_sticky;
+    pub use crate::sticky::{decide_sticky, decide_sticky_observed};
+    pub use crate::{decide, decide_observed, decide_with_telemetry};
 }
 
 #[cfg(test)]

@@ -88,9 +88,7 @@ pub fn decide_linear(
             let class_count = ty.class_count();
             let consts: Vec<chase_core::term::Term> = (0..class_count)
                 .map(|k| {
-                    chase_core::term::Term::Const(
-                        scratch.constant(&format!("⋆lin_{}_{k}", pred.0)),
-                    )
+                    chase_core::term::Term::Const(scratch.constant(&format!("⋆lin_{}_{k}", pred.0)))
                 })
                 .collect();
             let atom = chase_core::atom::Atom::new(
@@ -116,17 +114,15 @@ pub fn decide_linear(
                 };
                 if evidence.validate(&db, set, false).is_ok() {
                     let _ = run;
-                    return TerminationVerdict::NonTerminating(Box::new(
-                        NonTerminationWitness {
-                            database: db,
-                            derivation: evidence,
-                            description: format!(
-                                "linear chase from canonical atom of equality type {ty:?} \
+                    return TerminationVerdict::NonTerminating(Box::new(NonTerminationWitness {
+                        database: db,
+                        derivation: evidence,
+                        description: format!(
+                            "linear chase from canonical atom of equality type {ty:?} \
                                  diverges using rule subset {subset:?} (shape bound {bound})"
-                            ),
-                            finitary: true,
-                        },
-                    ));
+                        ),
+                        finitary: true,
+                    }));
                 }
                 return TerminationVerdict::Unknown {
                     reason: "linear witness failed validation (bug?)".into(),
@@ -177,13 +173,23 @@ mod tests {
             ("R(x,y) -> exists z. R(y,z).", false),
             ("R(x,y) -> exists z. R(z,x).", false),
             ("R(x,y) -> R(y,x).", true),
-            ("A(x,y) -> exists z. B(y,z). B(u,v) -> exists w. A(v,w).", false),
-            ("A(x,y) -> exists z. B(x,z). B(u,v) -> exists w. A(u,w).", true),
+            (
+                "A(x,y) -> exists z. B(y,z). B(u,v) -> exists w. A(v,w).",
+                false,
+            ),
+            (
+                "A(x,y) -> exists z. B(x,z). B(u,v) -> exists w. A(u,w).",
+                true,
+            ),
             ("G(x,y) -> exists z. G(z,z).", true),
             ("A(x) -> exists y. A(y).", true),
         ] {
             let (lin, sticky) = both(src);
-            assert_eq!(lin.is_terminating(), terminating, "linear on {src}: {lin:?}");
+            assert_eq!(
+                lin.is_terminating(),
+                terminating,
+                "linear on {src}: {lin:?}"
+            );
             assert_eq!(
                 sticky.is_terminating(),
                 terminating,

@@ -205,13 +205,9 @@ mod tests {
             Some(false)
         );
         // ...witnessed concretely by the σ1-only subset run.
-        let (subset, run) = diverging_subset_run(
-            &set,
-            &vocab,
-            &program.database,
-            Budget::steps(100),
-        )
-        .expect("diverging subset");
+        let (subset, run) =
+            diverging_subset_run(&set, &vocab, &program.database, Budget::steps(100))
+                .expect("diverging subset");
         assert_eq!(subset, vec![1]);
         let relabelled = relabel_subset_derivation(&subset, &run.derivation);
         relabelled
@@ -234,7 +230,9 @@ mod tests {
             all_orders_terminate(&set, &program.database, OrderSearchLimits::default()),
             Some(true)
         );
-        assert!(diverging_subset_run(&set, &vocab, &program.database, Budget::steps(500)).is_none());
+        assert!(
+            diverging_subset_run(&set, &vocab, &program.database, Budget::steps(500)).is_none()
+        );
     }
 
     #[test]
@@ -256,11 +254,7 @@ mod tests {
     #[test]
     fn state_cap_yields_none() {
         let mut vocab = Vocabulary::new();
-        let program = parse_program(
-            "R(a,b). R(x,y) -> exists z. R(y,z).",
-            &mut vocab,
-        )
-        .unwrap();
+        let program = parse_program("R(a,b). R(x,y) -> exists z. R(y,z).", &mut vocab).unwrap();
         let set = program.tgd_set(&vocab).unwrap();
         // Divergence reported as Some(false) via the depth bound.
         assert_eq!(

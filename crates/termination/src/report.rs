@@ -5,16 +5,21 @@
 
 use chase_core::tgd::TgdSet;
 use chase_core::vocab::Vocabulary;
+use chase_telemetry::TelemetrySummary;
 use tgd_classes::profile::ClassProfile;
 
 use crate::common::{TerminationCertificate, TerminationVerdict};
 
-/// Renders a full explanation of `verdict` for `set`.
+/// Renders a full explanation of `verdict` for `set`. When a
+/// [`TelemetrySummary`] is supplied (from
+/// [`crate::decide_with_telemetry`]), a "telemetry:" section with
+/// per-phase wall-clock and the decider's counters is appended.
 pub fn explain(
     verdict: &TerminationVerdict,
     set: &TgdSet,
     vocab: &Vocabulary,
     profile: Option<&ClassProfile>,
+    telemetry: Option<&TelemetrySummary>,
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -66,6 +71,12 @@ pub fn explain(
             out.push_str(&format!("verdict: UNKNOWN\n  {reason}\n"));
         }
     }
+    if let Some(summary) = telemetry {
+        if !summary.is_empty() {
+            out.push_str("telemetry:\n");
+            out.push_str(&summary.render_table());
+        }
+    }
     out
 }
 
@@ -107,7 +118,7 @@ mod tests {
         let set = parse_tgds(src, &mut vocab).unwrap();
         let verdict = decide(&set, &vocab, &DeciderConfig::default());
         let profile = ClassProfile::analyse(&set, &vocab, Budget::steps(5_000));
-        explain(&verdict, &set, &vocab, Some(&profile))
+        explain(&verdict, &set, &vocab, Some(&profile), None)
     }
 
     #[test]
@@ -132,5 +143,20 @@ mod tests {
         let r = explained("R(x,y) -> S(x), T(y)."); // multi-head
         assert!(r.contains("UNKNOWN"));
         assert!(r.contains("single-head"));
+    }
+
+    #[test]
+    fn telemetry_section_appended_when_supplied() {
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds("R(x,y) -> exists z. R(x,z).", &mut vocab).unwrap();
+        let (verdict, summary) =
+            crate::decide_with_telemetry(&set, &vocab, &DeciderConfig::default());
+        let r = explain(&verdict, &set, &vocab, None, Some(&summary));
+        assert!(r.contains("telemetry:"), "{r}");
+        assert!(r.contains("sticky.emptiness"), "{r}");
+        assert!(r.contains(chase_telemetry::names::AUTOMATON_STATES), "{r}");
+        // Without a summary the section is absent.
+        let r2 = explain(&verdict, &set, &vocab, None, None);
+        assert!(!r2.contains("telemetry:"));
     }
 }

@@ -43,6 +43,7 @@ use chase_core::ids::{PredId, VarId};
 use chase_core::term::Term;
 use chase_core::tgd::{TgdId, TgdSet};
 use chase_core::vocab::Vocabulary;
+use chase_telemetry::{emit, names, time_phase, ChaseObserver, Event, NullObserver};
 use tgd_classes::sticky::Marking;
 
 use crate::common::{DeciderConfig, TerminationCertificate, TerminationVerdict};
@@ -133,13 +134,15 @@ impl<'a> StickyAutomaton<'a> {
     /// `δpos` (Appendix D.2): the head positions reached by the terms
     /// at positions `pi` of the previous atom, flowing through the
     /// match of `gamma`.
-    fn delta_pos(pi: &[u8], gamma: &chase_core::atom::Atom, head: &chase_core::atom::Atom) -> Vec<u8> {
+    fn delta_pos(
+        pi: &[u8],
+        gamma: &chase_core::atom::Atom,
+        head: &chase_core::atom::Atom,
+    ) -> Vec<u8> {
         let mut out = Vec::new();
         for (l, ht) in head.args.iter().enumerate() {
             let Term::Var(x) = *ht else { continue };
-            let flows = pi
-                .iter()
-                .any(|&p| gamma.args[p as usize] == Term::Var(x));
+            let flows = pi.iter().any(|&p| gamma.args[p as usize] == Term::Var(x));
             if flows {
                 out.push(l as u8);
             }
@@ -308,11 +311,8 @@ impl<'a> BuchiAutomaton for StickyAutomaton<'a> {
             pred: state.pred,
             classes: state.classes.clone(),
         };
-        let mut theta: Vec<LabeledEqType> = state
-            .theta
-            .iter()
-            .map(|t| t.relabel(&survival))
-            .collect();
+        let mut theta: Vec<LabeledEqType> =
+            state.theta.iter().map(|t| t.relabel(&survival)).collect();
         theta.push(LabeledEqType::new(current_ty, survival.clone()));
         theta.sort();
         theta.dedup();
@@ -396,9 +396,7 @@ fn theta_stops(
         return false;
     }
     let mut map: Vec<Option<u8>> = vec![None; new_class_count];
-    for p in 0..new_classes.len() {
-        let s = new_classes[p];
-        let c = theta.ty.classes[p];
+    for (&s, &c) in new_classes.iter().zip(theta.ty.classes.iter()) {
         if pinned[s as usize] {
             // h'(t) = t: the earlier atom must carry the very same
             // term at this position.
@@ -426,6 +424,19 @@ pub fn decide_sticky(
     vocab: &Vocabulary,
     config: &DeciderConfig,
 ) -> TerminationVerdict {
+    decide_sticky_observed(set, vocab, config, &mut NullObserver)
+}
+
+/// [`decide_sticky`], streaming telemetry to `obs`: a
+/// `sticky.emptiness` phase span around the Büchi emptiness search
+/// (with the explored state count on the `sticky.automaton_states`
+/// counter) and a `sticky.witness` span around lasso realisation.
+pub fn decide_sticky_observed<O: ChaseObserver + ?Sized>(
+    set: &TgdSet,
+    vocab: &Vocabulary,
+    config: &DeciderConfig,
+    obs: &mut O,
+) -> TerminationVerdict {
     if let Err(e) = set.require_single_head() {
         return TerminationVerdict::Unknown {
             reason: format!("not single-head: {e}"),
@@ -438,14 +449,23 @@ pub fn decide_sticky(
     }
     let automaton = StickyAutomaton::new(set, vocab);
     let explorer = Explorer::new(automaton, config.max_automaton_states);
-    match explorer.emptiness() {
+    let emptiness = time_phase(obs, "sticky.emptiness", |_| explorer.emptiness());
+    let explored = match &emptiness {
+        Emptiness::Empty { states } | Emptiness::NonEmpty { states, .. } => *states as u64,
+        Emptiness::Capped { cap } => *cap as u64,
+    };
+    emit(obs, || Event::CounterAdd {
+        name: names::AUTOMATON_STATES,
+        delta: explored,
+    });
+    match emptiness {
         Emptiness::Empty { states } => TerminationVerdict::AllInstancesTerminating(
             TerminationCertificate::StickyAutomatonEmpty { states },
         ),
         Emptiness::Capped { cap } => TerminationVerdict::Unknown {
             reason: format!("automaton state cap {cap} reached"),
         },
-        Emptiness::NonEmpty { lasso, .. } => {
+        Emptiness::NonEmpty { lasso, .. } => time_phase(obs, "sticky.witness", |_| {
             // Re-derive the initial state the lasso starts from. The
             // explorer starts BFS from all initial states; to realise
             // the witness we must know which one. We simply try each.
@@ -458,7 +478,7 @@ pub fn decide_sticky(
             TerminationVerdict::Unknown {
                 reason: "accepting lasso found but witness realisation failed (bug?)".into(),
             }
-        }
+        }),
     }
 }
 
@@ -531,7 +551,6 @@ mod tests {
         );
         assert!(v.is_non_terminating(), "{v:?}");
     }
-
 
     #[test]
     fn non_sticky_input_refused() {
@@ -677,8 +696,8 @@ mod tests {
         };
         let after = automaton.next(&init, &sym1).expect("σ1 fires");
         assert_eq!(after.is_const, vec![false, true]); // T(ν, b)
-        // Now σ0 with γ = T(x,y): x binds the null class, but the leg
-        // U(x) would need that null in the database — rejected.
+                                                       // Now σ0 with γ = T(x,y): x binds the null class, but the leg
+                                                       // U(x) would need that null in the database — rejected.
         let sym0 = CatSymbol {
             tgd: TgdId(0),
             gamma: 0,

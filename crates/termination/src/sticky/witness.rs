@@ -60,9 +60,8 @@ pub fn realise(
     // Constants are allocated above the vocabulary's interned range so
     // they can never alias user constants (they render as ⟨cK⟩).
     let const_base = vocab.const_count() as u32;
-    let iterations = (config.witness_steps.saturating_sub(lasso.prefix.len())
-        / lasso.cycle.len().max(1))
-    .max(2);
+    let iterations =
+        (config.witness_steps.saturating_sub(lasso.prefix.len()) / lasso.cycle.len().max(1)).max(2);
     for naming in [LegNaming::ParityPools, LegNaming::FreshEachIteration] {
         if let Some((database, derivation)) =
             instantiate(set, init, lasso, iterations, naming, const_base)

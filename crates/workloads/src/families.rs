@@ -36,7 +36,9 @@ pub fn linear_cycle(n: usize) -> String {
 pub fn left_recursion_family(n: usize) -> String {
     let mut out = String::new();
     for i in 0..n {
-        out.push_str(&format!("L{i}(x{i},y{i}) -> exists z{i}. L{i}(x{i},z{i}).\n"));
+        out.push_str(&format!(
+            "L{i}(x{i},y{i}) -> exists z{i}. L{i}(x{i},z{i}).\n"
+        ));
     }
     out
 }
@@ -121,7 +123,9 @@ pub fn full_closure(n: usize) -> String {
 pub fn data_exchange(n: usize) -> String {
     let mut out = String::new();
     for i in 0..n {
-        out.push_str(&format!("S{i}(x{i},y{i}) -> exists z{i}. T{i}(y{i},z{i}).\n"));
+        out.push_str(&format!(
+            "S{i}(x{i},y{i}) -> exists z{i}. T{i}(y{i},z{i}).\n"
+        ));
         out.push_str(&format!("T{i}(u{i},v{i}) -> W{i}(u{i}).\n"));
     }
     out

@@ -70,7 +70,7 @@ pub fn random_tgds(params: &RandomTgdParams, seed: u64) -> String {
         let mut head_args = Vec::new();
         let mut existentials = Vec::new();
         for a in 0..arities[hp] {
-            if rng.gen_range(0..100) < params.existential_pct || body_vars.is_empty() {
+            if rng.gen_range(0u32..100) < params.existential_pct || body_vars.is_empty() {
                 let v = format!("r{r}e{a}");
                 existentials.push(v.clone());
                 head_args.push(v);

@@ -1,0 +1,141 @@
+//! Timed decider runs over suite entries — the shared backend of
+//! `chasectl suite` and the `expreport` experiment binary, so both
+//! report the same per-entry wall-clock and per-phase telemetry.
+
+use std::time::Instant;
+
+use chase_telemetry::TelemetrySummary;
+use chase_termination::{decide_with_telemetry, DeciderConfig, TerminationVerdict};
+
+use crate::suite::{labelled_suite, Expected, SuiteEntry};
+
+/// One decider run over one suite entry.
+#[derive(Debug)]
+pub struct SuiteRunEntry {
+    /// The entry's stable name.
+    pub name: &'static str,
+    /// Its ground-truth label.
+    pub expected: Expected,
+    /// What the decider said.
+    pub verdict: TerminationVerdict,
+    /// End-to-end wall-clock of the `decide` call, in nanoseconds.
+    pub nanos: u64,
+    /// The decider's phase spans and counters.
+    pub telemetry: TelemetrySummary,
+}
+
+impl SuiteRunEntry {
+    /// Whether the verdict matches the ground truth (`Unknown` never
+    /// agrees).
+    pub fn agrees(&self) -> bool {
+        match self.expected {
+            Expected::Terminating => self.verdict.is_terminating(),
+            Expected::NonTerminating => self.verdict.is_non_terminating(),
+        }
+    }
+
+    /// Short label for the ground truth.
+    pub fn expected_label(&self) -> &'static str {
+        match self.expected {
+            Expected::Terminating => "terminating",
+            Expected::NonTerminating => "non-terminating",
+        }
+    }
+
+    /// Short label for the verdict.
+    pub fn verdict_label(&self) -> &'static str {
+        match self.verdict {
+            TerminationVerdict::AllInstancesTerminating(_) => "terminating",
+            TerminationVerdict::NonTerminating(_) => "non-terminating",
+            TerminationVerdict::Unknown { .. } => "unknown",
+        }
+    }
+}
+
+/// The outcome of running the deciders over a list of entries.
+#[derive(Debug, Default)]
+pub struct SuiteRun {
+    /// One result per entry, in input order.
+    pub entries: Vec<SuiteRunEntry>,
+}
+
+impl SuiteRun {
+    /// How many verdicts agree with the ground truth.
+    pub fn correct(&self) -> usize {
+        self.entries.iter().filter(|e| e.agrees()).count()
+    }
+
+    /// Total entries run.
+    pub fn total(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Summed wall-clock of every `decide` call.
+    pub fn total_nanos(&self) -> u64 {
+        self.entries.iter().map(|e| e.nanos).sum()
+    }
+
+    /// All per-entry telemetry folded into one summary (phase times
+    /// and counters summed across the whole suite).
+    pub fn aggregate_telemetry(&self) -> TelemetrySummary {
+        let mut total = TelemetrySummary::default();
+        for entry in &self.entries {
+            total.absorb(&entry.telemetry);
+        }
+        total
+    }
+}
+
+/// Runs the deciders over `entries`, timing each call.
+pub fn run_suite_entries(entries: &[SuiteEntry], config: &DeciderConfig) -> SuiteRun {
+    let mut run = SuiteRun::default();
+    for entry in entries {
+        let (vocab, set) = entry.build();
+        let started = Instant::now();
+        let (verdict, telemetry) = decide_with_telemetry(&set, &vocab, config);
+        let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        run.entries.push(SuiteRunEntry {
+            name: entry.name,
+            expected: entry.expected,
+            verdict,
+            nanos,
+            telemetry,
+        });
+    }
+    run
+}
+
+/// [`run_suite_entries`] over the full labelled suite.
+pub fn run_labelled_suite(config: &DeciderConfig) -> SuiteRun {
+    run_suite_entries(&labelled_suite(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_times_and_judges_entries() {
+        let entries: Vec<SuiteEntry> = labelled_suite().into_iter().take(2).collect();
+        let run = run_suite_entries(&entries, &DeciderConfig::default());
+        assert_eq!(run.total(), 2);
+        assert_eq!(run.correct(), 2);
+        assert!(run.total_nanos() > 0);
+        for e in &run.entries {
+            assert!(e.agrees(), "{}", e.name);
+            assert!(e.nanos > 0, "{}", e.name);
+            // Every decide goes through the classify phase span.
+            assert!(e.telemetry.phase_nanos("classify").is_some(), "{}", e.name);
+        }
+        let total = run.aggregate_telemetry();
+        assert_eq!(
+            total.phase_nanos("classify"),
+            Some(
+                run.entries
+                    .iter()
+                    .map(|e| e.telemetry.phase_nanos("classify").unwrap())
+                    .sum()
+            )
+        );
+    }
+}

@@ -365,7 +365,7 @@ mod tests {
     fn all_entries_parse() {
         for e in labelled_suite() {
             let (_, set) = e.build();
-            assert!(set.len() >= 1, "{}", e.name);
+            assert!(!set.is_empty(), "{}", e.name);
             assert!(set.all_single_head(), "{}", e.name);
         }
     }

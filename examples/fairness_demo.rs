@@ -89,8 +89,7 @@ fn main() {
 
     // Where the proof breaks: splicing σ1's result into the unfair
     // prefix deactivates every later σ0 trigger.
-    let persistent =
-        persistently_active(&program_b1.database, &set_b1, &unfair_b1.derivation);
+    let persistent = persistently_active(&program_b1.database, &set_b1, &unfair_b1.derivation);
     let spliced = chase_engine::fairness::splice_at(
         &program_b1.database,
         &set_b1,

@@ -14,11 +14,7 @@
 use restricted_chase::prelude::*;
 use std::ops::ControlFlow;
 
-fn count_answers(
-    instance: &Instance,
-    vocab: &mut Vocabulary,
-    body: &[(&str, &[&str])],
-) -> usize {
+fn count_answers(instance: &Instance, vocab: &mut Vocabulary, body: &[(&str, &[&str])]) -> usize {
     let mut builder = RuleBuilder::new(vocab);
     let mut atoms = Vec::new();
     for (pred, vars) in body {

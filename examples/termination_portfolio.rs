@@ -72,7 +72,10 @@ fn main() {
         so_holds,
         ct_holds
     );
-    println!("decider agreement with ground truth: {agreements}/{}", suite.len());
+    println!(
+        "decider agreement with ground truth: {agreements}/{}",
+        suite.len()
+    );
     assert_eq!(agreements, suite.len(), "decider must match ground truth");
     assert!(
         wa_holds < ja_holds && ja_holds <= so_holds && so_holds < ct_holds,

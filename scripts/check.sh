@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, tests. Offline-friendly — every
+# dependency is a path dependency (workspace crates + vendor/ stubs),
+# so `--offline` never needs a network.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q (root package: tier-1) =="
+cargo test --offline -q
+
+echo "== cargo test -q --workspace =="
+cargo test --offline -q --workspace
+
+echo "All checks passed."

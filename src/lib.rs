@@ -16,7 +16,9 @@
 //! * [`automata`] (`chase-automata`) — lazy Büchi emptiness;
 //! * [`termination`] (`chase-termination`) — the deciders;
 //! * [`workloads`] (`chase-workloads`) — families and the labelled
-//!   suite.
+//!   suite;
+//! * [`telemetry`] (`chase-telemetry`) — observer hooks, structured
+//!   events, counters and phase timing.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +37,7 @@
 pub use chase_automata as automata;
 pub use chase_core as core;
 pub use chase_engine as engine;
+pub use chase_telemetry as telemetry;
 pub use chase_termination as termination;
 pub use chase_workloads as workloads;
 pub use tgd_classes as classes;

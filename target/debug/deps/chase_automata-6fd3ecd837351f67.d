@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/chase_automata-6fd3ecd837351f67.d: crates/automata/src/lib.rs crates/automata/src/buchi.rs
+
+/root/repo/target/debug/deps/libchase_automata-6fd3ecd837351f67.rlib: crates/automata/src/lib.rs crates/automata/src/buchi.rs
+
+/root/repo/target/debug/deps/libchase_automata-6fd3ecd837351f67.rmeta: crates/automata/src/lib.rs crates/automata/src/buchi.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/buchi.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/chase_automata-760781741318ae87.d: crates/automata/src/lib.rs crates/automata/src/buchi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchase_automata-760781741318ae87.rmeta: crates/automata/src/lib.rs crates/automata/src/buchi.rs Cargo.toml
+
+crates/automata/src/lib.rs:
+crates/automata/src/buchi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/chase_automata-e9255859089e3740.d: crates/automata/src/lib.rs crates/automata/src/buchi.rs
+
+/root/repo/target/debug/deps/chase_automata-e9255859089e3740: crates/automata/src/lib.rs crates/automata/src/buchi.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/buchi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chase_bench-0367d8ad0aabbb5f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/chase_bench-0367d8ad0aabbb5f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chase_bench-37cbac726502856c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/chase_bench-37cbac726502856c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

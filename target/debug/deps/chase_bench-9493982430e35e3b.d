@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chase_bench-9493982430e35e3b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchase_bench-9493982430e35e3b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

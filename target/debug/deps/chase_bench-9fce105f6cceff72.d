@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/chase_bench-9fce105f6cceff72.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libchase_bench-9fce105f6cceff72.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libchase_bench-9fce105f6cceff72.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/chase_bench-a6d53e4998877150.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libchase_bench-a6d53e4998877150.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libchase_bench-a6d53e4998877150.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chase_bench-cd30dcb7ef65f647.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchase_bench-cd30dcb7ef65f647.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

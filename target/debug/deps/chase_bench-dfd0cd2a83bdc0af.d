@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/chase_bench-dfd0cd2a83bdc0af.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libchase_bench-dfd0cd2a83bdc0af.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libchase_bench-dfd0cd2a83bdc0af.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

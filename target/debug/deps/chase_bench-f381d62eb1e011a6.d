@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chase_bench-f381d62eb1e011a6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/chase_bench-f381d62eb1e011a6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

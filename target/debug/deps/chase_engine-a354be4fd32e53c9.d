@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/chase_engine-a354be4fd32e53c9.d: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/fairness.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
+
+/root/repo/target/debug/deps/libchase_engine-a354be4fd32e53c9.rlib: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/fairness.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
+
+/root/repo/target/debug/deps/libchase_engine-a354be4fd32e53c9.rmeta: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/fairness.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/chaseable.rs:
+crates/engine/src/critical.rs:
+crates/engine/src/derivation.rs:
+crates/engine/src/dot.rs:
+crates/engine/src/fairness.rs:
+crates/engine/src/oblivious.rs:
+crates/engine/src/query.rs:
+crates/engine/src/real_oblivious.rs:
+crates/engine/src/relations.rs:
+crates/engine/src/restricted.rs:
+crates/engine/src/skolem.rs:
+crates/engine/src/trigger.rs:
+crates/engine/src/universal.rs:

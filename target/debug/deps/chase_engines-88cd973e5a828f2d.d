@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chase_engines-88cd973e5a828f2d.d: crates/bench/benches/chase_engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchase_engines-88cd973e5a828f2d.rmeta: crates/bench/benches/chase_engines.rs Cargo.toml
+
+crates/bench/benches/chase_engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chase_properties-0f4e1c3017e32b05.d: tests/chase_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchase_properties-0f4e1c3017e32b05.rmeta: tests/chase_properties.rs Cargo.toml
+
+tests/chase_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chase_properties-13f2bea13862918d.d: tests/chase_properties.rs
+
+/root/repo/target/debug/deps/chase_properties-13f2bea13862918d: tests/chase_properties.rs
+
+tests/chase_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chase_properties-38a90e27a1aa5e04.d: tests/chase_properties.rs
+
+/root/repo/target/debug/deps/chase_properties-38a90e27a1aa5e04: tests/chase_properties.rs
+
+tests/chase_properties.rs:

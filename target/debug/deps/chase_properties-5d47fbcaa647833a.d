@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chase_properties-5d47fbcaa647833a.d: tests/chase_properties.rs
+
+/root/repo/target/debug/deps/chase_properties-5d47fbcaa647833a: tests/chase_properties.rs
+
+tests/chase_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chase_properties-7a73047621c41a26.d: tests/chase_properties.rs
+
+/root/repo/target/debug/deps/chase_properties-7a73047621c41a26: tests/chase_properties.rs
+
+tests/chase_properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/chase_telemetry-01befc1c0442cd9f.d: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/event.rs crates/telemetry/src/observer.rs crates/telemetry/src/sinks.rs crates/telemetry/src/summary.rs
+
+/root/repo/target/debug/deps/chase_telemetry-01befc1c0442cd9f: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/event.rs crates/telemetry/src/observer.rs crates/telemetry/src/sinks.rs crates/telemetry/src/summary.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counters.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/observer.rs:
+crates/telemetry/src/sinks.rs:
+crates/telemetry/src/summary.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/chase_telemetry-1e0f94159797b9f5.d: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/event.rs crates/telemetry/src/observer.rs crates/telemetry/src/sinks.rs crates/telemetry/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchase_telemetry-1e0f94159797b9f5.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/event.rs crates/telemetry/src/observer.rs crates/telemetry/src/sinks.rs crates/telemetry/src/summary.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counters.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/observer.rs:
+crates/telemetry/src/sinks.rs:
+crates/telemetry/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

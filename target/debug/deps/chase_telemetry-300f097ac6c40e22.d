@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/chase_telemetry-300f097ac6c40e22.d: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/event.rs crates/telemetry/src/observer.rs crates/telemetry/src/sinks.rs crates/telemetry/src/summary.rs
+
+/root/repo/target/debug/deps/libchase_telemetry-300f097ac6c40e22.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/event.rs crates/telemetry/src/observer.rs crates/telemetry/src/sinks.rs crates/telemetry/src/summary.rs
+
+/root/repo/target/debug/deps/libchase_telemetry-300f097ac6c40e22.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/event.rs crates/telemetry/src/observer.rs crates/telemetry/src/sinks.rs crates/telemetry/src/summary.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counters.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/observer.rs:
+crates/telemetry/src/sinks.rs:
+crates/telemetry/src/summary.rs:

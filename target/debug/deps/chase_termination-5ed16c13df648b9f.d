@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/chase_termination-5ed16c13df648b9f.d: crates/termination/src/lib.rs crates/termination/src/common.rs crates/termination/src/guarded/mod.rs crates/termination/src/guarded/ajt.rs crates/termination/src/guarded/ajt_chaseable.rs crates/termination/src/guarded/sideatom.rs crates/termination/src/guarded/treeify.rs crates/termination/src/linear.rs crates/termination/src/orders.rs crates/termination/src/partitions.rs crates/termination/src/report.rs crates/termination/src/sticky/mod.rs crates/termination/src/sticky/witness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchase_termination-5ed16c13df648b9f.rmeta: crates/termination/src/lib.rs crates/termination/src/common.rs crates/termination/src/guarded/mod.rs crates/termination/src/guarded/ajt.rs crates/termination/src/guarded/ajt_chaseable.rs crates/termination/src/guarded/sideatom.rs crates/termination/src/guarded/treeify.rs crates/termination/src/linear.rs crates/termination/src/orders.rs crates/termination/src/partitions.rs crates/termination/src/report.rs crates/termination/src/sticky/mod.rs crates/termination/src/sticky/witness.rs Cargo.toml
+
+crates/termination/src/lib.rs:
+crates/termination/src/common.rs:
+crates/termination/src/guarded/mod.rs:
+crates/termination/src/guarded/ajt.rs:
+crates/termination/src/guarded/ajt_chaseable.rs:
+crates/termination/src/guarded/sideatom.rs:
+crates/termination/src/guarded/treeify.rs:
+crates/termination/src/linear.rs:
+crates/termination/src/orders.rs:
+crates/termination/src/partitions.rs:
+crates/termination/src/report.rs:
+crates/termination/src/sticky/mod.rs:
+crates/termination/src/sticky/witness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/chase_termination-71866c8a3d97326e.d: crates/termination/src/lib.rs crates/termination/src/common.rs crates/termination/src/guarded/mod.rs crates/termination/src/guarded/ajt.rs crates/termination/src/guarded/ajt_chaseable.rs crates/termination/src/guarded/sideatom.rs crates/termination/src/guarded/treeify.rs crates/termination/src/linear.rs crates/termination/src/orders.rs crates/termination/src/partitions.rs crates/termination/src/report.rs crates/termination/src/sticky/mod.rs crates/termination/src/sticky/witness.rs
+
+/root/repo/target/debug/deps/libchase_termination-71866c8a3d97326e.rlib: crates/termination/src/lib.rs crates/termination/src/common.rs crates/termination/src/guarded/mod.rs crates/termination/src/guarded/ajt.rs crates/termination/src/guarded/ajt_chaseable.rs crates/termination/src/guarded/sideatom.rs crates/termination/src/guarded/treeify.rs crates/termination/src/linear.rs crates/termination/src/orders.rs crates/termination/src/partitions.rs crates/termination/src/report.rs crates/termination/src/sticky/mod.rs crates/termination/src/sticky/witness.rs
+
+/root/repo/target/debug/deps/libchase_termination-71866c8a3d97326e.rmeta: crates/termination/src/lib.rs crates/termination/src/common.rs crates/termination/src/guarded/mod.rs crates/termination/src/guarded/ajt.rs crates/termination/src/guarded/ajt_chaseable.rs crates/termination/src/guarded/sideatom.rs crates/termination/src/guarded/treeify.rs crates/termination/src/linear.rs crates/termination/src/orders.rs crates/termination/src/partitions.rs crates/termination/src/report.rs crates/termination/src/sticky/mod.rs crates/termination/src/sticky/witness.rs
+
+crates/termination/src/lib.rs:
+crates/termination/src/common.rs:
+crates/termination/src/guarded/mod.rs:
+crates/termination/src/guarded/ajt.rs:
+crates/termination/src/guarded/ajt_chaseable.rs:
+crates/termination/src/guarded/sideatom.rs:
+crates/termination/src/guarded/treeify.rs:
+crates/termination/src/linear.rs:
+crates/termination/src/orders.rs:
+crates/termination/src/partitions.rs:
+crates/termination/src/report.rs:
+crates/termination/src/sticky/mod.rs:
+crates/termination/src/sticky/witness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chase_workloads-086a83c30edda8f3.d: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/chase_workloads-086a83c30edda8f3: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/families.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/chase_workloads-22f3fc63a5843d19.d: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libchase_workloads-22f3fc63a5843d19.rlib: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libchase_workloads-22f3fc63a5843d19.rmeta: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/families.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/suite.rs:

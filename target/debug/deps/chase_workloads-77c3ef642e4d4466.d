@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/chase_workloads-77c3ef642e4d4466.d: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libchase_workloads-77c3ef642e4d4466.rlib: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libchase_workloads-77c3ef642e4d4466.rmeta: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/families.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/suite.rs:

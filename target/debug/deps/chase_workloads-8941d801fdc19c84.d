@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/chase_workloads-8941d801fdc19c84.d: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchase_workloads-8941d801fdc19c84.rmeta: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/families.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

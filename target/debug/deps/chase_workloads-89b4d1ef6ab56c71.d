@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chase_workloads-89b4d1ef6ab56c71.d: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/chase_workloads-89b4d1ef6ab56c71: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/families.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/suite.rs:

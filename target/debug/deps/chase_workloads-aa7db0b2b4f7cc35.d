@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/chase_workloads-aa7db0b2b4f7cc35.d: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libchase_workloads-aa7db0b2b4f7cc35.rlib: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libchase_workloads-aa7db0b2b4f7cc35.rmeta: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/runner.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/families.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/runner.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/chase_workloads-b6e633425e8dc30e.d: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libchase_workloads-b6e633425e8dc30e.rlib: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libchase_workloads-b6e633425e8dc30e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/families.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/suite.rs:

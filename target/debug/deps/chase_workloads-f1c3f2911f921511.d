@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/chase_workloads-f1c3f2911f921511.d: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libchase_workloads-f1c3f2911f921511.rlib: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libchase_workloads-f1c3f2911f921511.rmeta: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/families.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/chase_workloads-f6ec4672a96142f7.d: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/chase_workloads-f6ec4672a96142f7: crates/workloads/src/lib.rs crates/workloads/src/families.rs crates/workloads/src/random.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/families.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/suite.rs:

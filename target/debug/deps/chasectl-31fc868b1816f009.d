@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/chasectl-31fc868b1816f009.d: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+/root/repo/target/debug/deps/chasectl-31fc868b1816f009: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chasectl-3c39cb9c91dcfc5e.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/chasectl-3c39cb9c91dcfc5e: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

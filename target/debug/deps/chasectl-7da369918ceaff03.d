@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/chasectl-7da369918ceaff03.d: crates/cli/src/main.rs crates/cli/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchasectl-7da369918ceaff03.rmeta: crates/cli/src/main.rs crates/cli/src/stats.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

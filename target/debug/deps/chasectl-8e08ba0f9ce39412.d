@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/chasectl-8e08ba0f9ce39412.d: crates/cli/src/main.rs crates/cli/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchasectl-8e08ba0f9ce39412.rmeta: crates/cli/src/main.rs crates/cli/src/stats.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

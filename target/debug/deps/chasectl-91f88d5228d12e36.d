@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/chasectl-91f88d5228d12e36.d: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+/root/repo/target/debug/deps/chasectl-91f88d5228d12e36: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/stats.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/chasectl-e6d6af0501b2e8db.d: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+/root/repo/target/debug/deps/chasectl-e6d6af0501b2e8db: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/stats.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/chasectl-edbedb75b2d2ceef.d: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+/root/repo/target/debug/deps/chasectl-edbedb75b2d2ceef: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/stats.rs:

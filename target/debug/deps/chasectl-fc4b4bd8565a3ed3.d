@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/chasectl-fc4b4bd8565a3ed3.d: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+/root/repo/target/debug/deps/chasectl-fc4b4bd8565a3ed3: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/stats.rs:

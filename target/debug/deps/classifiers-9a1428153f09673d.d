@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classifiers-9a1428153f09673d.d: crates/bench/benches/classifiers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassifiers-9a1428153f09673d.rmeta: crates/bench/benches/classifiers.rs Cargo.toml
+
+crates/bench/benches/classifiers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

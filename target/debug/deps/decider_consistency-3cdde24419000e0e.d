@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decider_consistency-3cdde24419000e0e.d: tests/decider_consistency.rs
+
+/root/repo/target/debug/deps/decider_consistency-3cdde24419000e0e: tests/decider_consistency.rs
+
+tests/decider_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decider_consistency-c322ec7bb5842593.d: tests/decider_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecider_consistency-c322ec7bb5842593.rmeta: tests/decider_consistency.rs Cargo.toml
+
+tests/decider_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

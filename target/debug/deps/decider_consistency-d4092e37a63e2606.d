@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decider_consistency-d4092e37a63e2606.d: tests/decider_consistency.rs
+
+/root/repo/target/debug/deps/decider_consistency-d4092e37a63e2606: tests/decider_consistency.rs
+
+tests/decider_consistency.rs:

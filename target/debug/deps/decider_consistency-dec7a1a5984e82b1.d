@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decider_consistency-dec7a1a5984e82b1.d: tests/decider_consistency.rs
+
+/root/repo/target/debug/deps/decider_consistency-dec7a1a5984e82b1: tests/decider_consistency.rs
+
+tests/decider_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decider_consistency-edfcc0bebdecb757.d: tests/decider_consistency.rs
+
+/root/repo/target/debug/deps/decider_consistency-edfcc0bebdecb757: tests/decider_consistency.rs
+
+tests/decider_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decider_suite-1797abd94175d5ab.d: tests/decider_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecider_suite-1797abd94175d5ab.rmeta: tests/decider_suite.rs Cargo.toml
+
+tests/decider_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

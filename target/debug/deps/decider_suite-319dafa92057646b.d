@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decider_suite-319dafa92057646b.d: tests/decider_suite.rs
+
+/root/repo/target/debug/deps/decider_suite-319dafa92057646b: tests/decider_suite.rs
+
+tests/decider_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decider_suite-5bedaf1adc5247b1.d: tests/decider_suite.rs
+
+/root/repo/target/debug/deps/decider_suite-5bedaf1adc5247b1: tests/decider_suite.rs
+
+tests/decider_suite.rs:

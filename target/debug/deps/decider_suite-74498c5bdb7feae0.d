@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decider_suite-74498c5bdb7feae0.d: tests/decider_suite.rs
+
+/root/repo/target/debug/deps/decider_suite-74498c5bdb7feae0: tests/decider_suite.rs
+
+tests/decider_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decider_suite-bd8731f661827b9b.d: tests/decider_suite.rs
+
+/root/repo/target/debug/deps/decider_suite-bd8731f661827b9b: tests/decider_suite.rs
+
+tests/decider_suite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deciders-64e5033ca7d27d8e.d: crates/bench/benches/deciders.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeciders-64e5033ca7d27d8e.rmeta: crates/bench/benches/deciders.rs Cargo.toml
+
+crates/bench/benches/deciders.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

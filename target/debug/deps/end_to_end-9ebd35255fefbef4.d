@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9ebd35255fefbef4.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9ebd35255fefbef4: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d2bace5aacad8e33.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d2bace5aacad8e33: tests/end_to_end.rs
+
+tests/end_to_end.rs:

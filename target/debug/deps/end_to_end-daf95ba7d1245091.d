@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-daf95ba7d1245091.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-daf95ba7d1245091: tests/end_to_end.rs
+
+tests/end_to_end.rs:

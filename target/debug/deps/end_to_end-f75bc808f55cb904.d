@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f75bc808f55cb904.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f75bc808f55cb904: tests/end_to_end.rs
+
+tests/end_to_end.rs:

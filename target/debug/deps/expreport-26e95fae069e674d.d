@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expreport-26e95fae069e674d.d: crates/bench/src/bin/expreport.rs
+
+/root/repo/target/debug/deps/expreport-26e95fae069e674d: crates/bench/src/bin/expreport.rs
+
+crates/bench/src/bin/expreport.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expreport-5c849dfe1a1eed2d.d: crates/bench/src/bin/expreport.rs
+
+/root/repo/target/debug/deps/expreport-5c849dfe1a1eed2d: crates/bench/src/bin/expreport.rs
+
+crates/bench/src/bin/expreport.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expreport-96bcb3325f9110e1.d: crates/bench/src/bin/expreport.rs
+
+/root/repo/target/debug/deps/expreport-96bcb3325f9110e1: crates/bench/src/bin/expreport.rs
+
+crates/bench/src/bin/expreport.rs:

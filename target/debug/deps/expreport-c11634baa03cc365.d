@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expreport-c11634baa03cc365.d: crates/bench/src/bin/expreport.rs
+
+/root/repo/target/debug/deps/expreport-c11634baa03cc365: crates/bench/src/bin/expreport.rs
+
+crates/bench/src/bin/expreport.rs:

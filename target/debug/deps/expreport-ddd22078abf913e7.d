@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/expreport-ddd22078abf913e7.d: crates/bench/src/bin/expreport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexpreport-ddd22078abf913e7.rmeta: crates/bench/src/bin/expreport.rs Cargo.toml
+
+crates/bench/src/bin/expreport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expreport-e1b29f6eb6e23fe5.d: crates/bench/src/bin/expreport.rs
+
+/root/repo/target/debug/deps/expreport-e1b29f6eb6e23fe5: crates/bench/src/bin/expreport.rs
+
+crates/bench/src/bin/expreport.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-009c8b10b983cd87.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-009c8b10b983cd87: tests/paper_examples.rs
+
+tests/paper_examples.rs:

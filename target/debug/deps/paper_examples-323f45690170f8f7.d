@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-323f45690170f8f7.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-323f45690170f8f7: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-8af347cb3923b9d1.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-8af347cb3923b9d1: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-f9c988aaf499dcaf.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-f9c988aaf499dcaf: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_robustness-64d37d1ed41d7a0a.d: tests/parser_robustness.rs
+
+/root/repo/target/debug/deps/parser_robustness-64d37d1ed41d7a0a: tests/parser_robustness.rs
+
+tests/parser_robustness.rs:

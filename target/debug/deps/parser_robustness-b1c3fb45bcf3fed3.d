@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_robustness-b1c3fb45bcf3fed3.d: tests/parser_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_robustness-b1c3fb45bcf3fed3.rmeta: tests/parser_robustness.rs Cargo.toml
+
+tests/parser_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

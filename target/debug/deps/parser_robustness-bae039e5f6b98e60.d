@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_robustness-bae039e5f6b98e60.d: tests/parser_robustness.rs
+
+/root/repo/target/debug/deps/parser_robustness-bae039e5f6b98e60: tests/parser_robustness.rs
+
+tests/parser_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_robustness-ec27bf0c36454edc.d: tests/parser_robustness.rs
+
+/root/repo/target/debug/deps/parser_robustness-ec27bf0c36454edc: tests/parser_robustness.rs
+
+tests/parser_robustness.rs:

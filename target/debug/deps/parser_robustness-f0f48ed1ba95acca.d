@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_robustness-f0f48ed1ba95acca.d: tests/parser_robustness.rs
+
+/root/repo/target/debug/deps/parser_robustness-f0f48ed1ba95acca: tests/parser_robustness.rs
+
+tests/parser_robustness.rs:

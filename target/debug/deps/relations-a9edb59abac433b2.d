@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/relations-a9edb59abac433b2.d: crates/bench/benches/relations.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelations-a9edb59abac433b2.rmeta: crates/bench/benches/relations.rs Cargo.toml
+
+crates/bench/benches/relations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

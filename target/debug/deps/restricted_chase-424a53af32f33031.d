@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/restricted_chase-424a53af32f33031.d: src/lib.rs
+
+/root/repo/target/debug/deps/librestricted_chase-424a53af32f33031.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librestricted_chase-424a53af32f33031.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restricted_chase-5fe9f8a2faf82b2b.d: src/lib.rs
+
+/root/repo/target/debug/deps/restricted_chase-5fe9f8a2faf82b2b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/restricted_chase-6071d87f3bbe7972.d: src/lib.rs
+
+/root/repo/target/debug/deps/librestricted_chase-6071d87f3bbe7972.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librestricted_chase-6071d87f3bbe7972.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/restricted_chase-67384f56b5acea94.d: src/lib.rs
+
+/root/repo/target/debug/deps/librestricted_chase-67384f56b5acea94.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librestricted_chase-67384f56b5acea94.rmeta: src/lib.rs
+
+src/lib.rs:

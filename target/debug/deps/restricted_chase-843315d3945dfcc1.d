@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/restricted_chase-843315d3945dfcc1.d: src/lib.rs
+
+/root/repo/target/debug/deps/librestricted_chase-843315d3945dfcc1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librestricted_chase-843315d3945dfcc1.rmeta: src/lib.rs
+
+src/lib.rs:

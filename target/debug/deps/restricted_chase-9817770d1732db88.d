@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/restricted_chase-9817770d1732db88.d: src/lib.rs
+
+/root/repo/target/debug/deps/librestricted_chase-9817770d1732db88.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librestricted_chase-9817770d1732db88.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/restricted_chase-aeaec7db3e7e0720.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librestricted_chase-aeaec7db3e7e0720.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

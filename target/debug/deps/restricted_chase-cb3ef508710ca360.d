@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restricted_chase-cb3ef508710ca360.d: src/lib.rs
+
+/root/repo/target/debug/deps/restricted_chase-cb3ef508710ca360: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restricted_chase-d2ec49049206b785.d: src/lib.rs
+
+/root/repo/target/debug/deps/restricted_chase-d2ec49049206b785: src/lib.rs
+
+src/lib.rs:

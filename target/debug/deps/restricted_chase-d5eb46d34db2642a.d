@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restricted_chase-d5eb46d34db2642a.d: src/lib.rs
+
+/root/repo/target/debug/deps/restricted_chase-d5eb46d34db2642a: src/lib.rs
+
+src/lib.rs:

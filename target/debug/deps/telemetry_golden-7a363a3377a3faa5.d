@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_golden-7a363a3377a3faa5.d: tests/telemetry_golden.rs
+
+/root/repo/target/debug/deps/telemetry_golden-7a363a3377a3faa5: tests/telemetry_golden.rs
+
+tests/telemetry_golden.rs:

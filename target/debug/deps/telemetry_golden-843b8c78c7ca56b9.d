@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_golden-843b8c78c7ca56b9.d: tests/telemetry_golden.rs
+
+/root/repo/target/debug/deps/telemetry_golden-843b8c78c7ca56b9: tests/telemetry_golden.rs
+
+tests/telemetry_golden.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_golden-9dbbe72f0981eed0.d: tests/telemetry_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_golden-9dbbe72f0981eed0.rmeta: tests/telemetry_golden.rs Cargo.toml
+
+tests/telemetry_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

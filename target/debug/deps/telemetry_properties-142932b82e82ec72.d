@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_properties-142932b82e82ec72.d: tests/telemetry_properties.rs
+
+/root/repo/target/debug/deps/telemetry_properties-142932b82e82ec72: tests/telemetry_properties.rs
+
+tests/telemetry_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_properties-cc0b2a2a62cb9ca9.d: tests/telemetry_properties.rs
+
+/root/repo/target/debug/deps/telemetry_properties-cc0b2a2a62cb9ca9: tests/telemetry_properties.rs
+
+tests/telemetry_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_properties-f5c06e33b3942688.d: tests/telemetry_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_properties-f5c06e33b3942688.rmeta: tests/telemetry_properties.rs Cargo.toml
+
+tests/telemetry_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

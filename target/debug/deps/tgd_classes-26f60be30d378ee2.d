@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tgd_classes-26f60be30d378ee2.d: crates/classes/src/lib.rs crates/classes/src/baselines.rs crates/classes/src/guarded.rs crates/classes/src/jointly_acyclic.rs crates/classes/src/profile.rs crates/classes/src/sticky.rs crates/classes/src/weakly_acyclic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtgd_classes-26f60be30d378ee2.rmeta: crates/classes/src/lib.rs crates/classes/src/baselines.rs crates/classes/src/guarded.rs crates/classes/src/jointly_acyclic.rs crates/classes/src/profile.rs crates/classes/src/sticky.rs crates/classes/src/weakly_acyclic.rs Cargo.toml
+
+crates/classes/src/lib.rs:
+crates/classes/src/baselines.rs:
+crates/classes/src/guarded.rs:
+crates/classes/src/jointly_acyclic.rs:
+crates/classes/src/profile.rs:
+crates/classes/src/sticky.rs:
+crates/classes/src/weakly_acyclic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tgd_classes-aa0c3e77525076d0.d: crates/classes/src/lib.rs crates/classes/src/baselines.rs crates/classes/src/guarded.rs crates/classes/src/jointly_acyclic.rs crates/classes/src/profile.rs crates/classes/src/sticky.rs crates/classes/src/weakly_acyclic.rs
+
+/root/repo/target/debug/deps/tgd_classes-aa0c3e77525076d0: crates/classes/src/lib.rs crates/classes/src/baselines.rs crates/classes/src/guarded.rs crates/classes/src/jointly_acyclic.rs crates/classes/src/profile.rs crates/classes/src/sticky.rs crates/classes/src/weakly_acyclic.rs
+
+crates/classes/src/lib.rs:
+crates/classes/src/baselines.rs:
+crates/classes/src/guarded.rs:
+crates/classes/src/jointly_acyclic.rs:
+crates/classes/src/profile.rs:
+crates/classes/src/sticky.rs:
+crates/classes/src/weakly_acyclic.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tgd_classes-ef4677e244da681c.d: crates/classes/src/lib.rs crates/classes/src/baselines.rs crates/classes/src/guarded.rs crates/classes/src/jointly_acyclic.rs crates/classes/src/profile.rs crates/classes/src/sticky.rs crates/classes/src/weakly_acyclic.rs
+
+/root/repo/target/debug/deps/libtgd_classes-ef4677e244da681c.rlib: crates/classes/src/lib.rs crates/classes/src/baselines.rs crates/classes/src/guarded.rs crates/classes/src/jointly_acyclic.rs crates/classes/src/profile.rs crates/classes/src/sticky.rs crates/classes/src/weakly_acyclic.rs
+
+/root/repo/target/debug/deps/libtgd_classes-ef4677e244da681c.rmeta: crates/classes/src/lib.rs crates/classes/src/baselines.rs crates/classes/src/guarded.rs crates/classes/src/jointly_acyclic.rs crates/classes/src/profile.rs crates/classes/src/sticky.rs crates/classes/src/weakly_acyclic.rs
+
+crates/classes/src/lib.rs:
+crates/classes/src/baselines.rs:
+crates/classes/src/guarded.rs:
+crates/classes/src/jointly_acyclic.rs:
+crates/classes/src/profile.rs:
+crates/classes/src/sticky.rs:
+crates/classes/src/weakly_acyclic.rs:

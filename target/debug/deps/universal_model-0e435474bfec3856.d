@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/universal_model-0e435474bfec3856.d: tests/universal_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniversal_model-0e435474bfec3856.rmeta: tests/universal_model.rs Cargo.toml
+
+tests/universal_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/universal_model-3d16f9a59e25c595.d: tests/universal_model.rs
+
+/root/repo/target/debug/deps/universal_model-3d16f9a59e25c595: tests/universal_model.rs
+
+tests/universal_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/universal_model-d8f87111c72b4f8e.d: tests/universal_model.rs
+
+/root/repo/target/debug/deps/universal_model-d8f87111c72b4f8e: tests/universal_model.rs
+
+tests/universal_model.rs:

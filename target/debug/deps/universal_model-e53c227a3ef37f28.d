@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/universal_model-e53c227a3ef37f28.d: tests/universal_model.rs
+
+/root/repo/target/debug/deps/universal_model-e53c227a3ef37f28: tests/universal_model.rs
+
+tests/universal_model.rs:

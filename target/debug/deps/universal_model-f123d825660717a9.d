@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/universal_model-f123d825660717a9.d: tests/universal_model.rs
+
+/root/repo/target/debug/deps/universal_model-f123d825660717a9: tests/universal_model.rs
+
+tests/universal_model.rs:

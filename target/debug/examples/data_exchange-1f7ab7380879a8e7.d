@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_exchange-1f7ab7380879a8e7.d: examples/data_exchange.rs
+
+/root/repo/target/debug/examples/data_exchange-1f7ab7380879a8e7: examples/data_exchange.rs
+
+examples/data_exchange.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_exchange-d707729234c56fa3.d: examples/data_exchange.rs
+
+/root/repo/target/debug/examples/data_exchange-d707729234c56fa3: examples/data_exchange.rs
+
+examples/data_exchange.rs:

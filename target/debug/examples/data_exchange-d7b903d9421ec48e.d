@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_exchange-d7b903d9421ec48e.d: examples/data_exchange.rs
+
+/root/repo/target/debug/examples/data_exchange-d7b903d9421ec48e: examples/data_exchange.rs
+
+examples/data_exchange.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_exchange-f58f50ef99f673ae.d: examples/data_exchange.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_exchange-f58f50ef99f673ae.rmeta: examples/data_exchange.rs Cargo.toml
+
+examples/data_exchange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_exchange-ffcb89f1a6578407.d: examples/data_exchange.rs
+
+/root/repo/target/debug/examples/data_exchange-ffcb89f1a6578407: examples/data_exchange.rs
+
+examples/data_exchange.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fairness_demo-137906063fade7e7.d: examples/fairness_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfairness_demo-137906063fade7e7.rmeta: examples/fairness_demo.rs Cargo.toml
+
+examples/fairness_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

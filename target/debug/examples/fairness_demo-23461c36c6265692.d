@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fairness_demo-23461c36c6265692.d: examples/fairness_demo.rs
+
+/root/repo/target/debug/examples/fairness_demo-23461c36c6265692: examples/fairness_demo.rs
+
+examples/fairness_demo.rs:

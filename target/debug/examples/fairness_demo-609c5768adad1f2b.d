@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fairness_demo-609c5768adad1f2b.d: examples/fairness_demo.rs
+
+/root/repo/target/debug/examples/fairness_demo-609c5768adad1f2b: examples/fairness_demo.rs
+
+examples/fairness_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fairness_demo-bc6741abccb92748.d: examples/fairness_demo.rs
+
+/root/repo/target/debug/examples/fairness_demo-bc6741abccb92748: examples/fairness_demo.rs
+
+examples/fairness_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fairness_demo-c1425153d9e84e70.d: examples/fairness_demo.rs
+
+/root/repo/target/debug/examples/fairness_demo-c1425153d9e84e70: examples/fairness_demo.rs
+
+examples/fairness_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ontology_reasoning-3ec2d72bea54b575.d: examples/ontology_reasoning.rs
+
+/root/repo/target/debug/examples/ontology_reasoning-3ec2d72bea54b575: examples/ontology_reasoning.rs
+
+examples/ontology_reasoning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ontology_reasoning-57db925bc61b5236.d: examples/ontology_reasoning.rs
+
+/root/repo/target/debug/examples/ontology_reasoning-57db925bc61b5236: examples/ontology_reasoning.rs
+
+examples/ontology_reasoning.rs:

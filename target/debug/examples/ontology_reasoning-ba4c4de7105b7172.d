@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ontology_reasoning-ba4c4de7105b7172.d: examples/ontology_reasoning.rs
+
+/root/repo/target/debug/examples/ontology_reasoning-ba4c4de7105b7172: examples/ontology_reasoning.rs
+
+examples/ontology_reasoning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ontology_reasoning-f6cd402f950dc843.d: examples/ontology_reasoning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libontology_reasoning-f6cd402f950dc843.rmeta: examples/ontology_reasoning.rs Cargo.toml
+
+examples/ontology_reasoning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

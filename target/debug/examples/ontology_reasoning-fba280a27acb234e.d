@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ontology_reasoning-fba280a27acb234e.d: examples/ontology_reasoning.rs
+
+/root/repo/target/debug/examples/ontology_reasoning-fba280a27acb234e: examples/ontology_reasoning.rs
+
+examples/ontology_reasoning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-124a3a7aba3f5173.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-124a3a7aba3f5173: examples/quickstart.rs
+
+examples/quickstart.rs:

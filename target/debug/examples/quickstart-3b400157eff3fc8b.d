@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3b400157eff3fc8b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3b400157eff3fc8b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-46505cb42a272f4e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-46505cb42a272f4e: examples/quickstart.rs
+
+examples/quickstart.rs:

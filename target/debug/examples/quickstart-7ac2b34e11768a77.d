@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7ac2b34e11768a77.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7ac2b34e11768a77: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/termination_portfolio-04a00a527d35d1dc.d: examples/termination_portfolio.rs
+
+/root/repo/target/debug/examples/termination_portfolio-04a00a527d35d1dc: examples/termination_portfolio.rs
+
+examples/termination_portfolio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/termination_portfolio-b981ce7a34c6aa46.d: examples/termination_portfolio.rs
+
+/root/repo/target/debug/examples/termination_portfolio-b981ce7a34c6aa46: examples/termination_portfolio.rs
+
+examples/termination_portfolio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/termination_portfolio-cb1b1e788e296651.d: examples/termination_portfolio.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtermination_portfolio-cb1b1e788e296651.rmeta: examples/termination_portfolio.rs Cargo.toml
+
+examples/termination_portfolio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/termination_portfolio-d47caf4700a54e3d.d: examples/termination_portfolio.rs
+
+/root/repo/target/debug/examples/termination_portfolio-d47caf4700a54e3d: examples/termination_portfolio.rs
+
+examples/termination_portfolio.rs:

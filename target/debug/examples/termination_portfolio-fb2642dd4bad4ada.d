@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/termination_portfolio-fb2642dd4bad4ada.d: examples/termination_portfolio.rs
+
+/root/repo/target/debug/examples/termination_portfolio-fb2642dd4bad4ada: examples/termination_portfolio.rs
+
+examples/termination_portfolio.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libchase_automata.rlib: /root/repo/crates/automata/src/buchi.rs /root/repo/crates/automata/src/lib.rs

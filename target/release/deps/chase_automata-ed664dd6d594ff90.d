@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/chase_automata-ed664dd6d594ff90.d: crates/automata/src/lib.rs crates/automata/src/buchi.rs
+
+/root/repo/target/release/deps/libchase_automata-ed664dd6d594ff90.rlib: crates/automata/src/lib.rs crates/automata/src/buchi.rs
+
+/root/repo/target/release/deps/libchase_automata-ed664dd6d594ff90.rmeta: crates/automata/src/lib.rs crates/automata/src/buchi.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/buchi.rs:

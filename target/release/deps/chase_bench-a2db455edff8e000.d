@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/chase_bench-a2db455edff8e000.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libchase_bench-a2db455edff8e000.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libchase_bench-a2db455edff8e000.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chase_engines-e6484520c42d9213.d: crates/bench/benches/chase_engines.rs
+
+/root/repo/target/release/deps/chase_engines-e6484520c42d9213: crates/bench/benches/chase_engines.rs
+
+crates/bench/benches/chase_engines.rs:

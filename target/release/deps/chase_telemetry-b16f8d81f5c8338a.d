@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/chase_telemetry-b16f8d81f5c8338a.d: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/event.rs crates/telemetry/src/observer.rs crates/telemetry/src/sinks.rs crates/telemetry/src/summary.rs
+
+/root/repo/target/release/deps/libchase_telemetry-b16f8d81f5c8338a.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/event.rs crates/telemetry/src/observer.rs crates/telemetry/src/sinks.rs crates/telemetry/src/summary.rs
+
+/root/repo/target/release/deps/libchase_telemetry-b16f8d81f5c8338a.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counters.rs crates/telemetry/src/event.rs crates/telemetry/src/observer.rs crates/telemetry/src/sinks.rs crates/telemetry/src/summary.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counters.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/observer.rs:
+crates/telemetry/src/sinks.rs:
+crates/telemetry/src/summary.rs:

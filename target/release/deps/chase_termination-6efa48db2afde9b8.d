@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/chase_termination-6efa48db2afde9b8.d: crates/termination/src/lib.rs crates/termination/src/common.rs crates/termination/src/guarded/mod.rs crates/termination/src/guarded/ajt.rs crates/termination/src/guarded/ajt_chaseable.rs crates/termination/src/guarded/sideatom.rs crates/termination/src/guarded/treeify.rs crates/termination/src/linear.rs crates/termination/src/orders.rs crates/termination/src/partitions.rs crates/termination/src/report.rs crates/termination/src/sticky/mod.rs crates/termination/src/sticky/witness.rs
+
+/root/repo/target/release/deps/libchase_termination-6efa48db2afde9b8.rlib: crates/termination/src/lib.rs crates/termination/src/common.rs crates/termination/src/guarded/mod.rs crates/termination/src/guarded/ajt.rs crates/termination/src/guarded/ajt_chaseable.rs crates/termination/src/guarded/sideatom.rs crates/termination/src/guarded/treeify.rs crates/termination/src/linear.rs crates/termination/src/orders.rs crates/termination/src/partitions.rs crates/termination/src/report.rs crates/termination/src/sticky/mod.rs crates/termination/src/sticky/witness.rs
+
+/root/repo/target/release/deps/libchase_termination-6efa48db2afde9b8.rmeta: crates/termination/src/lib.rs crates/termination/src/common.rs crates/termination/src/guarded/mod.rs crates/termination/src/guarded/ajt.rs crates/termination/src/guarded/ajt_chaseable.rs crates/termination/src/guarded/sideatom.rs crates/termination/src/guarded/treeify.rs crates/termination/src/linear.rs crates/termination/src/orders.rs crates/termination/src/partitions.rs crates/termination/src/report.rs crates/termination/src/sticky/mod.rs crates/termination/src/sticky/witness.rs
+
+crates/termination/src/lib.rs:
+crates/termination/src/common.rs:
+crates/termination/src/guarded/mod.rs:
+crates/termination/src/guarded/ajt.rs:
+crates/termination/src/guarded/ajt_chaseable.rs:
+crates/termination/src/guarded/sideatom.rs:
+crates/termination/src/guarded/treeify.rs:
+crates/termination/src/linear.rs:
+crates/termination/src/orders.rs:
+crates/termination/src/partitions.rs:
+crates/termination/src/report.rs:
+crates/termination/src/sticky/mod.rs:
+crates/termination/src/sticky/witness.rs:

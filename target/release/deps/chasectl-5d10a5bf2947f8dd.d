@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/chasectl-5d10a5bf2947f8dd.d: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+/root/repo/target/release/deps/chasectl-5d10a5bf2947f8dd: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-a7c4da89d41b6168.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a7c4da89d41b6168.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a7c4da89d41b6168.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/expreport-c967e30b19d4082a.d: crates/bench/src/bin/expreport.rs
+
+/root/repo/target/release/deps/expreport-c967e30b19d4082a: crates/bench/src/bin/expreport.rs
+
+crates/bench/src/bin/expreport.rs:

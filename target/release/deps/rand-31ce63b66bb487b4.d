@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-31ce63b66bb487b4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-31ce63b66bb487b4.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-31ce63b66bb487b4.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

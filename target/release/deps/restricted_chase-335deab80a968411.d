@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/restricted_chase-335deab80a968411.d: src/lib.rs
+
+/root/repo/target/release/deps/librestricted_chase-335deab80a968411.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librestricted_chase-335deab80a968411.rmeta: src/lib.rs
+
+src/lib.rs:

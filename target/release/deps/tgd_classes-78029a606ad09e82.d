@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tgd_classes-78029a606ad09e82.d: crates/classes/src/lib.rs crates/classes/src/baselines.rs crates/classes/src/guarded.rs crates/classes/src/jointly_acyclic.rs crates/classes/src/profile.rs crates/classes/src/sticky.rs crates/classes/src/weakly_acyclic.rs
+
+/root/repo/target/release/deps/libtgd_classes-78029a606ad09e82.rlib: crates/classes/src/lib.rs crates/classes/src/baselines.rs crates/classes/src/guarded.rs crates/classes/src/jointly_acyclic.rs crates/classes/src/profile.rs crates/classes/src/sticky.rs crates/classes/src/weakly_acyclic.rs
+
+/root/repo/target/release/deps/libtgd_classes-78029a606ad09e82.rmeta: crates/classes/src/lib.rs crates/classes/src/baselines.rs crates/classes/src/guarded.rs crates/classes/src/jointly_acyclic.rs crates/classes/src/profile.rs crates/classes/src/sticky.rs crates/classes/src/weakly_acyclic.rs
+
+crates/classes/src/lib.rs:
+crates/classes/src/baselines.rs:
+crates/classes/src/guarded.rs:
+crates/classes/src/jointly_acyclic.rs:
+crates/classes/src/profile.rs:
+crates/classes/src/sticky.rs:
+crates/classes/src/weakly_acyclic.rs:

@@ -5,8 +5,8 @@
 //! automaton is right.
 
 use proptest::prelude::*;
-use restricted_chase::prelude::*;
 use restricted_chase::engine::restricted::Strategy;
+use restricted_chase::prelude::*;
 use restricted_chase::termination::linear::decide_linear;
 
 /// Generates a random *linear* rule set (single body atom per rule).
@@ -161,8 +161,7 @@ fn guarded_portfolio_triple_check_on_linear_sweep() {
             continue;
         }
         let lin = decide_linear(&set, &vocab, &config);
-        let guarded =
-            restricted_chase::termination::guarded::decide_guarded(&set, &vocab, &config);
+        let guarded = restricted_chase::termination::guarded::decide_guarded(&set, &vocab, &config);
         if lin.is_unknown() || guarded.is_unknown() {
             continue;
         }

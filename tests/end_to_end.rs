@@ -60,8 +60,7 @@ fn ontology_is_certified_before_materialisation() {
 #[test]
 fn materialisation_and_certain_answers() {
     let mut vocab = Vocabulary::new();
-    let program =
-        parse_program(&format!("{ONTOLOGY}\n{}", facts(12)), &mut vocab).unwrap();
+    let program = parse_program(&format!("{ONTOLOGY}\n{}", facts(12)), &mut vocab).unwrap();
     let set = program.tgd_set(&vocab).unwrap();
     let run = RestrictedChase::new(&set)
         .strategy(Strategy::Fifo)

@@ -84,7 +84,9 @@ fn example_5_6_remote_side_parents() {
     let mut vocab = Vocabulary::new();
     let set = parse_tgds(src, &mut vocab).unwrap();
 
-    let with_s = parse_program("R(a,b). S(b,c).", &mut vocab).unwrap().database;
+    let with_s = parse_program("R(a,b). S(b,c).", &mut vocab)
+        .unwrap()
+        .database;
     let run = RestrictedChase::new(&set)
         .strategy(Strategy::Fifo)
         .run(&with_s, Budget::steps(100));

@@ -1,0 +1,66 @@
+//! Golden-file test for the JSONL event schema: the trace of a fixed
+//! two-step chase must match `tests/golden/intro_trace.jsonl` byte
+//! for byte. A failure means the wire format changed — regenerate the
+//! golden file deliberately (see the ignored `regenerate` test) and
+//! call the schema change out in review.
+
+use restricted_chase::engine::restricted::{Budget, Outcome, RestrictedChase, Strategy};
+use restricted_chase::prelude::*;
+use restricted_chase::telemetry::JsonlWriter;
+
+const GOLDEN_PATH: &str = "tests/golden/intro_trace.jsonl";
+
+/// The fixed workload: one existential rule feeding one full rule,
+/// FIFO, two steps — exercises every engine event kind
+/// deterministically.
+fn golden_trace() -> (Outcome, String) {
+    let mut vocab = Vocabulary::new();
+    let program = parse_program(
+        "A(a).
+         A(x) -> exists y. B(x,y).
+         B(u,v) -> A(v).",
+        &mut vocab,
+    )
+    .unwrap();
+    let set = program.tgd_set(&vocab).unwrap();
+    let mut writer = JsonlWriter::new(Vec::new());
+    let run = RestrictedChase::new(&set)
+        .strategy(Strategy::Fifo)
+        .run_observed(&program.database, Budget::steps(2), &mut writer);
+    let text = String::from_utf8(writer.finish().unwrap()).unwrap();
+    (run.outcome, text)
+}
+
+#[test]
+fn jsonl_trace_matches_golden_file() {
+    let (outcome, text) = golden_trace();
+    assert_eq!(outcome, Outcome::BudgetExhausted);
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
+    assert_eq!(
+        text, golden,
+        "JSONL event schema drifted from {GOLDEN_PATH}; if the change is intentional, \
+         regenerate with `cargo test --test telemetry_golden regenerate -- --ignored`"
+    );
+}
+
+#[test]
+fn every_trace_line_is_a_flat_json_object() {
+    let (_, text) = golden_trace();
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        assert!(line.starts_with("{\"event\":\""), "line: {line}");
+        assert!(line.ends_with('}'), "line: {line}");
+        // Flat objects only: no nesting in the schema.
+        assert!(!line.contains('['), "line: {line}");
+        assert_eq!(line.rfind('{'), Some(0), "nested object in line: {line}");
+    }
+}
+
+/// Regenerates the golden file. Run explicitly after a deliberate
+/// schema change: `cargo test --test telemetry_golden regenerate -- --ignored`.
+#[test]
+#[ignore]
+fn regenerate() {
+    let (_, text) = golden_trace();
+    std::fs::write(GOLDEN_PATH, text).unwrap();
+}

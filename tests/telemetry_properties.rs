@@ -1,0 +1,125 @@
+//! Counter-consistency properties of the telemetry layer: for every
+//! randomly generated workload, the counters aggregated by a
+//! [`CountingObserver`] must agree with the chase run's own account of
+//! what happened — the counters are derived data and may never drift
+//! from the run.
+
+use proptest::prelude::*;
+use restricted_chase::prelude::*;
+// `proptest::prelude` exports a `Strategy` trait that shadows the
+// chase engine's `Strategy` enum in glob imports; re-import explicitly.
+use restricted_chase::engine::restricted::Strategy;
+use restricted_chase::telemetry::{names, CountingObserver, Event, RecordingObserver};
+
+/// Parses a generated (rules, database) pair.
+fn build(seed: u64, db_seed: u64) -> (Vocabulary, TgdSet, Instance) {
+    let params = RandomTgdParams::default();
+    let rules = random_tgds(&params, seed);
+    let db = random_database(&params, 12, seed, db_seed);
+    let mut vocab = Vocabulary::new();
+    let program = parse_program(&format!("{rules}{db}"), &mut vocab).expect("generated input");
+    let set = program.tgd_set(&vocab).expect("generated set");
+    (vocab, set, program.database)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// The trigger-counter lattice: every applied trigger was found
+    /// active, every active or deactivated trigger was checked, and
+    /// the checked count splits exactly into active + deactivated.
+    /// At most one active trigger is abandoned (budget exhaustion
+    /// strikes between the activeness check and the application).
+    #[test]
+    fn trigger_counters_are_consistent(seed in 0u64..5_000, db_seed in 0u64..5_000) {
+        let (_vocab, set, db) = build(seed, db_seed);
+        let mut obs = CountingObserver::new();
+        let run = RestrictedChase::new(&set)
+            .strategy(Strategy::Fifo)
+            .run_observed(&db, Budget::new(300, 3_000), &mut obs);
+        let s = obs.summary();
+        let checked = s.counter(names::TRIGGERS_CHECKED).unwrap();
+        let active = s.counter(names::TRIGGERS_ACTIVE).unwrap();
+        let applied = s.counter(names::TRIGGERS_APPLIED).unwrap();
+        let deactivated = s.counter(names::TRIGGERS_DEACTIVATED).unwrap();
+        let discovered = s.counter(names::TRIGGERS_DISCOVERED).unwrap();
+        prop_assert!(applied <= active);
+        prop_assert!(active <= applied + 1, "one active trigger may hit the budget");
+        prop_assert_eq!(checked, active + deactivated);
+        prop_assert!(checked <= discovered);
+        prop_assert_eq!(applied, run.steps as u64);
+        // The instance grows by exactly the fresh insertions.
+        let fresh = s.counter(names::ATOMS_FRESH).unwrap();
+        prop_assert_eq!(run.instance.len() as u64, db.len() as u64 + fresh);
+        prop_assert!(fresh <= s.counter(names::ATOMS_INSERTED).unwrap());
+    }
+
+    /// For single-head TGDs an active trigger always inserts exactly
+    /// one fresh atom (the head is unsatisfied, so the produced atom
+    /// is new): final atoms = database atoms + applied steps.
+    #[test]
+    fn single_head_growth_matches_applied_steps(seed in 0u64..5_000, db_seed in 0u64..5_000) {
+        let (_vocab, set, db) = build(seed, db_seed);
+        prop_assume!(set.all_single_head());
+        let mut obs = CountingObserver::new();
+        let run = RestrictedChase::new(&set)
+            .strategy(Strategy::Fifo)
+            .run_observed(&db, Budget::new(300, 3_000), &mut obs);
+        let s = obs.summary();
+        prop_assert_eq!(run.instance.len(), db.len() + run.steps);
+        prop_assert_eq!(
+            s.counter(names::ATOMS_FRESH).unwrap(),
+            s.counter(names::TRIGGERS_APPLIED).unwrap()
+        );
+    }
+
+    /// FIFO queue-depth samples are exact: every sample equals
+    /// triggers discovered so far minus triggers popped (= checked) so
+    /// far, and a terminated run's last sample is zero.
+    #[test]
+    fn fifo_queue_depth_samples_are_consistent(seed in 0u64..5_000, db_seed in 0u64..5_000) {
+        let (_vocab, set, db) = build(seed, db_seed);
+        let mut rec = RecordingObserver::default();
+        let run = RestrictedChase::new(&set)
+            .strategy(Strategy::Fifo)
+            .run_observed(&db, Budget::new(300, 3_000), &mut rec);
+        let mut discovered = 0u64;
+        let mut checked = 0u64;
+        let mut last_depth = None;
+        for event in &rec.events {
+            match event {
+                Event::TriggerDiscovered { .. } => discovered += 1,
+                Event::TriggerChecked { .. } => checked += 1,
+                Event::QueueDepth { depth, .. } => {
+                    prop_assert_eq!(
+                        *depth,
+                        discovered - checked,
+                        "sample must equal pending trigger count"
+                    );
+                    last_depth = Some(*depth);
+                }
+                _ => {}
+            }
+        }
+        if run.outcome == Outcome::Terminated {
+            prop_assert_eq!(last_depth, Some(0), "terminated run drains its queue");
+        }
+    }
+
+    /// Observation is pure: the observed run returns exactly what the
+    /// unobserved run returns, event stream or not.
+    #[test]
+    fn observation_never_changes_the_run(seed in 0u64..5_000, db_seed in 0u64..5_000) {
+        let (_vocab, set, db) = build(seed, db_seed);
+        let engine = RestrictedChase::new(&set).strategy(Strategy::Fifo);
+        let plain = engine.run(&db, Budget::new(200, 2_000));
+        let mut obs = CountingObserver::new();
+        let observed = engine.run_observed(&db, Budget::new(200, 2_000), &mut obs);
+        prop_assert_eq!(plain.outcome, observed.outcome);
+        prop_assert_eq!(plain.steps, observed.steps);
+        prop_assert_eq!(plain.instance, observed.instance);
+    }
+}

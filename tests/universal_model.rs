@@ -3,10 +3,10 @@
 //! every model), the core is the minimal one, and certain-answer
 //! evaluation is invariant across variants.
 
-use restricted_chase::prelude::*;
-use restricted_chase::engine::restricted::Strategy;
 use restricted_chase::engine::query::ConjunctiveQuery;
+use restricted_chase::engine::restricted::Strategy;
 use restricted_chase::engine::universal::{core_of, is_core};
+use restricted_chase::prelude::*;
 
 /// Builds set + probe database for a suite entry.
 fn build_with_probe(entry: &SuiteEntry) -> (Vocabulary, TgdSet, Instance) {

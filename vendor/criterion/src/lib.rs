@@ -1,0 +1,238 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment of this repository has no network access, so
+//! the real `criterion` cannot be fetched. This stub implements the
+//! API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `sample_size`, `criterion_group!`,
+//! `criterion_main!` — with a plain wall-clock measurement loop: a
+//! warm-up, an iteration-count calibration, then `sample_size`
+//! timed samples whose median/min/max are printed per benchmark. It
+//! produces no HTML reports and does no statistical regression
+//! analysis, but the printed numbers are stable enough to compare
+//! runs by hand.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+/// Warm-up budget per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(120);
+
+/// The benchmark context handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; measurement is
+    /// eager, so there is nothing left to do).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate { iters: 1 },
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up + calibration: double the iteration count until one
+        // sample takes long enough to time reliably.
+        let warmup_start = Instant::now();
+        let mut iters = 1u64;
+        loop {
+            bencher.mode = Mode::Calibrate { iters };
+            f(&mut bencher);
+            if bencher.elapsed >= SAMPLE_TARGET || warmup_start.elapsed() >= WARMUP_TARGET {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        // Measured samples.
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.mode = Mode::Measure { iters };
+            f(&mut bencher);
+            per_iter.push(bencher.elapsed.as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{:<50} time: [{} {} {}]  ({} samples × {} iters)",
+            format!("{}/{}", self.name, id),
+            format_time(min),
+            format_time(median),
+            format_time(max),
+            self.sample_size,
+            iters,
+        );
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Calibrate { iters: u64 },
+    Measure { iters: u64 },
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, running it as many times as the current sampling
+    /// mode requires.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let iters = match self.mode {
+            Mode::Calibrate { iters } | Mode::Measure { iters } => iters,
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    let mut out = String::new();
+    let (value, unit) = if seconds >= 1.0 {
+        (seconds, "s")
+    } else if seconds >= 1e-3 {
+        (seconds * 1e3, "ms")
+    } else if seconds >= 1e-6 {
+        (seconds * 1e6, "µs")
+    } else {
+        (seconds * 1e9, "ns")
+    };
+    let _ = write!(out, "{value:.2} {unit}");
+    out
+}
+
+/// Collects benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_formats() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(format_time(2.5e-9 * 1.0), "2.50 ns");
+        assert_eq!(format_time(3.2e-3), "3.20 ms");
+    }
+}
