@@ -1,0 +1,207 @@
+//! `hotpath_report` — times the frozen seed engines against the
+//! optimised hot path on the macro workloads and writes a JSON report
+//! (`BENCH_hotpath.json` by default).
+//!
+//! Every row first re-verifies bit-identity (same steps, same final
+//! instance) between the engines being compared, so the speedups are
+//! speedups of the *same* computation.
+//!
+//! Usage:
+//!   cargo run --release -p chase-bench --bin hotpath_report
+//!   cargo run --release -p chase-bench --bin hotpath_report -- --smoke --out target/smoke.json
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use chase_bench::{closure_workload, existential_workload, fan_workload};
+use chase_core::instance::Instance;
+use chase_core::tgd::TgdSet;
+use chase_engine::driver::Parallelism;
+use chase_engine::oblivious::ObliviousChase;
+use chase_engine::restricted::{Budget, RestrictedChase};
+use chase_engine::seed::{SeedObliviousChase, SeedRestrictedChase};
+
+/// One seed-vs-optimised comparison on one workload.
+struct Row {
+    name: &'static str,
+    steps: usize,
+    atoms: usize,
+    seed_ns: u128,
+    opt_ns: u128,
+    par_ns: u128,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.seed_ns as f64 / self.opt_ns.max(1) as f64
+    }
+
+    fn par_speedup(&self) -> f64 {
+        self.seed_ns as f64 / self.par_ns.max(1) as f64
+    }
+}
+
+/// Median wall-clock nanoseconds over `runs` invocations of `f`.
+fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..runs.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn restricted_row(
+    name: &'static str,
+    set: &TgdSet,
+    db: &Instance,
+    budget: Budget,
+    runs: usize,
+) -> Row {
+    let seed_engine = SeedRestrictedChase::new(set);
+    let opt_engine = RestrictedChase::new(set).record_derivation(false);
+    let par_engine = RestrictedChase::new(set)
+        .record_derivation(false)
+        .parallelism(Parallelism::On);
+
+    let reference = seed_engine.run(db, budget);
+    for (label, run) in [
+        ("sequential", opt_engine.run(db, budget)),
+        ("parallel", par_engine.run(db, budget)),
+    ] {
+        assert_eq!(reference.steps, run.steps, "{name}/{label}: step mismatch");
+        assert_eq!(
+            reference.instance, run.instance,
+            "{name}/{label}: instance mismatch"
+        );
+    }
+
+    Row {
+        name,
+        steps: reference.steps,
+        atoms: reference.instance.len(),
+        seed_ns: median_ns(runs, || {
+            black_box(seed_engine.run(db, budget));
+        }),
+        opt_ns: median_ns(runs, || {
+            black_box(opt_engine.run(db, budget));
+        }),
+        par_ns: median_ns(runs, || {
+            black_box(par_engine.run(db, budget));
+        }),
+    }
+}
+
+fn oblivious_row(
+    name: &'static str,
+    set: &TgdSet,
+    db: &Instance,
+    budget: Budget,
+    runs: usize,
+) -> Row {
+    let seed_engine = SeedObliviousChase::new(set);
+    let opt_engine = ObliviousChase::new(set);
+    let par_engine = ObliviousChase::new(set).parallelism(Parallelism::On);
+
+    let reference = seed_engine.run(db, budget);
+    for (label, run) in [
+        ("sequential", opt_engine.run(db, budget)),
+        ("parallel", par_engine.run(db, budget)),
+    ] {
+        assert_eq!(reference.steps, run.steps, "{name}/{label}: step mismatch");
+        assert_eq!(
+            reference.instance, run.instance,
+            "{name}/{label}: instance mismatch"
+        );
+    }
+
+    Row {
+        name,
+        steps: reference.steps,
+        atoms: reference.instance.len(),
+        seed_ns: median_ns(runs, || {
+            black_box(seed_engine.run(db, budget));
+        }),
+        opt_ns: median_ns(runs, || {
+            black_box(opt_engine.run(db, budget));
+        }),
+        par_ns: median_ns(runs, || {
+            black_box(par_engine.run(db, budget));
+        }),
+    }
+}
+
+fn write_json(path: &str, mode: &str, rows: &[Row]) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(
+        "  \"generated_by\": \"cargo run --release -p chase-bench --bin hotpath_report\",\n",
+    );
+    out.push_str("  \"baseline\": \"seed engines (recursive matcher, Vec<Term> keys)\",\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"steps\": {}, \"atoms\": {}, \
+             \"seed_ns\": {}, \"optimised_ns\": {}, \"parallel_ns\": {}, \
+             \"speedup\": {:.2}, \"parallel_speedup\": {:.2}}}{}\n",
+            r.name,
+            r.steps,
+            r.atoms,
+            r.seed_ns,
+            r.opt_ns,
+            r.par_ns,
+            r.speedup(),
+            r.par_speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => panic!("unknown argument: {other} (expected --smoke / --out PATH)"),
+        }
+    }
+
+    let budget = Budget::steps(1_000_000);
+    let runs = if smoke { 1 } else { 5 };
+    let (cn, ce) = if smoke { (16, 40) } else { (48, 160) };
+    let (ew, ef) = if smoke { (3, 12) } else { (8, 60) };
+    let (fk, fn_, fe) = if smoke { (4, 16, 40) } else { (8, 64, 256) };
+
+    let (_v, cset, cdb) = closure_workload(cn, ce);
+    let (_v, eset, edb) = existential_workload(ew, ef);
+    let (_v, fset, fdb) = fan_workload(fk, fn_, fe);
+
+    let rows = vec![
+        restricted_row("closure_restricted", &cset, &cdb, budget, runs),
+        restricted_row("fan_restricted", &fset, &fdb, budget, runs),
+        restricted_row("existential_restricted", &eset, &edb, budget, runs),
+        oblivious_row("existential_oblivious", &eset, &edb, budget, runs),
+    ];
+
+    println!(
+        "hot-path report ({}):",
+        if smoke { "smoke" } else { "full" }
+    );
+    for r in &rows {
+        println!(
+            "  {:<24} steps={:<6} atoms={:<6} seed={:>10}ns opt={:>10}ns par={:>10}ns speedup={:.2}x par={:.2}x",
+            r.name, r.steps, r.atoms, r.seed_ns, r.opt_ns, r.par_ns, r.speedup(), r.par_speedup()
+        );
+    }
+
+    write_json(&out_path, if smoke { "smoke" } else { "full" }, &rows).expect("write report");
+    println!("wrote {out_path}");
+}

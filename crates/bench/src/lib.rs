@@ -32,6 +32,34 @@ pub fn closure_workload(nodes: usize, edges: usize) -> (Vocabulary, TgdSet, Inst
     setup_with_db("E(x,y), E(y,z) -> E(x,z).", &facts)
 }
 
+/// A fan-out workload: `k` full TGDs sharing the same join-heavy body,
+/// `E(x,y), E(y,z) -> C_i(x,z)`, over a random edge database. The seed
+/// discovery batch evaluates the same two-atom join once per rule, so
+/// it spreads well across the parallel driver's per-TGD workers.
+pub fn fan_workload(k: usize, nodes: usize, edges: usize) -> (Vocabulary, TgdSet, Instance) {
+    let mut rules = String::new();
+    for i in 0..k {
+        rules.push_str(&format!("E(x{i},y{i}), E(y{i},z{i}) -> C{i}(x{i},z{i}).\n"));
+    }
+    let facts = chase_workloads::families::edge_database("E", nodes, edges, 7);
+    setup_with_db(&rules, &facts)
+}
+
+/// An existential-head workload: the data-exchange family of width
+/// `width` (`S_i(x,y) → ∃z T_i(y,z)`, `T_i(u,v) → W_i(u)`) over
+/// `facts` source facts per `S_i` relation. Null invention and
+/// activeness checks dominate, unlike the join-heavy closure workload.
+pub fn existential_workload(width: usize, facts: usize) -> (Vocabulary, TgdSet, Instance) {
+    let rules = chase_workloads::families::data_exchange(width);
+    let mut db = String::new();
+    for i in 0..width {
+        for j in 0..facts {
+            db.push_str(&format!("S{i}(c{j},d{}). ", j % 7));
+        }
+    }
+    setup_with_db(&rules, &db)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,5 +69,19 @@ mod tests {
         let (_, set, db) = closure_workload(10, 20);
         assert_eq!(set.len(), 1);
         assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn fan_workload_builds() {
+        let (_, set, db) = fan_workload(4, 10, 20);
+        assert_eq!(set.len(), 4);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn existential_workload_builds() {
+        let (_, set, db) = existential_workload(3, 5);
+        assert_eq!(set.len(), 6);
+        assert_eq!(db.len(), 3 * 5);
     }
 }

@@ -6,10 +6,29 @@
 //! checking. Candidate atoms are fetched through the instance's
 //! inverted indexes when available; atoms are matched in a
 //! most-bound-first dynamic order.
+//!
+//! ## Hot-path architecture
+//!
+//! The matcher is *iterative*, not recursive: the choice-point stack
+//! lives in a reusable [`HomScratch`] arena (frames, candidate-slot
+//! buffer, remaining-pattern worklist), so steady-state matching
+//! performs **zero heap allocations** — every buffer reaches a
+//! high-water capacity and is reused across calls. Engines own a
+//! scratch and pass it to the `*_with` entry points; the plain entry
+//! points borrow one from a thread-local pool so the public API is
+//! unchanged.
+//!
+//! The original recursive matcher is preserved verbatim in
+//! [`reference`] as the executable specification: the iterative
+//! matcher enumerates homomorphisms in *exactly* the same order (same
+//! dynamic selection, same tie-breaks, same candidate ordering), which
+//! the equivalence test suite checks end-to-end through the engines.
 
+use std::cell::RefCell;
 use std::ops::ControlFlow;
 
 use crate::atom::Atom;
+use crate::ids::PredId;
 use crate::instance::Instance;
 use crate::subst::Binding;
 use crate::term::Term;
@@ -59,10 +78,14 @@ fn boundness(pattern: &Atom, binding: &Binding) -> usize {
         .count()
 }
 
-/// Fetches the slots of candidate atoms for `pattern` under `binding`.
-/// Uses the tightest single-position index available; falls back to
-/// the per-predicate list.
-fn candidate_slots<'i>(pattern: &Atom, binding: &Binding, instance: &'i Instance) -> &'i [usize] {
+/// Appends the slots of candidate atoms for `pattern` under `binding`
+/// to `out`. Uses the tightest single-position index available; falls
+/// back to the per-predicate list. Mirrors
+/// [`reference::candidate_slots`] exactly (same best-index selection,
+/// same ties), but copies into a reusable buffer instead of returning
+/// a borrowed slice, so choice points survive across frames without a
+/// per-node `to_vec`.
+fn push_candidates(pattern: &Atom, binding: &Binding, instance: &Instance, out: &mut Vec<usize>) {
     let mut best: Option<&[usize]> = None;
     for (i, term) in pattern.args.iter().enumerate() {
         let ground = match *term {
@@ -78,55 +101,204 @@ fn candidate_slots<'i>(pattern: &Atom, binding: &Binding, instance: &'i Instance
                 _ => best = Some(slots),
             }
             if slots.is_empty() {
-                return slots;
+                return;
             }
         }
     }
-    best.unwrap_or_else(|| instance.slots_with_pred(pattern.pred))
+    out.extend_from_slice(best.unwrap_or_else(|| instance.slots_with_pred(pattern.pred)));
 }
 
-fn search(
-    remaining: &mut Vec<&Atom>,
+/// One choice point of the iterative matcher: which pattern atom was
+/// selected at this depth, where its candidate slots live in the
+/// shared slot buffer, the enumeration cursor, and the binding mark of
+/// the unification currently being explored below this frame.
+#[derive(Debug, Clone, Copy, Default)]
+struct Frame {
+    pattern: u32,
+    slots_start: u32,
+    slots_len: u32,
+    cursor: u32,
+    mark: u32,
+}
+
+/// Reusable scratch arena for the iterative homomorphism search.
+///
+/// Holds the choice-point stack, the concatenated candidate-slot
+/// buffer, the remaining-pattern worklist, and a spare [`Binding`]
+/// used by the borrowing entry points ([`exists_homomorphism`],
+/// trigger enumeration). All buffers retain their capacity between
+/// runs, so a warmed scratch performs no heap allocation.
+#[derive(Debug)]
+pub struct HomScratch {
+    frames: Vec<Frame>,
+    slots: Vec<usize>,
+    remaining: Vec<u32>,
+    binding: Binding,
+    /// Reusable ground atom for the membership fast path of
+    /// [`exists_homomorphism_with`]; its argument buffer keeps its
+    /// capacity across probes.
+    probe: Atom,
+}
+
+impl Default for HomScratch {
+    fn default() -> Self {
+        HomScratch {
+            frames: Vec::new(),
+            slots: Vec::new(),
+            remaining: Vec::new(),
+            binding: Binding::new(),
+            probe: Atom::new(PredId(0), Vec::new()),
+        }
+    }
+}
+
+impl HomScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the spare binding out of the scratch (leaving an empty
+    /// one), so callers can seed and use it while the scratch itself
+    /// drives a search. Pair with [`HomScratch::put_binding`].
+    #[inline]
+    pub fn take_binding(&mut self) -> Binding {
+        std::mem::take(&mut self.binding)
+    }
+
+    /// Returns a binding taken via [`HomScratch::take_binding`],
+    /// preserving its capacity for the next reuse.
+    #[inline]
+    pub fn put_binding(&mut self, binding: Binding) {
+        self.binding = binding;
+    }
+
+    /// Selects the most-bound remaining pattern (first-max tie-break,
+    /// identical to the reference matcher), removes it from the
+    /// worklist and pushes a frame with its candidate slots.
+    fn push_node(&mut self, patterns: &[Atom], instance: &Instance, binding: &Binding) {
+        let mut best_idx = 0;
+        let mut best_score = 0;
+        for (i, &p) in self.remaining.iter().enumerate() {
+            let score = boundness(&patterns[p as usize], binding);
+            if i == 0 || score > best_score {
+                best_idx = i;
+                best_score = score;
+            }
+        }
+        let pattern = self.remaining.swap_remove(best_idx);
+        let start = self.slots.len();
+        push_candidates(
+            &patterns[pattern as usize],
+            binding,
+            instance,
+            &mut self.slots,
+        );
+        self.frames.push(Frame {
+            pattern,
+            slots_start: start as u32,
+            slots_len: (self.slots.len() - start) as u32,
+            cursor: 0,
+            mark: 0,
+        });
+    }
+}
+
+thread_local! {
+    /// Pool of scratch arenas for the borrowing entry points. A pool
+    /// (rather than a single slot) because matching re-enters: a
+    /// satisfaction check runs the matcher inside a matcher callback.
+    static SCRATCH_POOL: RefCell<Vec<HomScratch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a scratch arena borrowed from the thread-local pool.
+/// Re-entrant: nested calls borrow distinct arenas. Steady state pops
+/// and pushes a pooled arena without allocating.
+pub fn with_scratch<R>(f: impl FnOnce(&mut HomScratch) -> R) -> R {
+    let mut scratch = SCRATCH_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    let out = f(&mut scratch);
+    SCRATCH_POOL.with(|p| p.borrow_mut().push(scratch));
+    out
+}
+
+/// The iterative backtracking search. Replicates the enumeration
+/// order of [`reference::for_each_homomorphism`] exactly; see the
+/// module docs.
+fn search_iterative(
+    scratch: &mut HomScratch,
+    patterns: &[Atom],
     instance: &Instance,
     binding: &mut Binding,
     f: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
-    if remaining.is_empty() {
+    if patterns.is_empty() {
         return f(binding);
     }
-    // Pick the most-bound pattern atom (dynamic selectivity order).
-    let mut best_idx = 0;
-    let mut best_score = 0;
-    for (i, atom) in remaining.iter().enumerate() {
-        let score = boundness(atom, binding);
-        if i == 0 || score > best_score {
-            best_idx = i;
-            best_score = score;
-        }
-    }
-    let pattern = remaining.swap_remove(best_idx);
-    let slots: Vec<usize> = candidate_slots(pattern, binding, instance).to_vec();
-    for slot in slots {
-        let target = instance.atom(slot);
-        if let Some(mark) = unify_atom(pattern, target, binding) {
-            let flow = search(remaining, instance, binding, f);
-            binding.truncate(mark);
-            if flow.is_break() {
-                // `remaining` only needs to hold the same multiset of
-                // atoms on exit; position is irrelevant.
-                remaining.push(pattern);
-                return ControlFlow::Break(());
+    let base = binding.mark();
+    scratch.frames.clear();
+    scratch.slots.clear();
+    scratch.remaining.clear();
+    scratch.remaining.extend(0..patterns.len() as u32);
+    scratch.push_node(patterns, instance, binding);
+    loop {
+        // Advance the top frame to its next matching slot.
+        let fi = scratch.frames.len() - 1;
+        let mut descended = false;
+        loop {
+            let Frame {
+                pattern,
+                slots_start,
+                slots_len,
+                cursor,
+                ..
+            } = scratch.frames[fi];
+            if cursor >= slots_len {
+                break;
+            }
+            scratch.frames[fi].cursor += 1;
+            let slot = scratch.slots[(slots_start + cursor) as usize];
+            let pat = &patterns[pattern as usize];
+            if let Some(mark) = unify_atom(pat, instance.atom(slot), binding) {
+                if scratch.remaining.is_empty() {
+                    let flow = f(binding);
+                    binding.truncate(mark);
+                    if flow.is_break() {
+                        binding.truncate(base);
+                        return ControlFlow::Break(());
+                    }
+                } else {
+                    scratch.frames[fi].mark = mark as u32;
+                    scratch.push_node(patterns, instance, binding);
+                    descended = true;
+                    break;
+                }
             }
         }
+        if descended {
+            continue;
+        }
+        // Top frame exhausted: undo its selection and resume the parent.
+        let done = scratch.frames.pop().expect("frame stack non-empty");
+        scratch.remaining.push(done.pattern);
+        scratch.slots.truncate(done.slots_start as usize);
+        match scratch.frames.last() {
+            None => {
+                debug_assert_eq!(binding.mark(), base);
+                return ControlFlow::Continue(());
+            }
+            Some(parent) => binding.truncate(parent.mark as usize),
+        }
     }
-    remaining.push(pattern);
-    ControlFlow::Continue(())
 }
 
 /// Enumerates all homomorphisms from the conjunction `patterns` into
-/// `instance` that extend `binding`, invoking `f` for each. Stops
-/// early if `f` breaks. Returns the final flow.
-pub fn for_each_homomorphism(
+/// `instance` that extend `binding`, invoking `f` for each, using the
+/// caller's scratch arena (allocation-free once warmed). Stops early
+/// if `f` breaks. Returns the final flow.
+pub fn for_each_homomorphism_with(
+    scratch: &mut HomScratch,
     patterns: &[Atom],
     instance: &Instance,
     binding: &mut Binding,
@@ -138,15 +310,84 @@ pub fn for_each_homomorphism(
             return ControlFlow::Continue(());
         }
     }
-    let mut remaining: Vec<&Atom> = patterns.iter().collect();
-    search(&mut remaining, instance, binding, f)
+    search_iterative(scratch, patterns, instance, binding, f)
+}
+
+/// Enumerates all homomorphisms from the conjunction `patterns` into
+/// `instance` that extend `binding`, invoking `f` for each. Stops
+/// early if `f` breaks. Returns the final flow.
+///
+/// Borrows a scratch arena from the thread-local pool; engines hold
+/// their own arena and call [`for_each_homomorphism_with`] instead.
+pub fn for_each_homomorphism(
+    patterns: &[Atom],
+    instance: &Instance,
+    binding: &mut Binding,
+    f: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    with_scratch(|scratch| for_each_homomorphism_with(scratch, patterns, instance, binding, f))
+}
+
+/// Membership fast path for existence checks: when every pattern atom
+/// is fully ground under `binding`, a homomorphism exists iff each
+/// resolved atom is a member of the instance — one atom→slot hash
+/// probe per atom instead of a candidate scan. Returns `None` when
+/// some argument is an unbound variable, in which case the general
+/// search must run. The probe atom is scratch-owned, so the fast path
+/// allocates nothing once its argument buffer is warmed.
+fn exists_ground_fast(
+    scratch: &mut HomScratch,
+    patterns: &[Atom],
+    instance: &Instance,
+    binding: &Binding,
+) -> Option<bool> {
+    let probe = &mut scratch.probe;
+    for pat in patterns {
+        probe.pred = pat.pred;
+        probe.args.clear();
+        for t in &pat.args {
+            match *t {
+                Term::Var(v) => probe.args.push(binding.get(v)?),
+                ground => probe.args.push(ground),
+            }
+        }
+        if !instance.contains(probe) {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+/// Whether some homomorphism from `patterns` into `instance` extends
+/// `binding`, using the caller's scratch (allocation-free).
+///
+/// Existence does not care about enumeration order, so this entry
+/// point may (unlike the `for_each` family) take the ground membership
+/// fast path; the recursive [`reference::exists_homomorphism`] has no
+/// such path and remains the benchmark baseline.
+pub fn exists_homomorphism_with(
+    scratch: &mut HomScratch,
+    patterns: &[Atom],
+    instance: &Instance,
+    binding: &Binding,
+) -> bool {
+    if let Some(hit) = exists_ground_fast(scratch, patterns, instance, binding) {
+        return hit;
+    }
+    let mut b = scratch.take_binding();
+    b.copy_from(binding);
+    let out = for_each_homomorphism_with(scratch, patterns, instance, &mut b, &mut |_| {
+        ControlFlow::Break(())
+    })
+    .is_break();
+    scratch.put_binding(b);
+    out
 }
 
 /// Whether some homomorphism from `patterns` into `instance` extends
 /// `binding`.
 pub fn exists_homomorphism(patterns: &[Atom], instance: &Instance, binding: &Binding) -> bool {
-    let mut b = binding.clone();
-    for_each_homomorphism(patterns, instance, &mut b, &mut |_| ControlFlow::Break(())).is_break()
+    with_scratch(|scratch| exists_homomorphism_with(scratch, patterns, instance, binding))
 }
 
 /// Collects every homomorphism from `patterns` into `instance` as an
@@ -164,17 +405,27 @@ pub fn all_homomorphisms(patterns: &[Atom], instance: &Instance) -> Vec<Binding>
 
 /// Whether `instance |= tgd`: for every homomorphism `h` of the body,
 /// some extension of `h|fr` maps the head into the instance.
+///
+/// The head matcher is seeded with the *full* body homomorphism rather
+/// than a materialised `h|fr`: head atoms mention only frontier and
+/// existential variables, and TGD validation guarantees existentials
+/// are disjoint from body variables, so the extra entries are never
+/// consulted — same result, no allocation.
 pub fn satisfies(instance: &Instance, tgd: &Tgd) -> bool {
-    let mut binding = Binding::new();
-    let flow = for_each_homomorphism(tgd.body(), instance, &mut binding, &mut |h| {
-        let restricted = h.restricted_to(tgd.frontier());
-        if exists_homomorphism(tgd.head(), instance, &restricted) {
-            ControlFlow::Continue(())
-        } else {
-            ControlFlow::Break(())
-        }
-    });
-    flow.is_continue()
+    with_scratch(|outer| {
+        let mut binding = outer.take_binding();
+        binding.clear();
+        let flow =
+            for_each_homomorphism_with(outer, tgd.body(), instance, &mut binding, &mut |h| {
+                if exists_homomorphism(tgd.head(), instance, h) {
+                    ControlFlow::Continue(())
+                } else {
+                    ControlFlow::Break(())
+                }
+            });
+        outer.put_binding(binding);
+        flow.is_continue()
+    })
 }
 
 /// Whether `instance |= T` for every TGD in the set.
@@ -213,6 +464,111 @@ pub fn ground_homomorphism_exists(from: &Instance, to: &Instance) -> bool {
         })
         .collect();
     exists_homomorphism(&patterns, to, &Binding::new())
+}
+
+/// The pre-optimisation recursive matcher, kept verbatim as the
+/// executable specification of enumeration order and as the baseline
+/// for the hot-path benchmarks (`BENCH_hotpath.json`). Allocates a
+/// candidate-slot `Vec` per search node; do not use on hot paths.
+pub mod reference {
+    use super::{boundness, unify_atom};
+    use crate::atom::Atom;
+    use crate::instance::Instance;
+    use crate::subst::Binding;
+    use crate::term::Term;
+    use std::ops::ControlFlow;
+
+    /// Fetches the slots of candidate atoms for `pattern` under
+    /// `binding`. Uses the tightest single-position index available;
+    /// falls back to the per-predicate list.
+    pub(super) fn candidate_slots<'i>(
+        pattern: &Atom,
+        binding: &Binding,
+        instance: &'i Instance,
+    ) -> &'i [usize] {
+        let mut best: Option<&[usize]> = None;
+        for (i, term) in pattern.args.iter().enumerate() {
+            let ground = match *term {
+                Term::Var(v) => match binding.get(v) {
+                    Some(t) => t,
+                    None => continue,
+                },
+                t => t,
+            };
+            if let Some(slots) = instance.slots_with_pred_pos(pattern.pred, i, ground) {
+                match best {
+                    Some(b) if b.len() <= slots.len() => {}
+                    _ => best = Some(slots),
+                }
+                if slots.is_empty() {
+                    return slots;
+                }
+            }
+        }
+        best.unwrap_or_else(|| instance.slots_with_pred(pattern.pred))
+    }
+
+    fn search(
+        remaining: &mut Vec<&Atom>,
+        instance: &Instance,
+        binding: &mut Binding,
+        f: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if remaining.is_empty() {
+            return f(binding);
+        }
+        // Pick the most-bound pattern atom (dynamic selectivity order).
+        let mut best_idx = 0;
+        let mut best_score = 0;
+        for (i, atom) in remaining.iter().enumerate() {
+            let score = boundness(atom, binding);
+            if i == 0 || score > best_score {
+                best_idx = i;
+                best_score = score;
+            }
+        }
+        let pattern = remaining.swap_remove(best_idx);
+        let slots: Vec<usize> = candidate_slots(pattern, binding, instance).to_vec();
+        for slot in slots {
+            let target = instance.atom(slot);
+            if let Some(mark) = unify_atom(pattern, target, binding) {
+                let flow = search(remaining, instance, binding, f);
+                binding.truncate(mark);
+                if flow.is_break() {
+                    // `remaining` only needs to hold the same multiset of
+                    // atoms on exit; position is irrelevant.
+                    remaining.push(pattern);
+                    return ControlFlow::Break(());
+                }
+            }
+        }
+        remaining.push(pattern);
+        ControlFlow::Continue(())
+    }
+
+    /// Reference (recursive, allocating) homomorphism enumeration.
+    pub fn for_each_homomorphism(
+        patterns: &[Atom],
+        instance: &Instance,
+        binding: &mut Binding,
+        f: &mut dyn FnMut(&Binding) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        // Fast precheck: every pattern predicate must be populated.
+        for p in patterns {
+            if instance.slots_with_pred(p.pred).is_empty() {
+                return ControlFlow::Continue(());
+            }
+        }
+        let mut remaining: Vec<&Atom> = patterns.iter().collect();
+        search(&mut remaining, instance, binding, f)
+    }
+
+    /// Reference existence check (clones the seed binding).
+    pub fn exists_homomorphism(patterns: &[Atom], instance: &Instance, binding: &Binding) -> bool {
+        let mut b = binding.clone();
+        for_each_homomorphism(patterns, instance, &mut b, &mut |_| ControlFlow::Break(()))
+            .is_break()
+    }
 }
 
 #[cfg(test)]
@@ -351,5 +707,134 @@ mod tests {
         assert!(ground_homomorphism_exists(&from, &to));
         // but not the other way round: constants are rigid.
         assert!(!ground_homomorphism_exists(&to, &from));
+    }
+
+    /// The iterative matcher must enumerate the same homomorphisms in
+    /// the same order as the reference recursive matcher, on joins
+    /// with shared variables, constants and repeated variables.
+    #[test]
+    fn iterative_matches_reference_order() {
+        let mut inst = triangle();
+        inst.insert(atom(0, &[c(3), c(3)]));
+        inst.insert(atom(1, &[c(0)]));
+        let patterns_sets: Vec<Vec<Atom>> = vec![
+            vec![atom(0, &[v(0), v(1)])],
+            vec![atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])],
+            vec![
+                atom(0, &[v(0), v(1)]),
+                atom(0, &[v(1), v(2)]),
+                atom(1, &[v(0)]),
+            ],
+            vec![atom(0, &[v(0), v(0)])],
+            vec![atom(0, &[c(1), v(0)]), atom(0, &[v(0), v(1)])],
+        ];
+        for patterns in &patterns_sets {
+            let mut opt = Vec::new();
+            let mut bind = Binding::new();
+            let _ = for_each_homomorphism(patterns, &inst, &mut bind, &mut |b| {
+                opt.push(b.clone());
+                ControlFlow::Continue(())
+            });
+            let mut refr = Vec::new();
+            let mut bind = Binding::new();
+            let _ = reference::for_each_homomorphism(patterns, &inst, &mut bind, &mut |b| {
+                refr.push(b.clone());
+                ControlFlow::Continue(())
+            });
+            assert_eq!(opt, refr, "order diverged on {patterns:?}");
+        }
+    }
+
+    /// The ground membership fast path of `exists_homomorphism_with`
+    /// agrees with the reference search on ground, partially-ground
+    /// and unbound seeds.
+    #[test]
+    fn exists_fast_path_agrees_with_reference() {
+        let inst = triangle();
+        let mut scratch = HomScratch::new();
+        type Case = (Vec<Atom>, Vec<(u32, Term)>);
+        let cases: Vec<Case> = vec![
+            // Fully ground under the binding: present and absent.
+            (vec![atom(0, &[v(0), v(1)])], vec![(0, c(0)), (1, c(1))]),
+            (vec![atom(0, &[v(0), v(1)])], vec![(0, c(1)), (1, c(0))]),
+            // Two atoms, second one missing.
+            (
+                vec![atom(0, &[v(0), v(1)]), atom(1, &[v(1)])],
+                vec![(0, c(0)), (1, c(1))],
+            ),
+            (
+                vec![atom(0, &[v(0), v(1)]), atom(1, &[v(0)])],
+                vec![(0, c(0)), (1, c(1))],
+            ),
+            // Unbound variable: must fall back to the search.
+            (vec![atom(0, &[v(0), v(1)])], vec![(0, c(0))]),
+            (vec![atom(0, &[v(0), v(7)])], vec![(0, c(9))]),
+            // Empty conjunction is vacuously satisfied.
+            (vec![], vec![]),
+        ];
+        for (patterns, seed) in &cases {
+            let mut binding = Binding::new();
+            for &(var, t) in seed {
+                binding.push(crate::ids::VarId(var), t);
+            }
+            assert_eq!(
+                exists_homomorphism_with(&mut scratch, patterns, &inst, &binding),
+                reference::exists_homomorphism(patterns, &inst, &binding),
+                "diverged on {patterns:?} under {seed:?}"
+            );
+        }
+    }
+
+    /// Early break leaves a pre-seeded binding exactly as it was.
+    #[test]
+    fn break_restores_binding() {
+        let inst = triangle();
+        let mut binding = Binding::new();
+        binding.push(crate::ids::VarId(9), c(0));
+        let flow = for_each_homomorphism(
+            &[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])],
+            &inst,
+            &mut binding,
+            &mut |_| ControlFlow::Break(()),
+        );
+        assert!(flow.is_break());
+        assert_eq!(binding.len(), 1);
+        assert_eq!(binding.get(crate::ids::VarId(9)), Some(c(0)));
+    }
+
+    /// A scratch arena can be reused across searches of different
+    /// shapes without cross-talk.
+    #[test]
+    fn scratch_reuse_is_sound() {
+        let inst = triangle();
+        let mut scratch = HomScratch::new();
+        for _ in 0..3 {
+            let mut n = 0;
+            let mut b = Binding::new();
+            let _ = for_each_homomorphism_with(
+                &mut scratch,
+                &[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])],
+                &inst,
+                &mut b,
+                &mut |_| {
+                    n += 1;
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(n, 3);
+            let mut m = 0;
+            let mut b = Binding::new();
+            let _ = for_each_homomorphism_with(
+                &mut scratch,
+                &[atom(1, &[v(7)])],
+                &inst,
+                &mut b,
+                &mut |_| {
+                    m += 1;
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(m, 1);
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! ground atoms with inverted indexes for homomorphism search.
 
 use crate::atom::Atom;
-use crate::ids::{fx_map, fx_set, FxHashMap, FxHashSet, PredId};
+use crate::ids::{fx_map, fx_set, FxHashMap, PredId};
 use crate::term::Term;
 use crate::vocab::Vocabulary;
 
@@ -29,7 +29,7 @@ pub enum IndexMode {
 #[derive(Debug, Clone)]
 pub struct Instance {
     atoms: Vec<Atom>,
-    set: FxHashSet<Atom>,
+    slot_map: FxHashMap<Atom, usize>,
     by_pred: FxHashMap<PredId, Vec<usize>>,
     by_pos: FxHashMap<(PredId, u16, Term), Vec<usize>>,
     mode: IndexMode,
@@ -51,7 +51,7 @@ impl Instance {
     pub fn with_mode(mode: IndexMode) -> Self {
         Instance {
             atoms: Vec::new(),
-            set: fx_set(),
+            slot_map: fx_map(),
             by_pred: fx_map(),
             by_pos: fx_map(),
             mode,
@@ -78,14 +78,13 @@ impl Instance {
 
     /// Inserts an atom; returns its slot and whether it was new.
     ///
-    /// Duplicate inserts are no-ops returning the existing slot's
-    /// `(slot, false)`... actually, for simplicity and speed the
-    /// duplicate case returns `(usize::MAX, false)`; callers that need
-    /// the original slot use [`Instance::slot_of`].
+    /// Duplicate inserts are no-ops returning the *existing* slot as
+    /// `(slot, false)`, so callers never need a follow-up lookup to
+    /// identify the atom they just presented.
     pub fn insert(&mut self, atom: Atom) -> (usize, bool) {
         debug_assert!(atom.is_ground(), "instances hold ground atoms only");
-        if self.set.contains(&atom) {
-            return (usize::MAX, false);
+        if let Some(&existing) = self.slot_map.get(&atom) {
+            return (existing, false);
         }
         let slot = self.atoms.len();
         self.by_pred.entry(atom.pred).or_default().push(slot);
@@ -97,7 +96,7 @@ impl Instance {
                     .push(slot);
             }
         }
-        self.set.insert(atom.clone());
+        self.slot_map.insert(atom.clone(), slot);
         self.atoms.push(atom);
         (slot, true)
     }
@@ -105,17 +104,13 @@ impl Instance {
     /// Membership test.
     #[inline]
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.set.contains(atom)
+        self.slot_map.contains_key(atom)
     }
 
-    /// Finds the slot of an atom, if present (linear in the number of
-    /// atoms of its predicate).
+    /// Finds the slot of an atom, if present (one hash lookup).
+    #[inline]
     pub fn slot_of(&self, atom: &Atom) -> Option<usize> {
-        self.by_pred
-            .get(&atom.pred)?
-            .iter()
-            .copied()
-            .find(|&s| &self.atoms[s] == atom)
+        self.slot_map.get(atom).copied()
     }
 
     /// Number of atoms.
@@ -208,7 +203,8 @@ impl FromIterator<Atom> for Instance {
 impl PartialEq for Instance {
     /// Set equality (insertion order and index mode are irrelevant).
     fn eq(&self, other: &Self) -> bool {
-        self.set == other.set
+        self.slot_map.len() == other.slot_map.len()
+            && self.slot_map.keys().all(|a| other.slot_map.contains_key(a))
     }
 }
 impl Eq for Instance {}
@@ -237,10 +233,16 @@ mod tests {
         let mut inst = Instance::new();
         let a = atom(0, &[c(0), c(1)]);
         assert_eq!(inst.insert(a.clone()), (0, true));
-        assert!(!inst.insert(a.clone()).1);
-        assert_eq!(inst.len(), 1);
+        let b = atom(1, &[c(2)]);
+        assert_eq!(inst.insert(b.clone()), (1, true));
+        // Duplicate inserts return the real existing slot.
+        assert_eq!(inst.insert(a.clone()), (0, false));
+        assert_eq!(inst.insert(b.clone()), (1, false));
+        assert_eq!(inst.len(), 2);
         assert!(inst.contains(&a));
         assert_eq!(inst.slot_of(&a), Some(0));
+        assert_eq!(inst.slot_of(&b), Some(1));
+        assert_eq!(inst.slot_of(&atom(0, &[c(5), c(5)])), None);
     }
 
     #[test]

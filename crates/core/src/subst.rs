@@ -53,6 +53,23 @@ impl Binding {
         self.entries.truncate(mark);
     }
 
+    /// Removes every binding, keeping the allocated capacity (so a
+    /// reused binding allocates nothing in steady state).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Overwrites this binding with the contents of `other`, reusing
+    /// the existing allocation where capacity permits. Unlike
+    /// `*self = other.clone()`, this is allocation-free once the
+    /// capacity high-water mark is reached.
+    #[inline]
+    pub fn copy_from(&mut self, other: &Binding) {
+        self.entries.clear();
+        self.entries.extend_from_slice(&other.entries);
+    }
+
     /// Number of bound variables.
     pub fn len(&self) -> usize {
         self.entries.len()

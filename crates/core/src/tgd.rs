@@ -25,6 +25,12 @@ impl TgdId {
 }
 
 /// A tuple-generating dependency.
+///
+/// Beyond the syntactic parts, a `Tgd` precomputes the layouts the
+/// chase hot path needs — the body variables in sorted order (trigger
+/// fingerprints, skolem keys) and one "body minus atom `i`" view per
+/// body atom (semi-naive delta matching) — so engines never sort or
+/// rebuild atom lists per trigger.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tgd {
     body: Vec<Atom>,
@@ -32,6 +38,8 @@ pub struct Tgd {
     frontier: Vec<VarId>,
     existentials: Vec<VarId>,
     body_vars: Vec<VarId>,
+    sorted_body_vars: Vec<VarId>,
+    body_minus: Vec<Vec<Atom>>,
 }
 
 impl Tgd {
@@ -79,12 +87,25 @@ impl Tgd {
         }
         frontier.sort();
         existentials.sort();
+        let mut sorted_body_vars = body_vars.clone();
+        sorted_body_vars.sort();
+        let body_minus: Vec<Vec<Atom>> = (0..body.len())
+            .map(|i| {
+                body.iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, a)| a.clone())
+                    .collect()
+            })
+            .collect();
         Ok(Tgd {
             body,
             head,
             frontier,
             existentials,
             body_vars,
+            sorted_body_vars,
+            body_minus,
         })
     }
 
@@ -131,6 +152,22 @@ impl Tgd {
     #[inline]
     pub fn body_vars(&self) -> &[VarId] {
         &self.body_vars
+    }
+
+    /// All body variables, sorted — the canonical variable order used
+    /// by trigger fingerprints and skolem keys. Precomputed at
+    /// construction so hot paths never sort.
+    #[inline]
+    pub fn sorted_body_vars(&self) -> &[VarId] {
+        &self.sorted_body_vars
+    }
+
+    /// The body with the atom at position `i` removed, in original
+    /// order — the "rest of the body" completed against the instance
+    /// during semi-naive delta matching. Precomputed at construction.
+    #[inline]
+    pub fn body_without(&self, i: usize) -> &[Atom] {
+        &self.body_minus[i]
     }
 
     /// Whether `v` is existentially quantified in this TGD.
@@ -365,6 +402,24 @@ mod tests {
         assert!(tgd.is_frontier(x));
         assert!(!tgd.is_frontier(y));
         assert!(tgd.is_existential(z));
+    }
+
+    #[test]
+    fn precomputed_layouts() {
+        let mut vocab = Vocabulary::new();
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.body("R", &[y, x]).unwrap();
+        b.body("S", &[x, z]).unwrap();
+        b.head("T", &[x]).unwrap();
+        let tgd = b.build().unwrap();
+        // Sorted variable layout is sorted, regardless of occurrence order.
+        let mut expect = tgd.body_vars().to_vec();
+        expect.sort();
+        assert_eq!(tgd.sorted_body_vars(), expect.as_slice());
+        // Body-minus views drop exactly one atom, preserving order.
+        assert_eq!(tgd.body_without(0), &tgd.body()[1..]);
+        assert_eq!(tgd.body_without(1), &tgd.body()[..1]);
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Batched, optionally parallel trigger discovery.
+//!
+//! The chase engines discover candidate triggers in batches: the seed
+//! batch (all triggers on the database) and, after each application,
+//! the delta batch (triggers whose body uses a newly inserted atom).
+//! This module evaluates a batch either sequentially or fanned out
+//! over [`std::thread::scope`] workers, partitioned round-robin by
+//! TGD.
+//!
+//! ## Determinism invariants
+//!
+//! Parallel discovery is **bit-identical** to sequential discovery:
+//!
+//! 1. Workers only *read* the instance; all mutation (seen-set
+//!    insertion, queue pushes, telemetry) happens on the driving
+//!    thread after the merge.
+//! 2. Every `(slot, TGD)` pair is enumerated wholly by one worker, in
+//!    the matcher's canonical order, so a stable sort of the combined
+//!    output by `(slot position, TGD id)` reproduces the exact
+//!    sequential discovery order regardless of scheduling or worker
+//!    count.
+//! 3. Workers may *pre-screen* activeness. The result is attached as
+//!    [`Discovered::inactive_hint`], never used to drop a trigger:
+//!    queue length and contents stay identical to the sequential run,
+//!    which keeps even the `Random` strategy reproducible. The hint is
+//!    sound to consume at pop time because inactivity is monotone —
+//!    instances only grow, so a trigger inactive at discovery time is
+//!    still inactive later. Unhinted triggers are re-checked
+//!    sequentially at apply time as usual.
+//!
+//! Worker scratches are allocated per batch, so the parallel path is
+//! *not* allocation-free — it trades allocations for cores and only
+//! engages above the engine's `parallel_threshold`.
+
+use chase_core::hom::exists_homomorphism_with;
+use chase_core::hom::HomScratch;
+use chase_core::ids::VarId;
+use chase_core::instance::Instance;
+use chase_core::tgd::{Tgd, TgdId, TgdSet};
+
+use crate::trigger::{
+    for_each_trigger_of_tgd_using_with, for_each_trigger_of_tgd_with, Trigger, TriggerFp,
+};
+use std::ops::ControlFlow;
+
+/// Whether a chase engine may fan trigger discovery out over threads.
+///
+/// `On` is observationally identical to `Off` — same final instance,
+/// same step count, same telemetry stream — by the invariants
+/// documented in [`crate::driver`]. It only changes wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded discovery (allocation-free steady state).
+    #[default]
+    Off,
+    /// Discovery batches above the engine's `parallel_threshold` are
+    /// evaluated by a scoped thread pool partitioned by TGD.
+    On,
+}
+
+/// Which variable layout identifies a trigger fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpVars {
+    /// All body variables in sorted order (restricted & oblivious).
+    SortedBody,
+    /// Frontier variables only (semi-oblivious identification).
+    Frontier,
+}
+
+impl FpVars {
+    /// The identifying variable slice of `tgd` under this layout.
+    #[inline]
+    pub fn of(self, tgd: &Tgd) -> &[VarId] {
+        match self {
+            FpVars::SortedBody => tgd.sorted_body_vars(),
+            FpVars::Frontier => tgd.frontier(),
+        }
+    }
+}
+
+/// One discovered candidate trigger, in canonical discovery order
+/// after the merge.
+#[derive(Debug, Clone)]
+pub struct Discovered {
+    /// The trigger itself (owned binding).
+    pub trigger: Trigger,
+    /// Its interned fingerprint under the batch's [`FpVars`] layout.
+    pub fp: TriggerFp,
+    /// `true` if a worker already proved the trigger inactive on the
+    /// instance it was discovered against. Sound to reuse later
+    /// (inactivity is monotone); `false` means "unknown, re-check".
+    pub inactive_hint: bool,
+}
+
+/// Sort key slot for the merge: position of the delta slot in the
+/// batch (0 for seed batches) and the TGD id.
+struct Keyed {
+    slot_ord: u32,
+    tgd: u32,
+    item: Discovered,
+}
+
+/// Enumerates one `(slot_ord, tgd)` cell into `out`. `slot` of `None`
+/// means full (seed) enumeration of the TGD.
+#[allow(clippy::too_many_arguments)]
+fn collect_cell(
+    scratch: &mut HomScratch,
+    probe: &mut HomScratch,
+    id: TgdId,
+    tgd: &Tgd,
+    instance: &Instance,
+    slot_ord: u32,
+    slot: Option<usize>,
+    vars: FpVars,
+    check_active: bool,
+    out: &mut Vec<Keyed>,
+) {
+    let mut visit = |id: TgdId, b: &chase_core::subst::Binding| {
+        let fp = TriggerFp::of(id, b, vars.of(tgd));
+        // Pre-screen: seed the head matcher with the full body
+        // binding (sound — see `Trigger::is_active`).
+        let inactive_hint =
+            check_active && exists_homomorphism_with(probe, tgd.head(), instance, b);
+        out.push(Keyed {
+            slot_ord,
+            tgd: id.0,
+            item: Discovered {
+                trigger: Trigger {
+                    tgd: id,
+                    binding: b.clone(),
+                },
+                fp,
+                inactive_hint,
+            },
+        });
+        ControlFlow::Continue(())
+    };
+    let _ = match slot {
+        Some(s) => for_each_trigger_of_tgd_using_with(scratch, id, tgd, instance, s, &mut visit),
+        None => for_each_trigger_of_tgd_with(scratch, id, tgd, instance, &mut visit),
+    };
+}
+
+/// Worker loop: enumerate every `(slot, tgd)` cell whose TGD index is
+/// congruent to `worker` modulo `workers`, slot-major then TGD-minor,
+/// so each worker's output is already in canonical order.
+fn worker_collect(
+    set: &TgdSet,
+    instance: &Instance,
+    slots: Option<&[usize]>,
+    vars: FpVars,
+    check_active: bool,
+    worker: usize,
+    workers: usize,
+) -> Vec<Keyed> {
+    let mut scratch = HomScratch::new();
+    let mut probe = HomScratch::new();
+    let mut out = Vec::new();
+    match slots {
+        None => {
+            for (idx, (id, tgd)) in set.iter().enumerate() {
+                if idx % workers != worker {
+                    continue;
+                }
+                collect_cell(
+                    &mut scratch,
+                    &mut probe,
+                    id,
+                    tgd,
+                    instance,
+                    0,
+                    None,
+                    vars,
+                    check_active,
+                    &mut out,
+                );
+            }
+        }
+        Some(slots) => {
+            for (ord, &slot) in slots.iter().enumerate() {
+                for (idx, (id, tgd)) in set.iter().enumerate() {
+                    if idx % workers != worker {
+                        continue;
+                    }
+                    collect_cell(
+                        &mut scratch,
+                        &mut probe,
+                        id,
+                        tgd,
+                        instance,
+                        ord as u32,
+                        Some(slot),
+                        vars,
+                        check_active,
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates a discovery batch in parallel and returns the discovered
+/// triggers in canonical (sequential) discovery order. `slots` of
+/// `None` requests the seed batch (full enumeration); otherwise the
+/// delta batch over the given new slots.
+pub fn collect_parallel(
+    set: &TgdSet,
+    instance: &Instance,
+    slots: Option<&[usize]>,
+    vars: FpVars,
+    check_active: bool,
+) -> Vec<Discovered> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(set.len())
+        .max(1);
+    let mut keyed: Vec<Keyed> = if workers == 1 {
+        worker_collect(set, instance, slots, vars, check_active, 0, 1)
+    } else {
+        let mut parts: Vec<Vec<Keyed>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        worker_collect(set, instance, slots, vars, check_active, w, workers)
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("discovery worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    };
+    // Each (slot_ord, tgd) cell lives wholly in one worker's output in
+    // matcher order; a stable sort on the cell key therefore restores
+    // the exact sequential discovery order.
+    keyed.sort_by_key(|k| (k.slot_ord, k.tgd));
+    keyed.into_iter().map(|k| k.item).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trigger::for_each_trigger_with;
+    use chase_core::parser::parse_program;
+    use chase_core::vocab::Vocabulary;
+
+    #[test]
+    fn parallel_seed_matches_sequential_order() {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(
+            "R(a,b). R(b,c). R(c,a). S(a).
+             R(x,y), R(y,z) -> exists w. R(z,w).
+             S(x) -> exists u. T(x,u).
+             R(x,y) -> S(y).",
+            &mut vocab,
+        )
+        .unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let par = collect_parallel(&set, &p.database, None, FpVars::SortedBody, true);
+        let mut seq = Vec::new();
+        let mut scratch = HomScratch::new();
+        let _ = for_each_trigger_with(&mut scratch, &set, &p.database, &mut |id, b| {
+            seq.push(Trigger {
+                tgd: id,
+                binding: b.clone(),
+            });
+            ControlFlow::Continue(())
+        });
+        assert_eq!(par.len(), seq.len());
+        for (d, t) in par.iter().zip(seq.iter()) {
+            assert_eq!(&d.trigger, t);
+            assert_eq!(d.fp, t.fingerprint(set.tgd(t.tgd)));
+            // Hint agrees with the definition of activeness.
+            assert_eq!(
+                d.inactive_hint,
+                !t.is_active(set.tgd(t.tgd), &p.database),
+                "hint diverged for {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_delta_matches_sequential_order() {
+        use crate::trigger::for_each_trigger_using_with;
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(
+            "R(a,b). R(b,c).
+             R(x,y), R(y,z) -> exists w. R(z,w).
+             R(x,y) -> S(y).",
+            &mut vocab,
+        )
+        .unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let mut inst = p.database.clone();
+        let r = vocab.lookup_pred("R").unwrap();
+        let c = vocab.constant("c");
+        let d = vocab.constant("d");
+        let (s1, _) = inst.insert(chase_core::atom::Atom::new(
+            r,
+            vec![
+                chase_core::term::Term::Const(c),
+                chase_core::term::Term::Const(d),
+            ],
+        ));
+        let slots = [s1];
+        let par = collect_parallel(&set, &inst, Some(&slots), FpVars::SortedBody, false);
+        let mut seq = Vec::new();
+        let mut scratch = HomScratch::new();
+        for &slot in &slots {
+            let _ = for_each_trigger_using_with(&mut scratch, &set, &inst, slot, &mut |id, b| {
+                seq.push(Trigger {
+                    tgd: id,
+                    binding: b.clone(),
+                });
+                ControlFlow::Continue(())
+            });
+        }
+        assert_eq!(par.len(), seq.len());
+        for (d, t) in par.iter().zip(seq.iter()) {
+            assert_eq!(&d.trigger, t);
+            assert!(!d.inactive_hint, "check_active=false never hints");
+        }
+    }
+}

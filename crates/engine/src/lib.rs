@@ -14,7 +14,10 @@
 //! * [`fairness`] — the executable Fairness-Theorem construction;
 //! * [`critical`] — the critical database of the oblivious chase;
 //! * [`derivation`] — recorded derivations, replay and validation;
-//! * [`trigger`] / [`skolem`] — triggers, activeness, null invention.
+//! * [`trigger`] / [`skolem`] — triggers, activeness, null invention;
+//! * [`driver`] — batched, optionally parallel trigger discovery;
+//! * [`seed`] — frozen pre-optimisation engines (equivalence oracle
+//!   and benchmark baseline).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,12 +26,14 @@ pub mod chaseable;
 pub mod critical;
 pub mod derivation;
 pub mod dot;
+pub mod driver;
 pub mod fairness;
 pub mod oblivious;
 pub mod query;
 pub mod real_oblivious;
 pub mod relations;
 pub mod restricted;
+pub mod seed;
 pub mod skolem;
 pub mod trigger;
 pub mod universal;
@@ -41,13 +46,15 @@ pub mod prelude {
     pub use crate::critical::critical_database;
     pub use crate::derivation::{Derivation, DerivationFault, Step};
     pub use crate::dot::{derivation_to_dot, ochase_to_dot};
+    pub use crate::driver::Parallelism;
     pub use crate::fairness::{is_fair_within_horizon, persistently_active, repair, RepairOutcome};
     pub use crate::oblivious::{ObliviousChase, ObliviousRun};
     pub use crate::query::{contained_in, ConjunctiveQuery, QueryError};
     pub use crate::real_oblivious::{NodeId, OchaseLimits, OchaseNode, RealOchase};
     pub use crate::relations::{stops, OchaseRelations};
     pub use crate::restricted::{Budget, ChaseRun, Outcome, RestrictedChase, Strategy};
+    pub use crate::seed::{SeedObliviousChase, SeedRestrictedChase};
     pub use crate::skolem::{SkolemPolicy, SkolemTable};
-    pub use crate::trigger::{active_triggers, all_triggers, Trigger};
+    pub use crate::trigger::{active_triggers, all_triggers, Trigger, TriggerFp};
     pub use crate::universal::{core_of, is_core};
 }

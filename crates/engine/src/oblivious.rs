@@ -6,18 +6,26 @@
 //! variant identifies triggers that agree on the frontier. Both are
 //! used as baselines (E1, E8, E9) and as the substrate of the
 //! MFA-style termination check in `tgd-classes`.
+//!
+//! Like [`crate::restricted`], the loop identifies triggers by packed
+//! [`TriggerFp`] fingerprints (keyed on the frontier image under the
+//! semi-oblivious policy), enumerates deltas through a reused
+//! [`HomScratch`], and can fan discovery batches out over threads via
+//! [`Parallelism::On`] with bit-identical results.
 
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
 
+use chase_core::hom::HomScratch;
 use chase_core::ids::fx_set;
 use chase_core::instance::Instance;
 use chase_core::tgd::TgdSet;
 use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
 
+use crate::driver::{collect_parallel, FpVars, Parallelism};
 use crate::restricted::{Budget, Outcome};
 use crate::skolem::{SkolemPolicy, SkolemTable};
-use crate::trigger::{for_each_trigger, for_each_trigger_using, Trigger};
+use crate::trigger::{for_each_trigger_using_with, for_each_trigger_with, Trigger, TriggerFp};
 
 /// The result of an oblivious chase run.
 #[derive(Debug, Clone)]
@@ -36,6 +44,8 @@ pub struct ObliviousRun {
 pub struct ObliviousChase<'a> {
     set: &'a TgdSet,
     policy: SkolemPolicy,
+    parallelism: Parallelism,
+    parallel_threshold: usize,
 }
 
 impl<'a> ObliviousChase<'a> {
@@ -44,6 +54,8 @@ impl<'a> ObliviousChase<'a> {
         ObliviousChase {
             set,
             policy: SkolemPolicy::PerTrigger,
+            parallelism: Parallelism::Off,
+            parallel_threshold: 4096,
         }
     }
 
@@ -51,6 +63,34 @@ impl<'a> ObliviousChase<'a> {
     pub fn semi_oblivious(mut self) -> Self {
         self.policy = SkolemPolicy::PerFrontier;
         self
+    }
+
+    /// Enables or disables parallel trigger discovery. Results are
+    /// bit-identical either way; see [`crate::driver`].
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Minimum estimated batch work (batch rows × `|TGDs|`; instance
+    /// atoms for the seed batch, fresh atoms for a delta batch) before
+    /// a discovery batch is fanned out under [`Parallelism::On`].
+    pub fn parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    fn go_parallel(&self, batch_rows: usize) -> bool {
+        self.parallelism == Parallelism::On
+            && batch_rows.saturating_mul(self.set.len()) >= self.parallel_threshold
+    }
+
+    /// The fingerprint layout identifying triggers under the policy.
+    fn fp_vars(&self) -> FpVars {
+        match self.policy {
+            SkolemPolicy::PerTrigger => FpVars::SortedBody,
+            SkolemPolicy::PerFrontier => FpVars::Frontier,
+        }
     }
 
     /// Runs the chase on `database` within `budget`.
@@ -75,41 +115,44 @@ impl<'a> ObliviousChase<'a> {
             SkolemPolicy::PerTrigger => EngineKind::Oblivious,
             SkolemPolicy::PerFrontier => EngineKind::SemiOblivious,
         };
+        let vars = self.fp_vars();
         let mut instance = database.clone();
         let mut skolem = SkolemTable::above(
             self.policy,
             instance.iter().flat_map(|a| a.args.iter().copied()),
         );
         let mut queue: VecDeque<Trigger> = VecDeque::new();
-        let mut applied = fx_set();
+        let mut applied: chase_core::ids::FxHashSet<TriggerFp> = fx_set();
+        let mut enum_scratch = HomScratch::new();
 
-        // For the semi-oblivious chase, triggers are identified by
-        // their frontier image.
-        let key = |t: &Trigger, set: &TgdSet, policy: SkolemPolicy| {
-            let tgd = set.tgd(t.tgd);
-            match policy {
-                SkolemPolicy::PerTrigger => t.key(tgd),
-                SkolemPolicy::PerFrontier => (
-                    t.tgd,
-                    tgd.frontier()
-                        .iter()
-                        .map(|&v| t.binding.get(v).expect("frontier bound"))
-                        .collect(),
-                ),
+        if self.go_parallel(instance.len()) {
+            for d in collect_parallel(self.set, &instance, None, vars, false) {
+                if applied.insert(d.fp) {
+                    emit(obs, || Event::TriggerDiscovered {
+                        engine: engine_kind,
+                        tgd: d.trigger.tgd.0,
+                        step: 0,
+                    });
+                    queue.push_back(d.trigger);
+                }
             }
-        };
-
-        let _ = for_each_trigger(self.set, &instance, &mut |t| {
-            if applied.insert(key(&t, self.set, self.policy)) {
-                emit(obs, || Event::TriggerDiscovered {
-                    engine: engine_kind,
-                    tgd: t.tgd.0,
-                    step: 0,
-                });
-                queue.push_back(t);
-            }
-            ControlFlow::Continue(())
-        });
+        } else {
+            let _ = for_each_trigger_with(&mut enum_scratch, self.set, &instance, &mut |id, b| {
+                let fp = TriggerFp::of(id, b, vars.of(self.set.tgd(id)));
+                if applied.insert(fp) {
+                    emit(obs, || Event::TriggerDiscovered {
+                        engine: engine_kind,
+                        tgd: id.0,
+                        step: 0,
+                    });
+                    queue.push_back(Trigger {
+                        tgd: id,
+                        binding: b.clone(),
+                    });
+                }
+                ControlFlow::Continue(())
+            });
+        }
         emit(obs, || Event::QueueDepth {
             engine: engine_kind,
             step: 0,
@@ -117,6 +160,7 @@ impl<'a> ObliviousChase<'a> {
         });
 
         let mut steps = 0usize;
+        let mut new_slots: Vec<usize> = Vec::new();
         while let Some(trigger) = queue.pop_front() {
             if steps >= budget.max_steps || instance.len() >= budget.max_atoms {
                 return ObliviousRun {
@@ -130,7 +174,7 @@ impl<'a> ObliviousChase<'a> {
             let added = trigger.result(tgd, &mut skolem);
             let nulls_after = skolem.invented();
             steps += 1;
-            let mut new_slots = Vec::new();
+            new_slots.clear();
             let mut fresh_atoms = 0u32;
             for atom in added {
                 let pred = atom.pred.0;
@@ -160,18 +204,41 @@ impl<'a> ObliviousChase<'a> {
                 new_atoms: fresh_atoms,
                 new_nulls: nulls_after - nulls_before,
             });
-            for slot in new_slots {
-                let _ = for_each_trigger_using(self.set, &instance, slot, &mut |t| {
-                    if applied.insert(key(&t, self.set, self.policy)) {
+            if !new_slots.is_empty() && self.go_parallel(new_slots.len()) {
+                for d in collect_parallel(self.set, &instance, Some(&new_slots), vars, false) {
+                    if applied.insert(d.fp) {
                         emit(obs, || Event::TriggerDiscovered {
                             engine: engine_kind,
-                            tgd: t.tgd.0,
+                            tgd: d.trigger.tgd.0,
                             step: steps as u64,
                         });
-                        queue.push_back(t);
+                        queue.push_back(d.trigger);
                     }
-                    ControlFlow::Continue(())
-                });
+                }
+            } else {
+                for &slot in &new_slots {
+                    let _ = for_each_trigger_using_with(
+                        &mut enum_scratch,
+                        self.set,
+                        &instance,
+                        slot,
+                        &mut |id, b| {
+                            let fp = TriggerFp::of(id, b, vars.of(self.set.tgd(id)));
+                            if applied.insert(fp) {
+                                emit(obs, || Event::TriggerDiscovered {
+                                    engine: engine_kind,
+                                    tgd: id.0,
+                                    step: steps as u64,
+                                });
+                                queue.push_back(Trigger {
+                                    tgd: id,
+                                    binding: b.clone(),
+                                });
+                            }
+                            ControlFlow::Continue(())
+                        },
+                    );
+                }
             }
             emit(obs, || Event::QueueDepth {
                 engine: engine_kind,
@@ -297,5 +364,29 @@ mod tests {
             &r.instance,
             &o.instance
         ));
+    }
+
+    #[test]
+    fn parallel_oblivious_is_bit_identical() {
+        let src = "
+            R(a,b). R(b,c).
+            R(x,y) -> exists z. S(y,z).
+            S(u,v) -> exists w. R(v,w).
+        ";
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(src, &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        for semi in [false, true] {
+            let base = ObliviousChase::new(&set);
+            let base = if semi { base.semi_oblivious() } else { base };
+            let seq = base.clone().run(&p.database, Budget::steps(120));
+            let par = base
+                .parallelism(Parallelism::On)
+                .parallel_threshold(0)
+                .run(&p.database, Budget::steps(120));
+            assert_eq!(seq.outcome, par.outcome, "semi={semi}");
+            assert_eq!(seq.steps, par.steps, "semi={semi}");
+            assert_eq!(seq.instance, par.instance, "semi={semi}");
+        }
     }
 }

@@ -13,18 +13,31 @@
 //!   **unfair** infinite derivations — exactly the behaviour the
 //!   Fairness Theorem (Section 4) reasons about;
 //! * [`Strategy::Random`] samples uniformly (seeded, reproducible).
+//!
+//! ## Hot-path architecture
+//!
+//! The run loop owns two [`HomScratch`] arenas (one driving trigger
+//! enumeration, one probing activeness), identifies triggers by packed
+//! [`TriggerFp`] fingerprints, and enumerates delta triggers through
+//! the borrowing `*_with` entry points — steady-state discovery and
+//! activeness checking perform no heap allocation. With
+//! [`Parallelism::On`], discovery batches above `parallel_threshold`
+//! fan out over scoped threads; the merged result is bit-identical to
+//! the sequential run (see [`crate::driver`]).
 
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
 
+use chase_core::hom::HomScratch;
 use chase_core::ids::fx_set;
 use chase_core::instance::Instance;
 use chase_core::tgd::TgdSet;
 use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
 
 use crate::derivation::{Derivation, Step};
+use crate::driver::{collect_parallel, FpVars, Parallelism};
 use crate::skolem::{SkolemPolicy, SkolemTable};
-use crate::trigger::{for_each_trigger, for_each_trigger_using, Trigger};
+use crate::trigger::{for_each_trigger_using_with, for_each_trigger_with, Trigger, TriggerFp};
 
 /// Queue discipline for candidate triggers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,10 +48,12 @@ pub enum Strategy {
     Lifo,
     /// Uniform random choice with the given seed (xorshift64).
     Random(u64),
-    /// Always prefer triggers of the TGD with the smallest identifier
-    /// (newest such trigger first). Deliberately *unfair*: a
-    /// low-priority trigger can stay active forever — the behaviour
-    /// the Fairness Theorem (Section 4) repairs.
+    /// Always prefer triggers of the TGD with the smallest identifier,
+    /// newest such trigger first (per-TGD LIFO). Deliberately
+    /// *unfair*: a low-priority trigger can stay active forever — the
+    /// behaviour the Fairness Theorem (Section 4) repairs. Implemented
+    /// with per-TGD buckets and a min-bucket cursor, so popping is
+    /// O(1) amortised instead of a full queue scan.
     PriorityTgd,
 }
 
@@ -98,10 +113,10 @@ pub struct ChaseRun {
 /// A tiny deterministic xorshift64 PRNG, so the engine does not need a
 /// `rand` dependency for its `Random` strategy.
 #[derive(Debug, Clone)]
-struct XorShift64(u64);
+pub(crate) struct XorShift64(u64);
 
 impl XorShift64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         XorShift64(seed.max(1))
     }
 
@@ -117,11 +132,115 @@ impl XorShift64 {
     /// A uniform-ish index in `0..n`. Total: returns 0 for `n <= 1`
     /// (in particular it must not divide by zero for `n == 0`, which a
     /// naive modulo would).
-    fn below(&mut self, n: usize) -> usize {
+    pub(crate) fn below(&mut self, n: usize) -> usize {
         if n <= 1 {
             return 0;
         }
         (self.next() % n as u64) as usize
+    }
+}
+
+/// A queued candidate trigger plus the parallel prescreen verdict
+/// (`inactive_hint` is always `false` on the sequential path).
+#[derive(Debug, Clone)]
+struct Queued {
+    trigger: Trigger,
+    inactive_hint: bool,
+}
+
+/// Strategy-shaped trigger queue.
+///
+/// `Fifo`/`Lifo`/`Random` share a deque (with `Random` using the
+/// swap-to-front trick). `PriorityTgd` keeps one LIFO bucket per TGD
+/// plus a cursor to the smallest possibly-non-empty bucket: pushes are
+/// O(1), and the cursor only moves forward between pushes, making pops
+/// O(1) amortised — the old implementation scanned the whole queue on
+/// every pop.
+enum TriggerQueue {
+    Deque(VecDeque<Queued>),
+    Buckets {
+        buckets: Vec<Vec<Queued>>,
+        len: usize,
+        min: usize,
+    },
+}
+
+impl TriggerQueue {
+    fn new(strategy: Strategy, n_tgds: usize) -> Self {
+        match strategy {
+            Strategy::PriorityTgd => TriggerQueue::Buckets {
+                buckets: (0..n_tgds).map(|_| Vec::new()).collect(),
+                len: 0,
+                min: n_tgds,
+            },
+            _ => TriggerQueue::Deque(VecDeque::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            TriggerQueue::Deque(q) => q.len(),
+            TriggerQueue::Buckets { len, .. } => *len,
+        }
+    }
+
+    /// Enqueues a newly discovered trigger (newest position).
+    fn push(&mut self, q: Queued) {
+        match self {
+            TriggerQueue::Deque(d) => d.push_back(q),
+            TriggerQueue::Buckets { buckets, len, min } => {
+                let b = q.trigger.tgd.index();
+                *min = (*min).min(b);
+                buckets[b].push(q);
+                *len += 1;
+            }
+        }
+    }
+
+    /// Returns a popped-but-unapplied trigger to its pop position
+    /// (used when the budget runs out, so callers can inspect pending
+    /// work).
+    fn unpop(&mut self, q: Queued) {
+        match self {
+            TriggerQueue::Deque(d) => d.push_front(q),
+            TriggerQueue::Buckets { buckets, len, min } => {
+                let b = q.trigger.tgd.index();
+                *min = (*min).min(b);
+                buckets[b].push(q);
+                *len += 1;
+            }
+        }
+    }
+
+    fn pop(&mut self, strategy: Strategy, rng: &mut Option<XorShift64>) -> Option<Queued> {
+        match self {
+            TriggerQueue::Deque(queue) => {
+                if queue.is_empty() {
+                    return None;
+                }
+                match strategy {
+                    Strategy::Fifo => queue.pop_front(),
+                    Strategy::Lifo => queue.pop_back(),
+                    Strategy::Random(_) => {
+                        let rng = rng.as_mut().expect("rng initialised for Random strategy");
+                        let i = rng.below(queue.len());
+                        queue.swap(i, 0);
+                        queue.pop_front()
+                    }
+                    Strategy::PriorityTgd => unreachable!("PriorityTgd uses buckets"),
+                }
+            }
+            TriggerQueue::Buckets { buckets, len, min } => {
+                if *len == 0 {
+                    return None;
+                }
+                while buckets[*min].is_empty() {
+                    *min += 1;
+                }
+                *len -= 1;
+                buckets[*min].pop()
+            }
+        }
     }
 }
 
@@ -131,6 +250,8 @@ pub struct RestrictedChase<'a> {
     set: &'a TgdSet,
     strategy: Strategy,
     record: bool,
+    parallelism: Parallelism,
+    parallel_threshold: usize,
 }
 
 impl<'a> RestrictedChase<'a> {
@@ -141,6 +262,8 @@ impl<'a> RestrictedChase<'a> {
             set,
             strategy: Strategy::Fifo,
             record: true,
+            parallelism: Parallelism::Off,
+            parallel_threshold: 4096,
         }
     }
 
@@ -154,6 +277,30 @@ impl<'a> RestrictedChase<'a> {
     pub fn record_derivation(mut self, record: bool) -> Self {
         self.record = record;
         self
+    }
+
+    /// Enables or disables parallel trigger discovery. Results are
+    /// bit-identical either way; see [`crate::driver`].
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Minimum estimated batch work (batch rows × `|TGDs|`, where the
+    /// rows are the whole instance for the seed batch and the fresh
+    /// atoms for a delta batch) before a discovery batch is fanned out
+    /// under [`Parallelism::On`]. Defaults to 4096 — in practice the
+    /// seed batch over a large database parallelises while per-step
+    /// delta batches (a handful of fresh atoms) stay on the hot
+    /// sequential path. Set to 0 to force the parallel path (tests).
+    pub fn parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    fn go_parallel(&self, batch_rows: usize) -> bool {
+        self.parallelism == Parallelism::On
+            && batch_rows.saturating_mul(self.set.len()) >= self.parallel_threshold
     }
 
     /// Runs the restricted chase on `database` within `budget`.
@@ -177,25 +324,50 @@ impl<'a> RestrictedChase<'a> {
             SkolemPolicy::PerTrigger,
             instance.iter().flat_map(|a| a.args.iter().copied()),
         );
-        let mut queue: VecDeque<Trigger> = VecDeque::new();
-        let mut seen = fx_set();
+        let mut queue = TriggerQueue::new(self.strategy, self.set.len());
+        let mut seen: chase_core::ids::FxHashSet<TriggerFp> = fx_set();
         let mut rng = match self.strategy {
             Strategy::Random(seed) => Some(XorShift64::new(seed)),
             _ => None,
         };
+        let mut enum_scratch = HomScratch::new();
+        let mut active_scratch = HomScratch::new();
 
         // Seed: all triggers on the database.
-        let _ = for_each_trigger(self.set, &instance, &mut |t| {
-            if seen.insert(t.key(self.set.tgd(t.tgd))) {
-                emit(obs, || Event::TriggerDiscovered {
-                    engine: ENGINE,
-                    tgd: t.tgd.0,
-                    step: 0,
-                });
-                queue.push_back(t);
+        if self.go_parallel(instance.len()) {
+            for d in collect_parallel(self.set, &instance, None, FpVars::SortedBody, true) {
+                if seen.insert(d.fp) {
+                    emit(obs, || Event::TriggerDiscovered {
+                        engine: ENGINE,
+                        tgd: d.trigger.tgd.0,
+                        step: 0,
+                    });
+                    queue.push(Queued {
+                        trigger: d.trigger,
+                        inactive_hint: d.inactive_hint,
+                    });
+                }
             }
-            ControlFlow::Continue(())
-        });
+        } else {
+            let _ = for_each_trigger_with(&mut enum_scratch, self.set, &instance, &mut |id, b| {
+                let fp = TriggerFp::of(id, b, self.set.tgd(id).sorted_body_vars());
+                if seen.insert(fp) {
+                    emit(obs, || Event::TriggerDiscovered {
+                        engine: ENGINE,
+                        tgd: id.0,
+                        step: 0,
+                    });
+                    queue.push(Queued {
+                        trigger: Trigger {
+                            tgd: id,
+                            binding: b.clone(),
+                        },
+                        inactive_hint: false,
+                    });
+                }
+                ControlFlow::Continue(())
+            });
+        }
         emit(obs, || Event::QueueDepth {
             engine: ENGINE,
             step: 0,
@@ -204,9 +376,14 @@ impl<'a> RestrictedChase<'a> {
 
         let mut steps = 0usize;
         let mut derivation = Derivation::default();
-        while let Some(trigger) = self.pop(&mut queue, &mut rng) {
+        let mut new_slots: Vec<usize> = Vec::new();
+        while let Some(popped) = queue.pop(self.strategy, &mut rng) {
+            let trigger = popped.trigger;
             let tgd = self.set.tgd(trigger.tgd);
-            let active = trigger.is_active(tgd, &instance);
+            // A worker's inactive prescreen is sound to reuse:
+            // inactivity is monotone under instance growth.
+            let active = !popped.inactive_hint
+                && trigger.is_active_with(tgd, &instance, &mut active_scratch);
             emit(obs, || Event::TriggerChecked {
                 engine: ENGINE,
                 tgd: trigger.tgd.0,
@@ -223,7 +400,10 @@ impl<'a> RestrictedChase<'a> {
             }
             if steps >= budget.max_steps || instance.len() >= budget.max_atoms {
                 // Put it back so the caller can inspect pending work.
-                queue.push_front(trigger);
+                queue.unpop(Queued {
+                    trigger,
+                    inactive_hint: false,
+                });
                 return ChaseRun {
                     outcome: Outcome::BudgetExhausted,
                     instance,
@@ -234,7 +414,7 @@ impl<'a> RestrictedChase<'a> {
             let nulls_before = skolem.invented();
             let added = trigger.result(tgd, &mut skolem);
             let nulls_after = skolem.invented();
-            let mut new_slots = Vec::with_capacity(added.len());
+            new_slots.clear();
             let mut fresh_atoms = 0u32;
             for atom in &added {
                 let (slot, fresh) = instance.insert(atom.clone());
@@ -267,21 +447,57 @@ impl<'a> RestrictedChase<'a> {
             if self.record {
                 derivation.steps.push(Step {
                     trigger: trigger.clone(),
-                    added,
+                    added: added.clone(),
                 });
             }
-            for slot in new_slots {
-                let _ = for_each_trigger_using(self.set, &instance, slot, &mut |t| {
-                    if seen.insert(t.key(self.set.tgd(t.tgd))) {
+            // Delta discovery: only triggers using a fresh atom.
+            if !new_slots.is_empty() && self.go_parallel(new_slots.len()) {
+                for d in collect_parallel(
+                    self.set,
+                    &instance,
+                    Some(&new_slots),
+                    FpVars::SortedBody,
+                    true,
+                ) {
+                    if seen.insert(d.fp) {
                         emit(obs, || Event::TriggerDiscovered {
                             engine: ENGINE,
-                            tgd: t.tgd.0,
+                            tgd: d.trigger.tgd.0,
                             step: steps as u64,
                         });
-                        queue.push_back(t);
+                        queue.push(Queued {
+                            trigger: d.trigger,
+                            inactive_hint: d.inactive_hint,
+                        });
                     }
-                    ControlFlow::Continue(())
-                });
+                }
+            } else {
+                for &slot in &new_slots {
+                    let _ = for_each_trigger_using_with(
+                        &mut enum_scratch,
+                        self.set,
+                        &instance,
+                        slot,
+                        &mut |id, b| {
+                            let fp = TriggerFp::of(id, b, self.set.tgd(id).sorted_body_vars());
+                            if seen.insert(fp) {
+                                emit(obs, || Event::TriggerDiscovered {
+                                    engine: ENGINE,
+                                    tgd: id.0,
+                                    step: steps as u64,
+                                });
+                                queue.push(Queued {
+                                    trigger: Trigger {
+                                        tgd: id,
+                                        binding: b.clone(),
+                                    },
+                                    inactive_hint: false,
+                                });
+                            }
+                            ControlFlow::Continue(())
+                        },
+                    );
+                }
             }
             emit(obs, || Event::QueueDepth {
                 engine: ENGINE,
@@ -304,31 +520,6 @@ impl<'a> RestrictedChase<'a> {
             derivation,
         }
     }
-
-    fn pop(&self, queue: &mut VecDeque<Trigger>, rng: &mut Option<XorShift64>) -> Option<Trigger> {
-        if queue.is_empty() {
-            return None;
-        }
-        match self.strategy {
-            Strategy::Fifo => queue.pop_front(),
-            Strategy::Lifo => queue.pop_back(),
-            Strategy::Random(_) => {
-                let rng = rng.as_mut().expect("rng initialised for Random strategy");
-                let i = rng.below(queue.len());
-                queue.swap(i, 0);
-                queue.pop_front()
-            }
-            Strategy::PriorityTgd => {
-                let min_tgd = queue.iter().map(|t| t.tgd).min()?;
-                let i = queue
-                    .iter()
-                    .rposition(|t| t.tgd == min_tgd)
-                    .expect("min exists");
-                queue.swap(i, 0);
-                queue.pop_front()
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -336,6 +527,7 @@ mod tests {
     use super::*;
     use chase_core::hom::satisfies_all;
     use chase_core::parser::parse_program;
+    use chase_core::tgd::TgdId;
     use chase_core::vocab::Vocabulary;
 
     fn run(src: &str, strategy: Strategy, budget: Budget) -> (ChaseRun, TgdSet, Instance) {
@@ -394,7 +586,12 @@ mod tests {
             R(x,y) -> exists z. S(y,z).
             S(x,y) -> T(x).
         ";
-        for strategy in [Strategy::Fifo, Strategy::Lifo, Strategy::Random(7)] {
+        for strategy in [
+            Strategy::Fifo,
+            Strategy::Lifo,
+            Strategy::Random(7),
+            Strategy::PriorityTgd,
+        ] {
             let (run, set, _) = run(src, strategy, Budget::steps(1000));
             assert_eq!(run.outcome, Outcome::Terminated, "{strategy:?}");
             assert!(satisfies_all(&run.instance, &set));
@@ -512,5 +709,71 @@ mod tests {
         );
         assert_eq!(run.outcome, Outcome::BudgetExhausted);
         assert!(run.instance.len() <= 10);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical() {
+        use chase_telemetry::RecordingObserver;
+        let src = "
+            R(a,b). R(b,c). R(c,d).
+            R(x,y), R(y,z) -> exists w. R(z,w).
+            R(x,y) -> S(y).
+            S(x) -> exists u. T(x,u).
+        ";
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(src, &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        for strategy in [
+            Strategy::Fifo,
+            Strategy::Lifo,
+            Strategy::Random(99),
+            Strategy::PriorityTgd,
+        ] {
+            let budget = Budget::steps(40);
+            let seq = RestrictedChase::new(&set)
+                .strategy(strategy)
+                .run(&p.database, budget);
+            let mut seq_obs = RecordingObserver::default();
+            let _ = RestrictedChase::new(&set).strategy(strategy).run_observed(
+                &p.database,
+                budget,
+                &mut seq_obs,
+            );
+            let mut par_obs = RecordingObserver::default();
+            let par = RestrictedChase::new(&set)
+                .strategy(strategy)
+                .parallelism(Parallelism::On)
+                .parallel_threshold(0)
+                .run_observed(&p.database, budget, &mut par_obs);
+            assert_eq!(seq.outcome, par.outcome, "{strategy:?}");
+            assert_eq!(seq.steps, par.steps, "{strategy:?}");
+            assert_eq!(seq.instance, par.instance, "{strategy:?}");
+            assert_eq!(
+                seq.derivation.steps.len(),
+                par.derivation.steps.len(),
+                "{strategy:?}"
+            );
+            // Even the telemetry streams coincide.
+            assert_eq!(seq_obs.events, par_obs.events, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn priority_tgd_prefers_smallest_tgd_newest_first() {
+        // TGD 0 regenerates its own active trigger forever; TGD 1's
+        // trigger stays pending and is never chosen.
+        let src = "
+            R(a,b). S(c,d).
+            R(x,y) -> exists z. R(y,z).
+            S(x,y) -> exists z. S(y,z).
+        ";
+        let (run, _, _) = run(src, Strategy::PriorityTgd, Budget::steps(25));
+        assert_eq!(run.outcome, Outcome::BudgetExhausted);
+        // Every applied step was TGD 0.
+        assert!(run
+            .derivation
+            .steps
+            .iter()
+            .all(|s| s.trigger.tgd == TgdId(0)));
     }
 }

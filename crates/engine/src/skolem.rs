@@ -59,13 +59,9 @@ impl SkolemTable {
     /// images of all body variables (per-trigger) or frontier
     /// variables only (per-frontier), in sorted-variable order.
     fn key_terms(&self, tgd: &Tgd, binding: &Binding) -> Vec<Term> {
-        let vars: Vec<VarId> = match self.policy {
-            SkolemPolicy::PerTrigger => {
-                let mut vs = tgd.body_vars().to_vec();
-                vs.sort();
-                vs
-            }
-            SkolemPolicy::PerFrontier => tgd.frontier().to_vec(),
+        let vars: &[VarId] = match self.policy {
+            SkolemPolicy::PerTrigger => tgd.sorted_body_vars(),
+            SkolemPolicy::PerFrontier => tgd.frontier(),
         };
         vars.iter()
             .map(|&v| binding.get(v).unwrap_or(Term::Var(v)))

@@ -19,4 +19,7 @@ cargo test --offline -q
 echo "== cargo test -q --workspace =="
 cargo test --offline -q --workspace
 
+echo "== hot-path smoke report (seed vs optimised bit-identity + timing sanity) =="
+scripts/bench.sh smoke
+
 echo "All checks passed."

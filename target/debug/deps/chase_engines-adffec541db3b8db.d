@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chase_engines-adffec541db3b8db.d: crates/bench/benches/chase_engines.rs
+
+/root/repo/target/debug/deps/chase_engines-adffec541db3b8db: crates/bench/benches/chase_engines.rs
+
+crates/bench/benches/chase_engines.rs:

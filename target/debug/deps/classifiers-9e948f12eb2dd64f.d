@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classifiers-9e948f12eb2dd64f.d: crates/bench/benches/classifiers.rs
+
+/root/repo/target/debug/deps/classifiers-9e948f12eb2dd64f: crates/bench/benches/classifiers.rs
+
+crates/bench/benches/classifiers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deciders-c24e691e6f41736e.d: crates/bench/benches/deciders.rs
+
+/root/repo/target/debug/deps/deciders-c24e691e6f41736e: crates/bench/benches/deciders.rs
+
+crates/bench/benches/deciders.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-47a8ef4bffd1aecd.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-47a8ef4bffd1aecd: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

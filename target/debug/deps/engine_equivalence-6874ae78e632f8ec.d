@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_equivalence-6874ae78e632f8ec.d: tests/engine_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_equivalence-6874ae78e632f8ec.rmeta: tests/engine_equivalence.rs Cargo.toml
+
+tests/engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

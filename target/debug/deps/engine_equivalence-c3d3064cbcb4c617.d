@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-c3d3064cbcb4c617.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-c3d3064cbcb4c617: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

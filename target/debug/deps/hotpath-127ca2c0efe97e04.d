@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath-127ca2c0efe97e04.d: crates/bench/benches/hotpath.rs
+
+/root/repo/target/debug/deps/hotpath-127ca2c0efe97e04: crates/bench/benches/hotpath.rs
+
+crates/bench/benches/hotpath.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotpath-3f02dde5261dd33d.d: crates/bench/benches/hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotpath-3f02dde5261dd33d.rmeta: crates/bench/benches/hotpath.rs Cargo.toml
+
+crates/bench/benches/hotpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

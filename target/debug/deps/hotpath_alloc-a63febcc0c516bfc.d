@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotpath_alloc-a63febcc0c516bfc.d: crates/bench/tests/hotpath_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotpath_alloc-a63febcc0c516bfc.rmeta: crates/bench/tests/hotpath_alloc.rs Cargo.toml
+
+crates/bench/tests/hotpath_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

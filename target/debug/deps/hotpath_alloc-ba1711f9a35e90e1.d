@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath_alloc-ba1711f9a35e90e1.d: crates/bench/tests/hotpath_alloc.rs
+
+/root/repo/target/debug/deps/hotpath_alloc-ba1711f9a35e90e1: crates/bench/tests/hotpath_alloc.rs
+
+crates/bench/tests/hotpath_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath_alloc-cb5233b5cac7008c.d: crates/bench/tests/hotpath_alloc.rs
+
+/root/repo/target/debug/deps/hotpath_alloc-cb5233b5cac7008c: crates/bench/tests/hotpath_alloc.rs
+
+crates/bench/tests/hotpath_alloc.rs:

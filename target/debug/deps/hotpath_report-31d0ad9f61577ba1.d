@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath_report-31d0ad9f61577ba1.d: crates/bench/src/bin/hotpath_report.rs
+
+/root/repo/target/debug/deps/hotpath_report-31d0ad9f61577ba1: crates/bench/src/bin/hotpath_report.rs
+
+crates/bench/src/bin/hotpath_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath_report-3c1a07a7d0237e96.d: crates/bench/src/bin/hotpath_report.rs
+
+/root/repo/target/debug/deps/hotpath_report-3c1a07a7d0237e96: crates/bench/src/bin/hotpath_report.rs
+
+crates/bench/src/bin/hotpath_report.rs:

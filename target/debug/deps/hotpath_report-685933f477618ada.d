@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath_report-685933f477618ada.d: crates/bench/src/bin/hotpath_report.rs
+
+/root/repo/target/debug/deps/hotpath_report-685933f477618ada: crates/bench/src/bin/hotpath_report.rs
+
+crates/bench/src/bin/hotpath_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotpath_report-9bff3ea2d612a12a.d: crates/bench/src/bin/hotpath_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotpath_report-9bff3ea2d612a12a.rmeta: crates/bench/src/bin/hotpath_report.rs Cargo.toml
+
+crates/bench/src/bin/hotpath_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath_report-abe2697c6be3bedc.d: crates/bench/src/bin/hotpath_report.rs
+
+/root/repo/target/debug/deps/hotpath_report-abe2697c6be3bedc: crates/bench/src/bin/hotpath_report.rs
+
+crates/bench/src/bin/hotpath_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/relations-ccb50a698a8909bc.d: crates/bench/benches/relations.rs
+
+/root/repo/target/debug/deps/relations-ccb50a698a8909bc: crates/bench/benches/relations.rs
+
+crates/bench/benches/relations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotpath-ca2cc7efddc0b2f3.d: crates/bench/benches/hotpath.rs
+
+/root/repo/target/release/deps/hotpath-ca2cc7efddc0b2f3: crates/bench/benches/hotpath.rs
+
+crates/bench/benches/hotpath.rs:

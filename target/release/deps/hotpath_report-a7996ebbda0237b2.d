@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotpath_report-a7996ebbda0237b2.d: crates/bench/src/bin/hotpath_report.rs
+
+/root/repo/target/release/deps/hotpath_report-a7996ebbda0237b2: crates/bench/src/bin/hotpath_report.rs
+
+crates/bench/src/bin/hotpath_report.rs:
