@@ -53,7 +53,12 @@ pub fn oblivious_critical(
     let run = ObliviousChase::new(set).run(&db, budget);
     match run.outcome {
         Outcome::Terminated => CriterionOutcome::Holds { steps: run.steps },
-        Outcome::BudgetExhausted => CriterionOutcome::BudgetExhausted,
+        // Interrupted runs are unreachable under a plain `Budget`
+        // governor, but they carry the same meaning here: the chase
+        // was stopped before reaching a fixpoint, so nothing holds.
+        Outcome::BudgetExhausted | Outcome::DeadlineExceeded | Outcome::Cancelled => {
+            CriterionOutcome::BudgetExhausted
+        }
     }
 }
 
@@ -68,7 +73,12 @@ pub fn semi_oblivious_critical(
     let run = ObliviousChase::new(set).semi_oblivious().run(&db, budget);
     match run.outcome {
         Outcome::Terminated => CriterionOutcome::Holds { steps: run.steps },
-        Outcome::BudgetExhausted => CriterionOutcome::BudgetExhausted,
+        // Interrupted runs are unreachable under a plain `Budget`
+        // governor, but they carry the same meaning here: the chase
+        // was stopped before reaching a fixpoint, so nothing holds.
+        Outcome::BudgetExhausted | Outcome::DeadlineExceeded | Outcome::Cancelled => {
+            CriterionOutcome::BudgetExhausted
+        }
     }
 }
 

@@ -13,23 +13,40 @@
 //!
 //! `chase`, `oblivious` and `decide` additionally accept the telemetry
 //! flags `--trace <file.jsonl>` (stream every event as JSON Lines) and
-//! `--metrics` (print a counter/phase table after the run).
+//! `--metrics` (print a counter/phase table after the run), plus the
+//! resilience flags `--deadline-ms <N>` (wall-clock deadline) and — for
+//! the chase commands — `--cancel-after <N>` (cooperative cancellation
+//! after N steps, exercising the same path a signal handler would).
+//!
+//! ## Exit codes
+//!
+//! | code | meaning                                                |
+//! |------|--------------------------------------------------------|
+//! | 0    | success (including a decider's honest `Unknown`)       |
+//! | 1    | runtime failure (I/O, parse error, suite disagreement) |
+//! | 2    | usage error (unknown command/flag, malformed value)    |
+//! | 3    | chase stopped: budget exhausted                        |
+//! | 4    | stopped: wall-clock deadline exceeded                  |
+//! | 5    | stopped: cancelled                                     |
 //!
 //! Rule files contain TGDs and facts in the syntax of DESIGN.md §5.
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use chase_core::parser::parse_program;
 use chase_core::vocab::Vocabulary;
+use chase_engine::faults::FaultPlan;
+use chase_engine::governor::ResourceGovernor;
 use chase_engine::oblivious::ObliviousChase;
 use chase_engine::restricted::{Budget, Outcome, RestrictedChase, Strategy};
 use chase_telemetry::summary::format_nanos;
 use chase_telemetry::{
     time_phase, ChaseObserver, CountingObserver, Event, JsonlWriter, TelemetrySummary,
 };
-use chase_termination::{decide_observed, DeciderConfig};
+use chase_termination::{decide_observed, DeciderConfig, TerminationVerdict};
 use chase_workloads::runner::run_labelled_suite;
 use tgd_classes::profile::ClassProfile;
 
@@ -42,15 +59,49 @@ const DEFAULT_RANDOM_SEED: u64 = 0xC0FFEE;
 /// explicit `--steps` is always honoured verbatim.
 const DEFAULT_DOT_STEPS: usize = 200;
 
+/// Exit codes (documented in the module header and `usage`).
+const EXIT_FAILURE: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_BUDGET: u8 = 3;
+const EXIT_DEADLINE: u8 = 4;
+const EXIT_CANCELLED: u8 = 5;
+
+/// A CLI failure, split by who got it wrong: `Usage` is the caller's
+/// command line (exit code 2, with a usage hint); `Runtime` is
+/// everything else (exit code 1).
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Ok(code) => code,
+        Err(CliError::Usage(msg)) => {
             eprintln!("chasectl: {msg}");
-            ExitCode::FAILURE
+            eprintln!("{}", usage_hint());
+            ExitCode::from(EXIT_USAGE)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("chasectl: {msg}");
+            ExitCode::from(EXIT_FAILURE)
         }
     }
+}
+
+/// The one-line hint appended to every usage error.
+fn usage_hint() -> String {
+    "usage: chasectl <classify|chase|oblivious|decide|dot|suite|stats> [<file>] [options] \
+     (run 'chasectl help' for details)"
+        .to_string()
 }
 
 fn usage() -> String {
@@ -58,33 +109,109 @@ fn usage() -> String {
      options: --steps N     --strategy fifo|lifo|random|priority   --semi\n\
      \u{20}        --seed N      RNG seed for --strategy random (default 0xC0FFEE)\n\
      \u{20}        --trace F     write one JSON event per line to F (chase|oblivious|decide)\n\
-     \u{20}        --metrics     print counter/phase table (chase|oblivious|decide|suite)"
+     \u{20}        --metrics     print counter/phase table (chase|oblivious|decide|suite)\n\
+     \u{20}        --deadline-ms N  wall-clock deadline (chase|oblivious|decide)\n\
+     \u{20}        --cancel-after N cancel after N chase steps (chase|oblivious)\n\
+     exit codes: 0 ok, 1 runtime error, 2 usage error, 3 budget exhausted,\n\
+     \u{20}           4 deadline exceeded, 5 cancelled"
         .to_string()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Rejects any `--flag` not in the command's vocabulary, so a typo
+/// fails fast (exit code 2) instead of being silently ignored.
+/// `value_flags` consume the following argument; `switch_flags` stand
+/// alone.
+fn check_flags(
+    args: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<(), CliError> {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg.starts_with("--") {
+            if value_flags.contains(&arg) {
+                i += 2; // skip the value ("flag without value" is caught by flag_value
+                continue;
+            }
+            if switch_flags.contains(&arg) {
+                i += 1;
+                continue;
+            }
+            return Err(CliError::Usage(format!("unknown option '{arg}'")));
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
     let Some(command) = args.first() else {
-        return Err(usage());
+        return Err(CliError::Usage("missing command".into()));
     };
     match command.as_str() {
-        "suite" => cmd_suite(args.iter().any(|a| a == "--metrics")),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(ExitCode::SUCCESS)
+        }
+        "suite" => {
+            check_flags(&args[1..], &[], &["--metrics"])?;
+            cmd_suite(args.iter().any(|a| a == "--metrics"))?;
+            Ok(ExitCode::SUCCESS)
+        }
         "stats" => {
-            let path = args.get(1).ok_or_else(usage)?;
-            stats::cmd_stats(path)
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("stats requires a <trace.jsonl> file".into()))?;
+            check_flags(&args[2..], &[], &[])?;
+            stats::cmd_stats(path)?;
+            Ok(ExitCode::SUCCESS)
         }
         "classify" | "chase" | "oblivious" | "decide" | "dot" => {
-            let path = args.get(1).ok_or_else(usage)?;
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage(format!("{command} requires a rule <file>")))?;
+            let rest = &args[2..];
+            match command.as_str() {
+                "classify" => check_flags(rest, &[], &[])?,
+                "chase" => check_flags(
+                    rest,
+                    &[
+                        "--steps",
+                        "--strategy",
+                        "--seed",
+                        "--trace",
+                        "--deadline-ms",
+                        "--cancel-after",
+                    ],
+                    &["--metrics"],
+                )?,
+                "oblivious" => check_flags(
+                    rest,
+                    &["--steps", "--trace", "--deadline-ms", "--cancel-after"],
+                    &["--semi", "--metrics"],
+                )?,
+                "decide" => check_flags(rest, &["--trace", "--deadline-ms"], &["--metrics"])?,
+                "dot" => check_flags(rest, &["--steps"], &[])?,
+                _ => unreachable!(),
+            }
             let src =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let mut vocab = Vocabulary::new();
             let program = parse_program(&src, &mut vocab).map_err(|e| e.to_string())?;
             let set = program.tgd_set(&vocab).map_err(|e| e.to_string())?;
             let steps_flag = flag_value(args, "--steps")?
-                .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|e| CliError::Usage(format!("invalid --steps '{s}': {e}")))
+                })
                 .transpose()?;
             let steps = steps_flag.unwrap_or(10_000);
             match command.as_str() {
-                "classify" => cmd_classify(&set, &vocab),
+                "classify" => {
+                    cmd_classify(&set, &vocab)?;
+                    Ok(ExitCode::SUCCESS)
+                }
                 "chase" => {
                     let seed = match flag_value(args, "--seed")? {
                         Some(s) => Some(parse_seed(&s)?),
@@ -95,67 +222,146 @@ fn run(args: &[String]) -> Result<(), String> {
                         Some("lifo") => Strategy::Lifo,
                         Some("random") => Strategy::Random(seed.unwrap_or(DEFAULT_RANDOM_SEED)),
                         Some("priority") => Strategy::PriorityTgd,
-                        Some(other) => return Err(format!("unknown strategy '{other}'")),
+                        Some(other) => {
+                            return Err(CliError::Usage(format!("unknown strategy '{other}'")))
+                        }
                     };
                     if seed.is_some() && !matches!(strategy, Strategy::Random(_)) {
                         eprintln!("chasectl: note: --seed only affects --strategy random");
                     }
+                    let gov = governor_from_flags(args, steps)?;
                     let mut telemetry = CliTelemetry::from_args(args)?;
-                    cmd_chase(
+                    let outcome = cmd_chase(
                         &program.database,
                         &set,
                         &vocab,
                         strategy,
-                        steps,
+                        &gov,
                         &mut telemetry,
                     )?;
-                    telemetry.finish(true)
+                    telemetry.finish(true)?;
+                    Ok(ExitCode::from(outcome_exit(outcome)))
                 }
                 "oblivious" => {
+                    let gov = governor_from_flags(args, steps)?;
                     let mut telemetry = CliTelemetry::from_args(args)?;
-                    cmd_oblivious(
+                    let outcome = cmd_oblivious(
                         &program.database,
                         &set,
                         &vocab,
                         args.iter().any(|a| a == "--semi"),
-                        steps,
+                        &gov,
                         &mut telemetry,
                     )?;
-                    telemetry.finish(true)
+                    telemetry.finish(true)?;
+                    Ok(ExitCode::from(outcome_exit(outcome)))
                 }
                 "decide" => {
+                    let config = DeciderConfig {
+                        deadline: deadline_from_flags(args)?,
+                        ..DeciderConfig::default()
+                    };
                     let mut telemetry = CliTelemetry::from_args(args)?;
-                    cmd_decide(&set, &vocab, &mut telemetry)?;
+                    let verdict = cmd_decide(&set, &vocab, &config, &mut telemetry)?;
                     // `explain` already embedded the metrics table.
-                    telemetry.finish(false)
+                    telemetry.finish(false)?;
+                    Ok(ExitCode::from(verdict_exit(&verdict)))
                 }
-                "dot" => cmd_dot(&program.database, &set, &vocab, steps_flag),
+                "dot" => {
+                    cmd_dot(&program.database, &set, &vocab, steps_flag)?;
+                    Ok(ExitCode::SUCCESS)
+                }
                 _ => unreachable!(),
             }
         }
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
 }
 
 /// Looks up `flag`'s value. A flag present without a following value
 /// is an error, not a silent fallback to the default.
-fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) => match args.get(i + 1) {
             Some(v) => Ok(Some(v.clone())),
-            None => Err(format!("{flag} requires a value")),
+            None => Err(CliError::Usage(format!("{flag} requires a value"))),
         },
     }
 }
 
 /// Parses a `--seed` value, accepting decimal or `0x`-prefixed hex.
-fn parse_seed(s: &str) -> Result<u64, String> {
+fn parse_seed(s: &str) -> Result<u64, CliError> {
     let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         Some(hex) => u64::from_str_radix(hex, 16),
         None => s.parse::<u64>(),
     };
-    parsed.map_err(|e| format!("invalid --seed '{s}': {e}"))
+    parsed.map_err(|e| CliError::Usage(format!("invalid --seed '{s}': {e}")))
+}
+
+/// Parses `--deadline-ms` into a [`Duration`], if present.
+fn deadline_from_flags(args: &[String]) -> Result<Option<Duration>, CliError> {
+    flag_value(args, "--deadline-ms")?
+        .map(|s| {
+            s.parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|e| CliError::Usage(format!("invalid --deadline-ms '{s}': {e}")))
+        })
+        .transpose()
+}
+
+/// Builds the chase governor from `--deadline-ms` / `--cancel-after`
+/// plus the step budget. `--cancel-after` rides on the deterministic
+/// fault plan: it trips the governor's own cancellation token at the
+/// requested step, exactly as an external canceller would.
+fn governor_from_flags(args: &[String], steps: usize) -> Result<ResourceGovernor, CliError> {
+    let mut gov = ResourceGovernor::from_budget(Budget::steps(steps));
+    if let Some(deadline) = deadline_from_flags(args)? {
+        gov = gov.with_deadline_in(deadline);
+    }
+    if let Some(s) = flag_value(args, "--cancel-after")? {
+        let after = s
+            .parse::<usize>()
+            .map_err(|e| CliError::Usage(format!("invalid --cancel-after '{s}': {e}")))?;
+        gov = gov.with_faults(FaultPlan {
+            cancel_at_step: Some(after),
+            ..FaultPlan::default()
+        });
+    }
+    Ok(gov)
+}
+
+/// Human-readable label for a chase outcome.
+fn outcome_label(outcome: Outcome) -> &'static str {
+    match outcome {
+        Outcome::Terminated => "terminated",
+        Outcome::BudgetExhausted => "budget exhausted",
+        Outcome::DeadlineExceeded => "deadline exceeded",
+        Outcome::Cancelled => "cancelled",
+    }
+}
+
+/// The exit code a chase outcome maps to (module-header table).
+fn outcome_exit(outcome: Outcome) -> u8 {
+    match outcome {
+        Outcome::Terminated => 0,
+        Outcome::BudgetExhausted => EXIT_BUDGET,
+        Outcome::DeadlineExceeded => EXIT_DEADLINE,
+        Outcome::Cancelled => EXIT_CANCELLED,
+    }
+}
+
+/// The exit code a decider verdict maps to: deadline/cancellation
+/// `Unknown`s get the same distinct codes as interrupted chases; every
+/// genuine verdict (including other honest `Unknown`s) is success.
+fn verdict_exit(verdict: &TerminationVerdict) -> u8 {
+    match verdict {
+        TerminationVerdict::Unknown { reason } if reason.starts_with("deadline exceeded") => {
+            EXIT_DEADLINE
+        }
+        TerminationVerdict::Unknown { reason } if reason.starts_with("cancelled") => EXIT_CANCELLED,
+        _ => 0,
+    }
 }
 
 /// The telemetry sinks requested on the command line: an optional
@@ -170,7 +376,7 @@ struct CliTelemetry {
 }
 
 impl CliTelemetry {
-    fn from_args(args: &[String]) -> Result<Self, String> {
+    fn from_args(args: &[String]) -> Result<Self, CliError> {
         let trace = match flag_value(args, "--trace")? {
             Some(path) => {
                 let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
@@ -190,15 +396,25 @@ impl CliTelemetry {
         self.metrics.as_ref().map(CountingObserver::summary)
     }
 
-    /// Closes the trace file (surfacing any deferred I/O error) and,
-    /// when `print_metrics`, renders the `--metrics` table to stdout.
-    fn finish(self, print_metrics: bool) -> Result<(), String> {
+    /// Closes the trace file and, when `print_metrics`, renders the
+    /// `--metrics` table to stdout. Dropped trace events (sink write
+    /// failures) are a warning, not an error — the run they observed
+    /// completed fine; only a failing final flush is fatal.
+    fn finish(self, print_metrics: bool) -> Result<(), CliError> {
         if let Some((path, writer)) = self.trace {
             let events = writer.events_written();
+            let dropped = writer.io_errors();
+            let first_error = writer.first_error().map(|e| e.to_string());
             writer
                 .finish()
                 .map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("chasectl: trace: {events} event(s) written to {path}");
+            if dropped > 0 {
+                eprintln!(
+                    "chasectl: trace: warning: {dropped} event(s) dropped ({})",
+                    first_error.unwrap_or_else(|| "unknown write error".into())
+                );
+            }
         }
         if print_metrics {
             if let Some(metrics) = self.metrics {
@@ -246,27 +462,24 @@ fn cmd_chase(
     set: &chase_core::tgd::TgdSet,
     vocab: &Vocabulary,
     strategy: Strategy,
-    steps: usize,
+    gov: &ResourceGovernor,
     telemetry: &mut CliTelemetry,
-) -> Result<(), String> {
+) -> Result<Outcome, String> {
     let run = time_phase(telemetry, "chase", |obs| {
         RestrictedChase::new(set)
             .strategy(strategy)
-            .run_observed(db, Budget::steps(steps), obs)
+            .run_governed_observed(db, gov, obs)
     });
     println!(
         "restricted chase ({strategy:?}): {} after {} steps, {} atoms",
-        match run.outcome {
-            Outcome::Terminated => "terminated",
-            Outcome::BudgetExhausted => "budget exhausted",
-        },
+        outcome_label(run.outcome),
         run.steps,
         run.instance.len()
     );
     if run.instance.len() <= 50 {
         println!("{}", run.instance.display(vocab));
     }
-    Ok(())
+    Ok(run.outcome)
 }
 
 fn cmd_oblivious(
@@ -274,46 +487,44 @@ fn cmd_oblivious(
     set: &chase_core::tgd::TgdSet,
     vocab: &Vocabulary,
     semi: bool,
-    steps: usize,
+    gov: &ResourceGovernor,
     telemetry: &mut CliTelemetry,
-) -> Result<(), String> {
+) -> Result<Outcome, String> {
     let engine = if semi {
         ObliviousChase::new(set).semi_oblivious()
     } else {
         ObliviousChase::new(set)
     };
     let run = time_phase(telemetry, "chase", |obs| {
-        engine.run_observed(db, Budget::steps(steps), obs)
+        engine.run_governed_observed(db, gov, obs)
     });
     println!(
         "{} chase: {} after {} steps, {} atoms",
         if semi { "semi-oblivious" } else { "oblivious" },
-        match run.outcome {
-            Outcome::Terminated => "terminated",
-            Outcome::BudgetExhausted => "budget exhausted",
-        },
+        outcome_label(run.outcome),
         run.steps,
         run.instance.len()
     );
     if run.instance.len() <= 50 {
         println!("{}", run.instance.display(vocab));
     }
-    Ok(())
+    Ok(run.outcome)
 }
 
 fn cmd_decide(
     set: &chase_core::tgd::TgdSet,
     vocab: &Vocabulary,
+    config: &DeciderConfig,
     telemetry: &mut CliTelemetry,
-) -> Result<(), String> {
-    let verdict = decide_observed(set, vocab, &DeciderConfig::default(), telemetry);
+) -> Result<TerminationVerdict, String> {
+    let verdict = decide_observed(set, vocab, config, telemetry);
     let profile = ClassProfile::analyse(set, vocab, Budget::steps(20_000));
     let summary = telemetry.summary();
     print!(
         "{}",
         chase_termination::report::explain(&verdict, set, vocab, Some(&profile), summary.as_ref())
     );
-    Ok(())
+    Ok(verdict)
 }
 
 fn cmd_dot(

@@ -1,0 +1,179 @@
+//! Golden tests for `chasectl`'s exit codes and usage errors: every
+//! documented exit code is produced by a real invocation of the built
+//! binary, and every malformed command line fails with code 2 plus a
+//! one-line usage hint on stderr.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_chasectl");
+
+/// A non-terminating program (infinite restricted chase from `R(a,b)`).
+const INFINITE: &str = "R(a,b).\nR(x,y) -> exists z. R(y,z).\n";
+
+/// A terminating program: one application saturates it.
+const FINITE: &str = "R(a,b).\nR(x,y) -> S(x).\n";
+
+/// Writes a throwaway rule file; `name` keeps concurrent tests apart.
+fn rule_file(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "chasectl-golden-{}-{name}.rules",
+        std::process::id()
+    ));
+    std::fs::write(&path, contents).expect("write rules");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn chasectl")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Usage errors must carry the one-line hint so the fix is obvious.
+fn assert_usage_error(out: &Output, context: &str) {
+    assert_eq!(code(out), 2, "{context}: {}", stderr(out));
+    let err = stderr(out);
+    assert!(
+        err.lines().any(|l| l.starts_with("usage: chasectl")),
+        "{context}: no usage hint in {err:?}"
+    );
+}
+
+#[test]
+fn terminating_chase_exits_zero() {
+    let rules = rule_file("term", FINITE);
+    let out = run(&["chase", rules.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("terminated"));
+}
+
+#[test]
+fn budget_exhaustion_exits_three() {
+    let rules = rule_file("budget", INFINITE);
+    let out = run(&["chase", rules.to_str().unwrap(), "--steps", "5"]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("budget exhausted"));
+}
+
+#[test]
+fn expired_deadline_exits_four() {
+    let rules = rule_file("deadline", INFINITE);
+    let out = run(&["chase", rules.to_str().unwrap(), "--deadline-ms", "0"]);
+    assert_eq!(code(&out), 4, "{}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("deadline exceeded"));
+}
+
+#[test]
+fn cancel_after_exits_five() {
+    let rules = rule_file("cancel", INFINITE);
+    let out = run(&["chase", rules.to_str().unwrap(), "--cancel-after", "3"]);
+    assert_eq!(code(&out), 5, "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cancelled after 3 steps"), "{stdout}");
+}
+
+#[test]
+fn oblivious_honours_the_resilience_flags_too() {
+    let rules = rule_file("obl", INFINITE);
+    let out = run(&["oblivious", rules.to_str().unwrap(), "--deadline-ms", "0"]);
+    assert_eq!(code(&out), 4, "{}", stderr(&out));
+    let out = run(&[
+        "oblivious",
+        rules.to_str().unwrap(),
+        "--cancel-after",
+        "2",
+        "--semi",
+    ]);
+    assert_eq!(code(&out), 5, "{}", stderr(&out));
+}
+
+#[test]
+fn decide_with_expired_deadline_exits_four_with_honest_unknown() {
+    let rules = rule_file("decide-dl", INFINITE);
+    let out = run(&["decide", rules.to_str().unwrap(), "--deadline-ms", "0"]);
+    assert_eq!(code(&out), 4, "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("deadline exceeded"), "{stdout}");
+}
+
+#[test]
+fn decide_without_deadline_exits_zero() {
+    let rules = rule_file("decide", INFINITE);
+    let out = run(&["decide", rules.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+}
+
+#[test]
+fn runtime_errors_exit_one() {
+    let out = run(&["chase", "/no/such/file.rules"]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+    assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    assert_usage_error(&run(&["frobnicate"]), "unknown command");
+}
+
+#[test]
+fn missing_command_is_a_usage_error() {
+    assert_usage_error(&run(&[]), "no arguments");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let rules = rule_file("flags", FINITE);
+    let path = rules.to_str().unwrap();
+    assert_usage_error(&run(&["chase", path, "--stepz", "5"]), "typo'd flag");
+    assert_usage_error(
+        &run(&["decide", path, "--cancel-after", "3"]),
+        "flag of another command",
+    );
+    assert_usage_error(
+        &run(&["classify", path, "--metrics"]),
+        "flag classify lacks",
+    );
+}
+
+#[test]
+fn malformed_flag_values_are_usage_errors() {
+    let rules = rule_file("values", FINITE);
+    let path = rules.to_str().unwrap();
+    assert_usage_error(
+        &run(&["chase", path, "--deadline-ms", "soon"]),
+        "bad deadline",
+    );
+    assert_usage_error(
+        &run(&["chase", path, "--deadline-ms", "-5"]),
+        "negative deadline",
+    );
+    assert_usage_error(
+        &run(&["chase", path, "--strategy", "random", "--seed", "0xG"]),
+        "bad seed",
+    );
+    assert_usage_error(&run(&["chase", path, "--steps", "many"]), "bad steps");
+    assert_usage_error(
+        &run(&["chase", path, "--cancel-after"]),
+        "flag without value",
+    );
+}
+
+#[test]
+fn help_prints_the_exit_code_table() {
+    let out = run(&["help"]);
+    assert_eq!(code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--deadline-ms"), "{stdout}");
+    assert!(stdout.contains("--cancel-after"), "{stdout}");
+    assert!(stdout.contains("exit codes"), "{stdout}");
+}

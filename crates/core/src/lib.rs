@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod atom;
+pub mod cancel;
 pub mod eqtype;
 pub mod error;
 pub mod hom;
@@ -44,6 +45,7 @@ pub mod vocab;
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
     pub use crate::atom::{Atom, Position};
+    pub use crate::cancel::CancelToken;
     pub use crate::eqtype::{EqType, LabeledEqType};
     pub use crate::error::CoreError;
     pub use crate::hom::{

@@ -32,6 +32,7 @@
 //! *not* allocation-free — it trades allocations for cores and only
 //! engages above the engine's `parallel_threshold`.
 
+use chase_core::cancel::CancelToken;
 use chase_core::hom::exists_homomorphism_with;
 use chase_core::hom::HomScratch;
 use chase_core::ids::VarId;
@@ -143,7 +144,11 @@ fn collect_cell(
 
 /// Worker loop: enumerate every `(slot, tgd)` cell whose TGD index is
 /// congruent to `worker` modulo `workers`, slot-major then TGD-minor,
-/// so each worker's output is already in canonical order.
+/// so each worker's output is already in canonical order. A set
+/// `cancel` token is polled between cells; a cancelled worker returns
+/// its partial output (the governed engine then stops before consuming
+/// it, so determinism is unaffected).
+#[allow(clippy::too_many_arguments)]
 fn worker_collect(
     set: &TgdSet,
     instance: &Instance,
@@ -152,6 +157,7 @@ fn worker_collect(
     check_active: bool,
     worker: usize,
     workers: usize,
+    cancel: Option<&CancelToken>,
 ) -> Vec<Keyed> {
     let mut scratch = HomScratch::new();
     let mut probe = HomScratch::new();
@@ -161,6 +167,9 @@ fn worker_collect(
             for (idx, (id, tgd)) in set.iter().enumerate() {
                 if idx % workers != worker {
                     continue;
+                }
+                if cancel.is_some_and(|c| c.is_cancelled()) {
+                    return out;
                 }
                 collect_cell(
                     &mut scratch,
@@ -182,6 +191,9 @@ fn worker_collect(
                     if idx % workers != worker {
                         continue;
                     }
+                    if cancel.is_some_and(|c| c.is_cancelled()) {
+                        return out;
+                    }
                     collect_cell(
                         &mut scratch,
                         &mut probe,
@@ -201,6 +213,32 @@ fn worker_collect(
     out
 }
 
+/// Out-of-band controls for one discovery batch: a cancellation token
+/// polled by workers between cells, and (for fault-injection tests) a
+/// worker index instructed to panic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchControl<'a> {
+    /// Polled by every worker between cells; a cancelled batch returns
+    /// early with partial output, which the governed engine then
+    /// discards by stopping at its next poll point.
+    pub cancel: Option<&'a CancelToken>,
+    /// Fault injection: the worker with this index (if spawned) panics
+    /// instead of enumerating. `None` in production.
+    pub inject_panic_worker: Option<u32>,
+}
+
+/// The result of one discovery batch.
+#[derive(Debug)]
+pub struct Batch {
+    /// Discovered triggers in canonical (sequential) discovery order.
+    pub discovered: Vec<Discovered>,
+    /// Number of workers whose join reported a panic. Non-zero means
+    /// the partial parallel output was discarded and the whole batch
+    /// recomputed sequentially, so `discovered` is complete and
+    /// bit-identical to a panic-free run either way.
+    pub panicked_workers: u32,
+}
+
 /// Evaluates a discovery batch in parallel and returns the discovered
 /// triggers in canonical (sequential) discovery order. `slots` of
 /// `None` requests the seed batch (full enumeration); otherwise the
@@ -212,34 +250,82 @@ pub fn collect_parallel(
     vars: FpVars,
     check_active: bool,
 ) -> Vec<Discovered> {
+    collect_batch(
+        set,
+        instance,
+        slots,
+        vars,
+        check_active,
+        BatchControl::default(),
+    )
+    .discovered
+}
+
+/// [`collect_parallel`] with out-of-band [`BatchControl`]s, reporting
+/// worker panics instead of propagating them.
+///
+/// ## Panic safety
+///
+/// Workers only read shared state, so a panicking worker cannot poison
+/// anything; the only loss is its share of the batch. Rather than
+/// propagate the panic (taking the whole chase down) or merge a hole
+/// (silently losing triggers — unsound for the chase), the driver
+/// discards all partial output and recomputes the batch sequentially
+/// on the calling thread. The recomputation enumerates cells in
+/// canonical order, so the result is bit-identical to a panic-free
+/// batch; the panic count is surfaced for telemetry.
+pub fn collect_batch(
+    set: &TgdSet,
+    instance: &Instance,
+    slots: Option<&[usize]>,
+    vars: FpVars,
+    check_active: bool,
+    ctrl: BatchControl<'_>,
+) -> Batch {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(set.len())
         .max(1);
+    let mut panicked = 0u32;
     let mut keyed: Vec<Keyed> = if workers == 1 {
-        worker_collect(set, instance, slots, vars, check_active, 0, 1)
+        worker_collect(set, instance, slots, vars, check_active, 0, 1, ctrl.cancel)
     } else {
         let mut parts: Vec<Vec<Keyed>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
+                    let inject = ctrl.inject_panic_worker == Some(w as u32);
+                    let cancel = ctrl.cancel;
                     scope.spawn(move || {
-                        worker_collect(set, instance, slots, vars, check_active, w, workers)
+                        if inject {
+                            crate::faults::inject_worker_panic();
+                        }
+                        worker_collect(set, instance, slots, vars, check_active, w, workers, cancel)
                     })
                 })
                 .collect();
             for h in handles {
-                parts.push(h.join().expect("discovery worker panicked"));
+                match h.join() {
+                    Ok(part) => parts.push(part),
+                    Err(_panic_payload) => panicked += 1,
+                }
             }
         });
-        parts.into_iter().flatten().collect()
+        if panicked > 0 {
+            worker_collect(set, instance, slots, vars, check_active, 0, 1, ctrl.cancel)
+        } else {
+            parts.into_iter().flatten().collect()
+        }
     };
     // Each (slot_ord, tgd) cell lives wholly in one worker's output in
     // matcher order; a stable sort on the cell key therefore restores
     // the exact sequential discovery order.
     keyed.sort_by_key(|k| (k.slot_ord, k.tgd));
-    keyed.into_iter().map(|k| k.item).collect()
+    Batch {
+        discovered: keyed.into_iter().map(|k| k.item).collect(),
+        panicked_workers: panicked,
+    }
 }
 
 #[cfg(test)]

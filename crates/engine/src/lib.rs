@@ -15,7 +15,11 @@
 //! * [`critical`] — the critical database of the oblivious chase;
 //! * [`derivation`] — recorded derivations, replay and validation;
 //! * [`trigger`] / [`skolem`] — triggers, activeness, null invention;
-//! * [`driver`] — batched, optionally parallel trigger discovery;
+//! * [`driver`] — batched, optionally parallel, panic-safe trigger
+//!   discovery;
+//! * [`governor`] — budgets, deadlines and cooperative cancellation
+//!   for chase runs;
+//! * [`faults`] — deterministic fault injection for resilience tests;
 //! * [`seed`] — frozen pre-optimisation engines (equivalence oracle
 //!   and benchmark baseline).
 
@@ -28,6 +32,8 @@ pub mod derivation;
 pub mod dot;
 pub mod driver;
 pub mod fairness;
+pub mod faults;
+pub mod governor;
 pub mod oblivious;
 pub mod query;
 pub mod real_oblivious;
@@ -48,6 +54,8 @@ pub mod prelude {
     pub use crate::dot::{derivation_to_dot, ochase_to_dot};
     pub use crate::driver::Parallelism;
     pub use crate::fairness::{is_fair_within_horizon, persistently_active, repair, RepairOutcome};
+    pub use crate::faults::{FaultPlan, FlakyWriter, WorkerPanic};
+    pub use crate::governor::ResourceGovernor;
     pub use crate::oblivious::{ObliviousChase, ObliviousRun};
     pub use crate::query::{contained_in, ConjunctiveQuery, QueryError};
     pub use crate::real_oblivious::{NodeId, OchaseLimits, OchaseNode, RealOchase};

@@ -22,8 +22,8 @@ use chase_core::instance::Instance;
 use chase_core::tgd::TgdSet;
 use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
 
-use crate::driver::{collect_parallel, FpVars, Parallelism};
-use crate::restricted::{Budget, Outcome};
+use crate::driver::{collect_batch, BatchControl, FpVars, Parallelism};
+use crate::governor::{Budget, Outcome, ResourceGovernor};
 use crate::skolem::{SkolemPolicy, SkolemTable};
 use crate::trigger::{for_each_trigger_using_with, for_each_trigger_with, Trigger, TriggerFp};
 
@@ -111,10 +111,45 @@ impl<'a> ObliviousChase<'a> {
         budget: Budget,
         obs: &mut O,
     ) -> ObliviousRun {
+        self.run_governed_observed(database, &ResourceGovernor::from_budget(budget), obs)
+    }
+
+    /// Runs the chase under a full [`ResourceGovernor`] (budget +
+    /// deadline + cancellation + fault plan).
+    pub fn run_governed(&self, database: &Instance, gov: &ResourceGovernor) -> ObliviousRun {
+        self.run_governed_observed(database, gov, &mut NullObserver)
+    }
+
+    /// [`ObliviousChase::run_governed`] with telemetry. The governor is
+    /// polled before seed discovery and at the top of every queue
+    /// iteration; an interrupted run emits one
+    /// [`Event::RunInterrupted`] and returns the truthful partial
+    /// result.
+    pub fn run_governed_observed<O: ChaseObserver + ?Sized>(
+        &self,
+        database: &Instance,
+        gov: &ResourceGovernor,
+        obs: &mut O,
+    ) -> ObliviousRun {
         let engine_kind = match self.policy {
             SkolemPolicy::PerTrigger => EngineKind::Oblivious,
             SkolemPolicy::PerFrontier => EngineKind::SemiOblivious,
         };
+        if let Some(outcome) = gov.interrupted(0) {
+            emit(obs, || Event::RunInterrupted {
+                engine: engine_kind,
+                step: 0,
+                // Total: `interrupted` only returns interrupt outcomes.
+                reason: outcome
+                    .interrupt_reason()
+                    .unwrap_or(chase_telemetry::InterruptReason::Deadline),
+            });
+            return ObliviousRun {
+                outcome,
+                instance: database.clone(),
+                steps: 0,
+            };
+        }
         let vars = self.fp_vars();
         let mut instance = database.clone();
         let mut skolem = SkolemTable::above(
@@ -125,8 +160,28 @@ impl<'a> ObliviousChase<'a> {
         let mut applied: chase_core::ids::FxHashSet<TriggerFp> = fx_set();
         let mut enum_scratch = HomScratch::new();
 
+        let mut batch_idx: u32 = 0;
         if self.go_parallel(instance.len()) {
-            for d in collect_parallel(self.set, &instance, None, vars, false) {
+            let batch = collect_batch(
+                self.set,
+                &instance,
+                None,
+                vars,
+                false,
+                BatchControl {
+                    cancel: Some(gov.cancel_token()),
+                    inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
+                },
+            );
+            batch_idx += 1;
+            if batch.panicked_workers > 0 {
+                emit(obs, || Event::WorkerPanicked {
+                    engine: engine_kind,
+                    step: 0,
+                    panics: batch.panicked_workers,
+                });
+            }
+            for d in batch.discovered {
                 if applied.insert(d.fp) {
                     emit(obs, || Event::TriggerDiscovered {
                         engine: engine_kind,
@@ -161,8 +216,26 @@ impl<'a> ObliviousChase<'a> {
 
         let mut steps = 0usize;
         let mut new_slots: Vec<usize> = Vec::new();
-        while let Some(trigger) = queue.pop_front() {
-            if steps >= budget.max_steps || instance.len() >= budget.max_atoms {
+        loop {
+            if let Some(outcome) = gov.interrupted(steps) {
+                emit(obs, || Event::RunInterrupted {
+                    engine: engine_kind,
+                    step: steps as u64,
+                    // Total: `interrupted` only returns interrupt outcomes.
+                    reason: outcome
+                        .interrupt_reason()
+                        .unwrap_or(chase_telemetry::InterruptReason::Deadline),
+                });
+                return ObliviousRun {
+                    outcome,
+                    instance,
+                    steps,
+                };
+            }
+            let Some(trigger) = queue.pop_front() else {
+                break;
+            };
+            if gov.budget_exhausted(steps, instance.len()) {
                 return ObliviousRun {
                     outcome: Outcome::BudgetExhausted,
                     instance,
@@ -205,7 +278,26 @@ impl<'a> ObliviousChase<'a> {
                 new_nulls: nulls_after - nulls_before,
             });
             if !new_slots.is_empty() && self.go_parallel(new_slots.len()) {
-                for d in collect_parallel(self.set, &instance, Some(&new_slots), vars, false) {
+                let batch = collect_batch(
+                    self.set,
+                    &instance,
+                    Some(&new_slots),
+                    vars,
+                    false,
+                    BatchControl {
+                        cancel: Some(gov.cancel_token()),
+                        inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
+                    },
+                );
+                batch_idx += 1;
+                if batch.panicked_workers > 0 {
+                    emit(obs, || Event::WorkerPanicked {
+                        engine: engine_kind,
+                        step: steps as u64,
+                        panics: batch.panicked_workers,
+                    });
+                }
+                for d in batch.discovered {
                     if applied.insert(d.fp) {
                         emit(obs, || Event::TriggerDiscovered {
                             engine: engine_kind,

@@ -73,23 +73,43 @@ impl ConjunctiveQuery {
         Ok(ConjunctiveQuery { body, answer_vars })
     }
 
+    /// Re-checks answer-variable safety. [`ConjunctiveQuery::new`]
+    /// establishes it, but `body` and `answer_vars` are public fields,
+    /// so a hand-built or mutated query can violate it; the evaluation
+    /// entry points re-validate instead of panicking mid-enumeration.
+    fn check_safe(&self) -> Result<(), QueryError> {
+        for &v in &self.answer_vars {
+            if !self.body.iter().any(|a| a.vars().any(|w| w == v)) {
+                return Err(QueryError::UnsafeAnswerVariable(v));
+            }
+        }
+        Ok(())
+    }
+
     /// All answers of the query over an instance (including answers
     /// containing nulls), deduplicated, in discovery order.
-    pub fn answers(&self, instance: &Instance) -> Vec<Vec<Term>> {
+    ///
+    /// Fails with [`QueryError::UnsafeAnswerVariable`] if the query
+    /// was built by hand with an answer variable missing from the body.
+    pub fn answers(&self, instance: &Instance) -> Result<Vec<Vec<Term>>, QueryError> {
+        self.check_safe()?;
         let mut out: Vec<Vec<Term>> = Vec::new();
         let mut binding = Binding::new();
         let _ = for_each_homomorphism(&self.body, instance, &mut binding, &mut |h| {
             let tuple: Vec<Term> = self
                 .answer_vars
                 .iter()
-                .map(|&v| h.get(v).expect("safe answer variable"))
+                // invariant: `check_safe` guaranteed every answer
+                // variable occurs in the body, and a homomorphism of
+                // the body binds every body variable.
+                .filter_map(|&v| h.get(v))
                 .collect();
-            if !out.contains(&tuple) {
+            if tuple.len() == self.answer_vars.len() && !out.contains(&tuple) {
                 out.push(tuple);
             }
             ControlFlow::Continue(())
         });
-        out
+        Ok(out)
     }
 
     /// The *certain answers* of the query over `database` under `tgds`:
@@ -112,7 +132,7 @@ impl ConjunctiveQuery {
             return Err(QueryError::ChaseBudgetExhausted);
         }
         Ok(self
-            .answers(&run.instance)
+            .answers(&run.instance)?
             .into_iter()
             .filter(|tuple| tuple.iter().all(|t| t.is_const()))
             .collect())
@@ -121,7 +141,11 @@ impl ConjunctiveQuery {
     /// The canonical (frozen) database of the query body: every
     /// variable becomes a fresh constant. Returns the database and the
     /// frozen images of the answer variables.
-    pub fn freeze(&self, vocab: &mut Vocabulary) -> (Instance, Vec<Term>) {
+    ///
+    /// Fails with [`QueryError::UnsafeAnswerVariable`] if the query
+    /// was built by hand with an answer variable missing from the body.
+    pub fn freeze(&self, vocab: &mut Vocabulary) -> Result<(Instance, Vec<Term>), QueryError> {
+        self.check_safe()?;
         let mut frozen: Vec<(VarId, Term)> = Vec::new();
         let lookup = |v: VarId, vocab: &mut Vocabulary, frozen: &mut Vec<(VarId, Term)>| {
             if let Some(&(_, t)) = frozen.iter().find(|(w, _)| *w == v) {
@@ -150,15 +174,11 @@ impl ConjunctiveQuery {
         let tuple = self
             .answer_vars
             .iter()
-            .map(|&v| {
-                frozen
-                    .iter()
-                    .find(|(w, _)| *w == v)
-                    .map(|&(_, t)| t)
-                    .expect("safe answer variable")
-            })
+            // invariant: `check_safe` guaranteed every answer variable
+            // occurs in the body, so freezing the body froze it.
+            .filter_map(|&v| frozen.iter().find(|(w, _)| *w == v).map(|&(_, t)| t))
             .collect();
-        (Instance::from_atoms(atoms), tuple)
+        Ok((Instance::from_atoms(atoms), tuple))
     }
 }
 
@@ -174,7 +194,7 @@ pub fn contained_in(
     vocab: &mut Vocabulary,
     budget: Budget,
 ) -> Result<bool, QueryError> {
-    let (canonical, tuple) = q1.freeze(vocab);
+    let (canonical, tuple) = q1.freeze(vocab)?;
     let run = RestrictedChase::new(tgds)
         .strategy(Strategy::Fifo)
         .record_derivation(false)
@@ -182,7 +202,7 @@ pub fn contained_in(
     if run.outcome != Outcome::Terminated {
         return Err(QueryError::ChaseBudgetExhausted);
     }
-    Ok(q2.answers(&run.instance).into_iter().any(|t| t == tuple))
+    Ok(q2.answers(&run.instance)?.into_iter().any(|t| t == tuple))
 }
 
 #[cfg(test)]
@@ -249,6 +269,32 @@ mod tests {
             ConjunctiveQuery::new(rule.body().to_vec(), vec![stray]),
             Err(QueryError::UnsafeAnswerVariable(_))
         ));
+    }
+
+    #[test]
+    fn hand_built_unsafe_query_errors_instead_of_panicking() {
+        // `body`/`answer_vars` are public, so the safety invariant of
+        // `new` can be bypassed; evaluation must fail cleanly.
+        let mut vocab = Vocabulary::new();
+        let p = parse_program("R(a,b).", &mut vocab).unwrap();
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.body("R", &[x, y]).unwrap();
+        b.head("Ans", &[x]).unwrap();
+        let rule = b.build().unwrap();
+        let stray = vocab.fresh_var("stray");
+        let q = ConjunctiveQuery {
+            body: rule.body().to_vec(),
+            answer_vars: vec![stray],
+        };
+        assert_eq!(
+            q.answers(&p.database),
+            Err(QueryError::UnsafeAnswerVariable(stray))
+        );
+        assert_eq!(
+            q.freeze(&mut vocab).unwrap_err(),
+            QueryError::UnsafeAnswerVariable(stray)
+        );
     }
 
     #[test]

@@ -35,9 +35,12 @@ use chase_core::tgd::TgdSet;
 use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
 
 use crate::derivation::{Derivation, Step};
-use crate::driver::{collect_parallel, FpVars, Parallelism};
+use crate::driver::{collect_batch, BatchControl, FpVars, Parallelism};
+use crate::governor::ResourceGovernor;
 use crate::skolem::{SkolemPolicy, SkolemTable};
 use crate::trigger::{for_each_trigger_using_with, for_each_trigger_with, Trigger, TriggerFp};
+
+pub use crate::governor::{Budget, Outcome};
 
 /// Queue discipline for candidate triggers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,46 +58,6 @@ pub enum Strategy {
     /// with per-TGD buckets and a min-bucket cursor, so popping is
     /// O(1) amortised instead of a full queue scan.
     PriorityTgd,
-}
-
-/// Resource budget for a chase run.
-#[derive(Debug, Clone, Copy)]
-pub struct Budget {
-    /// Maximum number of trigger applications.
-    pub max_steps: usize,
-    /// Maximum number of atoms in the instance (including the
-    /// database); exceeded ⇒ the run stops with
-    /// [`Outcome::BudgetExhausted`].
-    pub max_atoms: usize,
-}
-
-impl Budget {
-    /// A budget bounding only the number of steps.
-    pub fn steps(max_steps: usize) -> Self {
-        Budget {
-            max_steps,
-            max_atoms: usize::MAX,
-        }
-    }
-
-    /// A budget bounding steps and atoms.
-    pub fn new(max_steps: usize, max_atoms: usize) -> Self {
-        Budget {
-            max_steps,
-            max_atoms,
-        }
-    }
-}
-
-/// How a chase run ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Outcome {
-    /// No active trigger remains: the derivation is finite and its
-    /// result satisfies the TGD set.
-    Terminated,
-    /// The budget ran out with active triggers still pending. This is
-    /// evidence (not proof) of non-termination.
-    BudgetExhausted,
 }
 
 /// The result of a chase run.
@@ -222,6 +185,9 @@ impl TriggerQueue {
                     Strategy::Fifo => queue.pop_front(),
                     Strategy::Lifo => queue.pop_back(),
                     Strategy::Random(_) => {
+                        // invariant: the run loop seeds `rng` with
+                        // `Some` exactly when the strategy is `Random`,
+                        // before any pop.
                         let rng = rng.as_mut().expect("rng initialised for Random strategy");
                         let i = rng.below(queue.len());
                         queue.swap(i, 0);
@@ -318,7 +284,44 @@ impl<'a> RestrictedChase<'a> {
         budget: Budget,
         obs: &mut O,
     ) -> ChaseRun {
+        self.run_governed_observed(database, &ResourceGovernor::from_budget(budget), obs)
+    }
+
+    /// Runs the restricted chase under a full [`ResourceGovernor`]
+    /// (budget + deadline + cancellation + fault plan).
+    pub fn run_governed(&self, database: &Instance, gov: &ResourceGovernor) -> ChaseRun {
+        self.run_governed_observed(database, gov, &mut NullObserver)
+    }
+
+    /// [`RestrictedChase::run_governed`] with telemetry. The governor
+    /// is polled before seed discovery and at the top of every queue
+    /// iteration; an interrupted run emits one
+    /// [`Event::RunInterrupted`] and returns the truthful partial
+    /// result (valid instance, step count and derivation for the work
+    /// actually performed).
+    pub fn run_governed_observed<O: ChaseObserver + ?Sized>(
+        &self,
+        database: &Instance,
+        gov: &ResourceGovernor,
+        obs: &mut O,
+    ) -> ChaseRun {
         const ENGINE: EngineKind = EngineKind::Restricted;
+        if let Some(outcome) = gov.interrupted(0) {
+            emit(obs, || Event::RunInterrupted {
+                engine: ENGINE,
+                step: 0,
+                // Total: `interrupted` only returns interrupt outcomes.
+                reason: outcome
+                    .interrupt_reason()
+                    .unwrap_or(chase_telemetry::InterruptReason::Deadline),
+            });
+            return ChaseRun {
+                outcome,
+                instance: database.clone(),
+                steps: 0,
+                derivation: Derivation::default(),
+            };
+        }
         let mut instance = database.clone();
         let mut skolem = SkolemTable::above(
             SkolemPolicy::PerTrigger,
@@ -333,9 +336,32 @@ impl<'a> RestrictedChase<'a> {
         let mut enum_scratch = HomScratch::new();
         let mut active_scratch = HomScratch::new();
 
+        // Parallel discovery batches are numbered in execution order so
+        // the fault plan can target one deterministically.
+        let mut batch_idx: u32 = 0;
+
         // Seed: all triggers on the database.
         if self.go_parallel(instance.len()) {
-            for d in collect_parallel(self.set, &instance, None, FpVars::SortedBody, true) {
+            let batch = collect_batch(
+                self.set,
+                &instance,
+                None,
+                FpVars::SortedBody,
+                true,
+                BatchControl {
+                    cancel: Some(gov.cancel_token()),
+                    inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
+                },
+            );
+            batch_idx += 1;
+            if batch.panicked_workers > 0 {
+                emit(obs, || Event::WorkerPanicked {
+                    engine: ENGINE,
+                    step: 0,
+                    panics: batch.panicked_workers,
+                });
+            }
+            for d in batch.discovered {
                 if seen.insert(d.fp) {
                     emit(obs, || Event::TriggerDiscovered {
                         engine: ENGINE,
@@ -377,7 +403,26 @@ impl<'a> RestrictedChase<'a> {
         let mut steps = 0usize;
         let mut derivation = Derivation::default();
         let mut new_slots: Vec<usize> = Vec::new();
-        while let Some(popped) = queue.pop(self.strategy, &mut rng) {
+        loop {
+            if let Some(outcome) = gov.interrupted(steps) {
+                emit(obs, || Event::RunInterrupted {
+                    engine: ENGINE,
+                    step: steps as u64,
+                    // Total: `interrupted` only returns interrupt outcomes.
+                    reason: outcome
+                        .interrupt_reason()
+                        .unwrap_or(chase_telemetry::InterruptReason::Deadline),
+                });
+                return ChaseRun {
+                    outcome,
+                    instance,
+                    steps,
+                    derivation,
+                };
+            }
+            let Some(popped) = queue.pop(self.strategy, &mut rng) else {
+                break;
+            };
             let trigger = popped.trigger;
             let tgd = self.set.tgd(trigger.tgd);
             // A worker's inactive prescreen is sound to reuse:
@@ -398,7 +443,7 @@ impl<'a> RestrictedChase<'a> {
                 });
                 continue; // deactivated since discovery — monotone, stays so
             }
-            if steps >= budget.max_steps || instance.len() >= budget.max_atoms {
+            if gov.budget_exhausted(steps, instance.len()) {
                 // Put it back so the caller can inspect pending work.
                 queue.unpop(Queued {
                     trigger,
@@ -452,13 +497,26 @@ impl<'a> RestrictedChase<'a> {
             }
             // Delta discovery: only triggers using a fresh atom.
             if !new_slots.is_empty() && self.go_parallel(new_slots.len()) {
-                for d in collect_parallel(
+                let batch = collect_batch(
                     self.set,
                     &instance,
                     Some(&new_slots),
                     FpVars::SortedBody,
                     true,
-                ) {
+                    BatchControl {
+                        cancel: Some(gov.cancel_token()),
+                        inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
+                    },
+                );
+                batch_idx += 1;
+                if batch.panicked_workers > 0 {
+                    emit(obs, || Event::WorkerPanicked {
+                        engine: ENGINE,
+                        step: steps as u64,
+                        panics: batch.panicked_workers,
+                    });
+                }
+                for d in batch.discovered {
                     if seen.insert(d.fp) {
                         emit(obs, || Event::TriggerDiscovered {
                             engine: ENGINE,

@@ -159,6 +159,8 @@ impl<'a> SeedRestrictedChase<'a> {
             Strategy::Fifo => queue.pop_front(),
             Strategy::Lifo => queue.pop_back(),
             Strategy::Random(_) => {
+                // invariant: the frozen run loop seeds `rng` with
+                // `Some` exactly when the strategy is `Random`.
                 let rng = rng.as_mut().expect("rng initialised for Random strategy");
                 let i = rng.below(queue.len());
                 queue.swap(i, 0);
@@ -172,6 +174,8 @@ impl<'a> SeedRestrictedChase<'a> {
                 let i = queue
                     .iter()
                     .rposition(|t| t.tgd == min_tgd)
+                    // invariant: `min_tgd` was just taken from this
+                    // queue, so at least one element carries it.
                     .expect("min exists");
                 queue.remove(i)
             }
@@ -282,6 +286,8 @@ impl<'a> SeedObliviousChase<'a> {
                     t.tgd,
                     tgd.frontier()
                         .iter()
+                        // invariant: a trigger's binding covers every
+                        // body variable; the frontier is a subset.
                         .map(|&v| t.binding.get(v).expect("frontier bound"))
                         .collect(),
                 ),

@@ -33,6 +33,33 @@ impl fmt::Display for EngineKind {
     }
 }
 
+/// Why a run was stopped by its resource governor before reaching a
+/// natural end (termination or budget exhaustion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterruptReason {
+    /// The wall-clock deadline passed (or an injected deadline fault
+    /// tripped).
+    Deadline,
+    /// The cooperative cancellation token was set.
+    Cancelled,
+}
+
+impl InterruptReason {
+    /// Stable snake_case name used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InterruptReason::Deadline => "deadline",
+            InterruptReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A single telemetry event.
 ///
 /// Engine events carry the `step` counter current when they were
@@ -126,6 +153,27 @@ pub enum Event {
         /// Amount added.
         delta: u64,
     },
+    /// One or more parallel discovery workers panicked; the batch was
+    /// re-evaluated sequentially and the run continued (graceful
+    /// degradation, see `chase-engine::driver`).
+    WorkerPanicked {
+        /// Producing engine.
+        engine: EngineKind,
+        /// Steps performed when the batch was evaluated.
+        step: u64,
+        /// Number of workers that panicked in this batch.
+        panics: u32,
+    },
+    /// The run was stopped by its resource governor (deadline or
+    /// cooperative cancellation) with a truthful partial result.
+    RunInterrupted {
+        /// Producing engine.
+        engine: EngineKind,
+        /// Steps performed when the interruption was detected.
+        step: u64,
+        /// What stopped the run.
+        reason: InterruptReason,
+    },
     /// A named decider/engine phase began.
     PhaseEntered {
         /// Phase name (see the crate docs for the vocabulary).
@@ -152,6 +200,8 @@ impl Event {
             Event::NullInvented { .. } => "null_invented",
             Event::AtomInserted { .. } => "atom_inserted",
             Event::QueueDepth { .. } => "queue_depth",
+            Event::WorkerPanicked { .. } => "worker_panicked",
+            Event::RunInterrupted { .. } => "run_interrupted",
             Event::CounterAdd { .. } => "counter_add",
             Event::PhaseEntered { .. } => "phase_entered",
             Event::PhaseExited { .. } => "phase_exited",
@@ -223,6 +273,24 @@ impl Event {
                 json_str(out, "engine", engine.as_str());
                 json_u64(out, "step", step);
                 json_u64(out, "depth", depth);
+            }
+            Event::WorkerPanicked {
+                engine,
+                step,
+                panics,
+            } => {
+                json_str(out, "engine", engine.as_str());
+                json_u64(out, "step", step);
+                json_u64(out, "panics", panics as u64);
+            }
+            Event::RunInterrupted {
+                engine,
+                step,
+                reason,
+            } => {
+                json_str(out, "engine", engine.as_str());
+                json_u64(out, "step", step);
+                json_str(out, "reason", reason.as_str());
             }
             Event::CounterAdd { name, delta } => {
                 json_str(out, "name", name);
@@ -318,6 +386,29 @@ mod tests {
             e.to_json(),
             "{\"event\":\"trigger_checked\",\"engine\":\"restricted\",\"tgd\":0,\"step\":3,\"active\":true}"
         );
+    }
+
+    #[test]
+    fn resilience_events_serialise_flat() {
+        let e = Event::WorkerPanicked {
+            engine: EngineKind::Restricted,
+            step: 7,
+            panics: 2,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"worker_panicked\",\"engine\":\"restricted\",\"step\":7,\"panics\":2}"
+        );
+        let e = Event::RunInterrupted {
+            engine: EngineKind::Oblivious,
+            step: 3,
+            reason: InterruptReason::Deadline,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"run_interrupted\",\"engine\":\"oblivious\",\"step\":3,\"reason\":\"deadline\"}"
+        );
+        assert_eq!(InterruptReason::Cancelled.as_str(), "cancelled");
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod sinks;
 pub mod summary;
 
 pub use counters::{Counter, Counters, Histogram, HistogramSnapshot, MetricSnapshot};
-pub use event::{EngineKind, Event};
+pub use event::{EngineKind, Event, InterruptReason};
 pub use observer::{emit, time_phase, ChaseObserver, NullObserver, Tee};
 pub use sinks::{CountingObserver, JsonlWriter, RecordingObserver};
 pub use summary::TelemetrySummary;
@@ -66,6 +66,13 @@ pub mod names {
     pub const ATOMS_FRESH: &str = "atoms.fresh";
     /// Histogram of sampled queue depths.
     pub const QUEUE_DEPTH: &str = "queue.depth";
+    /// Parallel discovery workers that panicked (each batch degrades
+    /// to the sequential path and the run continues).
+    pub const WORKER_PANICS: &str = "driver.worker_panics";
+    /// Runs stopped by a resource governor (deadline or cancellation).
+    pub const RUNS_INTERRUPTED: &str = "runs.interrupted";
+    /// Telemetry sink write failures (events dropped, run unharmed).
+    pub const SINK_IO_ERRORS: &str = "sink.io_errors";
     /// Büchi states explored by the sticky decider.
     pub const AUTOMATON_STATES: &str = "sticky.automaton_states";
     /// Acyclic seed instances tried by the guarded decider.

@@ -24,6 +24,8 @@ pub struct CountingObserver {
     nulls: Arc<Counter>,
     inserted: Arc<Counter>,
     fresh: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+    interrupted: Arc<Counter>,
     queue_depth: Arc<Histogram>,
     /// `(phase, total nanos)` in completion order.
     phases: Vec<(String, u64)>,
@@ -47,6 +49,8 @@ impl CountingObserver {
         let nulls = counters.counter(names::NULLS_INVENTED);
         let inserted = counters.counter(names::ATOMS_INSERTED);
         let fresh = counters.counter(names::ATOMS_FRESH);
+        let worker_panics = counters.counter(names::WORKER_PANICS);
+        let interrupted = counters.counter(names::RUNS_INTERRUPTED);
         let queue_depth = counters.histogram(names::QUEUE_DEPTH);
         CountingObserver {
             counters,
@@ -58,6 +62,8 @@ impl CountingObserver {
             nulls,
             inserted,
             fresh,
+            worker_panics,
+            interrupted,
             queue_depth,
             phases: Vec::new(),
         }
@@ -120,6 +126,8 @@ impl ChaseObserver for CountingObserver {
                 }
             }
             Event::QueueDepth { depth, .. } => self.queue_depth.record(depth),
+            Event::WorkerPanicked { panics, .. } => self.worker_panics.add(panics as u64),
+            Event::RunInterrupted { .. } => self.interrupted.incr(),
             Event::CounterAdd { name, delta } => self.counters.counter(name).add(delta),
             Event::PhaseEntered { .. } => {}
             Event::PhaseExited { phase, nanos } => {
@@ -134,16 +142,22 @@ impl ChaseObserver for CountingObserver {
 
 /// Writes one JSON object per event, newline-terminated (JSON Lines).
 ///
-/// I/O errors do not panic mid-chase: the first error is stored,
-/// further writes are skipped, and [`JsonlWriter::finish`] surfaces
-/// it. The writer buffers internally per event only; wrap the target
-/// in a [`std::io::BufWriter`] for file output.
+/// I/O errors never abort the chase that is being observed: a failed
+/// write drops *that event*, bumps [`JsonlWriter::io_errors`] and
+/// remembers the first error for diagnostics, then the writer keeps
+/// attempting subsequent events (a transient failure — a full pipe, a
+/// rotated log — should not silence the rest of the trace).
+/// [`JsonlWriter::finish`] reports only flush failures; callers that
+/// care about dropped events inspect [`JsonlWriter::io_errors`]. The
+/// writer buffers internally per event only; wrap the target in a
+/// [`std::io::BufWriter`] for file output.
 #[derive(Debug)]
 pub struct JsonlWriter<W: Write> {
     out: W,
     buf: String,
     written: u64,
-    error: Option<io::Error>,
+    io_errors: u64,
+    first_error: Option<io::Error>,
 }
 
 impl<W: Write> JsonlWriter<W> {
@@ -153,7 +167,8 @@ impl<W: Write> JsonlWriter<W> {
             out,
             buf: String::with_capacity(128),
             written: 0,
-            error: None,
+            io_errors: 0,
+            first_error: None,
         }
     }
 
@@ -162,12 +177,21 @@ impl<W: Write> JsonlWriter<W> {
         self.written
     }
 
-    /// Flushes and returns the underlying writer, or the first I/O
-    /// error encountered.
+    /// Number of events dropped because the underlying writer failed.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    /// The first write error encountered, if any (later errors only
+    /// bump [`JsonlWriter::io_errors`]).
+    pub fn first_error(&self) -> Option<&io::Error> {
+        self.first_error.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer. Dropped events are
+    /// *not* an error here — check [`JsonlWriter::io_errors`]; only a
+    /// failing flush is reported.
     pub fn finish(mut self) -> io::Result<W> {
-        if let Some(err) = self.error.take() {
-            return Err(err);
-        }
         self.out.flush()?;
         Ok(self.out)
     }
@@ -175,15 +199,17 @@ impl<W: Write> JsonlWriter<W> {
 
 impl<W: Write> ChaseObserver for JsonlWriter<W> {
     fn on_event(&mut self, event: &Event) {
-        if self.error.is_some() {
-            return;
-        }
         self.buf.clear();
         event.write_json(&mut self.buf);
         self.buf.push('\n');
         match self.out.write_all(self.buf.as_bytes()) {
             Ok(()) => self.written += 1,
-            Err(err) => self.error = Some(err),
+            Err(err) => {
+                self.io_errors += 1;
+                if self.first_error.is_none() {
+                    self.first_error = Some(err);
+                }
+            }
         }
     }
 }
@@ -302,11 +328,67 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_writer_remembers_first_error() {
+    fn jsonl_writer_degrades_on_write_failure() {
         let mut writer = JsonlWriter::new(FailingWriter);
         writer.on_event(&Event::PhaseEntered { phase: "x" });
         writer.on_event(&Event::PhaseEntered { phase: "y" });
         assert_eq!(writer.events_written(), 0);
-        assert!(writer.finish().is_err());
+        assert_eq!(writer.io_errors(), 2);
+        assert_eq!(writer.first_error().unwrap().to_string(), "disk full");
+        // Dropped events never fail the run; only flush errors do.
+        assert!(writer.finish().is_ok());
+    }
+
+    /// Fails the first `fail` writes, then recovers.
+    struct FlakyVecWriter {
+        fail: u32,
+        out: Vec<u8>,
+    }
+
+    impl Write for FlakyVecWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.fail > 0 {
+                self.fail -= 1;
+                return Err(io::Error::other("transient"));
+            }
+            self.out.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_keeps_writing_after_transient_failure() {
+        let mut writer = JsonlWriter::new(FlakyVecWriter {
+            fail: 1,
+            out: Vec::new(),
+        });
+        writer.on_event(&Event::PhaseEntered { phase: "lost" });
+        writer.on_event(&Event::PhaseEntered { phase: "kept" });
+        assert_eq!(writer.events_written(), 1);
+        assert_eq!(writer.io_errors(), 1);
+        let inner = writer.finish().unwrap();
+        let text = String::from_utf8(inner.out).unwrap();
+        assert!(text.contains("\"kept\""));
+        assert!(!text.contains("\"lost\""));
+    }
+
+    #[test]
+    fn counting_observer_tracks_resilience_events() {
+        let mut obs = CountingObserver::new();
+        obs.on_event(&Event::WorkerPanicked {
+            engine: EngineKind::Restricted,
+            step: 3,
+            panics: 2,
+        });
+        obs.on_event(&Event::RunInterrupted {
+            engine: EngineKind::Restricted,
+            step: 5,
+            reason: crate::event::InterruptReason::Deadline,
+        });
+        let s = obs.summary();
+        assert_eq!(s.counter(names::WORKER_PANICS), Some(2));
+        assert_eq!(s.counter(names::RUNS_INTERRUPTED), Some(1));
     }
 }

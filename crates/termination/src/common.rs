@@ -1,8 +1,12 @@
 //! Shared verdict and configuration types for the termination
 //! deciders.
 
+use std::time::Duration;
+
+use chase_core::cancel::CancelToken;
 use chase_core::instance::Instance;
 use chase_engine::derivation::Derivation;
+use chase_engine::governor::ResourceGovernor;
 
 /// How a positive (terminating) verdict was established.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +106,29 @@ pub struct DeciderConfig {
     pub chase_budget: usize,
     /// Maximum seed databases for the guarded detector.
     pub max_seeds: usize,
+    /// Optional wall-clock deadline for the whole decision, measured
+    /// from the `decide` call. Expiry yields a truthful
+    /// [`TerminationVerdict::Unknown`] whose reason starts with
+    /// `"deadline exceeded"`.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation for the whole decision: cancel any
+    /// clone of this token and `decide` returns
+    /// [`TerminationVerdict::Unknown`] (reason prefix `"cancelled"`)
+    /// at its next phase boundary.
+    pub cancel: CancelToken,
+}
+
+impl DeciderConfig {
+    /// The [`ResourceGovernor`] enforcing this configuration's
+    /// deadline and cancellation (the per-chase budgets stay with the
+    /// individual deciders). The deadline clock starts *now*.
+    pub fn governor(&self) -> ResourceGovernor {
+        let gov = ResourceGovernor::new().with_cancel(self.cancel.clone());
+        match self.deadline {
+            Some(timeout) => gov.with_deadline_in(timeout),
+            None => gov,
+        }
+    }
 }
 
 impl Default for DeciderConfig {
@@ -111,6 +138,8 @@ impl Default for DeciderConfig {
             witness_steps: 60,
             chase_budget: 20_000,
             max_seeds: 64,
+            deadline: None,
+            cancel: CancelToken::new(),
         }
     }
 }

@@ -53,6 +53,23 @@ pub fn decide_observed<O: ChaseObserver + ?Sized>(
     config: &DeciderConfig,
     obs: &mut O,
 ) -> TerminationVerdict {
+    // Deadline clock starts here; polled at every phase boundary so a
+    // deadline or cancellation yields a truthful `Unknown` instead of
+    // a half-finished phase masquerading as a verdict.
+    let gov = config.governor();
+    let interrupted_before = |gov: &chase_engine::governor::ResourceGovernor,
+                              phase: &str|
+     -> Option<TerminationVerdict> {
+        gov.interrupted(0)
+            .map(|outcome| TerminationVerdict::Unknown {
+                reason: match outcome {
+                    chase_engine::governor::Outcome::Cancelled => {
+                        format!("cancelled before {phase}")
+                    }
+                    _ => format!("deadline exceeded before {phase}"),
+                },
+            })
+    };
     if set.require_single_head().is_err() {
         return TerminationVerdict::Unknown {
             reason: "multi-head TGDs: the paper's theorems (and the Fairness Theorem they rest \
@@ -60,12 +77,21 @@ pub fn decide_observed<O: ChaseObserver + ?Sized>(
                 .into(),
         };
     }
+    if let Some(v) = interrupted_before(&gov, "classification") {
+        return v;
+    }
     let sticky_input = time_phase(obs, "classify", |_| is_sticky(set));
     if sticky_input {
+        if let Some(v) = interrupted_before(&gov, "the sticky decision") {
+            return v;
+        }
         let v = sticky::decide_sticky_observed(set, vocab, config, obs);
         if !v.is_unknown() {
             return v;
         }
+    }
+    if let Some(v) = interrupted_before(&gov, "the guarded decision") {
+        return v;
     }
     guarded::decide_guarded_observed(set, vocab, config, obs)
 }
@@ -123,6 +149,36 @@ mod tests {
         .unwrap();
         let v = decide(&set, &vocab, &DeciderConfig::default());
         assert!(v.is_terminating(), "{v:?}");
+    }
+
+    #[test]
+    fn expired_deadline_yields_truthful_unknown() {
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds("R(x,y) -> exists z. R(y,z).", &mut vocab).unwrap();
+        let config = DeciderConfig {
+            deadline: Some(std::time::Duration::ZERO),
+            ..DeciderConfig::default()
+        };
+        match decide(&set, &vocab, &config) {
+            TerminationVerdict::Unknown { reason } => {
+                assert!(reason.starts_with("deadline exceeded"), "{reason}")
+            }
+            v => panic!("expected Unknown, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_decision_yields_truthful_unknown() {
+        let mut vocab = Vocabulary::new();
+        let set = parse_tgds("R(x,y) -> exists z. R(y,z).", &mut vocab).unwrap();
+        let config = DeciderConfig::default();
+        config.cancel.cancel();
+        match decide(&set, &vocab, &config) {
+            TerminationVerdict::Unknown { reason } => {
+                assert!(reason.starts_with("cancelled"), "{reason}")
+            }
+            v => panic!("expected Unknown, got {v:?}"),
+        }
     }
 
     #[test]

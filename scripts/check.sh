@@ -19,6 +19,9 @@ cargo test --offline -q
 echo "== cargo test -q --workspace =="
 cargo test --offline -q --workspace
 
+echo "== fault-injection suite (chase-engine faults) =="
+cargo test --offline -q -p chase-engine faults
+
 echo "== hot-path smoke report (seed vs optimised bit-identity + timing sanity) =="
 scripts/bench.sh smoke
 

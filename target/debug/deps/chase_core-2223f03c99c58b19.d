@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/chase_core-2223f03c99c58b19.d: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs
+/root/repo/target/debug/deps/chase_core-2223f03c99c58b19.d: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/cancel.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs
 
-/root/repo/target/debug/deps/chase_core-2223f03c99c58b19: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs
+/root/repo/target/debug/deps/chase_core-2223f03c99c58b19: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/cancel.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs
 
 crates/core/src/lib.rs:
 crates/core/src/atom.rs:
+crates/core/src/cancel.rs:
 crates/core/src/eqtype.rs:
 crates/core/src/error.rs:
 crates/core/src/hom.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/chase_core-9b64dd9f3826109b.d: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs Cargo.toml
+/root/repo/target/debug/deps/chase_core-9b64dd9f3826109b.d: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/cancel.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs Cargo.toml
 
-/root/repo/target/debug/deps/libchase_core-9b64dd9f3826109b.rmeta: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs Cargo.toml
+/root/repo/target/debug/deps/libchase_core-9b64dd9f3826109b.rmeta: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/cancel.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/atom.rs:
+crates/core/src/cancel.rs:
 crates/core/src/eqtype.rs:
 crates/core/src/error.rs:
 crates/core/src/hom.rs:

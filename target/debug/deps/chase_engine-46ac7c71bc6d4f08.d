@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/chase_engine-46ac7c71bc6d4f08.d: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
+/root/repo/target/debug/deps/chase_engine-46ac7c71bc6d4f08.d: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/faults.rs crates/engine/src/governor.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
 
-/root/repo/target/debug/deps/chase_engine-46ac7c71bc6d4f08: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
+/root/repo/target/debug/deps/chase_engine-46ac7c71bc6d4f08: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/faults.rs crates/engine/src/governor.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
 
 crates/engine/src/lib.rs:
 crates/engine/src/chaseable.rs:
@@ -9,6 +9,8 @@ crates/engine/src/derivation.rs:
 crates/engine/src/dot.rs:
 crates/engine/src/driver.rs:
 crates/engine/src/fairness.rs:
+crates/engine/src/faults.rs:
+crates/engine/src/governor.rs:
 crates/engine/src/oblivious.rs:
 crates/engine/src/query.rs:
 crates/engine/src/real_oblivious.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/chase_engine-5f2cfe3b6cf641bb.d: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs Cargo.toml
+/root/repo/target/debug/deps/chase_engine-5f2cfe3b6cf641bb.d: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/faults.rs crates/engine/src/governor.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs Cargo.toml
 
-/root/repo/target/debug/deps/libchase_engine-5f2cfe3b6cf641bb.rmeta: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs Cargo.toml
+/root/repo/target/debug/deps/libchase_engine-5f2cfe3b6cf641bb.rmeta: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/faults.rs crates/engine/src/governor.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs Cargo.toml
 
 crates/engine/src/lib.rs:
 crates/engine/src/chaseable.rs:
@@ -9,6 +9,8 @@ crates/engine/src/derivation.rs:
 crates/engine/src/dot.rs:
 crates/engine/src/driver.rs:
 crates/engine/src/fairness.rs:
+crates/engine/src/faults.rs:
+crates/engine/src/governor.rs:
 crates/engine/src/oblivious.rs:
 crates/engine/src/query.rs:
 crates/engine/src/real_oblivious.rs:

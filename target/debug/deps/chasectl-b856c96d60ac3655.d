@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/chasectl-b856c96d60ac3655.d: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+/root/repo/target/debug/deps/chasectl-b856c96d60ac3655: crates/cli/src/main.rs crates/cli/src/stats.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_golden-81305e293cf7c719.d: crates/cli/tests/cli_golden.rs
+
+/root/repo/target/debug/deps/cli_golden-81305e293cf7c719: crates/cli/tests/cli_golden.rs
+
+crates/cli/tests/cli_golden.rs:
+
+# env-dep:CARGO_BIN_EXE_chasectl=/root/repo/target/debug/chasectl

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_golden-c4245439733cd7fa.d: crates/cli/tests/cli_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_golden-c4245439733cd7fa.rmeta: crates/cli/tests/cli_golden.rs Cargo.toml
+
+crates/cli/tests/cli_golden.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_chasectl=placeholder:chasectl
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

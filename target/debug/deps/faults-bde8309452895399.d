@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-bde8309452895399.d: crates/engine/tests/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-bde8309452895399.rmeta: crates/engine/tests/faults.rs Cargo.toml
+
+crates/engine/tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-fa4237e7df22267a.d: crates/engine/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-fa4237e7df22267a: crates/engine/tests/faults.rs
+
+crates/engine/tests/faults.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/governor-558c1e256940d550.d: crates/engine/tests/governor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgovernor-558c1e256940d550.rmeta: crates/engine/tests/governor.rs Cargo.toml
+
+crates/engine/tests/governor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/governor-b63ed4de09e54cbb.d: crates/engine/tests/governor.rs
+
+/root/repo/target/debug/deps/governor-b63ed4de09e54cbb: crates/engine/tests/governor.rs
+
+crates/engine/tests/governor.rs:

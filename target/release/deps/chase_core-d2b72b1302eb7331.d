@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/chase_core-d2b72b1302eb7331.d: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs
+/root/repo/target/release/deps/chase_core-d2b72b1302eb7331.d: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/cancel.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs
 
-/root/repo/target/release/deps/libchase_core-d2b72b1302eb7331.rlib: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs
+/root/repo/target/release/deps/libchase_core-d2b72b1302eb7331.rlib: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/cancel.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs
 
-/root/repo/target/release/deps/libchase_core-d2b72b1302eb7331.rmeta: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs
+/root/repo/target/release/deps/libchase_core-d2b72b1302eb7331.rmeta: crates/core/src/lib.rs crates/core/src/atom.rs crates/core/src/cancel.rs crates/core/src/eqtype.rs crates/core/src/error.rs crates/core/src/hom.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/parser.rs crates/core/src/subst.rs crates/core/src/term.rs crates/core/src/tgd.rs crates/core/src/vocab.rs
 
 crates/core/src/lib.rs:
 crates/core/src/atom.rs:
+crates/core/src/cancel.rs:
 crates/core/src/eqtype.rs:
 crates/core/src/error.rs:
 crates/core/src/hom.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/chase_engine-7709d47ae6b99352.d: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
+/root/repo/target/release/deps/chase_engine-7709d47ae6b99352.d: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/faults.rs crates/engine/src/governor.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
 
-/root/repo/target/release/deps/libchase_engine-7709d47ae6b99352.rlib: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
+/root/repo/target/release/deps/libchase_engine-7709d47ae6b99352.rlib: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/faults.rs crates/engine/src/governor.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
 
-/root/repo/target/release/deps/libchase_engine-7709d47ae6b99352.rmeta: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
+/root/repo/target/release/deps/libchase_engine-7709d47ae6b99352.rmeta: crates/engine/src/lib.rs crates/engine/src/chaseable.rs crates/engine/src/critical.rs crates/engine/src/derivation.rs crates/engine/src/dot.rs crates/engine/src/driver.rs crates/engine/src/fairness.rs crates/engine/src/faults.rs crates/engine/src/governor.rs crates/engine/src/oblivious.rs crates/engine/src/query.rs crates/engine/src/real_oblivious.rs crates/engine/src/relations.rs crates/engine/src/restricted.rs crates/engine/src/seed.rs crates/engine/src/skolem.rs crates/engine/src/trigger.rs crates/engine/src/universal.rs
 
 crates/engine/src/lib.rs:
 crates/engine/src/chaseable.rs:
@@ -11,6 +11,8 @@ crates/engine/src/derivation.rs:
 crates/engine/src/dot.rs:
 crates/engine/src/driver.rs:
 crates/engine/src/fairness.rs:
+crates/engine/src/faults.rs:
+crates/engine/src/governor.rs:
 crates/engine/src/oblivious.rs:
 crates/engine/src/query.rs:
 crates/engine/src/real_oblivious.rs:
