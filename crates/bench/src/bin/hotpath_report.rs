@@ -8,12 +8,23 @@
 //!
 //! Usage:
 //!   cargo run --release -p chase-bench --bin hotpath_report
-//!   cargo run --release -p chase-bench --bin hotpath_report -- --smoke --out target/smoke.json
+//!   cargo run --release -p chase-bench --bin hotpath_report -- --mode smoke --out target/smoke.json
+//!
+//! In smoke mode the report doubles as a perf-regression gate: if any
+//! optimised engine is slower than its seed baseline by more than
+//! `HOTPATH_GATE_TOLERANCE` (a slowdown factor, default 1.5, i.e. the
+//! optimised run may take at most 1.5× the seed's time), the process
+//! exits non-zero. The generous tolerance absorbs timer noise on tiny
+//! smoke workloads while still catching order-of-magnitude
+//! regressions of the hot path.
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use chase_bench::{closure_workload, existential_workload, fan_workload};
+use chase_bench::{
+    closure_workload, existential_workload, fan_workload, triangle_workload,
+    wide_existential_workload,
+};
 use chase_core::instance::Instance;
 use chase_core::tgd::TgdSet;
 use chase_engine::driver::Parallelism;
@@ -41,17 +52,21 @@ impl Row {
     }
 }
 
-/// Median wall-clock nanoseconds over `runs` invocations of `f`.
-fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
-    let mut samples: Vec<u128> = (0..runs.max(1))
+/// Minimum wall-clock nanoseconds over `runs` invocations of `f`.
+///
+/// Every run performs the bit-identical computation, so all variation
+/// is external interference (scheduler, co-tenants, frequency
+/// scaling); the minimum is the least-interfered — and therefore most
+/// reproducible — estimate of the true cost.
+fn min_ns(runs: usize, mut f: impl FnMut()) -> u128 {
+    (0..runs.max(1))
         .map(|_| {
             let t = Instant::now();
             f();
             t.elapsed().as_nanos()
         })
-        .collect();
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+        .min()
+        .unwrap_or(u128::MAX)
 }
 
 fn restricted_row(
@@ -83,13 +98,13 @@ fn restricted_row(
         name,
         steps: reference.steps,
         atoms: reference.instance.len(),
-        seed_ns: median_ns(runs, || {
+        seed_ns: min_ns(runs, || {
             black_box(seed_engine.run(db, budget));
         }),
-        opt_ns: median_ns(runs, || {
+        opt_ns: min_ns(runs, || {
             black_box(opt_engine.run(db, budget));
         }),
-        par_ns: median_ns(runs, || {
+        par_ns: min_ns(runs, || {
             black_box(par_engine.run(db, budget));
         }),
     }
@@ -122,13 +137,13 @@ fn oblivious_row(
         name,
         steps: reference.steps,
         atoms: reference.instance.len(),
-        seed_ns: median_ns(runs, || {
+        seed_ns: min_ns(runs, || {
             black_box(seed_engine.run(db, budget));
         }),
-        opt_ns: median_ns(runs, || {
+        opt_ns: min_ns(runs, || {
             black_box(opt_engine.run(db, budget));
         }),
-        par_ns: median_ns(runs, || {
+        par_ns: min_ns(runs, || {
             black_box(par_engine.run(db, budget));
         }),
     }
@@ -140,7 +155,10 @@ fn write_json(path: &str, mode: &str, rows: &[Row]) -> std::io::Result<()> {
     out.push_str(
         "  \"generated_by\": \"cargo run --release -p chase-bench --bin hotpath_report\",\n",
     );
-    out.push_str("  \"baseline\": \"seed engines (recursive matcher, Vec<Term> keys)\",\n");
+    out.push_str(
+        "  \"baseline\": \"seed engines (frozen recursive matcher; shares the optimised \
+         instance/atom layers, so baseline times improve as those layers do)\",\n",
+    );
     out.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -168,26 +186,38 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            // `--smoke` kept as an alias for `--mode smoke`.
             "--smoke" => smoke = true,
+            "--mode" => match args.next().as_deref() {
+                Some("smoke") => smoke = true,
+                Some("full") => smoke = false,
+                other => panic!("--mode expects smoke|full, got {other:?}"),
+            },
             "--out" => out_path = args.next().expect("--out requires a path"),
-            other => panic!("unknown argument: {other} (expected --smoke / --out PATH)"),
+            other => panic!("unknown argument: {other} (expected --mode smoke|full / --out PATH)"),
         }
     }
 
     let budget = Budget::steps(1_000_000);
-    let runs = if smoke { 1 } else { 5 };
+    let runs = if smoke { 3 } else { 7 };
     let (cn, ce) = if smoke { (16, 40) } else { (48, 160) };
-    let (ew, ef) = if smoke { (3, 12) } else { (8, 60) };
+    let (ew, ef) = if smoke { (3, 40) } else { (8, 400) };
     let (fk, fn_, fe) = if smoke { (4, 16, 40) } else { (8, 64, 256) };
+    let (tn, te) = if smoke { (12, 40) } else { (40, 220) };
+    let (ww, wf) = if smoke { (2, 60) } else { (6, 400) };
 
     let (_v, cset, cdb) = closure_workload(cn, ce);
     let (_v, eset, edb) = existential_workload(ew, ef);
     let (_v, fset, fdb) = fan_workload(fk, fn_, fe);
+    let (_v, tset, tdb) = triangle_workload(tn, te);
+    let (_v, wset, wdb) = wide_existential_workload(ww, wf);
 
     let rows = vec![
         restricted_row("closure_restricted", &cset, &cdb, budget, runs),
         restricted_row("fan_restricted", &fset, &fdb, budget, runs),
         restricted_row("existential_restricted", &eset, &edb, budget, runs),
+        restricted_row("triangle_restricted", &tset, &tdb, budget, runs),
+        restricted_row("wide_existential_restricted", &wset, &wdb, budget, runs),
         oblivious_row("existential_oblivious", &eset, &edb, budget, runs),
     ];
 
@@ -197,11 +227,34 @@ fn main() {
     );
     for r in &rows {
         println!(
-            "  {:<24} steps={:<6} atoms={:<6} seed={:>10}ns opt={:>10}ns par={:>10}ns speedup={:.2}x par={:.2}x",
+            "  {:<28} steps={:<6} atoms={:<6} seed={:>10}ns opt={:>10}ns par={:>10}ns speedup={:.2}x par={:.2}x",
             r.name, r.steps, r.atoms, r.seed_ns, r.opt_ns, r.par_ns, r.speedup(), r.par_speedup()
         );
     }
 
     write_json(&out_path, if smoke { "smoke" } else { "full" }, &rows).expect("write report");
     println!("wrote {out_path}");
+
+    if smoke {
+        let tolerance: f64 = std::env::var("HOTPATH_GATE_TOLERANCE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.5);
+        let mut failed = false;
+        for r in &rows {
+            let slowdown = r.opt_ns as f64 / r.seed_ns.max(1) as f64;
+            if slowdown > tolerance {
+                eprintln!(
+                    "PERF GATE: {} optimised engine is {slowdown:.2}x the seed baseline \
+                     (tolerance {tolerance:.2}x)",
+                    r.name
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("perf gate passed (optimised <= {tolerance:.2}x seed on every workload)");
+    }
 }

@@ -60,6 +60,38 @@ pub fn existential_workload(width: usize, facts: usize) -> (Vocabulary, TgdSet, 
     setup_with_db(&rules, &db)
 }
 
+/// A triangle-join workload: `E(x,y), E(y,z), E(x,z) -> exists w.
+/// M(x,z,w)` over a random edge database. The third body atom joins on
+/// *two* already-bound positions, and the activeness check constrains
+/// `M` on two frontier positions, so both the body matcher and the
+/// restriction check exercise the composite pair indexes.
+pub fn triangle_workload(nodes: usize, edges: usize) -> (Vocabulary, TgdSet, Instance) {
+    let facts = chase_workloads::families::edge_database("E", nodes, edges, 7);
+    setup_with_db("E(x,y), E(y,z), E(x,z) -> exists w. M(x,z,w).", &facts)
+}
+
+/// A wide existential workload: `width` pairs `S_i(x,y,u) -> exists z.
+/// T_i(x,y,z)`, `T_i(p,q,r) -> W_i(p,q)` over facts
+/// `S_i(c_{j mod 5}, d_{j mod 7}, e_j)`. Every source fact is a
+/// distinct trigger, but the frontier `(x,y)` only takes 35 values per
+/// relation, so almost all triggers are deactivated by an earlier
+/// witness — the restriction check dominates, and each check
+/// constrains `T_i` on two positions (a composite pair probe).
+pub fn wide_existential_workload(width: usize, facts: usize) -> (Vocabulary, TgdSet, Instance) {
+    let mut rules = String::new();
+    for i in 0..width {
+        rules.push_str(&format!("S{i}(x,y,u) -> exists z. T{i}(x,y,z).\n"));
+        rules.push_str(&format!("T{i}(p,q,r) -> W{i}(p,q).\n"));
+    }
+    let mut db = String::new();
+    for i in 0..width {
+        for j in 0..facts {
+            db.push_str(&format!("S{i}(c{},d{},e{j}). ", j % 5, j % 7));
+        }
+    }
+    setup_with_db(&rules, &db)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +115,19 @@ mod tests {
         let (_, set, db) = existential_workload(3, 5);
         assert_eq!(set.len(), 6);
         assert_eq!(db.len(), 3 * 5);
+    }
+
+    #[test]
+    fn triangle_workload_builds() {
+        let (_, set, db) = triangle_workload(10, 20);
+        assert_eq!(set.len(), 1);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn wide_existential_workload_builds() {
+        let (_, set, db) = wide_existential_workload(2, 40);
+        assert_eq!(set.len(), 4);
+        assert_eq!(db.len(), 2 * 40);
     }
 }

@@ -21,6 +21,174 @@ impl Position {
     }
 }
 
+/// Number of argument terms an [`ArgVec`] stores inline.
+const ARG_INLINE: usize = 4;
+
+/// The argument list of an atom: inline up to [`ARG_INLINE`] terms,
+/// spilling to a heap `Vec` only for wider predicates. Instances clone
+/// and hash millions of atoms on the chase hot path; keeping the
+/// common arities (≤ 4) inline makes an atom clone a `memcpy` instead
+/// of a heap allocation.
+///
+/// `ArgVec` dereferences to `[Term]`, so reads (`len`, `iter`,
+/// indexing, slice patterns) work as they did when this was a `Vec`.
+/// Equality, ordering and hashing delegate to the slice view, so an
+/// inline and a spilled list with the same terms are indistinguishable
+/// — a property [`Atom`]'s derived `Hash`/`Ord` relies on.
+#[derive(Clone)]
+pub enum ArgVec {
+    /// Up to [`ARG_INLINE`] terms stored in place.
+    Inline {
+        /// Number of occupied slots in `buf`.
+        len: u8,
+        /// Inline storage; entries beyond `len` are padding.
+        buf: [Term; ARG_INLINE],
+    },
+    /// Heap storage for atoms of arity above [`ARG_INLINE`].
+    Spill(Vec<Term>),
+}
+
+impl ArgVec {
+    /// Creates an empty argument list.
+    pub fn new() -> Self {
+        ArgVec::Inline {
+            len: 0,
+            buf: [Term::Var(VarId(0)); ARG_INLINE],
+        }
+    }
+
+    /// Appends a term, spilling to the heap at capacity.
+    pub fn push(&mut self, term: Term) {
+        match self {
+            ArgVec::Inline { len, buf } => {
+                if (*len as usize) < ARG_INLINE {
+                    buf[*len as usize] = term;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(ARG_INLINE * 2);
+                    v.extend_from_slice(buf);
+                    v.push(term);
+                    *self = ArgVec::Spill(v);
+                }
+            }
+            ArgVec::Spill(v) => v.push(term),
+        }
+    }
+
+    /// Empties the list, keeping any spilled capacity for reuse.
+    pub fn clear(&mut self) {
+        match self {
+            ArgVec::Inline { len, .. } => *len = 0,
+            ArgVec::Spill(v) => v.clear(),
+        }
+    }
+
+    /// The terms as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Term] {
+        match self {
+            ArgVec::Inline { len, buf } => &buf[..*len as usize],
+            ArgVec::Spill(v) => v,
+        }
+    }
+}
+
+impl Default for ArgVec {
+    fn default() -> Self {
+        ArgVec::new()
+    }
+}
+
+impl std::ops::Deref for ArgVec {
+    type Target = [Term];
+    #[inline]
+    fn deref(&self) -> &[Term] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for ArgVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [Term] {
+        match self {
+            ArgVec::Inline { len, buf } => &mut buf[..*len as usize],
+            ArgVec::Spill(v) => v,
+        }
+    }
+}
+
+impl From<Vec<Term>> for ArgVec {
+    fn from(v: Vec<Term>) -> Self {
+        if v.len() <= ARG_INLINE {
+            let mut out = ArgVec::new();
+            for t in v {
+                out.push(t);
+            }
+            out
+        } else {
+            ArgVec::Spill(v)
+        }
+    }
+}
+
+impl FromIterator<Term> for ArgVec {
+    fn from_iter<I: IntoIterator<Item = Term>>(iter: I) -> Self {
+        let mut out = ArgVec::new();
+        for t in iter {
+            out.push(t);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a ArgVec {
+    type Item = &'a Term;
+    type IntoIter = std::slice::Iter<'a, Term>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut ArgVec {
+    type Item = &'a mut Term;
+    type IntoIter = std::slice::IterMut<'a, Term>;
+    fn into_iter(self) -> Self::IntoIter {
+        use std::ops::DerefMut;
+        self.deref_mut().iter_mut()
+    }
+}
+
+impl std::fmt::Debug for ArgVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for ArgVec {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for ArgVec {}
+
+impl PartialOrd for ArgVec {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ArgVec {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for ArgVec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 /// An atom `R(t1, ..., tn)` over interned terms.
 ///
 /// Atoms over constants and nulls populate instances; atoms containing
@@ -30,15 +198,18 @@ pub struct Atom {
     /// The predicate symbol.
     pub pred: PredId,
     /// The argument terms, length equal to the predicate arity.
-    pub args: Vec<Term>,
+    pub args: ArgVec,
 }
 
 impl Atom {
     /// Creates an atom. The caller is responsible for arity agreement
     /// (the parser and the engines always construct atoms through a
     /// [`Vocabulary`]-validated path).
-    pub fn new(pred: PredId, args: Vec<Term>) -> Self {
-        Atom { pred, args }
+    pub fn new(pred: PredId, args: impl Into<ArgVec>) -> Self {
+        Atom {
+            pred,
+            args: args.into(),
+        }
     }
 
     /// The arity of the atom.

@@ -104,7 +104,7 @@ impl EqType {
             self.classes
                 .iter()
                 .map(|&c| Term::Null(crate::ids::NullId(c as u32)))
-                .collect(),
+                .collect::<crate::atom::ArgVec>(),
         )
     }
 }

@@ -28,7 +28,7 @@ use std::cell::RefCell;
 use std::ops::ControlFlow;
 
 use crate::atom::Atom;
-use crate::ids::PredId;
+use crate::ids::{PredId, VarId};
 use crate::instance::Instance;
 use crate::subst::Binding;
 use crate::term::Term;
@@ -79,14 +79,22 @@ fn boundness(pattern: &Atom, binding: &Binding) -> usize {
 }
 
 /// Appends the slots of candidate atoms for `pattern` under `binding`
-/// to `out`. Uses the tightest single-position index available; falls
-/// back to the per-predicate list. Mirrors
-/// [`reference::candidate_slots`] exactly (same best-index selection,
-/// same ties), but copies into a reusable buffer instead of returning
-/// a borrowed slice, so choice points survive across frames without a
-/// per-node `to_vec`.
+/// to `out`. Uses the tightest index available — a registered
+/// composite two-position index over the pattern's first two ground
+/// positions when it beats the best single-position list — falling
+/// back to single-position indexes and then the per-predicate list.
+///
+/// The composite probe preserves the enumeration order of
+/// [`reference::candidate_slots`]: every index lists slots ascending,
+/// and the pair list is exactly the order-preserving subset of the
+/// single lists whose atoms satisfy *both* position constraints.
+/// Candidates it filters out would have failed `unify_atom` anyway, so
+/// swapping it in changes the number of probes, never the sequence of
+/// matches — the bit-identity the seed oracle suite checks.
 fn push_candidates(pattern: &Atom, binding: &Binding, instance: &Instance, out: &mut Vec<usize>) {
     let mut best: Option<&[usize]> = None;
+    let mut first_ground: Option<(usize, Term)> = None;
+    let mut pair: Option<&[usize]> = None;
     for (i, term) in pattern.args.iter().enumerate() {
         let ground = match *term {
             Term::Var(v) => match binding.get(v) {
@@ -103,6 +111,19 @@ fn push_candidates(pattern: &Atom, binding: &Binding, instance: &Instance, out: 
             if slots.is_empty() {
                 return;
             }
+        }
+        match first_ground {
+            None => first_ground = Some((i, ground)),
+            Some((fi, ft)) if pair.is_none() => {
+                pair = instance.slots_with_pred_pair(pattern.pred, fi, ft, i, ground);
+            }
+            Some(_) => {}
+        }
+    }
+    if let Some(p) = pair {
+        if best.is_none_or(|b| p.len() < b.len()) {
+            out.extend_from_slice(p);
+            return;
         }
     }
     out.extend_from_slice(best.unwrap_or_else(|| instance.slots_with_pred(pattern.pred)));
@@ -138,6 +159,13 @@ pub struct HomScratch {
     /// [`exists_homomorphism_with`]; its argument buffer keeps its
     /// capacity across probes.
     probe: Atom,
+    /// Candidate buffer for [`head_satisfied_since`], separate from
+    /// `slots` because the delta search runs a full nested matcher per
+    /// candidate.
+    delta_slots: Vec<usize>,
+    /// Working binding for [`head_satisfied_since`]; `binding` is not
+    /// usable there because the nested existence check takes it.
+    delta_binding: Binding,
 }
 
 impl Default for HomScratch {
@@ -148,6 +176,8 @@ impl Default for HomScratch {
             remaining: Vec::new(),
             binding: Binding::new(),
             probe: Atom::new(PredId(0), Vec::new()),
+            delta_slots: Vec::new(),
+            delta_binding: Binding::new(),
         }
     }
 }
@@ -390,6 +420,124 @@ pub fn exists_homomorphism(patterns: &[Atom], instance: &Instance, binding: &Bin
     with_scratch(|scratch| exists_homomorphism_with(scratch, patterns, instance, binding))
 }
 
+/// Constant-time(ish) head-satisfaction check via a precomputed
+/// [`crate::tgd::HeadProbe`], scanning only atoms at slot ≥ `since`.
+///
+/// Returns `Some(sat)` when the TGD admits a probe and every
+/// constraint variable is bound; `None` means the caller must fall
+/// back to the general search. With `since == 0` the result equals
+/// `exists_homomorphism(tgd.head(), instance, binding)`: the probe's
+/// constraints are exactly what unification of the single head atom
+/// enforces (distinct existentials are free). With `since > 0` it
+/// reports whether satisfaction is witnessed by an atom inserted at or
+/// after `since` — which equals full satisfaction whenever the prefix
+/// below `since` was already refuted, the watermark invariant the
+/// engines maintain (instance growth is monotone, so a refuted prefix
+/// stays refuted).
+pub fn head_satisfied_probe(
+    tgd: &Tgd,
+    instance: &Instance,
+    binding: &Binding,
+    since: usize,
+) -> Option<bool> {
+    let probe = tgd.head_probe()?;
+    let constraints = &probe.constraints;
+    // Every constraint variable must be resolved (frontier variables
+    // always are under a trigger binding).
+    for &(_, var) in constraints {
+        binding.get(var)?;
+    }
+    // All index lists are slot-ascending, so the "inserted since"
+    // suffix is a partition point away.
+    let tail_hit = |slots: &[usize], check: &[(u16, VarId)]| -> bool {
+        slots[slots.partition_point(|&s| s < since)..]
+            .iter()
+            .any(|&slot| {
+                let atom = instance.atom(slot);
+                check
+                    .iter()
+                    .all(|&(pos, var)| binding.get(var) == Some(atom.args[pos as usize]))
+            })
+    };
+    // Composite probe on the first two constraints, when registered.
+    if constraints.len() >= 2 {
+        let (p0, v0) = constraints[0];
+        let (p1, v1) = constraints[1];
+        let t0 = binding.get(v0)?;
+        let t1 = binding.get(v1)?;
+        if let Some(slots) =
+            instance.slots_with_pred_pair(probe.pred, p0 as usize, t0, p1 as usize, t1)
+        {
+            return Some(tail_hit(slots, &constraints[2..]));
+        }
+    }
+    // Tightest single-position index, else the predicate list.
+    let mut best: Option<&[usize]> = None;
+    for &(pos, var) in constraints {
+        let t = binding.get(var)?;
+        match instance.slots_with_pred_pos(probe.pred, pos as usize, t) {
+            // Predicate-only mode: scan the predicate list below.
+            None => {
+                best = None;
+                break;
+            }
+            Some(slots) => {
+                // No atom matches this constraint anywhere, at any slot.
+                if slots.is_empty() {
+                    return Some(false);
+                }
+                if best.is_none_or(|b| slots.len() < b.len()) {
+                    best = Some(slots);
+                }
+            }
+        }
+    }
+    let slots = best.unwrap_or_else(|| instance.slots_with_pred(probe.pred));
+    Some(tail_hit(slots, constraints))
+}
+
+/// General incremental head-satisfaction search: whether some
+/// homomorphism of `tgd`'s head into `instance` extending `binding`
+/// uses at least one atom at slot ≥ `since`.
+///
+/// Under the watermark invariant — the caller previously refuted
+/// satisfaction on the length-`since` prefix with this same binding —
+/// this equals full head satisfaction: any witness must use a
+/// post-watermark atom at some head position `i`, and the search below
+/// tries every such anchor (unify head atom `i` against each new
+/// candidate, then complete `head_without(i)` over the full instance).
+/// Existence may be witnessed twice when a homomorphism uses several
+/// new atoms; that only costs probes, never correctness.
+pub fn head_satisfied_since(
+    scratch: &mut HomScratch,
+    tgd: &Tgd,
+    instance: &Instance,
+    binding: &Binding,
+    since: usize,
+) -> bool {
+    let head = tgd.head();
+    let mut slots = std::mem::take(&mut scratch.delta_slots);
+    let mut anchored = std::mem::take(&mut scratch.delta_binding);
+    let mut hit = false;
+    'anchors: for (i, pat) in head.iter().enumerate() {
+        slots.clear();
+        push_candidates(pat, binding, instance, &mut slots);
+        let start = slots.partition_point(|&s| s < since);
+        for &slot in &slots[start..] {
+            anchored.copy_from(binding);
+            if unify_atom(pat, instance.atom(slot), &mut anchored).is_some()
+                && exists_homomorphism_with(scratch, tgd.head_without(i), instance, &anchored)
+            {
+                hit = true;
+                break 'anchors;
+            }
+        }
+    }
+    scratch.delta_slots = slots;
+    scratch.delta_binding = anchored;
+    hit
+}
+
 /// Collects every homomorphism from `patterns` into `instance` as an
 /// owned [`Binding`]. Intended for tests and small inputs; engines use
 /// [`for_each_homomorphism`] to avoid allocation.
@@ -459,7 +607,7 @@ pub fn ground_homomorphism_exists(from: &Instance, to: &Instance) -> bool {
                         }
                         other => other,
                     })
-                    .collect(),
+                    .collect::<crate::atom::ArgVec>(),
             )
         })
         .collect();
@@ -783,6 +931,150 @@ mod tests {
                 "diverged on {patterns:?} under {seed:?}"
             );
         }
+    }
+
+    /// Registering a composite pair index must not change the
+    /// enumeration order — only the number of candidates probed.
+    #[test]
+    fn pair_index_preserves_enumeration_order() {
+        let mut inst = triangle();
+        inst.insert(atom(0, &[c(0), c(2)]));
+        inst.insert(atom(0, &[c(3), c(3)]));
+        inst.register_pair_index(PredId(0), 0, 1);
+        // Triangle query: the third atom is probed with both
+        // positions bound, hitting the pair index.
+        let patterns = vec![
+            atom(0, &[v(0), v(1)]),
+            atom(0, &[v(1), v(2)]),
+            atom(0, &[v(0), v(2)]),
+        ];
+        let mut opt = Vec::new();
+        let mut bind = Binding::new();
+        let _ = for_each_homomorphism(&patterns, &inst, &mut bind, &mut |b| {
+            opt.push(b.clone());
+            ControlFlow::Continue(())
+        });
+        // The reference matcher never consults the pair index.
+        let mut refr = Vec::new();
+        let mut bind = Binding::new();
+        let _ = reference::for_each_homomorphism(&patterns, &inst, &mut bind, &mut |b| {
+            refr.push(b.clone());
+            ControlFlow::Continue(())
+        });
+        assert!(!opt.is_empty());
+        assert_eq!(opt, refr);
+    }
+
+    /// `head_satisfied_probe` with `since == 0` agrees with the
+    /// reference existence check on every binding, with and without a
+    /// registered pair index.
+    #[test]
+    fn head_probe_agrees_with_reference() {
+        let mut vocab = Vocabulary::new();
+        let mut b = crate::tgd::RuleBuilder::new(&mut vocab);
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.body("R", &[x, y]).unwrap();
+        b.head("S", &[x, y, z]).unwrap();
+        let tgd = b.build().unwrap();
+        let s = vocab.lookup_pred("S").unwrap();
+        let mut inst = Instance::from_atoms([
+            Atom::new(s, vec![c(0), c(1), c(9)]),
+            Atom::new(s, vec![c(0), c(2), c(9)]),
+            Atom::new(s, vec![c(1), c(1), c(8)]),
+        ]);
+        for registered in [false, true] {
+            if registered {
+                inst.register_pair_index(s, 0, 1);
+            }
+            for xv in 0..3 {
+                for yv in 0..3 {
+                    let mut binding = Binding::new();
+                    binding.push(x.as_var().unwrap(), c(xv));
+                    binding.push(y.as_var().unwrap(), c(yv));
+                    let got =
+                        head_satisfied_probe(&tgd, &inst, &binding, 0).expect("probe-eligible TGD");
+                    let want = reference::exists_homomorphism(tgd.head(), &inst, &binding);
+                    assert_eq!(
+                        got, want,
+                        "diverged at x={xv} y={yv} registered={registered}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The `since` parameter restricts both the probe and the general
+    /// delta search to atoms inserted at or after the watermark.
+    #[test]
+    fn since_scans_only_the_suffix() {
+        let mut vocab = Vocabulary::new();
+        let mut b = crate::tgd::RuleBuilder::new(&mut vocab);
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.body("R", &[x, y]).unwrap();
+        b.head("S", &[x, z]).unwrap();
+        let tgd = b.build().unwrap();
+        let s = vocab.lookup_pred("S").unwrap();
+        let mut inst = Instance::from_atoms([Atom::new(s, vec![c(5), c(7)])]);
+        let mut binding = Binding::new();
+        binding.push(x.as_var().unwrap(), c(0));
+        // Prefix of length 1 refutes satisfaction for x=0.
+        assert_eq!(head_satisfied_probe(&tgd, &inst, &binding, 0), Some(false));
+        inst.insert(Atom::new(s, vec![c(0), c(9)]));
+        // The new atom at slot 1 is seen from watermark 1...
+        assert_eq!(head_satisfied_probe(&tgd, &inst, &binding, 1), Some(true));
+        let mut scratch = HomScratch::new();
+        assert!(head_satisfied_since(&mut scratch, &tgd, &inst, &binding, 1));
+        // ...but a watermark past it sees nothing.
+        assert_eq!(head_satisfied_probe(&tgd, &inst, &binding, 2), Some(false));
+        assert!(!head_satisfied_since(
+            &mut scratch,
+            &tgd,
+            &inst,
+            &binding,
+            2
+        ));
+    }
+
+    /// The general delta search handles multi-head TGDs (which get no
+    /// probe): the anchored atom is completed over the full instance.
+    #[test]
+    fn delta_search_completes_multi_head_over_full_instance() {
+        let mut vocab = Vocabulary::new();
+        let mut b = crate::tgd::RuleBuilder::new(&mut vocab);
+        let (x, w) = (b.var("x"), b.var("w"));
+        b.body("R", &[x]).unwrap();
+        b.head("S", &[x, w]).unwrap();
+        b.head("T", &[w]).unwrap();
+        let tgd = b.build().unwrap();
+        assert!(tgd.head_probe().is_none());
+        let s = vocab.lookup_pred("S").unwrap();
+        let t = vocab.lookup_pred("T").unwrap();
+        // T(7) sits in the prefix; the matching S(0,7) arrives after
+        // the watermark. The anchored search must still find the pair.
+        let mut inst = Instance::from_atoms([Atom::new(t, vec![c(7)])]);
+        let mut binding = Binding::new();
+        binding.push(x.as_var().unwrap(), c(0));
+        let mut scratch = HomScratch::new();
+        assert!(!head_satisfied_since(
+            &mut scratch,
+            &tgd,
+            &inst,
+            &binding,
+            0
+        ));
+        let watermark = inst.len();
+        inst.insert(Atom::new(s, vec![c(0), c(7)]));
+        assert!(head_satisfied_since(
+            &mut scratch,
+            &tgd,
+            &inst,
+            &binding,
+            watermark
+        ));
+        assert_eq!(
+            head_satisfied_since(&mut scratch, &tgd, &inst, &binding, watermark),
+            reference::exists_homomorphism(tgd.head(), &inst, &binding)
+        );
     }
 
     /// Early break leaves a pre-seeded binding exactly as it was.

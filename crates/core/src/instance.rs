@@ -1,24 +1,105 @@
 //! Instances and databases: duplicate-free, insertion-ordered sets of
 //! ground atoms with inverted indexes for homomorphism search.
+//!
+//! ## Index layout
+//!
+//! Three index families back the matcher, all storing ascending slot
+//! lists in a [`SlotList`] (inline up to three slots, spilling to a
+//! `Vec` beyond — most `(pred, position, term)` cells hold one or two
+//! slots, so the common case clones by `memcpy` and never touches the
+//! heap):
+//!
+//! * a **per-predicate** list (dense `Vec` indexed by predicate id);
+//! * a **single-position** inverted index `(pred, position, term) →
+//!   slots` — the PR-2 workhorse;
+//! * **composite two-position** indexes `(pred, posA, posB, termA,
+//!   termB) → slots`, built lazily: nothing is maintained until an
+//!   engine registers a `(pred, posA, posB)` pair via
+//!   [`Instance::register_pair_index`] (derived from its TGD join
+//!   plans), after which the pair cell is backfilled from the existing
+//!   atoms and kept current by [`Instance::insert`].
+//!
+//! Because every index lists slots in ascending insertion order, a
+//! tighter index is always an order-preserving subset of a looser one:
+//! swapping in a composite list never changes the sequence of matches,
+//! only the number of candidates filtered out by unification. This is
+//! what keeps the optimised engines bit-identical to the seed oracle.
+
+use std::hash::{Hash, Hasher};
 
 use crate::atom::Atom;
-use crate::ids::{fx_map, fx_set, FxHashMap, PredId};
+use crate::ids::{fx_map, fx_set, FxHashMap, FxHasher, PredId};
 use crate::term::Term;
 use crate::vocab::Vocabulary;
 
 /// Controls how much indexing an [`Instance`] maintains.
 ///
 /// `Full` maintains, in addition to the per-predicate lists, an
-/// inverted index from `(predicate, position, term)` to atom slots;
-/// this is what makes body matching sub-linear. `PredicateOnly`
-/// exists for the index-ablation experiment (E9).
+/// inverted index from `(predicate, position, term)` to atom slots
+/// (plus any registered composite pair indexes); this is what makes
+/// body matching sub-linear. `PredicateOnly` exists for the
+/// index-ablation experiment (E9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IndexMode {
-    /// Per-predicate lists plus a `(pred, position, term)` inverted index.
+    /// Per-predicate lists plus a `(pred, position, term)` inverted
+    /// index and registered composite pair indexes.
     #[default]
     Full,
-    /// Per-predicate lists only; matching falls back to scans.
+    /// Per-predicate lists only; matching falls back to scans and
+    /// [`Instance::register_pair_index`] is a no-op.
     PredicateOnly,
+}
+
+/// Number of slots a [`SlotList`] stores inline before spilling.
+const SLOT_INLINE: usize = 3;
+
+/// An ascending list of atom slots, inline up to [`SLOT_INLINE`]
+/// entries. Cloning an inline list is a `memcpy`; only spilled lists
+/// (cells with four or more atoms) allocate. `Instance::clone` sits on
+/// the hot path of every engine run (the working instance is a clone
+/// of the caller's database), and most index cells are tiny, so this
+/// removes the dominant share of per-run allocations.
+#[derive(Debug, Clone)]
+enum SlotList {
+    Inline { len: u8, buf: [usize; SLOT_INLINE] },
+    Spill(Vec<usize>),
+}
+
+impl Default for SlotList {
+    fn default() -> Self {
+        SlotList::Inline {
+            len: 0,
+            buf: [0; SLOT_INLINE],
+        }
+    }
+}
+
+impl SlotList {
+    #[inline]
+    fn push(&mut self, slot: usize) {
+        match self {
+            SlotList::Inline { len, buf } => {
+                if (*len as usize) < SLOT_INLINE {
+                    buf[*len as usize] = slot;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(SLOT_INLINE * 2);
+                    v.extend_from_slice(buf);
+                    v.push(slot);
+                    *self = SlotList::Spill(v);
+                }
+            }
+            SlotList::Spill(v) => v.push(slot),
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[usize] {
+        match self {
+            SlotList::Inline { len, buf } => &buf[..*len as usize],
+            SlotList::Spill(v) => v,
+        }
+    }
 }
 
 /// A (finite) instance: a duplicate-free set of ground atoms over
@@ -29,9 +110,20 @@ pub enum IndexMode {
 #[derive(Debug, Clone)]
 pub struct Instance {
     atoms: Vec<Atom>,
-    slot_map: FxHashMap<Atom, usize>,
-    by_pred: FxHashMap<PredId, Vec<usize>>,
-    by_pos: FxHashMap<(PredId, u16, Term), Vec<usize>>,
+    /// Dedup index: atom hash → candidate slots. Storing slots instead
+    /// of owned `Atom` keys means `Instance::clone` — the first thing
+    /// every engine run does to the caller's database — never re-clones
+    /// an atom's argument vector for the map; equality is resolved
+    /// against `atoms[slot]` on the (rare) colliding lookups.
+    dedup: FxHashMap<u64, SlotList>,
+    /// Dense per-predicate slot lists, indexed by `PredId::index()`.
+    by_pred: Vec<SlotList>,
+    by_pos: FxHashMap<(PredId, u16, Term), SlotList>,
+    /// Registered composite position pairs per predicate (dense by
+    /// predicate id; `(a, b)` normalised to `a < b`). Empty until an
+    /// engine registers pairs from its join plans.
+    pair_plans: Vec<Vec<(u16, u16)>>,
+    by_pair: FxHashMap<(PredId, u16, u16, Term, Term), SlotList>,
     mode: IndexMode,
 }
 
@@ -51,9 +143,11 @@ impl Instance {
     pub fn with_mode(mode: IndexMode) -> Self {
         Instance {
             atoms: Vec::new(),
-            slot_map: fx_map(),
-            by_pred: fx_map(),
+            dedup: fx_map(),
+            by_pred: Vec::new(),
             by_pos: fx_map(),
+            pair_plans: Vec::new(),
+            by_pair: fx_map(),
             mode,
         }
     }
@@ -80,14 +174,25 @@ impl Instance {
     ///
     /// Duplicate inserts are no-ops returning the *existing* slot as
     /// `(slot, false)`, so callers never need a follow-up lookup to
-    /// identify the atom they just presented.
+    /// identify the atom they just presented. In particular a
+    /// duplicate insert leaves every index — including registered
+    /// composite pair cells — untouched.
     pub fn insert(&mut self, atom: Atom) -> (usize, bool) {
         debug_assert!(atom.is_ground(), "instances hold ground atoms only");
-        if let Some(&existing) = self.slot_map.get(&atom) {
-            return (existing, false);
+        let key = Self::atom_key(&atom);
+        if let Some(bucket) = self.dedup.get(&key) {
+            for &s in bucket.as_slice() {
+                if self.atoms[s] == atom {
+                    return (s, false);
+                }
+            }
         }
         let slot = self.atoms.len();
-        self.by_pred.entry(atom.pred).or_default().push(slot);
+        let pred_idx = atom.pred.index();
+        if pred_idx >= self.by_pred.len() {
+            self.by_pred.resize_with(pred_idx + 1, SlotList::default);
+        }
+        self.by_pred[pred_idx].push(slot);
         if self.mode == IndexMode::Full {
             for (i, &t) in atom.args.iter().enumerate() {
                 self.by_pos
@@ -95,22 +200,111 @@ impl Instance {
                     .or_default()
                     .push(slot);
             }
+            if let Some(plan) = self.pair_plans.get(pred_idx) {
+                for &(a, b) in plan {
+                    self.by_pair
+                        .entry((
+                            atom.pred,
+                            a,
+                            b,
+                            atom.args[a as usize],
+                            atom.args[b as usize],
+                        ))
+                        .or_default()
+                        .push(slot);
+                }
+            }
         }
-        self.slot_map.insert(atom.clone(), slot);
+        self.dedup.entry(key).or_default().push(slot);
         self.atoms.push(atom);
         (slot, true)
+    }
+
+    /// The dedup-map key of an atom: its FxHash over predicate and
+    /// arguments. Collisions are handled by the bucket's slot list, so
+    /// the key only has to be stable within one process.
+    #[inline]
+    fn atom_key(atom: &Atom) -> u64 {
+        let mut h = FxHasher::default();
+        atom.pred.hash(&mut h);
+        for t in &atom.args {
+            t.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Registers a composite two-position index on `pred` over
+    /// argument positions `a` and `b` (order-insensitive; normalised
+    /// internally). The index is built from the atoms already present
+    /// and maintained by subsequent inserts; registering the same pair
+    /// again is a no-op. In [`IndexMode::PredicateOnly`] this does
+    /// nothing — [`Instance::slots_with_pred_pair`] then reports the
+    /// pair as unavailable and matching falls back to scans.
+    ///
+    /// Engines call this once per pair of their precomputed TGD join
+    /// plans before a run, so the cost of the backfill scan is paid
+    /// once and only for pairs the matcher will actually probe.
+    pub fn register_pair_index(&mut self, pred: PredId, a: usize, b: usize) {
+        if self.mode != IndexMode::Full || a == b {
+            return;
+        }
+        let (a, b) = if a < b {
+            (a as u16, b as u16)
+        } else {
+            (b as u16, a as u16)
+        };
+        let pred_idx = pred.index();
+        if pred_idx >= self.pair_plans.len() {
+            self.pair_plans.resize_with(pred_idx + 1, Vec::new);
+        }
+        if self.pair_plans[pred_idx].contains(&(a, b)) {
+            return;
+        }
+        self.pair_plans[pred_idx].push((a, b));
+        // Backfill from the atoms already present.
+        let slots = self
+            .by_pred
+            .get(pred_idx)
+            .map(SlotList::as_slice)
+            .unwrap_or(&[]);
+        for &slot in slots {
+            let atom = &self.atoms[slot];
+            debug_assert!((b as usize) < atom.arity(), "pair position out of arity");
+            self.by_pair
+                .entry((pred, a, b, atom.args[a as usize], atom.args[b as usize]))
+                .or_default()
+                .push(slot);
+        }
+    }
+
+    /// Whether the composite pair `(pred, a, b)` has been registered
+    /// (order-insensitive).
+    pub fn pair_index_registered(&self, pred: PredId, a: usize, b: usize) -> bool {
+        let (a, b) = if a < b {
+            (a as u16, b as u16)
+        } else {
+            (b as u16, a as u16)
+        };
+        self.pair_plans
+            .get(pred.index())
+            .is_some_and(|plan| plan.contains(&(a, b)))
     }
 
     /// Membership test.
     #[inline]
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.slot_map.contains_key(atom)
+        self.slot_of(atom).is_some()
     }
 
     /// Finds the slot of an atom, if present (one hash lookup).
     #[inline]
     pub fn slot_of(&self, atom: &Atom) -> Option<usize> {
-        self.slot_map.get(atom).copied()
+        let bucket = self.dedup.get(&Self::atom_key(atom))?;
+        bucket
+            .as_slice()
+            .iter()
+            .copied()
+            .find(|&s| self.atoms[s] == *atom)
     }
 
     /// Number of atoms.
@@ -136,14 +330,17 @@ impl Instance {
         self.atoms.iter()
     }
 
-    /// Slots of all atoms with the given predicate.
+    /// Slots of all atoms with the given predicate, ascending.
     pub fn slots_with_pred(&self, pred: PredId) -> &[usize] {
-        self.by_pred.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+        self.by_pred
+            .get(pred.index())
+            .map(SlotList::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Slots of all atoms with `pred` whose argument at `position`
-    /// equals `term`. Only available in [`IndexMode::Full`]; in
-    /// predicate-only mode returns `None` so callers fall back to a
+    /// equals `term`, ascending. Only available in [`IndexMode::Full`];
+    /// in predicate-only mode returns `None` so callers fall back to a
     /// scan.
     pub fn slots_with_pred_pos(
         &self,
@@ -157,7 +354,45 @@ impl Instance {
         Some(
             self.by_pos
                 .get(&(pred, position as u16, term))
-                .map(Vec::as_slice)
+                .map(SlotList::as_slice)
+                .unwrap_or(&[]),
+        )
+    }
+
+    /// Slots of all atoms with `pred` whose arguments at positions
+    /// `pos_a`/`pos_b` equal `term_a`/`term_b` respectively, ascending.
+    /// Returns `None` unless the pair `(pred, pos_a, pos_b)` has been
+    /// registered via [`Instance::register_pair_index`] and the index
+    /// mode is [`IndexMode::Full`] — callers then fall back to the
+    /// single-position index or a scan. The positions may be given in
+    /// either order.
+    pub fn slots_with_pred_pair(
+        &self,
+        pred: PredId,
+        pos_a: usize,
+        term_a: Term,
+        pos_b: usize,
+        term_b: Term,
+    ) -> Option<&[usize]> {
+        if self.mode != IndexMode::Full {
+            return None;
+        }
+        let (a, ta, b, tb) = if pos_a < pos_b {
+            (pos_a as u16, term_a, pos_b as u16, term_b)
+        } else {
+            (pos_b as u16, term_b, pos_a as u16, term_a)
+        };
+        if !self
+            .pair_plans
+            .get(pred.index())
+            .is_some_and(|plan| plan.contains(&(a, b)))
+        {
+            return None;
+        }
+        Some(
+            self.by_pair
+                .get(&(pred, a, b, ta, tb))
+                .map(SlotList::as_slice)
                 .unwrap_or(&[]),
         )
     }
@@ -201,10 +436,10 @@ impl FromIterator<Atom> for Instance {
 }
 
 impl PartialEq for Instance {
-    /// Set equality (insertion order and index mode are irrelevant).
+    /// Set equality (insertion order, index mode and registered pair
+    /// indexes are irrelevant).
     fn eq(&self, other: &Self) -> bool {
-        self.slot_map.len() == other.slot_map.len()
-            && self.slot_map.keys().all(|a| other.slot_map.contains_key(a))
+        self.atoms.len() == other.atoms.len() && self.atoms.iter().all(|a| other.contains(a))
     }
 }
 impl Eq for Instance {}
@@ -265,11 +500,153 @@ mod tests {
     }
 
     #[test]
+    fn slot_lists_spill_beyond_inline_capacity() {
+        // SLOT_INLINE + 2 atoms of one predicate force the spill
+        // representation; the list stays ascending and complete.
+        let mut inst = Instance::new();
+        for i in 0..(SLOT_INLINE + 2) as u32 {
+            inst.insert(atom(0, &[c(i), c(0)]));
+        }
+        let expect: Vec<usize> = (0..SLOT_INLINE + 2).collect();
+        assert_eq!(inst.slots_with_pred(PredId(0)), expect.as_slice());
+        assert_eq!(
+            inst.slots_with_pred_pos(PredId(0), 1, c(0)).unwrap(),
+            expect.as_slice()
+        );
+    }
+
+    #[test]
     fn predicate_only_mode_disables_position_index() {
         let mut inst = Instance::with_mode(IndexMode::PredicateOnly);
         inst.insert(atom(0, &[c(0), c(1)]));
         assert!(inst.slots_with_pred_pos(PredId(0), 0, c(0)).is_none());
         assert_eq!(inst.slots_with_pred(PredId(0)), &[0]);
+    }
+
+    #[test]
+    fn pair_index_lazily_built_from_existing_atoms() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, &[c(0), c(1), c(2)]));
+        inst.insert(atom(0, &[c(0), c(1), c(3)]));
+        inst.insert(atom(0, &[c(0), c(2), c(2)]));
+        // Unregistered pair: unavailable, callers fall back.
+        assert!(inst
+            .slots_with_pred_pair(PredId(0), 0, c(0), 1, c(1))
+            .is_none());
+        assert!(!inst.pair_index_registered(PredId(0), 0, 1));
+        // Registration backfills from the atoms already present.
+        inst.register_pair_index(PredId(0), 0, 1);
+        assert!(inst.pair_index_registered(PredId(0), 0, 1));
+        assert!(
+            inst.pair_index_registered(PredId(0), 1, 0),
+            "order-insensitive"
+        );
+        assert_eq!(
+            inst.slots_with_pred_pair(PredId(0), 0, c(0), 1, c(1))
+                .unwrap(),
+            &[0, 1]
+        );
+        // ...and in swapped position order.
+        assert_eq!(
+            inst.slots_with_pred_pair(PredId(0), 1, c(1), 0, c(0))
+                .unwrap(),
+            &[0, 1]
+        );
+        assert_eq!(
+            inst.slots_with_pred_pair(PredId(0), 0, c(0), 1, c(2))
+                .unwrap(),
+            &[2]
+        );
+        assert!(inst
+            .slots_with_pred_pair(PredId(0), 0, c(9), 1, c(1))
+            .unwrap()
+            .is_empty());
+        // Other pairs on the same predicate stay unregistered.
+        assert!(inst
+            .slots_with_pred_pair(PredId(0), 0, c(0), 2, c(2))
+            .is_none());
+    }
+
+    #[test]
+    fn pair_index_maintained_by_insert() {
+        let mut inst = Instance::new();
+        inst.register_pair_index(PredId(0), 0, 1);
+        inst.insert(atom(0, &[c(0), c(1)]));
+        inst.insert(atom(0, &[c(0), c(2)]));
+        inst.insert(atom(0, &[c(0), c(1)])); // duplicate: no index growth
+        assert_eq!(
+            inst.slots_with_pred_pair(PredId(0), 0, c(0), 1, c(1))
+                .unwrap(),
+            &[0]
+        );
+        assert_eq!(
+            inst.slots_with_pred_pair(PredId(0), 0, c(0), 1, c(2))
+                .unwrap(),
+            &[1]
+        );
+        // Registering again is a no-op (no duplicate slots).
+        inst.register_pair_index(PredId(0), 1, 0);
+        assert_eq!(
+            inst.slots_with_pred_pair(PredId(0), 0, c(0), 1, c(1))
+                .unwrap(),
+            &[0]
+        );
+    }
+
+    #[test]
+    fn pair_index_respects_dedup_and_slot_of() {
+        // The pair cells must agree with `slot_of` even when inserts
+        // interleave duplicates with registration.
+        let mut inst = Instance::new();
+        let a = atom(0, &[c(0), c(1)]);
+        let b = atom(0, &[c(0), c(2)]);
+        inst.insert(a.clone());
+        inst.register_pair_index(PredId(0), 0, 1);
+        inst.insert(b.clone());
+        inst.insert(a.clone());
+        inst.insert(b.clone());
+        let sa = inst.slot_of(&a).unwrap();
+        let sb = inst.slot_of(&b).unwrap();
+        assert_eq!(
+            inst.slots_with_pred_pair(PredId(0), 0, c(0), 1, c(1))
+                .unwrap(),
+            &[sa]
+        );
+        assert_eq!(
+            inst.slots_with_pred_pair(PredId(0), 0, c(0), 1, c(2))
+                .unwrap(),
+            &[sb]
+        );
+    }
+
+    #[test]
+    fn pair_index_noop_in_predicate_only_mode() {
+        let mut inst = Instance::with_mode(IndexMode::PredicateOnly);
+        inst.insert(atom(0, &[c(0), c(1)]));
+        inst.register_pair_index(PredId(0), 0, 1);
+        assert!(!inst.pair_index_registered(PredId(0), 0, 1));
+        assert!(inst
+            .slots_with_pred_pair(PredId(0), 0, c(0), 1, c(1))
+            .is_none());
+    }
+
+    #[test]
+    fn pair_index_survives_clone() {
+        let mut inst = Instance::new();
+        inst.register_pair_index(PredId(0), 0, 1);
+        inst.insert(atom(0, &[c(0), c(1)]));
+        let mut copy = inst.clone();
+        copy.insert(atom(0, &[c(0), c(2)]));
+        assert_eq!(
+            copy.slots_with_pred_pair(PredId(0), 0, c(0), 1, c(2))
+                .unwrap(),
+            &[1]
+        );
+        // The original is unaffected.
+        assert!(inst
+            .slots_with_pred_pair(PredId(0), 0, c(0), 1, c(2))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -288,7 +288,7 @@ impl<'v> Parser<'v> {
                 };
                 Term::Var(v)
             })
-            .collect();
+            .collect::<crate::atom::ArgVec>();
         Ok(Atom::new(pred, args))
     }
 
@@ -302,7 +302,7 @@ impl<'v> Parser<'v> {
             .args
             .into_iter()
             .map(|name| Term::Const(self.vocab.constant(&name)))
-            .collect();
+            .collect::<crate::atom::ArgVec>();
         Ok(Atom::new(pred, args))
     }
 

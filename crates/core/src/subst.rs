@@ -99,7 +99,10 @@ impl Binding {
     pub fn apply_atom(&self, atom: &Atom) -> Atom {
         Atom::new(
             atom.pred,
-            atom.args.iter().map(|&t| self.apply_term(t)).collect(),
+            atom.args
+                .iter()
+                .map(|&t| self.apply_term(t))
+                .collect::<crate::atom::ArgVec>(),
         )
     }
 
@@ -156,7 +159,7 @@ mod tests {
             vec![Term::Var(VarId(0)), Term::Var(VarId(1)), c(1)],
         );
         let out = b.apply_atom(&atom);
-        assert_eq!(out.args, vec![c(7), Term::Var(VarId(1)), c(1)]);
+        assert_eq!(*out.args, [c(7), Term::Var(VarId(1)), c(1)]);
     }
 
     #[test]

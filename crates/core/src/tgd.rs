@@ -12,6 +12,98 @@ use crate::ids::{fx_set, PredId, VarId};
 use crate::term::Term;
 use crate::vocab::Vocabulary;
 
+/// A constant-time activeness probe for a single-head TGD whose head
+/// carries at least one existential variable, none repeated.
+///
+/// For such a head `R(t̄)`, a homomorphism extending the trigger
+/// binding exists **iff** some instance atom of predicate `R` agrees
+/// with the binding on every frontier-carrying position: distinct
+/// existential positions impose no constraints (each unifies freely
+/// with whatever the candidate atom holds there), while a repeated
+/// frontier variable simply contributes one constraint per occurrence.
+/// This turns the head-satisfaction search of the restricted chase
+/// (Definition 3.1) into a single index probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeadProbe {
+    /// The head predicate.
+    pub pred: PredId,
+    /// `(position, frontier variable)` constraints, position-ascending.
+    /// May be empty (fully existential head): satisfaction then means
+    /// "any atom of `pred` exists".
+    pub constraints: Vec<(u16, VarId)>,
+}
+
+/// Simulates the iterative matcher's *first descent* over `patterns`
+/// starting from the variables in `seed` bound: repeatedly pick the
+/// pattern with the most bound argument positions (first-maximum
+/// tie-break over a `swap_remove` worklist, mirroring
+/// `hom::search_iterative`) and bind its variables. Returns the
+/// pattern indexes in selection order.
+///
+/// This is a *heuristic* mirror only — after backtracking the real
+/// matcher's worklist order can diverge on ties — so the result is
+/// used to decide which composite indexes to register, never to fix
+/// the matcher's own selection.
+fn simulate_first_descent(patterns: &[Atom], seed: &[VarId]) -> Vec<u32> {
+    let mut bound: Vec<VarId> = seed.to_vec();
+    let mut remaining: Vec<u32> = (0..patterns.len() as u32).collect();
+    let mut order = Vec::with_capacity(patterns.len());
+    while !remaining.is_empty() {
+        let mut best_idx = 0usize;
+        let mut best_score = 0usize;
+        for (i, &p) in remaining.iter().enumerate() {
+            let score = patterns[p as usize]
+                .args
+                .iter()
+                .filter(|t| match t {
+                    Term::Var(v) => bound.contains(v),
+                    _ => true,
+                })
+                .count();
+            if i == 0 || score > best_score {
+                best_idx = i;
+                best_score = score;
+            }
+        }
+        let p = remaining.swap_remove(best_idx);
+        for v in patterns[p as usize].vars() {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+        order.push(p);
+    }
+    order
+}
+
+/// Walks a simulated descent over `patterns` (seeded with `seed`
+/// bound) and records, for every pattern probed with two or more
+/// bound positions, the composite key the matcher would ask the
+/// instance for: the predicate plus the *first two* bound positions in
+/// position order. Deduplicates into `acc`.
+fn collect_pair_keys(patterns: &[Atom], seed: &[VarId], acc: &mut Vec<(PredId, u16, u16)>) {
+    let mut bound: Vec<VarId> = seed.to_vec();
+    for &p in &simulate_first_descent(patterns, seed) {
+        let pat = &patterns[p as usize];
+        let mut bound_positions = pat.args.iter().enumerate().filter_map(|(i, t)| match t {
+            Term::Var(v) if bound.contains(v) => Some(i as u16),
+            Term::Var(_) => None,
+            _ => Some(i as u16),
+        });
+        if let (Some(a), Some(b)) = (bound_positions.next(), bound_positions.next()) {
+            let key = (pat.pred, a, b);
+            if !acc.contains(&key) {
+                acc.push(key);
+            }
+        }
+        for v in pat.vars() {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+    }
+}
+
 /// Identifies a TGD within a [`TgdSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TgdId(pub u32);
@@ -40,6 +132,10 @@ pub struct Tgd {
     body_vars: Vec<VarId>,
     sorted_body_vars: Vec<VarId>,
     body_minus: Vec<Vec<Atom>>,
+    head_minus: Vec<Vec<Atom>>,
+    body_pair_plan: Vec<(PredId, u16, u16)>,
+    pair_plan: Vec<(PredId, u16, u16)>,
+    head_probe: Option<HeadProbe>,
 }
 
 impl Tgd {
@@ -89,15 +185,83 @@ impl Tgd {
         existentials.sort();
         let mut sorted_body_vars = body_vars.clone();
         sorted_body_vars.sort();
-        let body_minus: Vec<Vec<Atom>> = (0..body.len())
-            .map(|i| {
-                body.iter()
+        let minus = |atoms: &[Atom]| -> Vec<Vec<Atom>> {
+            (0..atoms.len())
+                .map(|i| {
+                    atoms
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, a)| a.clone())
+                        .collect()
+                })
+                .collect()
+        };
+        let body_minus = minus(&body);
+        let head_minus = minus(&head);
+
+        // Composite-index plan: every (pred, posA, posB) key a
+        // simulated matcher descent would probe with two bound
+        // positions, across all the searches the engines run — full
+        // body enumeration, per-atom delta matching, head-satisfaction
+        // seeded with the frontier, and per-head-atom delta rechecks.
+        // Full TGDs skip the head-derived searches: their activeness
+        // check always takes the ground membership fast path (a fully
+        // bound head never needs a candidate scan), so a pair index on
+        // their head predicates would be maintained but never probed.
+        // The body-only plan is kept separately for engines that never
+        // run restriction checks (the oblivious chase probes body
+        // joins only; head keys would be dead maintenance weight).
+        let mut body_pair_plan: Vec<(PredId, u16, u16)> = Vec::new();
+        collect_pair_keys(&body, &[], &mut body_pair_plan);
+        for (i, atom) in body.iter().enumerate() {
+            let seed: Vec<VarId> = atom.vars().collect();
+            collect_pair_keys(&body_minus[i], &seed, &mut body_pair_plan);
+        }
+        let mut pair_plan = body_pair_plan.clone();
+        if !existentials.is_empty() {
+            collect_pair_keys(&head, &frontier, &mut pair_plan);
+            for (i, atom) in head.iter().enumerate() {
+                let mut seed = frontier.clone();
+                for v in atom.vars() {
+                    if !seed.contains(&v) {
+                        seed.push(v);
+                    }
+                }
+                collect_pair_keys(&head_minus[i], &seed, &mut pair_plan);
+            }
+        }
+
+        // O(1) activeness probe: single head atom, at least one
+        // existential, none of which occurs twice in the head.
+        let head_probe = if head.len() == 1 && !existentials.is_empty() {
+            let h = &head[0];
+            let repeats_existential = existentials
+                .iter()
+                .any(|&z| h.args.iter().filter(|t| **t == Term::Var(z)).count() > 1);
+            if repeats_existential {
+                None
+            } else {
+                let constraints = h
+                    .args
+                    .iter()
                     .enumerate()
-                    .filter(|(j, _)| *j != i)
-                    .map(|(_, a)| a.clone())
-                    .collect()
-            })
-            .collect();
+                    .filter_map(|(i, t)| match t {
+                        Term::Var(v) if existentials.binary_search(v).is_err() => {
+                            Some((i as u16, *v))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                Some(HeadProbe {
+                    pred: h.pred,
+                    constraints,
+                })
+            }
+        } else {
+            None
+        };
+
         Ok(Tgd {
             body,
             head,
@@ -106,6 +270,10 @@ impl Tgd {
             body_vars,
             sorted_body_vars,
             body_minus,
+            head_minus,
+            body_pair_plan,
+            pair_plan,
+            head_probe,
         })
     }
 
@@ -170,6 +338,40 @@ impl Tgd {
         &self.body_minus[i]
     }
 
+    /// The head with the atom at position `i` removed, in original
+    /// order — the "rest of the head" completed against the instance
+    /// during incremental head-satisfaction rechecks. Precomputed at
+    /// construction.
+    #[inline]
+    pub fn head_without(&self, i: usize) -> &[Atom] {
+        &self.head_minus[i]
+    }
+
+    /// The composite `(pred, posA, posB)` index keys a matcher descent
+    /// over this TGD may probe (body joins, delta matching, and head
+    /// satisfaction), deduplicated. Engines register these with
+    /// [`crate::instance::Instance::register_pair_index`] before a run.
+    #[inline]
+    pub fn pair_plan(&self) -> &[(PredId, u16, u16)] {
+        &self.pair_plan
+    }
+
+    /// The body-join subset of [`Tgd::pair_plan`]: keys a matcher may
+    /// probe during body enumeration and delta matching, excluding the
+    /// head-satisfaction keys. Engines that never run restriction
+    /// checks (oblivious/semi-oblivious) register only these.
+    #[inline]
+    pub fn body_pair_plan(&self) -> &[(PredId, u16, u16)] {
+        &self.body_pair_plan
+    }
+
+    /// The precomputed O(1) activeness probe, if this TGD admits one
+    /// (single head atom with ≥1 existential, none repeated).
+    #[inline]
+    pub fn head_probe(&self) -> Option<&HeadProbe> {
+        self.head_probe.as_ref()
+    }
+
     /// Whether `v` is existentially quantified in this TGD.
     pub fn is_existential(&self, v: VarId) -> bool {
         self.existentials.binary_search(&v).is_ok()
@@ -215,6 +417,9 @@ pub struct TgdSet {
     tgds: Vec<Tgd>,
     max_arity: usize,
     preds: Vec<PredId>,
+    join_bodies: usize,
+    pair_plans: Vec<(PredId, u16, u16)>,
+    body_pair_plans: Vec<(PredId, u16, u16)>,
 }
 
 impl TgdSet {
@@ -246,10 +451,28 @@ impl TgdSet {
                 }
             }
         }
+        let join_bodies = tgds.iter().filter(|t| t.body.len() > 1).count();
+        let mut pair_plans: Vec<(PredId, u16, u16)> = Vec::new();
+        let mut body_pair_plans: Vec<(PredId, u16, u16)> = Vec::new();
+        for tgd in &tgds {
+            for &key in &tgd.pair_plan {
+                if !pair_plans.contains(&key) {
+                    pair_plans.push(key);
+                }
+            }
+            for &key in &tgd.body_pair_plan {
+                if !body_pair_plans.contains(&key) {
+                    body_pair_plans.push(key);
+                }
+            }
+        }
         Ok(TgdSet {
             tgds,
             max_arity,
             preds,
+            join_bodies,
+            pair_plans,
+            body_pair_plans,
         })
     }
 
@@ -293,6 +516,31 @@ impl TgdSet {
     #[inline]
     pub fn max_arity(&self) -> usize {
         self.max_arity
+    }
+
+    /// Number of TGDs whose bodies have two or more atoms (true
+    /// joins). Used by the engines' parallel-discovery gating: narrow
+    /// (single-atom) bodies cost one index probe per delta row, while
+    /// join bodies cost roughly `rows` probes each.
+    #[inline]
+    pub fn join_bodies(&self) -> usize {
+        self.join_bodies
+    }
+
+    /// The union of all member TGDs' composite-index plans (see
+    /// [`Tgd::pair_plan`]), deduplicated. Engines register each key on
+    /// their working instance once, before the run.
+    #[inline]
+    pub fn pair_plans(&self) -> &[(PredId, u16, u16)] {
+        &self.pair_plans
+    }
+
+    /// The union of the body-join subsets (see
+    /// [`Tgd::body_pair_plan`]), deduplicated. For engines that never
+    /// run restriction checks.
+    #[inline]
+    pub fn body_pair_plans(&self) -> &[(PredId, u16, u16)] {
+        &self.body_pair_plans
     }
 
     /// Whether every TGD is single-head; the termination deciders
@@ -492,6 +740,142 @@ mod tests {
             set.require_single_head(),
             Err(CoreError::NotSingleHead { tgd_index: 0 })
         ));
+    }
+
+    #[test]
+    fn head_probe_shape() {
+        let mut vocab = Vocabulary::new();
+        // R(x,y) -> exists z . R(x,z): one frontier constraint at pos 0.
+        let tgd = intro_rule(&mut vocab);
+        let probe = tgd.head_probe().expect("existential single head");
+        assert_eq!(probe.pred, tgd.head()[0].pred);
+        let x = tgd.body()[0].args[0].as_var().unwrap();
+        assert_eq!(probe.constraints, vec![(0u16, x)]);
+    }
+
+    #[test]
+    fn head_probe_absent_for_full_and_multi_head() {
+        let mut vocab = Vocabulary::new();
+        // Full TGD (no existentials): no probe — the ground
+        // membership fast path covers it.
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.body("R", &[x, y]).unwrap();
+        b.head("S", &[y, x]).unwrap();
+        assert!(b.build().unwrap().head_probe().is_none());
+        // Multi-head: no probe.
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (u, w) = (b.var("u"), b.var("w"));
+        b.body("R", &[u, u]).unwrap();
+        b.head("P", &[u]).unwrap();
+        b.head("Q", &[w]).unwrap();
+        assert!(b.build().unwrap().head_probe().is_none());
+    }
+
+    #[test]
+    fn head_probe_absent_for_repeated_existential() {
+        let mut vocab = Vocabulary::new();
+        // R(x) -> exists z . S(z,z): z's two occurrences constrain
+        // each other, so the probe shortcut is unsound — must be None.
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (x, z) = (b.var("x"), b.var("z"));
+        b.body("R", &[x]).unwrap();
+        b.head("S", &[z, z]).unwrap();
+        assert!(b.build().unwrap().head_probe().is_none());
+    }
+
+    #[test]
+    fn head_probe_handles_repeated_frontier_and_no_frontier() {
+        let mut vocab = Vocabulary::new();
+        // R(x) -> exists z . S(x,x,z): two constraints on x.
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (x, z) = (b.var("x"), b.var("z"));
+        b.body("R", &[x]).unwrap();
+        b.head("S", &[x, x, z]).unwrap();
+        let tgd = b.build().unwrap();
+        let probe = tgd.head_probe().unwrap();
+        let xv = x.as_var().unwrap();
+        assert_eq!(probe.constraints, vec![(0u16, xv), (1u16, xv)]);
+        // P(u) -> exists w . Q(w): no constraints at all.
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (u, w) = (b.var("u"), b.var("w"));
+        b.body("P", &[u]).unwrap();
+        b.head("Q", &[w]).unwrap();
+        assert!(b
+            .build()
+            .unwrap()
+            .head_probe()
+            .unwrap()
+            .constraints
+            .is_empty());
+    }
+
+    #[test]
+    fn pair_plan_covers_join_bodies_and_heads() {
+        let mut vocab = Vocabulary::new();
+        // E(x,y), E(y,z), E(x,z) -> exists w. M(x,z,w): the full-body
+        // descent reaches the third atom with both positions bound
+        // (pair key on E), and the frontier-seeded head search probes
+        // M on its two frontier positions (pair key on M).
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (x, y, z, w) = (b.var("x"), b.var("y"), b.var("z"), b.var("w"));
+        b.body("E", &[x, y]).unwrap();
+        b.body("E", &[y, z]).unwrap();
+        b.body("E", &[x, z]).unwrap();
+        b.head("M", &[x, z, w]).unwrap();
+        let tgd = b.build().unwrap();
+        let e = tgd.body()[0].pred;
+        let m = tgd.head()[0].pred;
+        assert!(tgd.pair_plan().contains(&(e, 0, 1)));
+        assert!(tgd.pair_plan().contains(&(m, 0, 1)));
+        // The body-only plan keeps the join key but drops the
+        // head-satisfaction key.
+        assert!(tgd.body_pair_plan().contains(&(e, 0, 1)));
+        assert!(!tgd.body_pair_plan().contains(&(m, 0, 1)));
+        // Head-minus views mirror body-minus views.
+        assert!(tgd.head_without(0).is_empty());
+        assert_eq!(
+            tgd.body_without(1),
+            [tgd.body()[0].clone(), tgd.body()[2].clone()]
+        );
+    }
+
+    #[test]
+    fn full_tgds_contribute_no_head_pair_keys() {
+        // E(x,y), E(y,z) -> E(x,z): the activeness check of a full TGD
+        // always takes the ground membership fast path, so its head
+        // must not register a composite pair index that would be
+        // maintained on every insert but never probed.
+        let mut vocab = Vocabulary::new();
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.body("E", &[x, y]).unwrap();
+        b.body("E", &[y, z]).unwrap();
+        b.head("E", &[x, z]).unwrap();
+        let tgd = b.build().unwrap();
+        assert!(tgd.pair_plan().is_empty());
+    }
+
+    #[test]
+    fn tgd_set_aggregates_plans_and_join_counts() {
+        let mut vocab = Vocabulary::new();
+        let t1 = intro_rule(&mut vocab); // single-atom body
+        let mut b = RuleBuilder::new(&mut vocab);
+        let (x, y, z, w) = (b.var("jx"), b.var("jy"), b.var("jz"), b.var("jw"));
+        b.body("E", &[x, y]).unwrap();
+        b.body("E", &[y, z]).unwrap();
+        b.head("M", &[x, z, w]).unwrap();
+        let t2 = b.build().unwrap();
+        let set = TgdSet::new(vec![t1, t2], &vocab).unwrap();
+        assert_eq!(set.join_bodies(), 1);
+        let m = set.tgd(TgdId(1)).head()[0].pred;
+        assert!(set.pair_plans().contains(&(m, 0, 1)));
+        assert!(!set.body_pair_plans().contains(&(m, 0, 1)));
+        // Aggregation deduplicates across TGDs.
+        let mut sorted = set.pair_plans().to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), set.pair_plans().len());
     }
 
     #[test]

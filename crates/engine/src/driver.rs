@@ -33,14 +33,14 @@
 //! engages above the engine's `parallel_threshold`.
 
 use chase_core::cancel::CancelToken;
-use chase_core::hom::exists_homomorphism_with;
 use chase_core::hom::HomScratch;
 use chase_core::ids::VarId;
 use chase_core::instance::Instance;
 use chase_core::tgd::{Tgd, TgdId, TgdSet};
 
 use crate::trigger::{
-    for_each_trigger_of_tgd_using_with, for_each_trigger_of_tgd_with, Trigger, TriggerFp,
+    for_each_trigger_of_tgd_using_with, for_each_trigger_of_tgd_with, head_satisfied_with, Trigger,
+    TriggerFp,
 };
 use std::ops::ControlFlow;
 
@@ -91,6 +91,44 @@ pub struct Discovered {
     /// instance it was discovered against. Sound to reuse later
     /// (inactivity is monotone); `false` means "unknown, re-check".
     pub inactive_hint: bool,
+    /// Satisfaction watermark: when the prescreen *refuted* head
+    /// satisfaction (`inactive_hint == false` with activeness checking
+    /// on), this records the instance length the refutation covered.
+    /// A later recheck only needs to scan atoms inserted at slot ≥
+    /// this watermark — instance growth is monotone, so the refuted
+    /// prefix stays refuted. `0` means "nothing refuted yet" (full
+    /// check required), which is also what batches without activeness
+    /// checking report.
+    pub watermark: usize,
+}
+
+/// Minimum number of batch rows (delta slots, or seed atoms) before
+/// parallel discovery can amortise its per-batch thread-spawn and
+/// scratch-allocation overhead.
+pub const MIN_PARALLEL_ROWS: usize = 2;
+
+/// Cap on the per-row fan-out factor charged to join bodies in
+/// [`estimated_batch_work`]: beyond this the index-driven matcher's
+/// real cost stops growing with the batch.
+const JOIN_ROW_CAP: usize = 256;
+
+/// Estimated matcher work of a discovery batch of `rows` rows (delta
+/// slots, or database atoms for the seed batch) against `set`.
+///
+/// Single-atom ("narrow") bodies cost about one index probe per row;
+/// join bodies fan each row out against candidates drawn from the rest
+/// of the batch, costing roughly `rows` probes per row (capped). The
+/// engines' `go_parallel` gating compares this against their
+/// `parallel_threshold`, so large-but-narrow batches (hundreds of rows
+/// against width-1 bodies, where a sequential pass is a few
+/// microseconds) stay sequential while genuinely quadratic batches fan
+/// out.
+pub fn estimated_batch_work(set: &TgdSet, rows: usize) -> usize {
+    let narrow = set.len() - set.join_bodies();
+    rows.saturating_mul(narrow).saturating_add(
+        rows.saturating_mul(rows.min(JOIN_ROW_CAP))
+            .saturating_mul(set.join_bodies()),
+    )
 }
 
 /// Sort key slot for the merge: position of the delta slot in the
@@ -116,12 +154,16 @@ fn collect_cell(
     check_active: bool,
     out: &mut Vec<Keyed>,
 ) {
+    // A refuting prescreen covers the whole instance as it stands now.
+    let covered = instance.len();
     let mut visit = |id: TgdId, b: &chase_core::subst::Binding| {
         let fp = TriggerFp::of(id, b, vars.of(tgd));
         // Pre-screen: seed the head matcher with the full body
-        // binding (sound — see `Trigger::is_active`).
-        let inactive_hint =
-            check_active && exists_homomorphism_with(probe, tgd.head(), instance, b);
+        // binding (sound — see `Trigger::is_active`). Shares
+        // `head_satisfied_with` with the sequential pop-time check so
+        // hints and rechecks always agree bit-for-bit.
+        let inactive_hint = check_active && head_satisfied_with(probe, tgd, instance, b, 0);
+        let watermark = if check_active { covered } else { 0 };
         out.push(Keyed {
             slot_ord,
             tgd: id.0,
@@ -132,6 +174,7 @@ fn collect_cell(
                 },
                 fp,
                 inactive_hint,
+                watermark,
             },
         });
         ControlFlow::Continue(())
@@ -367,6 +410,8 @@ mod tests {
                 !t.is_active(set.tgd(t.tgd), &p.database),
                 "hint diverged for {t:?}"
             );
+            // An activeness-checked batch covers the whole instance.
+            assert_eq!(d.watermark, p.database.len());
         }
     }
 
@@ -410,6 +455,25 @@ mod tests {
         for (d, t) in par.iter().zip(seq.iter()) {
             assert_eq!(&d.trigger, t);
             assert!(!d.inactive_hint, "check_active=false never hints");
+            assert_eq!(d.watermark, 0, "no activeness check, no refuted prefix");
         }
+    }
+
+    #[test]
+    fn batch_work_model_separates_narrow_from_join() {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(
+            "R(x,y), R(y,z) -> exists w. R(z,w).
+             S(x) -> exists u. T(x,u).",
+            &mut vocab,
+        )
+        .unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        assert_eq!(set.join_bodies(), 1);
+        // rows * narrow + rows^2 * join
+        assert_eq!(estimated_batch_work(&set, 10), 10 + 100);
+        // Join fan-out is capped; narrow cost keeps scaling linearly.
+        let big = estimated_batch_work(&set, 100_000);
+        assert_eq!(big, 100_000 + 100_000 * 256);
     }
 }

@@ -22,7 +22,9 @@ use chase_core::instance::Instance;
 use chase_core::tgd::TgdSet;
 use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
 
-use crate::driver::{collect_batch, BatchControl, FpVars, Parallelism};
+use crate::driver::{
+    collect_batch, estimated_batch_work, BatchControl, FpVars, Parallelism, MIN_PARALLEL_ROWS,
+};
 use crate::governor::{Budget, Outcome, ResourceGovernor};
 use crate::skolem::{SkolemPolicy, SkolemTable};
 use crate::trigger::{for_each_trigger_using_with, for_each_trigger_with, Trigger, TriggerFp};
@@ -55,7 +57,7 @@ impl<'a> ObliviousChase<'a> {
             set,
             policy: SkolemPolicy::PerTrigger,
             parallelism: Parallelism::Off,
-            parallel_threshold: 4096,
+            parallel_threshold: 32_768,
         }
     }
 
@@ -72,17 +74,25 @@ impl<'a> ObliviousChase<'a> {
         self
     }
 
-    /// Minimum estimated batch work (batch rows × `|TGDs|`; instance
-    /// atoms for the seed batch, fresh atoms for a delta batch) before
-    /// a discovery batch is fanned out under [`Parallelism::On`].
+    /// Minimum [`estimated_batch_work`] (a join-aware model over batch
+    /// rows — instance atoms for the seed batch, fresh atoms for a
+    /// delta batch — and per-TGD body width) before a discovery batch
+    /// is fanned out under [`Parallelism::On`]. A threshold of `0`
+    /// forces every batch parallel regardless of size.
     pub fn parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_threshold = threshold;
         self
     }
 
     fn go_parallel(&self, batch_rows: usize) -> bool {
-        self.parallelism == Parallelism::On
-            && batch_rows.saturating_mul(self.set.len()) >= self.parallel_threshold
+        if self.parallelism != Parallelism::On {
+            return false;
+        }
+        if self.parallel_threshold == 0 {
+            return true;
+        }
+        batch_rows >= MIN_PARALLEL_ROWS
+            && estimated_batch_work(self.set, batch_rows) >= self.parallel_threshold
     }
 
     /// The fingerprint layout identifying triggers under the policy.
@@ -152,6 +162,11 @@ impl<'a> ObliviousChase<'a> {
         }
         let vars = self.fp_vars();
         let mut instance = database.clone();
+        // Body joins only: the oblivious chase never runs restriction
+        // checks, so head-satisfaction keys would be dead weight.
+        for &(pred, a, b) in self.set.body_pair_plans() {
+            instance.register_pair_index(pred, a as usize, b as usize);
+        }
         let mut skolem = SkolemTable::above(
             self.policy,
             instance.iter().flat_map(|a| a.args.iter().copied()),

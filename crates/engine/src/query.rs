@@ -167,7 +167,7 @@ impl ConjunctiveQuery {
                             Term::Var(v) => lookup(*v, vocab, &mut frozen),
                             ground => *ground,
                         })
-                        .collect(),
+                        .collect::<chase_core::atom::ArgVec>(),
                 )
             })
             .collect();

@@ -20,25 +20,47 @@
 //! enumeration, one probing activeness), identifies triggers by packed
 //! [`TriggerFp`] fingerprints, and enumerates delta triggers through
 //! the borrowing `*_with` entry points — steady-state discovery and
-//! activeness checking perform no heap allocation. With
-//! [`Parallelism::On`], discovery batches above `parallel_threshold`
+//! activeness checking perform no heap allocation. Queued candidates
+//! live as `Copy` spans into a flat binding arena, so queueing a
+//! trigger allocates nothing and a [`Trigger`] value is materialised
+//! only for the triggers actually *applied*. With [`Parallelism::On`],
+//! discovery batches whose estimated work clears `parallel_threshold`
 //! fan out over scoped threads; the merged result is bit-identical to
 //! the sequential run (see [`crate::driver`]).
+//!
+//! ## Incremental restriction checks
+//!
+//! The activeness test (Definition 3.1) is incremental: the engine
+//! registers the TGD set's composite-index plan on its working
+//! instance up front (turning most head-satisfaction searches into
+//! single index probes), and each queued trigger carries a
+//! *satisfaction watermark* — the instance length covered by the last
+//! failed head-satisfaction search for that trigger. A pop-time
+//! recheck scans only atoms inserted at or after the watermark: the
+//! instance grows monotonically, so a refuted prefix stays refuted.
+//! Triggers proved inactive are never re-probed (inactivity is
+//! monotone, cached permanently via `inactive_hint`).
 
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
 
 use chase_core::hom::HomScratch;
-use chase_core::ids::fx_set;
+use chase_core::ids::{fx_set, VarId};
 use chase_core::instance::Instance;
-use chase_core::tgd::TgdSet;
+use chase_core::subst::Binding;
+use chase_core::term::Term;
+use chase_core::tgd::{TgdId, TgdSet};
 use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
 
 use crate::derivation::{Derivation, Step};
-use crate::driver::{collect_batch, BatchControl, FpVars, Parallelism};
+use crate::driver::{
+    collect_batch, estimated_batch_work, BatchControl, FpVars, Parallelism, MIN_PARALLEL_ROWS,
+};
 use crate::governor::ResourceGovernor;
 use crate::skolem::{SkolemPolicy, SkolemTable};
-use crate::trigger::{for_each_trigger_using_with, for_each_trigger_with, Trigger, TriggerFp};
+use crate::trigger::{
+    for_each_trigger_using_with, for_each_trigger_with, head_satisfied_with, Trigger, TriggerFp,
+};
 
 pub use crate::governor::{Budget, Outcome};
 
@@ -103,12 +125,54 @@ impl XorShift64 {
     }
 }
 
-/// A queued candidate trigger plus the parallel prescreen verdict
-/// (`inactive_hint` is always `false` on the sequential path).
-#[derive(Debug, Clone)]
+/// A queued candidate trigger: a `Copy` span into the engine's flat
+/// binding arena plus the incremental-activeness state. No [`Trigger`]
+/// (and no per-trigger `Binding` allocation) exists until the trigger
+/// is actually applied.
+#[derive(Debug, Clone, Copy)]
 struct Queued {
-    trigger: Trigger,
+    /// Which TGD.
+    tgd: TgdId,
+    /// Start of the `(var, term)` span in the binding arena.
+    start: u32,
+    /// Length of the span (one entry per body variable).
+    len: u32,
+    /// Satisfaction watermark: instance length covered by the last
+    /// *failed* head-satisfaction search for this trigger. A recheck
+    /// scans only atoms at slot ≥ this. `0` = no prior refutation
+    /// (full check).
+    watermark: u32,
+    /// `true` if a discovery prescreen already proved the trigger
+    /// inactive — permanent, since inactivity is monotone.
     inactive_hint: bool,
+}
+
+impl Queued {
+    /// Copies `binding`'s entries into `arena` and returns the span
+    /// handle.
+    fn store(
+        arena: &mut Vec<(VarId, Term)>,
+        tgd: TgdId,
+        binding: &Binding,
+        watermark: usize,
+        inactive_hint: bool,
+    ) -> Queued {
+        let start = arena.len();
+        arena.extend(binding.iter());
+        Queued {
+            tgd,
+            start: start as u32,
+            len: (arena.len() - start) as u32,
+            watermark: watermark as u32,
+            inactive_hint,
+        }
+    }
+
+    /// The stored `(var, term)` pairs.
+    #[inline]
+    fn pairs<'a>(&self, arena: &'a [(VarId, Term)]) -> &'a [(VarId, Term)] {
+        &arena[self.start as usize..(self.start + self.len) as usize]
+    }
 }
 
 /// Strategy-shaped trigger queue.
@@ -152,7 +216,7 @@ impl TriggerQueue {
         match self {
             TriggerQueue::Deque(d) => d.push_back(q),
             TriggerQueue::Buckets { buckets, len, min } => {
-                let b = q.trigger.tgd.index();
+                let b = q.tgd.index();
                 *min = (*min).min(b);
                 buckets[b].push(q);
                 *len += 1;
@@ -167,7 +231,7 @@ impl TriggerQueue {
         match self {
             TriggerQueue::Deque(d) => d.push_front(q),
             TriggerQueue::Buckets { buckets, len, min } => {
-                let b = q.trigger.tgd.index();
+                let b = q.tgd.index();
                 *min = (*min).min(b);
                 buckets[b].push(q);
                 *len += 1;
@@ -229,7 +293,7 @@ impl<'a> RestrictedChase<'a> {
             strategy: Strategy::Fifo,
             record: true,
             parallelism: Parallelism::Off,
-            parallel_threshold: 4096,
+            parallel_threshold: 32_768,
         }
     }
 
@@ -252,21 +316,30 @@ impl<'a> RestrictedChase<'a> {
         self
     }
 
-    /// Minimum estimated batch work (batch rows × `|TGDs|`, where the
-    /// rows are the whole instance for the seed batch and the fresh
-    /// atoms for a delta batch) before a discovery batch is fanned out
-    /// under [`Parallelism::On`]. Defaults to 4096 — in practice the
-    /// seed batch over a large database parallelises while per-step
-    /// delta batches (a handful of fresh atoms) stay on the hot
-    /// sequential path. Set to 0 to force the parallel path (tests).
+    /// Minimum estimated batch work (see
+    /// [`crate::driver::estimated_batch_work`]: delta rows weighted by
+    /// per-TGD body width, so wide join bodies count quadratically and
+    /// single-atom bodies linearly) before a discovery batch is fanned
+    /// out under [`Parallelism::On`]. Defaults to 32768 — in practice
+    /// the seed batch of a join-heavy workload over a large database
+    /// parallelises, while narrow batches (hundreds of rows against
+    /// width-1 bodies, where a sequential pass costs microseconds) and
+    /// per-step delta batches stay on the hot sequential path. Set to
+    /// 0 to force the parallel path (tests).
     pub fn parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_threshold = threshold;
         self
     }
 
     fn go_parallel(&self, batch_rows: usize) -> bool {
-        self.parallelism == Parallelism::On
-            && batch_rows.saturating_mul(self.set.len()) >= self.parallel_threshold
+        if self.parallelism != Parallelism::On {
+            return false;
+        }
+        if self.parallel_threshold == 0 {
+            return true;
+        }
+        batch_rows >= MIN_PARALLEL_ROWS
+            && estimated_batch_work(self.set, batch_rows) >= self.parallel_threshold
     }
 
     /// Runs the restricted chase on `database` within `budget`.
@@ -323,11 +396,23 @@ impl<'a> RestrictedChase<'a> {
             };
         }
         let mut instance = database.clone();
+        // Register the TGD set's composite-index plan before any
+        // matching: pair cells are maintained incrementally from here
+        // on, and candidate pruning through them is order-preserving
+        // (see `chase_core::hom`), so seed-engine bit-identity holds.
+        for &(pred, a, b) in self.set.pair_plans() {
+            instance.register_pair_index(pred, a as usize, b as usize);
+        }
         let mut skolem = SkolemTable::above(
             SkolemPolicy::PerTrigger,
             instance.iter().flat_map(|a| a.args.iter().copied()),
         );
         let mut queue = TriggerQueue::new(self.strategy, self.set.len());
+        // Flat binding arena backing all queued spans for the whole
+        // run; bounded by the number of discovered triggers (which the
+        // queue held as owned bindings before this existed).
+        let mut arena: Vec<(VarId, Term)> = Vec::new();
+        let mut check_binding = Binding::new();
         let mut seen: chase_core::ids::FxHashSet<TriggerFp> = fx_set();
         let mut rng = match self.strategy {
             Strategy::Random(seed) => Some(XorShift64::new(seed)),
@@ -368,10 +453,13 @@ impl<'a> RestrictedChase<'a> {
                         tgd: d.trigger.tgd.0,
                         step: 0,
                     });
-                    queue.push(Queued {
-                        trigger: d.trigger,
-                        inactive_hint: d.inactive_hint,
-                    });
+                    queue.push(Queued::store(
+                        &mut arena,
+                        d.trigger.tgd,
+                        &d.trigger.binding,
+                        d.watermark,
+                        d.inactive_hint,
+                    ));
                 }
             }
         } else {
@@ -383,13 +471,7 @@ impl<'a> RestrictedChase<'a> {
                         tgd: id.0,
                         step: 0,
                     });
-                    queue.push(Queued {
-                        trigger: Trigger {
-                            tgd: id,
-                            binding: b.clone(),
-                        },
-                        inactive_hint: false,
-                    });
+                    queue.push(Queued::store(&mut arena, id, b, 0, false));
                 }
                 ControlFlow::Continue(())
             });
@@ -423,31 +505,46 @@ impl<'a> RestrictedChase<'a> {
             let Some(popped) = queue.pop(self.strategy, &mut rng) else {
                 break;
             };
-            let trigger = popped.trigger;
-            let tgd = self.set.tgd(trigger.tgd);
-            // A worker's inactive prescreen is sound to reuse:
-            // inactivity is monotone under instance growth.
+            let tgd = self.set.tgd(popped.tgd);
+            check_binding.clear();
+            for &(v, t) in popped.pairs(&arena) {
+                check_binding.push(v, t);
+            }
+            // A worker's inactive prescreen is sound to reuse
+            // (inactivity is monotone under instance growth); an
+            // unhinted trigger is rechecked incrementally — atoms
+            // below the watermark were already refuted by the search
+            // that set it.
             let active = !popped.inactive_hint
-                && trigger.is_active_with(tgd, &instance, &mut active_scratch);
+                && !head_satisfied_with(
+                    &mut active_scratch,
+                    tgd,
+                    &instance,
+                    &check_binding,
+                    popped.watermark as usize,
+                );
             emit(obs, || Event::TriggerChecked {
                 engine: ENGINE,
-                tgd: trigger.tgd.0,
+                tgd: popped.tgd.0,
                 step: steps as u64,
                 active,
             });
             if !active {
                 emit(obs, || Event::TriggerDeactivated {
                     engine: ENGINE,
-                    tgd: trigger.tgd.0,
+                    tgd: popped.tgd.0,
                     step: steps as u64,
                 });
                 continue; // deactivated since discovery — monotone, stays so
             }
             if gov.budget_exhausted(steps, instance.len()) {
                 // Put it back so the caller can inspect pending work.
+                // The activeness check above just refuted satisfaction
+                // over the instance as it stands, so the re-queued
+                // trigger's watermark advances to the full length.
                 queue.unpop(Queued {
-                    trigger,
-                    inactive_hint: false,
+                    watermark: instance.len() as u32,
+                    ..popped
                 });
                 return ChaseRun {
                     outcome: Outcome::BudgetExhausted,
@@ -456,6 +553,12 @@ impl<'a> RestrictedChase<'a> {
                     derivation,
                 };
             }
+            // Materialise the applied trigger (the only place a queued
+            // candidate becomes an owned Trigger).
+            let trigger = Trigger {
+                tgd: popped.tgd,
+                binding: Binding::from_pairs(popped.pairs(&arena).iter().copied()),
+            };
             let nulls_before = skolem.invented();
             let added = trigger.result(tgd, &mut skolem);
             let nulls_after = skolem.invented();
@@ -523,10 +626,13 @@ impl<'a> RestrictedChase<'a> {
                             tgd: d.trigger.tgd.0,
                             step: steps as u64,
                         });
-                        queue.push(Queued {
-                            trigger: d.trigger,
-                            inactive_hint: d.inactive_hint,
-                        });
+                        queue.push(Queued::store(
+                            &mut arena,
+                            d.trigger.tgd,
+                            &d.trigger.binding,
+                            d.watermark,
+                            d.inactive_hint,
+                        ));
                     }
                 }
             } else {
@@ -544,13 +650,7 @@ impl<'a> RestrictedChase<'a> {
                                     tgd: id.0,
                                     step: steps as u64,
                                 });
-                                queue.push(Queued {
-                                    trigger: Trigger {
-                                        tgd: id,
-                                        binding: b.clone(),
-                                    },
-                                    inactive_hint: false,
-                                });
+                                queue.push(Queued::store(&mut arena, id, b, 0, false));
                             }
                             ControlFlow::Continue(())
                         },

@@ -16,8 +16,8 @@ use std::ops::ControlFlow;
 
 use chase_core::atom::Atom;
 use chase_core::hom::{
-    exists_homomorphism, exists_homomorphism_with, for_each_homomorphism_with, with_scratch,
-    HomScratch,
+    exists_homomorphism, exists_homomorphism_with, for_each_homomorphism_with,
+    head_satisfied_probe, head_satisfied_since, with_scratch, HomScratch,
 };
 use chase_core::ids::VarId;
 use chase_core::instance::Instance;
@@ -162,13 +162,16 @@ impl Trigger {
     /// non-frontier entries are never consulted — same answer, no
     /// allocation.
     pub fn is_active(&self, tgd: &Tgd, instance: &Instance) -> bool {
+        if let Some(sat) = head_satisfied_probe(tgd, instance, &self.binding, 0) {
+            return !sat;
+        }
         !exists_homomorphism(tgd.head(), instance, &self.binding)
     }
 
     /// [`Trigger::is_active`] with a caller-owned scratch arena
     /// (allocation-free once warmed).
     pub fn is_active_with(&self, tgd: &Tgd, instance: &Instance, scratch: &mut HomScratch) -> bool {
-        !exists_homomorphism_with(scratch, tgd.head(), instance, &self.binding)
+        !head_satisfied_with(scratch, tgd, instance, &self.binding, 0)
     }
 
     /// Computes `result(σ, h)` — the head atoms with frontier
@@ -191,7 +194,7 @@ impl Trigger {
                     }
                     ground => ground,
                 })
-                .collect();
+                .collect::<chase_core::atom::ArgVec>();
             out.push(Atom::new(head.pred, args));
         }
         out
@@ -211,6 +214,41 @@ impl Trigger {
             .filter(|(_, t)| matches!(t, Term::Var(v) if tgd.is_frontier(*v)))
             .map(|(i, _)| i)
             .collect()
+    }
+}
+
+/// Incremental head-satisfaction check for a `(tgd, binding)` pair:
+/// whether some homomorphism of the head into `instance` extends
+/// `binding`, given that a previous search already **refuted**
+/// satisfaction on the length-`since` prefix of `instance` under the
+/// same binding. `since == 0` is an unconditional full check.
+///
+/// This single entry point is shared by [`Trigger::is_active_with`],
+/// the restricted engine's pop-time watermark recheck, and the
+/// parallel driver's inactive prescreen, so every consumer computes
+/// the exact same answer — the bit-identity invariant between
+/// sequential, parallel and seed runs. Dispatch order: the O(1)
+/// [`head_satisfied_probe`] when the TGD admits one, else the ground
+/// membership fast path (`since == 0`), else the anchored delta search
+/// [`head_satisfied_since`].
+pub fn head_satisfied_with(
+    scratch: &mut HomScratch,
+    tgd: &Tgd,
+    instance: &Instance,
+    binding: &Binding,
+    since: usize,
+) -> bool {
+    if let Some(sat) = head_satisfied_probe(tgd, instance, binding, since) {
+        return sat;
+    }
+    if since == 0 || tgd.existentials().is_empty() {
+        // Full TGDs have fully-ground heads under a trigger binding,
+        // so this is one membership probe per head atom — valid at any
+        // watermark: a member sitting below `since` would contradict
+        // the caller's earlier refutation, so membership alone decides.
+        exists_homomorphism_with(scratch, tgd.head(), instance, binding)
+    } else {
+        head_satisfied_since(scratch, tgd, instance, binding, since)
     }
 }
 

@@ -47,7 +47,7 @@ fn retract_away(instance: &Instance, prey: NullId) -> Option<Instance> {
                         }
                         ground => ground,
                     })
-                    .collect(),
+                    .collect::<chase_core::atom::ArgVec>(),
             )
         })
         .collect();

@@ -41,7 +41,10 @@ impl SideatomType {
         debug_assert_eq!(gamma.arity(), self.guard_arity);
         Atom::new(
             self.pred,
-            self.xi.iter().map(|&gi| gamma.args[gi]).collect(),
+            self.xi
+                .iter()
+                .map(|&gi| gamma.args[gi])
+                .collect::<chase_core::atom::ArgVec>(),
         )
     }
 }
@@ -121,7 +124,7 @@ mod tests {
         // Instantiating against a ground guard reproduces the side
         // atoms.
         let guard = Atom::new(tgd.body()[1].pred, vec![c(10), c(11), c(12)]);
-        assert_eq!(types[1].instantiate(&guard).args, vec![c(11), c(12)]);
+        assert_eq!(*types[1].instantiate(&guard).args, [c(11), c(12)]);
     }
 
     #[test]

@@ -150,7 +150,7 @@ pub fn treeify(
                     Term::Const(vocab.constant(&format!("⋆ac{counter}")))
                 }
             })
-            .collect();
+            .collect::<chase_core::atom::ArgVec>();
         Atom::new(atom.pred, args)
     };
     let root_copy = rename_root(&alpha_inf, vocab, &fx_map());

@@ -93,7 +93,10 @@ pub fn decide_linear(
                 .collect();
             let atom = chase_core::atom::Atom::new(
                 pred,
-                ty.classes.iter().map(|&c| consts[c as usize]).collect(),
+                ty.classes
+                    .iter()
+                    .map(|&c| consts[c as usize])
+                    .collect::<chase_core::atom::ArgVec>(),
             );
             let db = Instance::from_atoms([atom]);
             seeds += 1;

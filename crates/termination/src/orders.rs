@@ -52,7 +52,7 @@ fn canonical_key(instance: &Instance) -> Vec<Atom> {
                         }
                         other => other,
                     })
-                    .collect(),
+                    .collect::<chase_core::atom::ArgVec>(),
             )
         })
         .collect();

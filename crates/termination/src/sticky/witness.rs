@@ -108,7 +108,7 @@ fn instantiate(
         init.classes
             .iter()
             .map(|&c| class_terms[c as usize])
-            .collect(),
+            .collect::<chase_core::atom::ArgVec>(),
     );
 
     let mut database = Instance::new();
@@ -195,7 +195,7 @@ fn instantiate(
                         }
                     }
                 })
-                .collect(),
+                .collect::<chase_core::atom::ArgVec>(),
         );
         steps.push(Step {
             trigger: Trigger {

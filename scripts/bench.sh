@@ -8,7 +8,9 @@
 # The full mode regenerates BENCH_hotpath.json in the repo root (the
 # committed baseline-vs-optimised report); smoke mode runs tiny
 # workloads once and writes under target/ so it never clobbers the
-# committed numbers.
+# committed numbers. Smoke mode also acts as a perf-regression gate:
+# hotpath_report exits non-zero if any optimised engine is slower than
+# its seed baseline beyond HOTPATH_GATE_TOLERANCE (default 1.5x).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +19,7 @@ MODE="${1:-full}"
 case "$MODE" in
 smoke | --smoke)
     cargo run --offline --release -p chase-bench --bin hotpath_report -- \
-        --smoke --out target/BENCH_hotpath.smoke.json
+        --mode smoke --out target/BENCH_hotpath.smoke.json
     ;;
 full)
     cargo bench --offline -p chase-bench --bench hotpath

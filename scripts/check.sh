@@ -7,6 +7,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== no build artifacts tracked or staged =="
+if [ -n "$(git ls-files --cached target 2>/dev/null)" ]; then
+    echo "ERROR: target/ paths are tracked or staged; run 'git rm -r --cached target'" >&2
+    git ls-files --cached target | head >&2
+    exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -15,6 +22,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== cargo test -q (root package: tier-1) =="
 cargo test --offline -q
+
+echo "== incremental-equivalence property suite (watermarks vs seed) =="
+cargo test --offline -q --test incremental_equivalence
 
 echo "== cargo test -q --workspace =="
 cargo test --offline -q --workspace

@@ -115,8 +115,8 @@ proptest! {
         args_b in proptest::collection::vec(0u32..4, 1..5),
     ) {
         prop_assume!(args_a.len() == args_b.len());
-        let a = Atom::new(PredId(0), args_a.iter().map(|&i| Term::Const(ConstId(i))).collect());
-        let b = Atom::new(PredId(0), args_b.iter().map(|&i| Term::Const(ConstId(i))).collect());
+        let a = Atom::new(PredId(0), args_a.iter().map(|&i| Term::Const(ConstId(i))).collect::<Vec<_>>());
+        let b = Atom::new(PredId(0), args_b.iter().map(|&i| Term::Const(ConstId(i))).collect::<Vec<_>>());
         let same_type = EqType::of_atom(&a) == EqType::of_atom(&b);
         // Isomorphism of single ground atoms = identical repetition
         // pattern.
