@@ -17,6 +17,11 @@
 //! exits non-zero. The generous tolerance absorbs timer noise on tiny
 //! smoke workloads while still catching order-of-magnitude
 //! regressions of the hot path.
+//!
+//! Each row also carries a span-attribution profile (one profiled run
+//! per workload: wall-clock per engine phase plus peak instance
+//! bytes), and the report ends with a 1/2/4/8-thread scaling curve of
+//! the parallel driver on the fan workload.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -31,6 +36,18 @@ use chase_engine::driver::Parallelism;
 use chase_engine::oblivious::ObliviousChase;
 use chase_engine::restricted::{Budget, RestrictedChase};
 use chase_engine::seed::{SeedObliviousChase, SeedRestrictedChase};
+use chase_telemetry::{spans, SpanObserver};
+
+/// Phase attribution from one profiled run of a workload: where the
+/// wall-clock inside the engine actually went.
+struct PhaseProfile {
+    match_ns: u64,
+    check_ns: u64,
+    insert_ns: u64,
+    seed_ns: u64,
+    index_ns: u64,
+    peak_bytes: u64,
+}
 
 /// One seed-vs-optimised comparison on one workload.
 struct Row {
@@ -40,6 +57,7 @@ struct Row {
     seed_ns: u128,
     opt_ns: u128,
     par_ns: u128,
+    profile: PhaseProfile,
 }
 
 impl Row {
@@ -50,6 +68,12 @@ impl Row {
     fn par_speedup(&self) -> f64 {
         self.seed_ns as f64 / self.par_ns.max(1) as f64
     }
+}
+
+/// One point of the parallel driver's thread-scaling curve.
+struct ScalePoint {
+    threads: usize,
+    ns: u128,
 }
 
 /// Minimum wall-clock nanoseconds over `runs` invocations of `f`.
@@ -67,6 +91,34 @@ fn min_ns(runs: usize, mut f: impl FnMut()) -> u128 {
         })
         .min()
         .unwrap_or(u128::MAX)
+}
+
+/// One profiled run of `engine` → the phase attribution, after
+/// re-checking that profiling did not perturb the derivation.
+fn profile_restricted(
+    engine: &RestrictedChase,
+    db: &Instance,
+    budget: Budget,
+    reference: &chase_engine::restricted::ChaseRun,
+    name: &str,
+) -> PhaseProfile {
+    let mut obs = SpanObserver::new();
+    let run = engine.run_observed(db, budget, &mut obs);
+    assert_eq!(reference.steps, run.steps, "{name}/profiled: step mismatch");
+    assert_eq!(
+        reference.instance, run.instance,
+        "{name}/profiled: instance mismatch"
+    );
+    let p = obs.profile();
+    assert_eq!(p.unbalanced, 0, "{name}/profiled: unbalanced spans");
+    PhaseProfile {
+        match_ns: p.span_total(spans::MATCH),
+        check_ns: p.span_total(spans::RESTRICTION_CHECK),
+        insert_ns: p.span_total(spans::INSERT),
+        seed_ns: p.span_total(spans::SEED),
+        index_ns: p.span_total(spans::INDEX_MAINTAIN),
+        peak_bytes: p.peak_bytes,
+    }
 }
 
 fn restricted_row(
@@ -93,6 +145,15 @@ fn restricted_row(
             "{name}/{label}: instance mismatch"
         );
     }
+    // Exhaustive spans (no 1-in-K sampling): the attribution run is
+    // not the one being timed, so fidelity beats overhead here.
+    let profile = profile_restricted(
+        &opt_engine.clone().profile_sample_every(1),
+        db,
+        budget,
+        &reference,
+        name,
+    );
 
     Row {
         name,
@@ -107,6 +168,7 @@ fn restricted_row(
         par_ns: min_ns(runs, || {
             black_box(par_engine.run(db, budget));
         }),
+        profile,
     }
 }
 
@@ -132,6 +194,29 @@ fn oblivious_row(
             "{name}/{label}: instance mismatch"
         );
     }
+    let profile = {
+        let mut obs = SpanObserver::new();
+        // Exhaustive spans: attribution fidelity over overhead.
+        let run = opt_engine
+            .clone()
+            .profile_sample_every(1)
+            .run_observed(db, budget, &mut obs);
+        assert_eq!(reference.steps, run.steps, "{name}/profiled: step mismatch");
+        assert_eq!(
+            reference.instance, run.instance,
+            "{name}/profiled: instance mismatch"
+        );
+        let p = obs.profile();
+        assert_eq!(p.unbalanced, 0, "{name}/profiled: unbalanced spans");
+        PhaseProfile {
+            match_ns: p.span_total(spans::MATCH),
+            check_ns: p.span_total(spans::RESTRICTION_CHECK),
+            insert_ns: p.span_total(spans::INSERT),
+            seed_ns: p.span_total(spans::SEED),
+            index_ns: p.span_total(spans::INDEX_MAINTAIN),
+            peak_bytes: p.peak_bytes,
+        }
+    };
 
     Row {
         name,
@@ -146,10 +231,41 @@ fn oblivious_row(
         par_ns: min_ns(runs, || {
             black_box(par_engine.run(db, budget));
         }),
+        profile,
     }
 }
 
-fn write_json(path: &str, mode: &str, rows: &[Row]) -> std::io::Result<()> {
+/// Times the parallel restricted driver at fixed worker caps. The cap
+/// is still bounded by the TGD count (the partition is by TGD index),
+/// so the curve flattens once `threads` exceeds the workload's rules.
+fn scaling_curve(
+    set: &TgdSet,
+    db: &Instance,
+    budget: Budget,
+    runs: usize,
+    thread_counts: &[usize],
+) -> Vec<ScalePoint> {
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            // Production parallel configuration (default threshold):
+            // small batches stay on-thread, so the curve measures the
+            // driver as the engines actually run it.
+            let engine = RestrictedChase::new(set)
+                .record_derivation(false)
+                .parallelism(Parallelism::On)
+                .workers(threads);
+            ScalePoint {
+                threads,
+                ns: min_ns(runs, || {
+                    black_box(engine.run(db, budget));
+                }),
+            }
+        })
+        .collect()
+}
+
+fn write_json(path: &str, mode: &str, rows: &[Row], scaling: &[ScalePoint]) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(
@@ -164,7 +280,10 @@ fn write_json(path: &str, mode: &str, rows: &[Row]) -> std::io::Result<()> {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"steps\": {}, \"atoms\": {}, \
              \"seed_ns\": {}, \"optimised_ns\": {}, \"parallel_ns\": {}, \
-             \"speedup\": {:.2}, \"parallel_speedup\": {:.2}}}{}\n",
+             \"speedup\": {:.2}, \"parallel_speedup\": {:.2}, \
+             \"profile\": {{\"match_ns\": {}, \"restriction_check_ns\": {}, \
+             \"insert_ns\": {}, \"seed_phase_ns\": {}, \"index_maintain_ns\": {}, \
+             \"peak_bytes\": {}}}}}{}\n",
             r.name,
             r.steps,
             r.atoms,
@@ -173,10 +292,31 @@ fn write_json(path: &str, mode: &str, rows: &[Row]) -> std::io::Result<()> {
             r.par_ns,
             r.speedup(),
             r.par_speedup(),
+            r.profile.match_ns,
+            r.profile.check_ns,
+            r.profile.insert_ns,
+            r.profile.seed_ns,
+            r.profile.index_ns,
+            r.profile.peak_bytes,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"scaling\": {\n");
+    out.push_str("    \"workload\": \"fan_restricted\",\n");
+    out.push_str("    \"engine\": \"parallel restricted driver (worker cap, TGD-partitioned)\",\n");
+    out.push_str("    \"points\": [\n");
+    let base_ns = scaling.first().map(|p| p.ns).unwrap_or(1);
+    for (i, p) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"threads\": {}, \"ns\": {}, \"speedup_vs_1\": {:.2}}}{}\n",
+            p.threads,
+            p.ns,
+            base_ns as f64 / p.ns.max(1) as f64,
+            if i + 1 == scaling.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ]\n  }\n}\n");
     std::fs::write(path, out)
 }
 
@@ -221,6 +361,10 @@ fn main() {
         oblivious_row("existential_oblivious", &eset, &edb, budget, runs),
     ];
 
+    // The fan workload has one TGD per spoke kind, so it is the one
+    // macro workload where a worker cap above 1 actually fans out.
+    let scaling = scaling_curve(&fset, &fdb, budget, runs, &[1, 2, 4, 8]);
+
     println!(
         "hot-path report ({}):",
         if smoke { "smoke" } else { "full" }
@@ -230,9 +374,24 @@ fn main() {
             "  {:<28} steps={:<6} atoms={:<6} seed={:>10}ns opt={:>10}ns par={:>10}ns speedup={:.2}x par={:.2}x",
             r.name, r.steps, r.atoms, r.seed_ns, r.opt_ns, r.par_ns, r.speedup(), r.par_speedup()
         );
+        let p = &r.profile;
+        println!(
+            "  {:<28} profile: match={}ns check={}ns insert={}ns seed={}ns index={}ns peak={}B",
+            "", p.match_ns, p.check_ns, p.insert_ns, p.seed_ns, p.index_ns, p.peak_bytes
+        );
+    }
+    println!("scaling (fan_restricted, parallel driver):");
+    for p in &scaling {
+        println!("  threads={} ns={}", p.threads, p.ns);
     }
 
-    write_json(&out_path, if smoke { "smoke" } else { "full" }, &rows).expect("write report");
+    write_json(
+        &out_path,
+        if smoke { "smoke" } else { "full" },
+        &rows,
+        &scaling,
+    )
+    .expect("write report");
     println!("wrote {out_path}");
 
     if smoke {

@@ -6,17 +6,25 @@
 //! chasectl chase <file> [--steps N] [--strategy fifo|lifo|random|priority] [--seed N]
 //! chasectl oblivious <file> [--steps N] [--semi]
 //! chasectl decide <file>            all-instances termination verdict
+//! chasectl profile <file>           profiled run: span/memory report + overhead gate
 //! chasectl dot <file> [--steps N]   chase, then emit the derivation as graphviz
 //! chasectl suite [--metrics]        run the deciders over the labelled suite
-//! chasectl stats <trace.jsonl>      aggregate a --trace file into a counter table
+//! chasectl stats <path>...          aggregate --trace files into a counter table
 //! ```
 //!
 //! `chase`, `oblivious` and `decide` additionally accept the telemetry
-//! flags `--trace <file.jsonl>` (stream every event as JSON Lines) and
-//! `--metrics` (print a counter/phase table after the run), plus the
-//! resilience flags `--deadline-ms <N>` (wall-clock deadline) and — for
-//! the chase commands — `--cancel-after <N>` (cooperative cancellation
-//! after N steps, exercising the same path a signal handler would).
+//! flags `--trace <file.jsonl>` (stream every event as JSON Lines),
+//! `--metrics` (print a counter/phase table after the run) and
+//! `--profile` (include the span/memory/heartbeat profiling stream in
+//! those sinks), plus the resilience flags `--deadline-ms <N>`
+//! (wall-clock deadline) and — for the chase commands —
+//! `--cancel-after <N>` (cooperative cancellation after N steps,
+//! exercising the same path a signal handler would).
+//!
+//! `stats` merges any number of trace files (a directory expands to
+//! its `*.jsonl` children) and understands the profiling events;
+//! `stats --follow <file>` tails a growing trace live, with
+//! `--idle-exit-ms <N>` to stop once the producer goes quiet.
 //!
 //! ## Exit codes
 //!
@@ -50,7 +58,42 @@ use chase_termination::{decide_observed, DeciderConfig, TerminationVerdict};
 use chase_workloads::runner::run_labelled_suite;
 use tgd_classes::profile::ClassProfile;
 
+mod profile;
 mod stats;
+
+/// Counts every allocation (and reallocation) into
+/// [`chase_telemetry::alloc_track`], where the engines' profiling
+/// memory samples pick it up. The counter is a single relaxed atomic
+/// increment, so the allocator stays wait-free; `chase-telemetry`
+/// itself is `forbid(unsafe_code)`, which is why the `GlobalAlloc`
+/// shim lives here in the binary.
+struct CountingAlloc;
+
+// SAFETY: delegates verbatim to `System`; the extra work is one
+// relaxed atomic add, which cannot allocate, unwind or alias.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        chase_telemetry::alloc_track::note(1);
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        chase_telemetry::alloc_track::note(1);
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        chase_telemetry::alloc_track::note(1);
+        unsafe { std::alloc::System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Default RNG seed for `--strategy random` (overridable via `--seed`).
 const DEFAULT_RANDOM_SEED: u64 = 0xC0FFEE;
@@ -99,19 +142,26 @@ fn main() -> ExitCode {
 
 /// The one-line hint appended to every usage error.
 fn usage_hint() -> String {
-    "usage: chasectl <classify|chase|oblivious|decide|dot|suite|stats> [<file>] [options] \
-     (run 'chasectl help' for details)"
+    "usage: chasectl <classify|chase|oblivious|decide|profile|dot|suite|stats> [<file>] \
+     [options] (run 'chasectl help' for details)"
         .to_string()
 }
 
 fn usage() -> String {
-    "usage: chasectl <classify|chase|oblivious|decide|dot|suite|stats> [<file>] [options]\n\
+    "usage: chasectl <classify|chase|oblivious|decide|profile|dot|suite|stats> [<file>] [options]\n\
      options: --steps N     --strategy fifo|lifo|random|priority   --semi\n\
      \u{20}        --seed N      RNG seed for --strategy random (default 0xC0FFEE)\n\
-     \u{20}        --trace F     write one JSON event per line to F (chase|oblivious|decide)\n\
+     \u{20}        --trace F     write one JSON event per line to F (chase|oblivious|decide|profile)\n\
      \u{20}        --metrics     print counter/phase table (chase|oblivious|decide|suite)\n\
+     \u{20}        --profile     include the span/memory profiling stream (chase|oblivious|decide)\n\
      \u{20}        --deadline-ms N  wall-clock deadline (chase|oblivious|decide)\n\
      \u{20}        --cancel-after N cancel after N chase steps (chase|oblivious)\n\
+     profile: --runs N --heartbeat-every N --sample-every N --json F --folded F\n\
+     \u{20}        --max-overhead PCT (spans are 1-in-64 sampled by default; --sample-every 1 = exhaustive)\n\
+     \u{20}        (plus --steps/--strategy/--seed/--trace; --oblivious [--semi] switches engine)\n\
+     stats:   <path>... (files or directories of .jsonl traces, merged)\n\
+     \u{20}        --follow      tail one growing trace live, printing heartbeats\n\
+     \u{20}        --idle-exit-ms N  with --follow: exit after N ms without new events\n\
      exit codes: 0 ok, 1 runtime error, 2 usage error, 3 budget exhausted,\n\
      \u{20}           4 deadline exceeded, 5 cancelled"
         .to_string()
@@ -160,14 +210,51 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
             Ok(ExitCode::SUCCESS)
         }
         "stats" => {
-            let path = args
-                .get(1)
-                .ok_or_else(|| CliError::Usage("stats requires a <trace.jsonl> file".into()))?;
-            check_flags(&args[2..], &[], &[])?;
-            stats::cmd_stats(path)?;
+            check_flags(&args[1..], &["--idle-exit-ms"], &["--follow"])?;
+            let follow = args.iter().any(|a| a == "--follow");
+            let idle_exit_ms = flag_value(args, "--idle-exit-ms")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|e| CliError::Usage(format!("invalid --idle-exit-ms '{s}': {e}")))
+                })
+                .transpose()?;
+            if idle_exit_ms.is_some() && !follow {
+                return Err(CliError::Usage(
+                    "--idle-exit-ms only makes sense with --follow".into(),
+                ));
+            }
+            // Positional operands: every non-flag argument that is not
+            // the value of --idle-exit-ms.
+            let mut paths = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--idle-exit-ms" => i += 2,
+                    "--follow" => i += 1,
+                    p => {
+                        paths.push(p.to_string());
+                        i += 1;
+                    }
+                }
+            }
+            if paths.is_empty() {
+                return Err(CliError::Usage(
+                    "stats requires at least one <trace.jsonl> file or directory".into(),
+                ));
+            }
+            if follow {
+                let [path] = paths.as_slice() else {
+                    return Err(CliError::Usage(
+                        "stats --follow takes exactly one trace file".into(),
+                    ));
+                };
+                stats::cmd_stats_follow(path, idle_exit_ms)?;
+            } else {
+                stats::cmd_stats(&paths)?;
+            }
             Ok(ExitCode::SUCCESS)
         }
-        "classify" | "chase" | "oblivious" | "decide" | "dot" => {
+        "classify" | "chase" | "oblivious" | "decide" | "profile" | "dot" => {
             let path = args
                 .get(1)
                 .ok_or_else(|| CliError::Usage(format!("{command} requires a rule <file>")))?;
@@ -184,14 +271,34 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                         "--deadline-ms",
                         "--cancel-after",
                     ],
-                    &["--metrics"],
+                    &["--metrics", "--profile"],
                 )?,
                 "oblivious" => check_flags(
                     rest,
                     &["--steps", "--trace", "--deadline-ms", "--cancel-after"],
-                    &["--semi", "--metrics"],
+                    &["--semi", "--metrics", "--profile"],
                 )?,
-                "decide" => check_flags(rest, &["--trace", "--deadline-ms"], &["--metrics"])?,
+                "decide" => check_flags(
+                    rest,
+                    &["--trace", "--deadline-ms"],
+                    &["--metrics", "--profile"],
+                )?,
+                "profile" => check_flags(
+                    rest,
+                    &[
+                        "--steps",
+                        "--strategy",
+                        "--seed",
+                        "--runs",
+                        "--heartbeat-every",
+                        "--sample-every",
+                        "--json",
+                        "--folded",
+                        "--trace",
+                        "--max-overhead",
+                    ],
+                    &["--oblivious", "--semi"],
+                )?,
                 "dot" => check_flags(rest, &["--steps"], &[])?,
                 _ => unreachable!(),
             }
@@ -266,6 +373,56 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                     // `explain` already embedded the metrics table.
                     telemetry.finish(false)?;
                     Ok(ExitCode::from(verdict_exit(&verdict)))
+                }
+                "profile" => {
+                    let seed = match flag_value(args, "--seed")? {
+                        Some(s) => Some(parse_seed(&s)?),
+                        None => None,
+                    };
+                    let strategy = match flag_value(args, "--strategy")?.as_deref() {
+                        None | Some("fifo") => Strategy::Fifo,
+                        Some("lifo") => Strategy::Lifo,
+                        Some("random") => Strategy::Random(seed.unwrap_or(DEFAULT_RANDOM_SEED)),
+                        Some("priority") => Strategy::PriorityTgd,
+                        Some(other) => {
+                            return Err(CliError::Usage(format!("unknown strategy '{other}'")))
+                        }
+                    };
+                    let parse_u64 = |flag: &str| -> Result<Option<u64>, CliError> {
+                        flag_value(args, flag)?
+                            .map(|s| {
+                                s.parse::<u64>().map_err(|e| {
+                                    CliError::Usage(format!("invalid {flag} '{s}': {e}"))
+                                })
+                            })
+                            .transpose()
+                    };
+                    let defaults = profile::ProfileOptions::default();
+                    let opts = profile::ProfileOptions {
+                        steps,
+                        strategy,
+                        oblivious: args.iter().any(|a| a == "--oblivious"),
+                        semi: args.iter().any(|a| a == "--semi"),
+                        runs: parse_u64("--runs")?
+                            .map(|n| n as usize)
+                            .unwrap_or(defaults.runs),
+                        heartbeat_every: parse_u64("--heartbeat-every")?
+                            .unwrap_or(defaults.heartbeat_every),
+                        sample_every: parse_u64("--sample-every")?,
+                        json: flag_value(args, "--json")?,
+                        folded: flag_value(args, "--folded")?,
+                        trace: flag_value(args, "--trace")?,
+                        max_overhead_pct: parse_u64("--max-overhead")?,
+                    };
+                    if opts.semi && !opts.oblivious {
+                        return Err(CliError::Usage(
+                            "--semi requires --oblivious (the restricted chase has no \
+                             semi-oblivious variant)"
+                                .into(),
+                        ));
+                    }
+                    profile::cmd_profile(&program.database, &set, &vocab, &opts)?;
+                    Ok(ExitCode::SUCCESS)
                 }
                 "dot" => {
                     cmd_dot(&program.database, &set, &vocab, steps_flag)?;
@@ -369,10 +526,13 @@ fn verdict_exit(verdict: &TerminationVerdict) -> u8 {
 /// `--metrics` counter aggregation. Implements [`ChaseObserver`] by
 /// fanning each event out to whichever sinks are present; with
 /// neither flag it reports `enabled() == false` and the engines skip
-/// event construction entirely.
+/// event construction entirely. `--profile` additionally opts the
+/// sinks into the engines' profiling stream (spans, memory samples,
+/// heartbeats).
 struct CliTelemetry {
     trace: Option<(String, JsonlWriter<BufWriter<File>>)>,
     metrics: Option<CountingObserver>,
+    profiling: bool,
 }
 
 impl CliTelemetry {
@@ -388,7 +548,17 @@ impl CliTelemetry {
             .iter()
             .any(|a| a == "--metrics")
             .then(CountingObserver::new);
-        Ok(CliTelemetry { trace, metrics })
+        let profiling = args.iter().any(|a| a == "--profile");
+        if profiling && trace.is_none() && metrics.is_none() {
+            eprintln!(
+                "chasectl: note: --profile has no visible effect without --trace or --metrics"
+            );
+        }
+        Ok(CliTelemetry {
+            trace,
+            metrics,
+            profiling,
+        })
     }
 
     /// The metrics aggregation so far, if `--metrics` was given.
@@ -429,6 +599,10 @@ impl CliTelemetry {
 impl ChaseObserver for CliTelemetry {
     fn enabled(&self) -> bool {
         self.trace.is_some() || self.metrics.is_some()
+    }
+
+    fn profiling(&self) -> bool {
+        self.profiling
     }
 
     fn on_event(&mut self, event: &Event) {

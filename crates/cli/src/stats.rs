@@ -1,5 +1,5 @@
-//! `chasectl stats` — offline aggregation of a `--trace` JSON Lines
-//! file into the same counter/phase table the live `--metrics` flag
+//! `chasectl stats` — offline aggregation of `--trace` JSON Lines
+//! files into the same counter/phase table the live `--metrics` flag
 //! prints.
 //!
 //! Each line of a trace is one flat JSON object (see the event schema
@@ -7,6 +7,11 @@
 //! exactly that shape — string, integer and boolean values, no nesting
 //! — keeps the CLI dependency-free; a malformed line is a hard error
 //! with its line number, so `stats` doubles as a trace validator.
+//!
+//! Several files (or a directory of `*.jsonl` files) merge into one
+//! combined table; `--follow` tails a growing trace, rendering each
+//! progress heartbeat as it lands and the merged table at the end
+//! (`--idle-exit-ms N` stops once the file has been quiet that long).
 
 use std::collections::BTreeMap;
 
@@ -217,6 +222,11 @@ pub struct TraceStats {
     pub phases: Vec<(String, u64)>,
     /// Aggregated `queue_depth` samples.
     pub queue_depth: Option<HistogramSnapshot>,
+    /// Per-span-name latency histograms (`span.<name>`) from the
+    /// profiling stream's `span_exited` events.
+    pub spans: BTreeMap<String, HistogramSnapshot>,
+    /// Total-instance-bytes samples from `memory_sampled` events.
+    pub memory: Option<HistogramSnapshot>,
 }
 
 impl TraceStats {
@@ -262,17 +272,32 @@ impl TraceStats {
             }
             "queue_depth" => {
                 let depth = num("depth")?;
-                let hist = self.queue_depth.get_or_insert(HistogramSnapshot {
-                    count: 0,
-                    sum: 0,
-                    max: 0,
-                    buckets: [0; 65],
-                });
-                hist.count += 1;
-                hist.sum += depth;
-                hist.max = hist.max.max(depth);
-                hist.buckets[(u64::BITS - depth.leading_zeros()) as usize] += 1;
+                self.queue_depth
+                    .get_or_insert_with(HistogramSnapshot::empty)
+                    .record(depth);
             }
+            "span_entered" => {}
+            "span_exited" => {
+                let span = event
+                    .get("span")
+                    .and_then(Scalar::as_str)
+                    .ok_or("span_exited: missing string \"span\"")?;
+                let nanos = num("nanos")?;
+                self.spans
+                    .entry(format!("span.{span}"))
+                    .or_insert_with(HistogramSnapshot::empty)
+                    .record(nanos);
+            }
+            "memory_sampled" => {
+                let total = num("atom_bytes")?
+                    + num("arg_spill_bytes")?
+                    + num("dedup_bytes")?
+                    + num("index_bytes")?;
+                self.memory
+                    .get_or_insert_with(HistogramSnapshot::empty)
+                    .record(total);
+            }
+            "heartbeat" => self.bump(names::HEARTBEATS, 1),
             "counter_add" => {
                 let name = event
                     .get("name")
@@ -308,6 +333,16 @@ impl TraceStats {
 
     /// The stats as a [`TelemetrySummary`], for table rendering.
     pub fn summary(&self) -> TelemetrySummary {
+        let mut histograms: Vec<(String, HistogramSnapshot)> = Vec::new();
+        if let Some(h) = &self.queue_depth {
+            histograms.push((names::QUEUE_DEPTH.to_string(), h.clone()));
+        }
+        if let Some(h) = &self.memory {
+            histograms.push((names::MEMORY_BYTES.to_string(), h.clone()));
+        }
+        for (name, h) in &self.spans {
+            histograms.push((name.clone(), h.clone()));
+        }
         TelemetrySummary {
             phases: self.phases.clone(),
             counters: self
@@ -315,18 +350,13 @@ impl TraceStats {
                 .iter()
                 .map(|(name, value)| (name.clone(), *value))
                 .collect(),
-            histograms: self
-                .queue_depth
-                .as_ref()
-                .map(|h| vec![(names::QUEUE_DEPTH.to_string(), h.clone())])
-                .unwrap_or_default(),
+            histograms,
         }
     }
 }
 
-/// Parses a whole trace, one event per non-empty line.
-pub fn aggregate(text: &str) -> Result<TraceStats, String> {
-    let mut stats = TraceStats::default();
+/// Folds a whole trace into `stats`, one event per non-empty line.
+fn fold_text(stats: &mut TraceStats, text: &str) -> Result<(), String> {
     for (idx, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -336,16 +366,43 @@ pub fn aggregate(text: &str) -> Result<TraceStats, String> {
             .record(&event)
             .map_err(|e| format!("line {}: {e}", idx + 1))?;
     }
+    Ok(())
+}
+
+/// Parses a whole trace, one event per non-empty line.
+#[cfg(test)]
+pub fn aggregate(text: &str) -> Result<TraceStats, String> {
+    let mut stats = TraceStats::default();
+    fold_text(&mut stats, text)?;
     Ok(stats)
 }
 
-/// The `chasectl stats <file>` entry point.
-pub fn cmd_stats(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let stats = aggregate(&text).map_err(|e| format!("{path}: {e}"))?;
-    println!("trace: {path}: {} event(s)", stats.events);
+/// Expands `path` into the trace files it denotes: itself for a file,
+/// its `*.jsonl` children (sorted by name) for a directory.
+fn expand_path(path: &str) -> Result<Vec<String>, String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !meta.is_dir() {
+        return Ok(vec![path.to_string()]);
+    }
+    let mut files: Vec<String> = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?
+        .filter_map(|entry| {
+            let p = entry.ok()?.path();
+            (p.extension().and_then(|e| e.to_str()) == Some("jsonl"))
+                .then(|| p.to_string_lossy().into_owned())
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{path}: no .jsonl files in directory"));
+    }
+    Ok(files)
+}
+
+/// Renders the merged statistics table.
+fn render(stats: &TraceStats) {
     if stats.events == 0 {
-        return Ok(());
+        return;
     }
     println!("  {:<32} {:>12}", "event kind", "count");
     for (kind, count) in &stats.kinds {
@@ -360,6 +417,89 @@ pub fn cmd_stats(path: &str) -> Result<(), String> {
             format_nanos(total_phase_nanos)
         );
     }
+}
+
+/// The `chasectl stats <path>...` entry point: merges every given
+/// trace file (directories expand to their `*.jsonl` children) into
+/// one table.
+pub fn cmd_stats(paths: &[String]) -> Result<(), String> {
+    let mut stats = TraceStats::default();
+    let mut files = Vec::new();
+    for path in paths {
+        files.extend(expand_path(path)?);
+    }
+    for path in &files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let before = stats.events;
+        fold_text(&mut stats, &text).map_err(|e| format!("{path}: {e}"))?;
+        println!("trace: {path}: {} event(s)", stats.events - before);
+    }
+    if files.len() > 1 {
+        println!("merged: {} file(s), {} event(s)", files.len(), stats.events);
+    }
+    render(&stats);
+    Ok(())
+}
+
+/// One-line human rendering of a `heartbeat` event (follow mode).
+fn heartbeat_line(event: &BTreeMap<String, Scalar>) -> String {
+    let num = |key: &str| event.get(key).and_then(Scalar::as_num).unwrap_or(0);
+    format!(
+        "heartbeat: step {} | {} steps/s | {} atoms ({} atoms/s) | queue {} | {}",
+        num("step"),
+        num("steps_per_sec"),
+        num("atoms"),
+        num("atoms_per_sec"),
+        num("queue_depth"),
+        format_nanos(num("elapsed_ns")),
+    )
+}
+
+/// The `chasectl stats --follow <file>` entry point: tails a growing
+/// trace, printing a progress line per heartbeat, and the merged table
+/// once the producer goes quiet for `idle_exit_ms` (forever if
+/// `None`). Only complete (newline-terminated) lines are consumed, so
+/// a line caught mid-write is never misparsed.
+pub fn cmd_stats_follow(path: &str, idle_exit_ms: Option<u64>) -> Result<(), String> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut stats = TraceStats::default();
+    let mut pending = String::new();
+    let mut lines = 0usize;
+    let mut last_data = std::time::Instant::now();
+    loop {
+        let mut chunk = String::new();
+        file.read_to_string(&mut chunk)
+            .map_err(|e| format!("reading {path}: {e}"))?;
+        if chunk.is_empty() {
+            if let Some(ms) = idle_exit_ms {
+                if last_data.elapsed() >= std::time::Duration::from_millis(ms) {
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            continue;
+        }
+        last_data = std::time::Instant::now();
+        pending.push_str(&chunk);
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            let line = line.trim_end();
+            lines += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event = parse_line(line).map_err(|e| format!("{path}: line {lines}: {e}"))?;
+            stats
+                .record(&event)
+                .map_err(|e| format!("{path}: line {lines}: {e}"))?;
+            if event.get("event").and_then(Scalar::as_str) == Some("heartbeat") {
+                println!("{}", heartbeat_line(&event));
+            }
+        }
+    }
+    println!("trace: {path}: {} event(s)", stats.events);
+    render(&stats);
     Ok(())
 }
 
@@ -490,6 +630,29 @@ mod tests {
         let depth = summary.histogram(names::QUEUE_DEPTH).unwrap();
         assert_eq!(depth.count, 1);
         assert_eq!(depth.max, 3);
+    }
+
+    #[test]
+    fn aggregate_folds_profiling_events() {
+        let trace = "\
+{\"event\":\"span_entered\",\"v\":2,\"span\":\"run\"}
+{\"event\":\"span_entered\",\"v\":2,\"span\":\"step\",\"tgd\":0}
+{\"event\":\"span_exited\",\"v\":2,\"span\":\"step\",\"tgd\":0,\"nanos\":120}
+{\"event\":\"span_exited\",\"v\":2,\"span\":\"run\",\"nanos\":500}
+{\"event\":\"memory_sampled\",\"v\":2,\"engine\":\"restricted\",\"step\":1,\"atoms\":3,\"atom_bytes\":96,\"arg_spill_bytes\":0,\"dedup_bytes\":64,\"index_bytes\":32,\"queue_depth\":1,\"allocations\":10}
+{\"event\":\"heartbeat\",\"v\":2,\"engine\":\"restricted\",\"step\":1,\"elapsed_ns\":1000,\"steps_per_sec\":5,\"atoms\":3,\"atoms_per_sec\":15,\"queue_depth\":1}
+";
+        let stats = aggregate(trace).unwrap();
+        assert_eq!(stats.events, 6);
+        assert_eq!(stats.counters[names::HEARTBEATS], 1);
+        let summary = stats.summary();
+        let run = summary.histogram("span.run").unwrap();
+        assert_eq!(run.count, 1);
+        assert_eq!(run.max, 500);
+        let step = summary.histogram("span.step").unwrap();
+        assert_eq!(step.sum, 120);
+        let mem = summary.histogram(names::MEMORY_BYTES).unwrap();
+        assert_eq!(mem.max, 96 + 64 + 32);
     }
 
     #[test]

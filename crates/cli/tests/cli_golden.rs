@@ -176,4 +176,138 @@ fn help_prints_the_exit_code_table() {
     assert!(stdout.contains("--deadline-ms"), "{stdout}");
     assert!(stdout.contains("--cancel-after"), "{stdout}");
     assert!(stdout.contains("exit codes"), "{stdout}");
+    assert!(stdout.contains("profile"), "{stdout}");
+    assert!(stdout.contains("--follow"), "{stdout}");
+}
+
+/// A chain whose transitive closure gives `profile` real work.
+const CLOSURE: &str = "E(a,b). E(b,c). E(c,d).\n\
+                       E(x,y) -> P(x,y).\n\
+                       E(x,y), P(y,z) -> P(x,z).\n";
+
+#[test]
+fn profile_reports_spans_and_writes_a_parseable_json_report() {
+    let rules = rule_file("profile", CLOSURE);
+    let json = std::env::temp_dir().join(format!(
+        "chasectl-golden-{}-report.json",
+        std::process::id()
+    ));
+    let folded = std::env::temp_dir().join(format!(
+        "chasectl-golden-{}-stacks.folded",
+        std::process::id()
+    ));
+    let out = run(&[
+        "profile",
+        rules.to_str().unwrap(),
+        "--runs",
+        "2",
+        "--json",
+        json.to_str().unwrap(),
+        "--folded",
+        folded.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("restricted chase: terminated"), "{stdout}");
+    assert!(stdout.contains("overhead: baseline"), "{stdout}");
+    assert!(stdout.contains("restriction_check"), "{stdout}");
+    assert!(stdout.contains("per-TGD hot spots"), "{stdout}");
+    assert!(stdout.contains("memory @ step"), "{stdout}");
+    // The JSON report is itself a valid one-line trace: stats parses it.
+    let report = std::fs::read_to_string(&json).expect("json report written");
+    assert!(
+        report.starts_with("{\"event\":\"profile_report\",\"v\":2,"),
+        "{report}"
+    );
+    let out = run(&["stats", json.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("profile_report"));
+    // Collapsed stacks are semicolon-joined paths with a count.
+    let stacks = std::fs::read_to_string(&folded).expect("folded written");
+    assert!(stacks.lines().any(|l| l.starts_with("run;")), "{stacks}");
+    let _ = std::fs::remove_file(json);
+    let _ = std::fs::remove_file(folded);
+}
+
+#[test]
+fn profile_usage_errors() {
+    let rules = rule_file("profile-usage", CLOSURE);
+    let path = rules.to_str().unwrap();
+    assert_usage_error(
+        &run(&["profile", path, "--semi"]),
+        "--semi without --oblivious",
+    );
+    assert_usage_error(&run(&["profile", path, "--metrics"]), "foreign flag");
+    assert_usage_error(&run(&["profile", path, "--runs", "several"]), "bad runs");
+}
+
+#[test]
+fn stats_merges_multiple_traces_and_directories() {
+    let rules = rule_file("stats-merge", CLOSURE);
+    let dir = std::env::temp_dir().join(format!("chasectl-golden-{}-traces", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("trace dir");
+    for name in ["a.jsonl", "b.jsonl"] {
+        let trace = dir.join(name);
+        let out = run(&[
+            "chase",
+            rules.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]);
+        assert_eq!(code(&out), 0, "{}", stderr(&out));
+    }
+    // Directory operand: both traces merge into one table.
+    let out = run(&["stats", dir.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("merged: 2 file(s)"), "{stdout}");
+    // Explicit file operands agree with the directory expansion.
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+    let out2 = run(&["stats", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code(&out2), 0, "{}", stderr(&out2));
+    assert!(String::from_utf8_lossy(&out2.stdout).contains("merged: 2 file(s)"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn stats_follow_tails_a_trace_and_prints_heartbeats() {
+    let rules = rule_file("stats-follow", CLOSURE);
+    let trace = std::env::temp_dir().join(format!(
+        "chasectl-golden-{}-follow.jsonl",
+        std::process::id()
+    ));
+    let out = run(&[
+        "chase",
+        rules.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--profile",
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let out = run(&[
+        "stats",
+        "--follow",
+        trace.to_str().unwrap(),
+        "--idle-exit-ms",
+        "50",
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("heartbeat: step"), "{stdout}");
+    assert!(stdout.contains("span.run"), "{stdout}");
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn stats_usage_errors() {
+    assert_usage_error(&run(&["stats"]), "no operands");
+    assert_usage_error(
+        &run(&["stats", "--idle-exit-ms", "50", "x.jsonl"]),
+        "idle without follow",
+    );
+    assert_usage_error(
+        &run(&["stats", "--follow", "a.jsonl", "b.jsonl"]),
+        "follow with two files",
+    );
 }

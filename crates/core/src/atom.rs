@@ -91,6 +91,17 @@ impl ArgVec {
             ArgVec::Spill(v) => v,
         }
     }
+
+    /// Heap bytes owned by this argument list: 0 while inline, the
+    /// spill vector's reserved capacity otherwise. Feeds the
+    /// profiler's instance memory accounting.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            ArgVec::Inline { .. } => 0,
+            ArgVec::Spill(v) => v.capacity() * std::mem::size_of::<Term>(),
+        }
+    }
 }
 
 impl Default for ArgVec {
@@ -218,6 +229,13 @@ impl Atom {
         self.args.len()
     }
 
+    /// Heap bytes owned by the atom beyond its inline size (see
+    /// [`ArgVec::heap_bytes`]).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.args.heap_bytes()
+    }
+
     /// The term at position `i` (0-based), the paper's `R(t̄)[i]`.
     #[inline]
     pub fn term_at(&self, i: usize) -> Term {
@@ -320,6 +338,15 @@ mod tests {
         assert_eq!(a.positions_of_term(c), vec![0, 2]);
         assert!(a.mentions(d));
         assert!(!a.mentions(Term::Const(ConstId(7))));
+    }
+
+    #[test]
+    fn heap_bytes_counts_only_spilled_storage() {
+        let c = Term::Const(ConstId(0));
+        let inline = atom(0, &[c; 4]);
+        assert_eq!(inline.heap_bytes(), 0);
+        let spilled = atom(0, &[c; 6]);
+        assert!(spilled.heap_bytes() >= 6 * std::mem::size_of::<Term>());
     }
 
     #[test]

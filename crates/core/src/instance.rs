@@ -100,6 +100,45 @@ impl SlotList {
             SlotList::Spill(v) => v,
         }
     }
+
+    /// Heap bytes owned by this list: 0 while inline, the spill
+    /// vector's reserved capacity otherwise.
+    #[inline]
+    fn heap_bytes(&self) -> usize {
+        match self {
+            SlotList::Inline { .. } => 0,
+            SlotList::Spill(v) => v.capacity() * std::mem::size_of::<usize>(),
+        }
+    }
+}
+
+/// Estimated heap footprint of an [`Instance`]'s containers, broken
+/// down the way the profiler reports it (see
+/// [`Instance::memory_footprint`]). All figures are bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryFootprint {
+    /// The atom vector's reserved capacity (inline atom storage).
+    pub atom_bytes: u64,
+    /// Spilled `ArgVec` argument storage across all atoms.
+    pub arg_spill_bytes: u64,
+    /// The dedup hash map, including spilled slot lists.
+    pub dedup_bytes: u64,
+    /// The per-predicate, single-position and composite pair indexes,
+    /// including spilled slot lists.
+    pub index_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Total bytes across all accounted containers.
+    pub fn total(&self) -> u64 {
+        self.atom_bytes + self.arg_spill_bytes + self.dedup_bytes + self.index_bytes
+    }
+}
+
+/// Capacity-based heap model of a hash map: one entry plus one
+/// control byte per reserved slot (the std swiss-table layout).
+fn map_heap_bytes<K, V>(map: &FxHashMap<K, V>) -> usize {
+    map.capacity() * (std::mem::size_of::<(K, V)>() + 1)
 }
 
 /// A (finite) instance: a duplicate-free set of ground atoms over
@@ -168,6 +207,39 @@ impl Instance {
     /// The index mode this instance maintains.
     pub fn index_mode(&self) -> IndexMode {
         self.mode
+    }
+
+    /// Estimated heap footprint of the instance's containers, for the
+    /// profiler's memory samples: exact reserved capacities for the
+    /// vectors, a capacity-based model for the hash maps. This walks
+    /// every atom and index cell (O(atoms + cells)), so engines only
+    /// call it at heartbeat boundaries of profiling runs.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        use std::mem::size_of;
+        let atom_bytes = self.atoms.capacity() * size_of::<Atom>();
+        let arg_spill_bytes: usize = self.atoms.iter().map(Atom::heap_bytes).sum();
+        let dedup_bytes = map_heap_bytes(&self.dedup)
+            + self.dedup.values().map(SlotList::heap_bytes).sum::<usize>();
+        let index_bytes = self.by_pred.capacity() * size_of::<SlotList>()
+            + self.by_pred.iter().map(SlotList::heap_bytes).sum::<usize>()
+            + map_heap_bytes(&self.by_pos)
+            + self
+                .by_pos
+                .values()
+                .map(SlotList::heap_bytes)
+                .sum::<usize>()
+            + map_heap_bytes(&self.by_pair)
+            + self
+                .by_pair
+                .values()
+                .map(SlotList::heap_bytes)
+                .sum::<usize>();
+        MemoryFootprint {
+            atom_bytes: atom_bytes as u64,
+            arg_spill_bytes: arg_spill_bytes as u64,
+            dedup_bytes: dedup_bytes as u64,
+            index_bytes: index_bytes as u64,
+        }
     }
 
     /// Inserts an atom; returns its slot and whether it was new.
@@ -671,5 +743,35 @@ mod tests {
         let a = Instance::from_atoms([atom(0, &[c(0)]), atom(0, &[c(1)])]);
         let b = Instance::from_atoms([atom(0, &[c(1)]), atom(0, &[c(0)])]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memory_footprint_is_zero_when_empty_and_grows_with_content() {
+        let empty = Instance::new();
+        assert_eq!(empty.memory_footprint().total(), 0);
+
+        let mut inst = Instance::new();
+        inst.register_pair_index(PredId(0), 0, 1);
+        for i in 0..100 {
+            inst.insert(atom(0, &[c(i), c(i + 1)]));
+        }
+        let fp = inst.memory_footprint();
+        assert!(
+            fp.atom_bytes >= (100 * std::mem::size_of::<Atom>()) as u64,
+            "{fp:?}"
+        );
+        // Arity 2 stays inline.
+        assert_eq!(fp.arg_spill_bytes, 0);
+        assert!(fp.dedup_bytes > 0, "{fp:?}");
+        assert!(fp.index_bytes > 0, "{fp:?}");
+        assert_eq!(
+            fp.total(),
+            fp.atom_bytes + fp.arg_spill_bytes + fp.dedup_bytes + fp.index_bytes
+        );
+
+        // Wide atoms spill their argument vectors.
+        let mut wide = Instance::new();
+        wide.insert(atom(1, &[c(0), c(1), c(2), c(3), c(4), c(5)]));
+        assert!(wide.memory_footprint().arg_spill_bytes > 0);
     }
 }

@@ -28,6 +28,11 @@
 //!    still inactive later. Unhinted triggers are re-checked
 //!    sequentially at apply time as usual.
 //!
+//! These invariants make the *default* telemetry stream of a parallel
+//! run identical to the sequential one. The opt-in profiling stream is
+//! deterministic in shape only: per-worker `worker` spans appear in
+//! worker-index order with run-varying timings.
+//!
 //! Worker scratches are allocated per batch, so the parallel path is
 //! *not* allocation-free — it trades allocations for cores and only
 //! engages above the engine's `parallel_threshold`.
@@ -268,6 +273,11 @@ pub struct BatchControl<'a> {
     /// Fault injection: the worker with this index (if spawned) panics
     /// instead of enumerating. `None` in production.
     pub inject_panic_worker: Option<u32>,
+    /// Caps the worker count (`None` = one per available core). Still
+    /// bounded by the TGD count — the partition is by TGD index, so
+    /// extra workers would idle. Used by the bench harness's thread
+    /// scaling curve and the engines' `workers` builder knob.
+    pub worker_cap: Option<usize>,
 }
 
 /// The result of one discovery batch.
@@ -280,6 +290,12 @@ pub struct Batch {
     /// recomputed sequentially, so `discovered` is complete and
     /// bit-identical to a panic-free run either way.
     pub panicked_workers: u32,
+    /// Wall-clock nanoseconds each worker spent on its share, in
+    /// worker-index order (a single entry when the batch ran on the
+    /// calling thread — including the sequential recompute after a
+    /// panic). Feeds the profiler's deterministic per-worker spans;
+    /// the *values* vary run to run, the count and order do not.
+    pub worker_nanos: Vec<u64>,
 }
 
 /// Evaluates a discovery batch in parallel and returns the discovered
@@ -325,38 +341,66 @@ pub fn collect_batch(
     check_active: bool,
     ctrl: BatchControl<'_>,
 ) -> Batch {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let workers = ctrl
+        .worker_cap
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
         .min(set.len())
         .max(1);
     let mut panicked = 0u32;
+    let mut worker_nanos: Vec<u64> = Vec::with_capacity(workers);
+    let timed_collect = |worker: usize, workers: usize| {
+        let start = std::time::Instant::now();
+        let out = worker_collect(
+            set,
+            instance,
+            slots,
+            vars,
+            check_active,
+            worker,
+            workers,
+            ctrl.cancel,
+        );
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (out, nanos)
+    };
     let mut keyed: Vec<Keyed> = if workers == 1 {
-        worker_collect(set, instance, slots, vars, check_active, 0, 1, ctrl.cancel)
+        let (out, nanos) = timed_collect(0, 1);
+        worker_nanos.push(nanos);
+        out
     } else {
         let mut parts: Vec<Vec<Keyed>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let inject = ctrl.inject_panic_worker == Some(w as u32);
-                    let cancel = ctrl.cancel;
+                    let timed_collect = &timed_collect;
                     scope.spawn(move || {
                         if inject {
                             crate::faults::inject_worker_panic();
                         }
-                        worker_collect(set, instance, slots, vars, check_active, w, workers, cancel)
+                        timed_collect(w, workers)
                     })
                 })
                 .collect();
             for h in handles {
                 match h.join() {
-                    Ok(part) => parts.push(part),
+                    Ok((part, nanos)) => {
+                        parts.push(part);
+                        worker_nanos.push(nanos);
+                    }
                     Err(_panic_payload) => panicked += 1,
                 }
             }
         });
         if panicked > 0 {
-            worker_collect(set, instance, slots, vars, check_active, 0, 1, ctrl.cancel)
+            let (out, nanos) = timed_collect(0, 1);
+            worker_nanos.clear();
+            worker_nanos.push(nanos);
+            out
         } else {
             parts.into_iter().flatten().collect()
         }
@@ -368,6 +412,7 @@ pub fn collect_batch(
     Batch {
         discovered: keyed.into_iter().map(|k| k.item).collect(),
         panicked_workers: panicked,
+        worker_nanos,
     }
 }
 
@@ -412,6 +457,42 @@ mod tests {
             );
             // An activeness-checked batch covers the whole instance.
             assert_eq!(d.watermark, p.database.len());
+        }
+    }
+
+    #[test]
+    fn worker_cap_bounds_fanout_and_preserves_order() {
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(
+            "R(a,b). R(b,c). R(c,a). S(a).
+             R(x,y), R(y,z) -> exists w. R(z,w).
+             S(x) -> exists u. T(x,u).
+             R(x,y) -> S(y).",
+            &mut vocab,
+        )
+        .unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let free = collect_parallel(&set, &p.database, None, FpVars::SortedBody, true);
+        for cap in [1usize, 2, 8] {
+            let batch = collect_batch(
+                &set,
+                &p.database,
+                None,
+                FpVars::SortedBody,
+                true,
+                BatchControl {
+                    worker_cap: Some(cap),
+                    ..BatchControl::default()
+                },
+            );
+            // One timing per spawned worker, capped by the request and
+            // the TGD count.
+            assert!(!batch.worker_nanos.is_empty());
+            assert!(batch.worker_nanos.len() <= cap.min(set.len()));
+            assert_eq!(batch.discovered.len(), free.len(), "cap={cap}");
+            for (a, b) in batch.discovered.iter().zip(free.iter()) {
+                assert_eq!(a.trigger, b.trigger, "cap={cap}");
+            }
         }
     }
 

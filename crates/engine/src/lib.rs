@@ -35,6 +35,8 @@ pub mod fairness;
 pub mod faults;
 pub mod governor;
 pub mod oblivious;
+pub(crate) mod profiling;
+pub use profiling::DEFAULT_PROFILE_SAMPLE_EVERY;
 pub mod query;
 pub mod real_oblivious;
 pub mod relations;

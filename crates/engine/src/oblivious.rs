@@ -20,12 +20,18 @@ use chase_core::hom::HomScratch;
 use chase_core::ids::fx_set;
 use chase_core::instance::Instance;
 use chase_core::tgd::TgdSet;
-use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
+use chase_telemetry::{
+    emit, emit_detail, span_enter, span_enter_sampled, spans, ChaseObserver, EngineKind, Event,
+    NullObserver, NO_TGD,
+};
 
 use crate::driver::{
     collect_batch, estimated_batch_work, BatchControl, FpVars, Parallelism, MIN_PARALLEL_ROWS,
 };
 use crate::governor::{Budget, Outcome, ResourceGovernor};
+use crate::profiling::{
+    emit_profile_sample, emit_worker_spans, DEFAULT_HEARTBEAT_EVERY, DEFAULT_PROFILE_SAMPLE_EVERY,
+};
 use crate::skolem::{SkolemPolicy, SkolemTable};
 use crate::trigger::{for_each_trigger_using_with, for_each_trigger_with, Trigger, TriggerFp};
 
@@ -48,6 +54,9 @@ pub struct ObliviousChase<'a> {
     policy: SkolemPolicy,
     parallelism: Parallelism,
     parallel_threshold: usize,
+    workers: Option<usize>,
+    heartbeat_every: u64,
+    profile_sample_every: u64,
 }
 
 impl<'a> ObliviousChase<'a> {
@@ -58,6 +67,9 @@ impl<'a> ObliviousChase<'a> {
             policy: SkolemPolicy::PerTrigger,
             parallelism: Parallelism::Off,
             parallel_threshold: 32_768,
+            workers: None,
+            heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
+            profile_sample_every: DEFAULT_PROFILE_SAMPLE_EVERY,
         }
     }
 
@@ -81,6 +93,31 @@ impl<'a> ObliviousChase<'a> {
     /// forces every batch parallel regardless of size.
     pub fn parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_threshold = threshold;
+        self
+    }
+
+    /// Caps the number of parallel discovery workers (`None` = one per
+    /// available core, still bounded by the TGD count). Results stay
+    /// bit-identical for any cap; the bench harness sweeps this for
+    /// its thread scaling curve.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the step cadence of the profiling stream's periodic
+    /// memory/heartbeat samples (default 1024; see
+    /// [`crate::restricted::RestrictedChase::heartbeat_every`]).
+    pub fn heartbeat_every(mut self, steps: u64) -> Self {
+        self.heartbeat_every = steps.max(1);
+        self
+    }
+
+    /// Sets the step-span sampling cadence (default 16, step 0 always
+    /// sampled; `1` spans every step — see
+    /// [`crate::restricted::RestrictedChase::profile_sample_every`]).
+    pub fn profile_sample_every(mut self, steps: u64) -> Self {
+        self.profile_sample_every = steps.max(1);
         self
     }
 
@@ -135,12 +172,31 @@ impl<'a> ObliviousChase<'a> {
     /// iteration; an interrupted run emits one
     /// [`Event::RunInterrupted`] and returns the truthful partial
     /// result.
+    ///
+    /// A profiling observer additionally receives the span / memory /
+    /// heartbeat stream (as in
+    /// [`crate::restricted::RestrictedChase::run_governed_observed`],
+    /// minus `restriction_check` — the oblivious chase performs no
+    /// activeness checks).
     pub fn run_governed_observed<O: ChaseObserver + ?Sized>(
         &self,
         database: &Instance,
         gov: &ResourceGovernor,
         obs: &mut O,
     ) -> ObliviousRun {
+        let run_guard = span_enter(obs, spans::RUN, NO_TGD);
+        let run = self.run_inner(database, gov, obs);
+        run_guard.exit(obs);
+        run
+    }
+
+    fn run_inner<O: ChaseObserver + ?Sized>(
+        &self,
+        database: &Instance,
+        gov: &ResourceGovernor,
+        obs: &mut O,
+    ) -> ObliviousRun {
+        let run_start = (obs.enabled() && obs.profiling()).then(std::time::Instant::now);
         let engine_kind = match self.policy {
             SkolemPolicy::PerTrigger => EngineKind::Oblivious,
             SkolemPolicy::PerFrontier => EngineKind::SemiOblivious,
@@ -164,9 +220,11 @@ impl<'a> ObliviousChase<'a> {
         let mut instance = database.clone();
         // Body joins only: the oblivious chase never runs restriction
         // checks, so head-satisfaction keys would be dead weight.
+        let index_guard = span_enter(obs, spans::INDEX_MAINTAIN, NO_TGD);
         for &(pred, a, b) in self.set.body_pair_plans() {
             instance.register_pair_index(pred, a as usize, b as usize);
         }
+        index_guard.exit(obs);
         let mut skolem = SkolemTable::above(
             self.policy,
             instance.iter().flat_map(|a| a.args.iter().copied()),
@@ -176,6 +234,7 @@ impl<'a> ObliviousChase<'a> {
         let mut enum_scratch = HomScratch::new();
 
         let mut batch_idx: u32 = 0;
+        let seed_guard = span_enter(obs, spans::SEED, NO_TGD);
         if self.go_parallel(instance.len()) {
             let batch = collect_batch(
                 self.set,
@@ -186,9 +245,11 @@ impl<'a> ObliviousChase<'a> {
                 BatchControl {
                     cancel: Some(gov.cancel_token()),
                     inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
+                    worker_cap: self.workers,
                 },
             );
             batch_idx += 1;
+            emit_worker_spans(obs, &batch.worker_nanos);
             if batch.panicked_workers > 0 {
                 emit(obs, || Event::WorkerPanicked {
                     engine: engine_kind,
@@ -198,7 +259,7 @@ impl<'a> ObliviousChase<'a> {
             }
             for d in batch.discovered {
                 if applied.insert(d.fp) {
-                    emit(obs, || Event::TriggerDiscovered {
+                    emit_detail(obs, || Event::TriggerDiscovered {
                         engine: engine_kind,
                         tgd: d.trigger.tgd.0,
                         step: 0,
@@ -210,7 +271,7 @@ impl<'a> ObliviousChase<'a> {
             let _ = for_each_trigger_with(&mut enum_scratch, self.set, &instance, &mut |id, b| {
                 let fp = TriggerFp::of(id, b, vars.of(self.set.tgd(id)));
                 if applied.insert(fp) {
-                    emit(obs, || Event::TriggerDiscovered {
+                    emit_detail(obs, || Event::TriggerDiscovered {
                         engine: engine_kind,
                         tgd: id.0,
                         step: 0,
@@ -223,7 +284,8 @@ impl<'a> ObliviousChase<'a> {
                 ControlFlow::Continue(())
             });
         }
-        emit(obs, || Event::QueueDepth {
+        seed_guard.exit(obs);
+        emit_detail(obs, || Event::QueueDepth {
             engine: engine_kind,
             step: 0,
             depth: queue.len() as u64,
@@ -241,6 +303,16 @@ impl<'a> ObliviousChase<'a> {
                         .interrupt_reason()
                         .unwrap_or(chase_telemetry::InterruptReason::Deadline),
                 });
+                if let Some(start) = run_start {
+                    emit_profile_sample(
+                        obs,
+                        engine_kind,
+                        start,
+                        &instance,
+                        steps as u64,
+                        queue.len() as u64,
+                    );
+                }
                 return ObliviousRun {
                     outcome,
                     instance,
@@ -251,13 +323,35 @@ impl<'a> ObliviousChase<'a> {
                 break;
             };
             if gov.budget_exhausted(steps, instance.len()) {
+                queue.push_front(trigger);
+                if let Some(start) = run_start {
+                    emit_profile_sample(
+                        obs,
+                        engine_kind,
+                        start,
+                        &instance,
+                        steps as u64,
+                        queue.len() as u64,
+                    );
+                }
                 return ObliviousRun {
                     outcome: Outcome::BudgetExhausted,
                     instance,
                     steps,
                 };
             }
+            // 1-in-K sampled spans with shared boundary clock reads
+            // keep profiling overhead low (see `crate::profiling`).
+            let sampled = (steps as u64).is_multiple_of(self.profile_sample_every);
+            let step_guard = span_enter_sampled(obs, spans::STEP, trigger.tgd.0, sampled, None);
             let tgd = self.set.tgd(trigger.tgd);
+            let insert_guard = span_enter_sampled(
+                obs,
+                spans::INSERT,
+                trigger.tgd.0,
+                sampled,
+                step_guard.start(),
+            );
             let nulls_before = skolem.invented();
             let added = trigger.result(tgd, &mut skolem);
             let nulls_after = skolem.invented();
@@ -267,7 +361,7 @@ impl<'a> ObliviousChase<'a> {
             for atom in added {
                 let pred = atom.pred.0;
                 let (slot, fresh) = instance.insert(atom);
-                emit(obs, || Event::AtomInserted {
+                emit_detail(obs, || Event::AtomInserted {
                     engine: engine_kind,
                     predicate: pred,
                     step: steps as u64,
@@ -278,8 +372,9 @@ impl<'a> ObliviousChase<'a> {
                     new_slots.push(slot);
                 }
             }
+            let insert_end = insert_guard.exit_now(obs);
             for null in nulls_before..nulls_after {
-                emit(obs, || Event::NullInvented {
+                emit_detail(obs, || Event::NullInvented {
                     engine: engine_kind,
                     null,
                     step: steps as u64,
@@ -292,6 +387,8 @@ impl<'a> ObliviousChase<'a> {
                 new_atoms: fresh_atoms,
                 new_nulls: nulls_after - nulls_before,
             });
+            let match_guard =
+                span_enter_sampled(obs, spans::MATCH, trigger.tgd.0, sampled, insert_end);
             if !new_slots.is_empty() && self.go_parallel(new_slots.len()) {
                 let batch = collect_batch(
                     self.set,
@@ -302,9 +399,11 @@ impl<'a> ObliviousChase<'a> {
                     BatchControl {
                         cancel: Some(gov.cancel_token()),
                         inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
+                        worker_cap: self.workers,
                     },
                 );
                 batch_idx += 1;
+                emit_worker_spans(obs, &batch.worker_nanos);
                 if batch.panicked_workers > 0 {
                     emit(obs, || Event::WorkerPanicked {
                         engine: engine_kind,
@@ -314,7 +413,7 @@ impl<'a> ObliviousChase<'a> {
                 }
                 for d in batch.discovered {
                     if applied.insert(d.fp) {
-                        emit(obs, || Event::TriggerDiscovered {
+                        emit_detail(obs, || Event::TriggerDiscovered {
                             engine: engine_kind,
                             tgd: d.trigger.tgd.0,
                             step: steps as u64,
@@ -332,7 +431,7 @@ impl<'a> ObliviousChase<'a> {
                         &mut |id, b| {
                             let fp = TriggerFp::of(id, b, vars.of(self.set.tgd(id)));
                             if applied.insert(fp) {
-                                emit(obs, || Event::TriggerDiscovered {
+                                emit_detail(obs, || Event::TriggerDiscovered {
                                     engine: engine_kind,
                                     tgd: id.0,
                                     step: steps as u64,
@@ -347,11 +446,28 @@ impl<'a> ObliviousChase<'a> {
                     );
                 }
             }
-            emit(obs, || Event::QueueDepth {
+            let match_end = match_guard.exit_now(obs);
+            emit_detail(obs, || Event::QueueDepth {
                 engine: engine_kind,
                 step: steps as u64,
                 depth: queue.len() as u64,
             });
+            step_guard.exit_at(obs, match_end);
+            if let Some(start) = run_start {
+                if (steps as u64).is_multiple_of(self.heartbeat_every) {
+                    emit_profile_sample(
+                        obs,
+                        engine_kind,
+                        start,
+                        &instance,
+                        steps as u64,
+                        queue.len() as u64,
+                    );
+                }
+            }
+        }
+        if let Some(start) = run_start {
+            emit_profile_sample(obs, engine_kind, start, &instance, steps as u64, 0);
         }
         ObliviousRun {
             outcome: Outcome::Terminated,

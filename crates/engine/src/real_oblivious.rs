@@ -18,7 +18,7 @@ use chase_core::instance::Instance;
 use chase_core::subst::Binding;
 use chase_core::term::Term;
 use chase_core::tgd::{TgdId, TgdSet};
-use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
+use chase_telemetry::{emit, emit_detail, ChaseObserver, EngineKind, Event, NullObserver};
 
 use crate::skolem::{SkolemPolicy, SkolemTable};
 use crate::trigger::Trigger;
@@ -193,7 +193,7 @@ impl RealOchase {
                                 });
                                 let pred = atom.pred.0;
                                 let (_, fresh) = inst.insert(atom.clone());
-                                emit(obs, || Event::AtomInserted {
+                                emit_detail(obs, || Event::AtomInserted {
                                     engine: ENGINE,
                                     predicate: pred,
                                     step: nodes.len() as u64,
@@ -206,7 +206,7 @@ impl RealOchase {
                                 grew = true;
                             }
                             for null in nulls_before..nulls_after {
-                                emit(obs, || Event::NullInvented {
+                                emit_detail(obs, || Event::NullInvented {
                                     engine: ENGINE,
                                     null,
                                     step: nodes.len() as u64,

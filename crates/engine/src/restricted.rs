@@ -50,13 +50,19 @@ use chase_core::instance::Instance;
 use chase_core::subst::Binding;
 use chase_core::term::Term;
 use chase_core::tgd::{TgdId, TgdSet};
-use chase_telemetry::{emit, ChaseObserver, EngineKind, Event, NullObserver};
+use chase_telemetry::{
+    emit, emit_detail, span_enter, span_enter_sampled, spans, ChaseObserver, EngineKind, Event,
+    NullObserver, NO_TGD,
+};
 
 use crate::derivation::{Derivation, Step};
 use crate::driver::{
     collect_batch, estimated_batch_work, BatchControl, FpVars, Parallelism, MIN_PARALLEL_ROWS,
 };
 use crate::governor::ResourceGovernor;
+use crate::profiling::{
+    emit_profile_sample, emit_worker_spans, DEFAULT_HEARTBEAT_EVERY, DEFAULT_PROFILE_SAMPLE_EVERY,
+};
 use crate::skolem::{SkolemPolicy, SkolemTable};
 use crate::trigger::{
     for_each_trigger_using_with, for_each_trigger_with, head_satisfied_with, Trigger, TriggerFp,
@@ -282,6 +288,9 @@ pub struct RestrictedChase<'a> {
     record: bool,
     parallelism: Parallelism,
     parallel_threshold: usize,
+    workers: Option<usize>,
+    heartbeat_every: u64,
+    profile_sample_every: u64,
 }
 
 impl<'a> RestrictedChase<'a> {
@@ -294,6 +303,9 @@ impl<'a> RestrictedChase<'a> {
             record: true,
             parallelism: Parallelism::Off,
             parallel_threshold: 32_768,
+            workers: None,
+            heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
+            profile_sample_every: DEFAULT_PROFILE_SAMPLE_EVERY,
         }
     }
 
@@ -328,6 +340,35 @@ impl<'a> RestrictedChase<'a> {
     /// 0 to force the parallel path (tests).
     pub fn parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_threshold = threshold;
+        self
+    }
+
+    /// Caps the number of parallel discovery workers (`None` = one per
+    /// available core, still bounded by the TGD count). Results stay
+    /// bit-identical for any cap; the bench harness sweeps this for
+    /// its thread scaling curve.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the step cadence of the profiling stream's periodic
+    /// memory/heartbeat samples (default 1024). Only consulted when
+    /// the observer opts into profiling; a final sample is always
+    /// emitted at run exit regardless of cadence.
+    pub fn heartbeat_every(mut self, steps: u64) -> Self {
+        self.heartbeat_every = steps.max(1);
+        self
+    }
+
+    /// Sets the step-span sampling cadence: 1 in `pops` queue pops
+    /// gets a full span subtree (default 16, pop 0 always sampled;
+    /// see [`crate::profiling`]). `1` spans every pop exactly.
+    /// Sampling is deterministic in the pop index, so sequential and
+    /// parallel runs sample the same steps. Only consulted when the
+    /// observer opts into profiling.
+    pub fn profile_sample_every(mut self, pops: u64) -> Self {
+        self.profile_sample_every = pops.max(1);
         self
     }
 
@@ -372,13 +413,37 @@ impl<'a> RestrictedChase<'a> {
     /// [`Event::RunInterrupted`] and returns the truthful partial
     /// result (valid instance, step count and derivation for the work
     /// actually performed).
+    ///
+    /// When `obs` opts into profiling (see
+    /// [`ChaseObserver::profiling`]) the run additionally streams
+    /// hierarchical spans (`run → seed | step →
+    /// {restriction_check, insert, match}`, plus `index_maintain` and
+    /// per-worker spans of parallel batches), periodic memory samples
+    /// and progress heartbeats. The profiling stream never influences
+    /// the derivation: profiled and unprofiled runs are bit-identical.
     pub fn run_governed_observed<O: ChaseObserver + ?Sized>(
         &self,
         database: &Instance,
         gov: &ResourceGovernor,
         obs: &mut O,
     ) -> ChaseRun {
+        let run_guard = span_enter(obs, spans::RUN, NO_TGD);
+        let run = self.run_inner(database, gov, obs);
+        run_guard.exit(obs);
+        run
+    }
+
+    fn run_inner<O: ChaseObserver + ?Sized>(
+        &self,
+        database: &Instance,
+        gov: &ResourceGovernor,
+        obs: &mut O,
+    ) -> ChaseRun {
         const ENGINE: EngineKind = EngineKind::Restricted;
+        // `Some` exactly when the observer opted into profiling;
+        // doubles as the heartbeat reference clock, so unprofiled runs
+        // never read the clock or walk the instance for samples.
+        let run_start = (obs.enabled() && obs.profiling()).then(std::time::Instant::now);
         if let Some(outcome) = gov.interrupted(0) {
             emit(obs, || Event::RunInterrupted {
                 engine: ENGINE,
@@ -400,9 +465,11 @@ impl<'a> RestrictedChase<'a> {
         // matching: pair cells are maintained incrementally from here
         // on, and candidate pruning through them is order-preserving
         // (see `chase_core::hom`), so seed-engine bit-identity holds.
+        let index_guard = span_enter(obs, spans::INDEX_MAINTAIN, NO_TGD);
         for &(pred, a, b) in self.set.pair_plans() {
             instance.register_pair_index(pred, a as usize, b as usize);
         }
+        index_guard.exit(obs);
         let mut skolem = SkolemTable::above(
             SkolemPolicy::PerTrigger,
             instance.iter().flat_map(|a| a.args.iter().copied()),
@@ -426,6 +493,7 @@ impl<'a> RestrictedChase<'a> {
         let mut batch_idx: u32 = 0;
 
         // Seed: all triggers on the database.
+        let seed_guard = span_enter(obs, spans::SEED, NO_TGD);
         if self.go_parallel(instance.len()) {
             let batch = collect_batch(
                 self.set,
@@ -436,9 +504,11 @@ impl<'a> RestrictedChase<'a> {
                 BatchControl {
                     cancel: Some(gov.cancel_token()),
                     inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
+                    worker_cap: self.workers,
                 },
             );
             batch_idx += 1;
+            emit_worker_spans(obs, &batch.worker_nanos);
             if batch.panicked_workers > 0 {
                 emit(obs, || Event::WorkerPanicked {
                     engine: ENGINE,
@@ -448,7 +518,7 @@ impl<'a> RestrictedChase<'a> {
             }
             for d in batch.discovered {
                 if seen.insert(d.fp) {
-                    emit(obs, || Event::TriggerDiscovered {
+                    emit_detail(obs, || Event::TriggerDiscovered {
                         engine: ENGINE,
                         tgd: d.trigger.tgd.0,
                         step: 0,
@@ -466,7 +536,7 @@ impl<'a> RestrictedChase<'a> {
             let _ = for_each_trigger_with(&mut enum_scratch, self.set, &instance, &mut |id, b| {
                 let fp = TriggerFp::of(id, b, self.set.tgd(id).sorted_body_vars());
                 if seen.insert(fp) {
-                    emit(obs, || Event::TriggerDiscovered {
+                    emit_detail(obs, || Event::TriggerDiscovered {
                         engine: ENGINE,
                         tgd: id.0,
                         step: 0,
@@ -476,13 +546,15 @@ impl<'a> RestrictedChase<'a> {
                 ControlFlow::Continue(())
             });
         }
-        emit(obs, || Event::QueueDepth {
+        seed_guard.exit(obs);
+        emit_detail(obs, || Event::QueueDepth {
             engine: ENGINE,
             step: 0,
             depth: queue.len() as u64,
         });
 
         let mut steps = 0usize;
+        let mut pop_idx: u64 = 0;
         let mut derivation = Derivation::default();
         let mut new_slots: Vec<usize> = Vec::new();
         loop {
@@ -495,6 +567,16 @@ impl<'a> RestrictedChase<'a> {
                         .interrupt_reason()
                         .unwrap_or(chase_telemetry::InterruptReason::Deadline),
                 });
+                if let Some(start) = run_start {
+                    emit_profile_sample(
+                        obs,
+                        ENGINE,
+                        start,
+                        &instance,
+                        steps as u64,
+                        queue.len() as u64,
+                    );
+                }
                 return ChaseRun {
                     outcome,
                     instance,
@@ -505,6 +587,9 @@ impl<'a> RestrictedChase<'a> {
             let Some(popped) = queue.pop(self.strategy, &mut rng) else {
                 break;
             };
+            let sampled = pop_idx.is_multiple_of(self.profile_sample_every);
+            pop_idx += 1;
+            let step_guard = span_enter_sampled(obs, spans::STEP, popped.tgd.0, sampled, None);
             let tgd = self.set.tgd(popped.tgd);
             check_binding.clear();
             for &(v, t) in popped.pairs(&arena) {
@@ -514,7 +599,16 @@ impl<'a> RestrictedChase<'a> {
             // (inactivity is monotone under instance growth); an
             // unhinted trigger is rechecked incrementally — atoms
             // below the watermark were already refuted by the search
-            // that set it.
+            // that set it. Adjacent span boundaries share one clock
+            // reading (`exit_now`/`_at`) to keep profiling overhead
+            // within the gate's budget.
+            let check_guard = span_enter_sampled(
+                obs,
+                spans::RESTRICTION_CHECK,
+                popped.tgd.0,
+                sampled,
+                step_guard.start(),
+            );
             let active = !popped.inactive_hint
                 && !head_satisfied_with(
                     &mut active_scratch,
@@ -523,18 +617,20 @@ impl<'a> RestrictedChase<'a> {
                     &check_binding,
                     popped.watermark as usize,
                 );
-            emit(obs, || Event::TriggerChecked {
+            let check_end = check_guard.exit_now(obs);
+            emit_detail(obs, || Event::TriggerChecked {
                 engine: ENGINE,
                 tgd: popped.tgd.0,
                 step: steps as u64,
                 active,
             });
             if !active {
-                emit(obs, || Event::TriggerDeactivated {
+                emit_detail(obs, || Event::TriggerDeactivated {
                     engine: ENGINE,
                     tgd: popped.tgd.0,
                     step: steps as u64,
                 });
+                step_guard.exit_at(obs, check_end);
                 continue; // deactivated since discovery — monotone, stays so
             }
             if gov.budget_exhausted(steps, instance.len()) {
@@ -546,6 +642,17 @@ impl<'a> RestrictedChase<'a> {
                     watermark: instance.len() as u32,
                     ..popped
                 });
+                step_guard.exit(obs);
+                if let Some(start) = run_start {
+                    emit_profile_sample(
+                        obs,
+                        ENGINE,
+                        start,
+                        &instance,
+                        steps as u64,
+                        queue.len() as u64,
+                    );
+                }
                 return ChaseRun {
                     outcome: Outcome::BudgetExhausted,
                     instance,
@@ -559,6 +666,8 @@ impl<'a> RestrictedChase<'a> {
                 tgd: popped.tgd,
                 binding: Binding::from_pairs(popped.pairs(&arena).iter().copied()),
             };
+            let insert_guard =
+                span_enter_sampled(obs, spans::INSERT, popped.tgd.0, sampled, check_end);
             let nulls_before = skolem.invented();
             let added = trigger.result(tgd, &mut skolem);
             let nulls_after = skolem.invented();
@@ -566,7 +675,7 @@ impl<'a> RestrictedChase<'a> {
             let mut fresh_atoms = 0u32;
             for atom in &added {
                 let (slot, fresh) = instance.insert(atom.clone());
-                emit(obs, || Event::AtomInserted {
+                emit_detail(obs, || Event::AtomInserted {
                     engine: ENGINE,
                     predicate: atom.pred.0,
                     step: steps as u64 + 1,
@@ -577,9 +686,10 @@ impl<'a> RestrictedChase<'a> {
                     new_slots.push(slot);
                 }
             }
+            let insert_end = insert_guard.exit_now(obs);
             steps += 1;
             for null in nulls_before..nulls_after {
-                emit(obs, || Event::NullInvented {
+                emit_detail(obs, || Event::NullInvented {
                     engine: ENGINE,
                     null,
                     step: steps as u64,
@@ -599,6 +709,8 @@ impl<'a> RestrictedChase<'a> {
                 });
             }
             // Delta discovery: only triggers using a fresh atom.
+            let match_guard =
+                span_enter_sampled(obs, spans::MATCH, popped.tgd.0, sampled, insert_end);
             if !new_slots.is_empty() && self.go_parallel(new_slots.len()) {
                 let batch = collect_batch(
                     self.set,
@@ -609,9 +721,11 @@ impl<'a> RestrictedChase<'a> {
                     BatchControl {
                         cancel: Some(gov.cancel_token()),
                         inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
+                        worker_cap: self.workers,
                     },
                 );
                 batch_idx += 1;
+                emit_worker_spans(obs, &batch.worker_nanos);
                 if batch.panicked_workers > 0 {
                     emit(obs, || Event::WorkerPanicked {
                         engine: ENGINE,
@@ -621,7 +735,7 @@ impl<'a> RestrictedChase<'a> {
                 }
                 for d in batch.discovered {
                     if seen.insert(d.fp) {
-                        emit(obs, || Event::TriggerDiscovered {
+                        emit_detail(obs, || Event::TriggerDiscovered {
                             engine: ENGINE,
                             tgd: d.trigger.tgd.0,
                             step: steps as u64,
@@ -645,7 +759,7 @@ impl<'a> RestrictedChase<'a> {
                         &mut |id, b| {
                             let fp = TriggerFp::of(id, b, self.set.tgd(id).sorted_body_vars());
                             if seen.insert(fp) {
-                                emit(obs, || Event::TriggerDiscovered {
+                                emit_detail(obs, || Event::TriggerDiscovered {
                                     engine: ENGINE,
                                     tgd: id.0,
                                     step: steps as u64,
@@ -657,20 +771,37 @@ impl<'a> RestrictedChase<'a> {
                     );
                 }
             }
-            emit(obs, || Event::QueueDepth {
+            let match_end = match_guard.exit_now(obs);
+            emit_detail(obs, || Event::QueueDepth {
                 engine: ENGINE,
                 step: steps as u64,
                 depth: queue.len() as u64,
             });
+            step_guard.exit_at(obs, match_end);
+            if let Some(start) = run_start {
+                if (steps as u64).is_multiple_of(self.heartbeat_every) {
+                    emit_profile_sample(
+                        obs,
+                        ENGINE,
+                        start,
+                        &instance,
+                        steps as u64,
+                        queue.len() as u64,
+                    );
+                }
+            }
         }
         // Final sample: a terminated run has drained its queue, even
         // when the tail of the queue was all deactivated triggers
         // (which emit no per-step sample).
-        emit(obs, || Event::QueueDepth {
+        emit_detail(obs, || Event::QueueDepth {
             engine: ENGINE,
             step: steps as u64,
             depth: queue.len() as u64,
         });
+        if let Some(start) = run_start {
+            emit_profile_sample(obs, ENGINE, start, &instance, steps as u64, 0);
+        }
         ChaseRun {
             outcome: Outcome::Terminated,
             instance,
@@ -914,6 +1045,39 @@ mod tests {
             // Even the telemetry streams coincide.
             assert_eq!(seq_obs.events, par_obs.events, "{strategy:?}");
         }
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_and_balances_spans() {
+        use chase_telemetry::{spans, SpanObserver};
+        let src = "
+            E(a,b). E(b,c).
+            E(x,y) -> exists z. F(x,z).
+            F(x,z) -> G(x).
+        ";
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(src, &mut vocab).unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let engine = RestrictedChase::new(&set).heartbeat_every(1);
+        let plain = engine.run(&p.database, Budget::steps(1000));
+        let mut prof = SpanObserver::new();
+        let profiled = engine.run_observed(&p.database, Budget::steps(1000), &mut prof);
+        // Profiling must not perturb the derivation.
+        assert_eq!(plain.outcome, profiled.outcome);
+        assert_eq!(plain.steps, profiled.steps);
+        assert_eq!(plain.instance, profiled.instance);
+        let profile = prof.profile();
+        assert_eq!(profile.unbalanced, 0, "span stream must be well-nested");
+        assert!(profile.span_total(spans::RUN) > 0);
+        assert!(profile.span_total(spans::SEED) > 0);
+        assert!(profile.span_total(spans::RESTRICTION_CHECK) > 0);
+        assert_eq!(profile.fires_total(), profiled.steps as u64);
+        // heartbeat_every(1) → one periodic sample per step plus the
+        // final sample.
+        assert_eq!(profile.heartbeats, profiled.steps as u64 + 1);
+        let mem = profile.memory.expect("memory sampled");
+        assert_eq!(mem.atoms, profiled.instance.len() as u64);
+        assert!(mem.total_bytes() > 0);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Process-wide heap-allocation counting, as a safe API.
+//!
+//! This crate forbids `unsafe`, so the `#[global_allocator]` wrapper
+//! that actually intercepts allocations lives with the binary that
+//! installs it (`chasectl`, the bench harness's zero-alloc proof);
+//! the wrapper calls [`note`] once per allocation and everything else
+//! — the engines' memory samples, the profiler — only reads
+//! [`allocations`]. When no counting allocator is installed the
+//! counter simply stays at 0 and `"allocations"` fields read 0.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Records `n` heap allocations. Called from a counting
+/// `#[global_allocator]`; must stay allocation-free itself (a relaxed
+/// atomic add).
+#[inline]
+pub fn note(n: u64) {
+    ALLOCATIONS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total allocations recorded since process start (0 when no counting
+/// allocator feeds [`note`]).
+#[inline]
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_accumulates() {
+        // Other tests in the process may also note allocations; only
+        // assert monotonicity over our own contribution.
+        let before = allocations();
+        note(3);
+        note(2);
+        assert!(allocations() >= before + 5);
+    }
+}

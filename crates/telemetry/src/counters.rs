@@ -96,7 +96,34 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; BUCKETS],
 }
 
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
 impl HistogramSnapshot {
+    /// An empty snapshot (all zeros).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation directly into the plain-data snapshot —
+    /// the single-threaded counterpart of [`Histogram::record`], for
+    /// aggregators (the span profiler, `chasectl stats`) that own
+    /// their histogram outright.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+        self.buckets[Histogram::bucket(value)] += 1;
+    }
+
     /// Mean observed value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -104,6 +131,56 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The largest value that lands in bucket `i` (its inclusive
+    /// upper bound): 0, 1, 3, 7, …, `u64::MAX`.
+    fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64.. => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Estimated `q`-quantile (`q ∈ [0, 1]`) from the log₂ buckets:
+    /// the upper bound of the bucket holding the rank-`⌈q·count⌉`
+    /// observation, clamped to the exact observed maximum.
+    ///
+    /// Because bucket `i` covers `2^(i-1) ..= 2^i - 1`, the estimate
+    /// `e` for a true quantile value `t` satisfies `t ≤ e < 2·t` — in
+    /// particular it is *exact* when every observation is the same
+    /// value (the clamp to `max` collapses the bucket), and never off
+    /// by more than a factor of two otherwise. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 }
 
@@ -258,5 +335,64 @@ mod tests {
         let reg = Counters::new();
         let _ = reg.histogram("m");
         let _ = reg.counter("m");
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_a_single_bucket() {
+        // All observations identical: every quantile must be the
+        // exact value (the clamp to `max` collapses the log₂ bucket).
+        let mut h = HistogramSnapshot::empty();
+        for _ in 0..42 {
+            h.record(7);
+        }
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p95(), 7);
+        assert_eq!(h.p99(), 7);
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_error_across_buckets() {
+        // Uniform 1..=1000: every estimate must sit in [t, 2t) for
+        // the true quantile t.
+        let mut h = HistogramSnapshot::empty();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (q, t) in [(0.50, 500u64), (0.95, 950), (0.99, 990)] {
+            let e = h.quantile(q);
+            assert!(e >= t, "q={q}: estimate {e} below true {t}");
+            assert!(e < 2 * t, "q={q}: estimate {e} ≥ 2·{t}");
+        }
+        // The top quantile is exact: clamped to the observed max.
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = HistogramSnapshot::empty();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+
+        let mut h = HistogramSnapshot::empty();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.0), 0); // clamp to rank 1
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Out-of-range q is clamped, not a panic.
+        assert_eq!(h.quantile(2.0), u64::MAX);
+        assert_eq!(h.quantile(-1.0), 0);
+    }
+
+    #[test]
+    fn snapshot_record_matches_atomic_record() {
+        let atomic = Histogram::default();
+        let mut plain = HistogramSnapshot::empty();
+        for v in [0, 1, 2, 3, 7, 8, 1000, 1 << 40] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        assert_eq!(atomic.snapshot(), plain);
     }
 }

@@ -2,6 +2,17 @@
 
 use std::fmt;
 
+/// Version of the JSONL event schema, emitted as the `"v"` key of
+/// every serialised line so downstream consumers can detect drift.
+/// Bump it on any change to the wire format and regenerate
+/// `tests/golden/intro_trace.jsonl`.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Sentinel `tgd` index for profiling spans not attributed to a
+/// specific TGD (e.g. the whole-run or seeding spans). Serialisation
+/// omits the `"tgd"` key for this value.
+pub const NO_TGD: u32 = u32::MAX;
+
 /// Which chase variant produced an engine event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
@@ -186,6 +197,69 @@ pub enum Event {
         /// Elapsed monotonic nanoseconds.
         nanos: u64,
     },
+    /// A profiling span began. Spans are strictly nested (every exit
+    /// matches the innermost open span) and only emitted when the
+    /// observer opts in via [`crate::ChaseObserver::profiling`] —
+    /// they carry wall-clock readings, so they are kept out of the
+    /// deterministic default stream.
+    SpanEntered {
+        /// Span name (see the [`crate::spans`] vocabulary).
+        span: &'static str,
+        /// TGD index the span is attributed to, or [`NO_TGD`].
+        tgd: u32,
+    },
+    /// A profiling span ended after `nanos` of monotonic wall-clock.
+    SpanExited {
+        /// Span name matching the corresponding [`Event::SpanEntered`].
+        span: &'static str,
+        /// TGD index the span is attributed to, or [`NO_TGD`].
+        tgd: u32,
+        /// Elapsed monotonic nanoseconds.
+        nanos: u64,
+    },
+    /// Instance memory accounting sampled at a step boundary
+    /// (profiling runs only). All byte figures are heap footprints
+    /// derived from container capacities, not allocator-reported RSS.
+    MemorySampled {
+        /// Producing engine.
+        engine: EngineKind,
+        /// Steps performed at the sample point.
+        step: u64,
+        /// Atoms in the instance.
+        atoms: u64,
+        /// Bytes of the inline atom storage.
+        atom_bytes: u64,
+        /// Bytes of spilled `ArgVec` argument storage.
+        arg_spill_bytes: u64,
+        /// Bytes of the dedup hash map (incl. spilled slot lists).
+        dedup_bytes: u64,
+        /// Bytes of the predicate/position/pair indexes.
+        index_bytes: u64,
+        /// Queued candidate triggers at the sample point.
+        queue_depth: u64,
+        /// Process-wide heap allocations recorded so far (0 unless a
+        /// counting allocator feeds [`crate::alloc_track`]).
+        allocations: u64,
+    },
+    /// Periodic progress heartbeat (profiling runs only), sized for
+    /// live streaming: rates are integer per-second figures over the
+    /// whole run so far.
+    Heartbeat {
+        /// Producing engine.
+        engine: EngineKind,
+        /// Steps performed so far.
+        step: u64,
+        /// Monotonic nanoseconds since the run started.
+        elapsed_ns: u64,
+        /// Trigger applications per second since the run started.
+        steps_per_sec: u64,
+        /// Atoms in the instance.
+        atoms: u64,
+        /// Instance atoms per second since the run started.
+        atoms_per_sec: u64,
+        /// Queued candidate triggers.
+        queue_depth: u64,
+    },
 }
 
 impl Event {
@@ -205,15 +279,21 @@ impl Event {
             Event::CounterAdd { .. } => "counter_add",
             Event::PhaseEntered { .. } => "phase_entered",
             Event::PhaseExited { .. } => "phase_exited",
+            Event::SpanEntered { .. } => "span_entered",
+            Event::SpanExited { .. } => "span_exited",
+            Event::MemorySampled { .. } => "memory_sampled",
+            Event::Heartbeat { .. } => "heartbeat",
         }
     }
 
     /// Serialises the event as one flat JSON object (no trailing
-    /// newline) into `out`.
+    /// newline) into `out`. Every line carries the schema version as
+    /// its `"v"` key.
     pub fn write_json(&self, out: &mut String) {
         out.push_str("{\"event\":\"");
         out.push_str(self.kind());
         out.push('"');
+        json_u64(out, "v", SCHEMA_VERSION);
         match *self {
             Event::TriggerDiscovered { engine, tgd, step } => {
                 json_str(out, "engine", engine.as_str());
@@ -303,6 +383,57 @@ impl Event {
                 json_str(out, "phase", phase);
                 json_u64(out, "nanos", nanos);
             }
+            Event::SpanEntered { span, tgd } => {
+                json_str(out, "span", span);
+                if tgd != NO_TGD {
+                    json_u64(out, "tgd", tgd as u64);
+                }
+            }
+            Event::SpanExited { span, tgd, nanos } => {
+                json_str(out, "span", span);
+                if tgd != NO_TGD {
+                    json_u64(out, "tgd", tgd as u64);
+                }
+                json_u64(out, "nanos", nanos);
+            }
+            Event::MemorySampled {
+                engine,
+                step,
+                atoms,
+                atom_bytes,
+                arg_spill_bytes,
+                dedup_bytes,
+                index_bytes,
+                queue_depth,
+                allocations,
+            } => {
+                json_str(out, "engine", engine.as_str());
+                json_u64(out, "step", step);
+                json_u64(out, "atoms", atoms);
+                json_u64(out, "atom_bytes", atom_bytes);
+                json_u64(out, "arg_spill_bytes", arg_spill_bytes);
+                json_u64(out, "dedup_bytes", dedup_bytes);
+                json_u64(out, "index_bytes", index_bytes);
+                json_u64(out, "queue_depth", queue_depth);
+                json_u64(out, "allocations", allocations);
+            }
+            Event::Heartbeat {
+                engine,
+                step,
+                elapsed_ns,
+                steps_per_sec,
+                atoms,
+                atoms_per_sec,
+                queue_depth,
+            } => {
+                json_str(out, "engine", engine.as_str());
+                json_u64(out, "step", step);
+                json_u64(out, "elapsed_ns", elapsed_ns);
+                json_u64(out, "steps_per_sec", steps_per_sec);
+                json_u64(out, "atoms", atoms);
+                json_u64(out, "atoms_per_sec", atoms_per_sec);
+                json_u64(out, "queue_depth", queue_depth);
+            }
         }
         out.push('}');
     }
@@ -384,7 +515,7 @@ mod tests {
         assert_eq!(e.kind(), "trigger_checked");
         assert_eq!(
             e.to_json(),
-            "{\"event\":\"trigger_checked\",\"engine\":\"restricted\",\"tgd\":0,\"step\":3,\"active\":true}"
+            "{\"event\":\"trigger_checked\",\"v\":2,\"engine\":\"restricted\",\"tgd\":0,\"step\":3,\"active\":true}"
         );
     }
 
@@ -397,7 +528,7 @@ mod tests {
         };
         assert_eq!(
             e.to_json(),
-            "{\"event\":\"worker_panicked\",\"engine\":\"restricted\",\"step\":7,\"panics\":2}"
+            "{\"event\":\"worker_panicked\",\"v\":2,\"engine\":\"restricted\",\"step\":7,\"panics\":2}"
         );
         let e = Event::RunInterrupted {
             engine: EngineKind::Oblivious,
@@ -406,7 +537,7 @@ mod tests {
         };
         assert_eq!(
             e.to_json(),
-            "{\"event\":\"run_interrupted\",\"engine\":\"oblivious\",\"step\":3,\"reason\":\"deadline\"}"
+            "{\"event\":\"run_interrupted\",\"v\":2,\"engine\":\"oblivious\",\"step\":3,\"reason\":\"deadline\"}"
         );
         assert_eq!(InterruptReason::Cancelled.as_str(), "cancelled");
     }
@@ -419,8 +550,66 @@ mod tests {
         };
         assert_eq!(
             e.to_json(),
-            "{\"event\":\"phase_exited\",\"phase\":\"sticky.emptiness\",\"nanos\":12345}"
+            "{\"event\":\"phase_exited\",\"v\":2,\"phase\":\"sticky.emptiness\",\"nanos\":12345}"
         );
+    }
+
+    #[test]
+    fn span_events_omit_the_sentinel_tgd() {
+        let e = Event::SpanEntered {
+            span: "step",
+            tgd: 3,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"span_entered\",\"v\":2,\"span\":\"step\",\"tgd\":3}"
+        );
+        let e = Event::SpanExited {
+            span: "run",
+            tgd: NO_TGD,
+            nanos: 99,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"span_exited\",\"v\":2,\"span\":\"run\",\"nanos\":99}"
+        );
+    }
+
+    #[test]
+    fn profiling_samples_serialise_flat() {
+        let e = Event::MemorySampled {
+            engine: EngineKind::Restricted,
+            step: 4,
+            atoms: 10,
+            atom_bytes: 480,
+            arg_spill_bytes: 0,
+            dedup_bytes: 640,
+            index_bytes: 320,
+            queue_depth: 2,
+            allocations: 55,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"memory_sampled\",\"v\":2,\"engine\":\"restricted\",\"step\":4,\
+             \"atoms\":10,\"atom_bytes\":480,\"arg_spill_bytes\":0,\"dedup_bytes\":640,\
+             \"index_bytes\":320,\"queue_depth\":2,\"allocations\":55}"
+        );
+        let e = Event::Heartbeat {
+            engine: EngineKind::Restricted,
+            step: 100,
+            elapsed_ns: 2_000_000,
+            steps_per_sec: 50_000,
+            atoms: 210,
+            atoms_per_sec: 105_000,
+            queue_depth: 7,
+        };
+        let json = e.to_json();
+        assert!(
+            json.starts_with("{\"event\":\"heartbeat\",\"v\":2,"),
+            "{json}"
+        );
+        assert!(json.contains("\"steps_per_sec\":50000"), "{json}");
+        assert!(!json.contains('['), "flat schema only: {json}");
     }
 
     #[test]

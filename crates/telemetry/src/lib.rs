@@ -12,8 +12,13 @@
 //!   queue-depth histograms and per-phase wall-clock, and produces a
 //!   [`TelemetrySummary`];
 //! * [`JsonlWriter`] — serialises every event as one JSON object per
-//!   line (JSON Lines), with a hand-rolled zero-dependency encoder;
-//! * [`RecordingObserver`] — buffers events in memory, for tests.
+//!   line (JSON Lines), with a hand-rolled zero-dependency encoder,
+//!   flushing on drop so buffered traces keep their tail;
+//! * [`RecordingObserver`] — buffers events in memory, for tests;
+//! * [`SpanObserver`] — the profiler: aggregates the opt-in span /
+//!   memory / heartbeat stream (see below) into a [`SpanProfile`]
+//!   with per-TGD hot-spot tables, log₂ latency quantiles and
+//!   collapsed (flamegraph-compatible) call stacks.
 //!
 //! The crate deliberately has **no dependencies**; everything is
 //! `std`-only so the hot path stays transparent to the optimiser.
@@ -21,27 +26,72 @@
 //! ## Event schema
 //!
 //! Every event serialises to a flat JSON object whose `"event"` key is
-//! the snake_case kind name (see [`Event::kind`]); the remaining keys
-//! are the event's fields. Example line produced by [`JsonlWriter`]:
+//! the snake_case kind name (see [`Event::kind`]) and whose `"v"` key
+//! is [`SCHEMA_VERSION`]; the remaining keys are the event's fields.
+//! Example line produced by [`JsonlWriter`]:
 //!
 //! ```text
-//! {"event":"trigger_checked","engine":"restricted","tgd":0,"step":3,"active":true}
+//! {"event":"trigger_checked","v":2,"engine":"restricted","tgd":0,"step":3,"active":true}
 //! ```
+//!
+//! ## Profiling stream
+//!
+//! Span enter/exit events ([`spans`] names the vocabulary), memory
+//! samples and progress heartbeats carry wall-clock readings, so they
+//! are **opt-in** via [`ChaseObserver::profiling`] (default `false`):
+//! ordinary traces stay byte-for-byte deterministic and the
+//! [`NullObserver`] hot path is untouched. Opt in with a
+//! [`SpanObserver`], or force the stream onto any sink with
+//! [`Profiled`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alloc_track;
 pub mod counters;
 pub mod event;
 pub mod observer;
+pub mod profiler;
 pub mod sinks;
 pub mod summary;
 
 pub use counters::{Counter, Counters, Histogram, HistogramSnapshot, MetricSnapshot};
-pub use event::{EngineKind, Event, InterruptReason};
-pub use observer::{emit, time_phase, ChaseObserver, NullObserver, Tee};
+pub use event::{EngineKind, Event, InterruptReason, NO_TGD, SCHEMA_VERSION};
+pub use observer::{
+    emit, emit_detail, in_span, span_enter, span_enter_at, span_enter_sampled, time_phase,
+    ChaseObserver, NullObserver, Profiled, SpanGuard, Tee,
+};
+pub use profiler::{HeartbeatSample, MemorySample, PathStat, SpanObserver, SpanProfile, SpanStat};
 pub use sinks::{CountingObserver, JsonlWriter, RecordingObserver};
 pub use summary::TelemetrySummary;
+
+/// Well-known span names of the profiling stream, shared by the
+/// engines (producers) and the profiler / `chasectl stats`
+/// (consumers). The hierarchy is
+/// `run → seed | step → {restriction_check, insert, match}`, with
+/// `index_maintain` under `run` and `worker` under the discovery
+/// spans of parallel runs.
+pub mod spans {
+    /// A whole engine run.
+    pub const RUN: &str = "run";
+    /// Initial trigger discovery over the input database.
+    pub const SEED: &str = "seed";
+    /// Pair-index registration before the run starts.
+    pub const INDEX_MAINTAIN: &str = "index_maintain";
+    /// One chase iteration, attributed to its TGD.
+    pub const STEP: &str = "step";
+    /// Delta trigger matching after an application.
+    pub const MATCH: &str = "match";
+    /// The head-satisfaction (restriction) check of a popped trigger.
+    pub const RESTRICTION_CHECK: &str = "restriction_check";
+    /// Head-atom insertion and null invention.
+    pub const INSERT: &str = "insert";
+    /// One parallel discovery worker's share of a batch (parallel
+    /// runs only; excluded from seq-vs-par shape comparisons).
+    pub const WORKER: &str = "worker";
+    /// Top-level decider dispatch in `chase-termination`.
+    pub const DECIDE: &str = "decide";
+}
 
 /// Well-known counter and phase names, shared by producers
 /// (`CountingObserver`) and consumers (`report`, `chasectl stats`)
@@ -77,6 +127,11 @@ pub mod names {
     pub const AUTOMATON_STATES: &str = "sticky.automaton_states";
     /// Acyclic seed instances tried by the guarded decider.
     pub const GUARDED_SEEDS: &str = "guarded.seeds_tried";
+    /// Progress heartbeats observed (profiling runs only).
+    pub const HEARTBEATS: &str = "profile.heartbeats";
+    /// Histogram of sampled total instance heap bytes (profiling
+    /// runs only).
+    pub const MEMORY_BYTES: &str = "memory.instance_bytes";
 }
 
 #[cfg(test)]

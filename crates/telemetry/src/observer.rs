@@ -20,6 +20,37 @@ pub trait ChaseObserver {
         true
     }
 
+    /// Whether this sink additionally wants the *profiling* stream:
+    /// span enter/exit, memory samples and progress heartbeats.
+    ///
+    /// Default `false`. Profiling events carry monotonic-clock
+    /// readings that differ run to run, so they are opt-in: the
+    /// default stream stays deterministic (the equivalence oracles
+    /// compare it byte for byte) and non-profiling runs never read
+    /// the clock at span sites. Opt in by overriding this (see
+    /// [`crate::SpanObserver`]) or by wrapping any observer in
+    /// [`Profiled`].
+    #[inline]
+    fn profiling(&self) -> bool {
+        false
+    }
+
+    /// Whether this sink wants the *detail* stream: the per-step
+    /// deterministic events (trigger checked/deactivated/discovered,
+    /// atom inserted, null invented, queue depth) that traces and
+    /// counters consume. Default `true`.
+    ///
+    /// A pure profiler overrides this to `false` (see
+    /// [`crate::SpanObserver`]): it aggregates spans, fires and
+    /// samples only, so skipping the high-frequency detail events at
+    /// the emission site keeps profiling overhead inside the smoke
+    /// gate's budget. Structural events (run started/finished,
+    /// trigger applied, phases) are always delivered.
+    #[inline]
+    fn detail(&self) -> bool {
+        true
+    }
+
     /// Receives one event. Only called when [`ChaseObserver::enabled`]
     /// is `true` at the emission site, but implementations must
     /// tolerate unconditional calls.
@@ -50,6 +81,16 @@ impl<O: ChaseObserver + ?Sized> ChaseObserver for &mut O {
     }
 
     #[inline]
+    fn profiling(&self) -> bool {
+        (**self).profiling()
+    }
+
+    #[inline]
+    fn detail(&self) -> bool {
+        (**self).detail()
+    }
+
+    #[inline]
     fn on_event(&mut self, event: &Event) {
         (**self).on_event(event)
     }
@@ -77,6 +118,16 @@ impl<A: ChaseObserver + ?Sized, B: ChaseObserver + ?Sized> ChaseObserver for Tee
     }
 
     #[inline]
+    fn profiling(&self) -> bool {
+        self.a.profiling() || self.b.profiling()
+    }
+
+    #[inline]
+    fn detail(&self) -> bool {
+        self.a.detail() || self.b.detail()
+    }
+
+    #[inline]
     fn on_event(&mut self, event: &Event) {
         if self.a.enabled() {
             self.a.on_event(event);
@@ -87,12 +138,53 @@ impl<A: ChaseObserver + ?Sized, B: ChaseObserver + ?Sized> ChaseObserver for Tee
     }
 }
 
+/// Forces the profiling stream on for the wrapped observer, so a
+/// plain sink (a [`crate::RecordingObserver`] in tests, a
+/// [`crate::JsonlWriter`] trace, a whole [`Tee`]) receives span,
+/// memory and heartbeat events without defining its own
+/// [`ChaseObserver::profiling`] override.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Profiled<O>(pub O);
+
+impl<O: ChaseObserver> ChaseObserver for Profiled<O> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn profiling(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn detail(&self) -> bool {
+        self.0.detail()
+    }
+
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        self.0.on_event(event)
+    }
+}
+
 /// Emits an event constructed lazily: when the observer is disabled
 /// the closure never runs, so gathering the event's fields costs
 /// nothing on the null path.
 #[inline(always)]
 pub fn emit<O: ChaseObserver + ?Sized>(obs: &mut O, make: impl FnOnce() -> Event) {
     if obs.enabled() {
+        let event = make();
+        obs.on_event(&event);
+    }
+}
+
+/// [`emit`] for high-frequency per-step *detail* events: also skipped
+/// when the observer opts out via [`ChaseObserver::detail`], so a pure
+/// profiler never pays for events it discards.
+#[inline(always)]
+pub fn emit_detail<O: ChaseObserver + ?Sized>(obs: &mut O, make: impl FnOnce() -> Event) {
+    if obs.enabled() && obs.detail() {
         let event = make();
         obs.on_event(&event);
     }
@@ -117,6 +209,148 @@ pub fn time_phase<T, O: ChaseObserver + ?Sized>(
     out
 }
 
+/// An open profiling span, produced by [`span_enter`] and closed with
+/// [`SpanGuard::exit`]. On a non-profiling observer the guard is
+/// inert: no event is emitted and no clock is read at either end.
+#[must_use = "close the span with .exit(obs)"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    span: &'static str,
+    tgd: u32,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Whether the span is live (profiling is on), and when it
+    /// started. Lets a caller reuse the entry reading as the exit
+    /// reading of an adjacent span via [`SpanGuard::exit_at`].
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        self.start
+    }
+
+    /// Closes the span, emitting [`Event::SpanExited`] with the
+    /// elapsed monotonic nanoseconds (when the span was live).
+    #[inline]
+    pub fn exit<O: ChaseObserver + ?Sized>(self, obs: &mut O) {
+        let _ = self.exit_now(obs);
+    }
+
+    /// Closes the span and returns the clock reading used as its end,
+    /// so the caller can hand it to [`span_enter_at`] or
+    /// [`SpanGuard::exit_at`] of an adjacent span instead of reading
+    /// the clock again. Returns `None` when the span was inert.
+    #[inline]
+    pub fn exit_now<O: ChaseObserver + ?Sized>(self, obs: &mut O) -> Option<Instant> {
+        let start = self.start?;
+        let now = Instant::now();
+        self.emit_exit(obs, start, now);
+        Some(now)
+    }
+
+    /// Closes the span using `now` as its end when given (one shared
+    /// clock reading for several span boundaries); falls back to
+    /// reading the clock when `now` is `None`.
+    #[inline]
+    pub fn exit_at<O: ChaseObserver + ?Sized>(self, obs: &mut O, now: Option<Instant>) {
+        if let Some(start) = self.start {
+            let now = now.unwrap_or_else(Instant::now);
+            self.emit_exit(obs, start, now);
+        }
+    }
+
+    #[inline]
+    fn emit_exit<O: ChaseObserver + ?Sized>(&self, obs: &mut O, start: Instant, now: Instant) {
+        let nanos =
+            u64::try_from(now.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX);
+        obs.on_event(&Event::SpanExited {
+            span: self.span,
+            tgd: self.tgd,
+            nanos,
+        });
+    }
+}
+
+/// Opens a profiling span named `span`, attributed to `tgd` (pass
+/// [`crate::NO_TGD`] for unattributed spans). Emits
+/// [`Event::SpanEntered`] and starts the clock only when
+/// `obs.enabled() && obs.profiling()`; otherwise the returned guard
+/// is inert and the call costs two predictable branches.
+#[inline]
+pub fn span_enter<O: ChaseObserver + ?Sized>(
+    obs: &mut O,
+    span: &'static str,
+    tgd: u32,
+) -> SpanGuard {
+    span_enter_at(obs, span, tgd, None)
+}
+
+/// [`span_enter`] with a caller-supplied start reading: when an
+/// adjacent span just closed via [`SpanGuard::exit_now`], its end
+/// instant doubles as this span's start, halving the clock reads on
+/// the engines' per-step hot path. Pass `None` to read the clock.
+#[inline]
+pub fn span_enter_at<O: ChaseObserver + ?Sized>(
+    obs: &mut O,
+    span: &'static str,
+    tgd: u32,
+    now: Option<Instant>,
+) -> SpanGuard {
+    if obs.enabled() && obs.profiling() {
+        obs.on_event(&Event::SpanEntered { span, tgd });
+        SpanGuard {
+            span,
+            tgd,
+            start: Some(now.unwrap_or_else(Instant::now)),
+        }
+    } else {
+        SpanGuard {
+            span,
+            tgd,
+            start: None,
+        }
+    }
+}
+
+/// [`span_enter_at`] gated on a sampling decision: when `sampled` is
+/// `false` the returned guard is inert regardless of the observer, so
+/// a 1-in-K sampled hot loop pays nothing (no event, no clock) on the
+/// K−1 unsampled iterations. Engines sample whole step subtrees by
+/// pop index, keeping the stream well-nested and deterministic.
+#[inline]
+pub fn span_enter_sampled<O: ChaseObserver + ?Sized>(
+    obs: &mut O,
+    span: &'static str,
+    tgd: u32,
+    sampled: bool,
+    now: Option<Instant>,
+) -> SpanGuard {
+    if sampled {
+        span_enter_at(obs, span, tgd, now)
+    } else {
+        SpanGuard {
+            span,
+            tgd,
+            start: None,
+        }
+    }
+}
+
+/// Runs `f` inside a profiling span — the closure form of
+/// [`span_enter`] for regions with a single exit.
+#[inline]
+pub fn in_span<T, O: ChaseObserver + ?Sized>(
+    obs: &mut O,
+    span: &'static str,
+    tgd: u32,
+    f: impl FnOnce(&mut O) -> T,
+) -> T {
+    let guard = span_enter(obs, span, tgd);
+    let out = f(obs);
+    guard.exit(obs);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +372,67 @@ mod tests {
         let mut obs = NullObserver;
         let out = time_phase(&mut obs, "never", |_| 7);
         assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn spans_are_inert_without_profiling_opt_in() {
+        // RecordingObserver is enabled but not profiling: span sites
+        // must emit nothing, keeping default streams deterministic.
+        let mut rec = RecordingObserver::default();
+        let out = in_span(&mut rec, "step", 3, |_| 11);
+        assert_eq!(out, 11);
+        assert!(rec.events.is_empty());
+    }
+
+    #[test]
+    fn profiled_wrapper_turns_spans_on() {
+        let mut rec = Profiled(RecordingObserver::default());
+        assert!(rec.profiling());
+        let guard = span_enter(&mut rec, "run", crate::NO_TGD);
+        let inner = span_enter(&mut rec, "step", 0);
+        inner.exit(&mut rec);
+        guard.exit(&mut rec);
+        let events = &rec.0.events;
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events[0],
+            Event::SpanEntered {
+                span: "run",
+                tgd: crate::NO_TGD
+            }
+        );
+        assert_eq!(
+            events[1],
+            Event::SpanEntered {
+                span: "step",
+                tgd: 0
+            }
+        );
+        match (&events[2], &events[3]) {
+            (
+                Event::SpanExited {
+                    span: "step",
+                    tgd: 0,
+                    ..
+                },
+                Event::SpanExited { span: "run", .. },
+            ) => {}
+            other => panic!("unexpected exit order: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tee_profiles_when_either_side_does() {
+        let mut plain = RecordingObserver::default();
+        let mut prof = Profiled(RecordingObserver::default());
+        {
+            let mut tee = Tee::new(&mut plain, &mut prof);
+            assert!(tee.profiling());
+            in_span(&mut tee, "step", 1, |_| ());
+        }
+        // Both sides of the tee see the span events; the tee's
+        // profiling() only governs whether the engine emits them.
+        assert_eq!(plain.events.len(), 2);
+        assert_eq!(prof.0.events.len(), 2);
     }
 }

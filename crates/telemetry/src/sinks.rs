@@ -1,5 +1,6 @@
 //! Built-in observers: counting, JSON Lines, and in-memory recording.
 
+use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::sync::Arc;
 
@@ -27,6 +28,12 @@ pub struct CountingObserver {
     worker_panics: Arc<Counter>,
     interrupted: Arc<Counter>,
     queue_depth: Arc<Histogram>,
+    heartbeats: Arc<Counter>,
+    memory_bytes: Arc<Histogram>,
+    /// Lazily registered `span.<name>` histograms, cached by the
+    /// span's static name so the registry lock is taken once per
+    /// distinct span, not once per event.
+    span_hists: BTreeMap<&'static str, Arc<Histogram>>,
     /// `(phase, total nanos)` in completion order.
     phases: Vec<(String, u64)>,
 }
@@ -52,6 +59,8 @@ impl CountingObserver {
         let worker_panics = counters.counter(names::WORKER_PANICS);
         let interrupted = counters.counter(names::RUNS_INTERRUPTED);
         let queue_depth = counters.histogram(names::QUEUE_DEPTH);
+        let heartbeats = counters.counter(names::HEARTBEATS);
+        let memory_bytes = counters.histogram(names::MEMORY_BYTES);
         CountingObserver {
             counters,
             discovered,
@@ -65,6 +74,9 @@ impl CountingObserver {
             worker_panics,
             interrupted,
             queue_depth,
+            heartbeats,
+            memory_bytes,
+            span_hists: BTreeMap::new(),
             phases: Vec::new(),
         }
     }
@@ -136,6 +148,24 @@ impl ChaseObserver for CountingObserver {
                     None => self.phases.push((phase.to_string(), nanos)),
                 }
             }
+            Event::SpanEntered { .. } => {}
+            Event::SpanExited { span, nanos, .. } => {
+                let counters = &self.counters;
+                self.span_hists
+                    .entry(span)
+                    .or_insert_with(|| counters.histogram(&format!("span.{span}")))
+                    .record(nanos);
+            }
+            Event::MemorySampled {
+                atom_bytes,
+                arg_spill_bytes,
+                dedup_bytes,
+                index_bytes,
+                ..
+            } => self
+                .memory_bytes
+                .record(atom_bytes + arg_spill_bytes + dedup_bytes + index_bytes),
+            Event::Heartbeat { .. } => self.heartbeats.incr(),
         }
     }
 }
@@ -151,9 +181,16 @@ impl ChaseObserver for CountingObserver {
 /// care about dropped events inspect [`JsonlWriter::io_errors`]. The
 /// writer buffers internally per event only; wrap the target in a
 /// [`std::io::BufWriter`] for file output.
+///
+/// Dropping the writer flushes it (errors ignored — `Drop` cannot
+/// report them), so a trace wrapped in a `BufWriter` does not lose
+/// its tail on an early return; call [`JsonlWriter::finish`] to
+/// observe flush failures explicitly.
 #[derive(Debug)]
 pub struct JsonlWriter<W: Write> {
-    out: W,
+    /// `Some` until `finish` moves the writer out; `Drop` flushes the
+    /// remaining case.
+    out: Option<W>,
     buf: String,
     written: u64,
     io_errors: u64,
@@ -164,7 +201,7 @@ impl<W: Write> JsonlWriter<W> {
     /// A writer over `out`.
     pub fn new(out: W) -> Self {
         JsonlWriter {
-            out,
+            out: Some(out),
             buf: String::with_capacity(128),
             written: 0,
             io_errors: 0,
@@ -192,8 +229,20 @@ impl<W: Write> JsonlWriter<W> {
     /// *not* an error here — check [`JsonlWriter::io_errors`]; only a
     /// failing flush is reported.
     pub fn finish(mut self) -> io::Result<W> {
-        self.out.flush()?;
-        Ok(self.out)
+        let mut out = self.out.take().expect("writer present until finish");
+        out.flush()?;
+        Ok(out)
+    }
+}
+
+impl<W: Write> Drop for JsonlWriter<W> {
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            // Best effort: a buffered trace must not lose its tail on
+            // an early return, and `Drop` has nowhere to report a
+            // failure.
+            let _ = out.flush();
+        }
     }
 }
 
@@ -202,7 +251,8 @@ impl<W: Write> ChaseObserver for JsonlWriter<W> {
         self.buf.clear();
         event.write_json(&mut self.buf);
         self.buf.push('\n');
-        match self.out.write_all(self.buf.as_bytes()) {
+        let out = self.out.as_mut().expect("writer present until finish");
+        match out.write_all(self.buf.as_bytes()) {
             Ok(()) => self.written += 1,
             Err(err) => {
                 self.io_errors += 1;
@@ -372,6 +422,95 @@ mod tests {
         let text = String::from_utf8(inner.out).unwrap();
         assert!(text.contains("\"kept\""));
         assert!(!text.contains("\"lost\""));
+    }
+
+    /// A writer that records whether `flush` was called, via a shared
+    /// flag (the writer itself is consumed by the sink).
+    struct FlushProbe {
+        flushed: Arc<std::sync::atomic::AtomicBool>,
+        buffered: Vec<u8>,
+    }
+
+    impl Write for FlushProbe {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.buffered.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushed
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_flushes_on_drop() {
+        let flushed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        {
+            let mut writer = JsonlWriter::new(FlushProbe {
+                flushed: Arc::clone(&flushed),
+                buffered: Vec::new(),
+            });
+            writer.on_event(&Event::PhaseEntered { phase: "tail" });
+            // Dropped without `finish` — e.g. an early return.
+        }
+        assert!(flushed.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn jsonl_writer_finish_does_not_double_flush_in_drop() {
+        let flushed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = JsonlWriter::new(FlushProbe {
+            flushed: Arc::clone(&flushed),
+            buffered: Vec::new(),
+        });
+        let inner = writer.finish().unwrap();
+        assert!(flushed.load(std::sync::atomic::Ordering::SeqCst));
+        assert!(inner.buffered.is_empty());
+    }
+
+    #[test]
+    fn counting_observer_aggregates_profiling_events() {
+        let mut obs = CountingObserver::new();
+        obs.on_event(&Event::SpanEntered {
+            span: "step",
+            tgd: 0,
+        });
+        obs.on_event(&Event::SpanExited {
+            span: "step",
+            tgd: 0,
+            nanos: 120,
+        });
+        obs.on_event(&Event::SpanExited {
+            span: "step",
+            tgd: 1,
+            nanos: 80,
+        });
+        obs.on_event(&Event::MemorySampled {
+            engine: EngineKind::Restricted,
+            step: 2,
+            atoms: 5,
+            atom_bytes: 100,
+            arg_spill_bytes: 0,
+            dedup_bytes: 50,
+            index_bytes: 30,
+            queue_depth: 1,
+            allocations: 7,
+        });
+        obs.on_event(&Event::Heartbeat {
+            engine: EngineKind::Restricted,
+            step: 2,
+            elapsed_ns: 10,
+            steps_per_sec: 1,
+            atoms: 5,
+            atoms_per_sec: 2,
+            queue_depth: 1,
+        });
+        let s = obs.summary();
+        let span = s.histogram("span.step").unwrap();
+        assert_eq!(span.count, 2);
+        assert_eq!(span.sum, 200);
+        assert_eq!(s.histogram(names::MEMORY_BYTES).unwrap().max, 180);
+        assert_eq!(s.counter(names::HEARTBEATS), Some(1));
     }
 
     #[test]

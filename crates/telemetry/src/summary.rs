@@ -86,7 +86,8 @@ impl TelemetrySummary {
 
     /// Renders a fixed-width, human-readable table: phases first (with
     /// times scaled to a readable unit), then counters, then
-    /// histograms as `count/mean/max`.
+    /// histograms as `count/mean/p50/p95/p99/max` (quantiles estimated
+    /// from the log₂ buckets, see [`HistogramSnapshot::quantile`]).
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         if !self.phases.is_empty() {
@@ -104,16 +105,19 @@ impl TelemetrySummary {
         if !self.histograms.is_empty() {
             let _ = writeln!(
                 out,
-                "  {:<32} {:>8} {:>10} {:>8}",
-                "histogram", "count", "mean", "max"
+                "  {:<32} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+                "histogram", "count", "mean", "p50", "p95", "p99", "max"
             );
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {:<32} {:>8} {:>10.2} {:>8}",
+                    "  {:<32} {:>8} {:>10.2} {:>8} {:>8} {:>8} {:>8}",
                     name,
                     h.count,
                     h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
                     h.max
                 );
             }
@@ -177,15 +181,12 @@ mod tests {
         let summary = TelemetrySummary {
             phases: vec![("guarded.provers".into(), 2_500_000)],
             counters: vec![("triggers.checked".into(), 42)],
-            histograms: vec![(
-                "queue.depth".into(),
-                HistogramSnapshot {
-                    count: 2,
-                    sum: 6,
-                    max: 5,
-                    buckets: [0; 65],
-                },
-            )],
+            histograms: vec![("queue.depth".into(), {
+                let mut h = HistogramSnapshot::empty();
+                h.record(1);
+                h.record(5);
+                h
+            })],
         };
         let table = summary.render_table();
         assert!(table.contains("guarded.provers"));
@@ -193,6 +194,12 @@ mod tests {
         assert!(table.contains("triggers.checked"));
         assert!(table.contains("42"));
         assert!(table.contains("queue.depth"));
+        // Quantile columns are rendered from the log₂ buckets.
+        assert!(table.contains("p95"), "{table}");
+        let row = table.lines().find(|l| l.contains("queue.depth")).unwrap();
+        // p50 = 1 (bucket {1}), p95/p99 = 5 (bucket {4..7} clamped to max).
+        assert!(row.contains(" 1 "), "{row}");
+        assert!(row.trim_end().ends_with('5'), "{row}");
     }
 
     #[test]

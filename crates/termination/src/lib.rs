@@ -46,8 +46,24 @@ pub fn decide(set: &TgdSet, vocab: &Vocabulary, config: &DeciderConfig) -> Termi
 /// [`decide`], streaming telemetry to `obs`: a `classify` phase span
 /// around the stickiness test, then the chosen decider's own phase
 /// spans and counters (see the crate-level docs of `chase-telemetry`
-/// for the vocabulary).
+/// for the vocabulary). A profiling observer additionally sees the
+/// whole decision wrapped in a `decide` span (and the internal chase
+/// runs' own profiling streams).
 pub fn decide_observed<O: ChaseObserver + ?Sized>(
+    set: &TgdSet,
+    vocab: &Vocabulary,
+    config: &DeciderConfig,
+    obs: &mut O,
+) -> TerminationVerdict {
+    chase_telemetry::in_span(
+        obs,
+        chase_telemetry::spans::DECIDE,
+        chase_telemetry::NO_TGD,
+        |obs| decide_inner(set, vocab, config, obs),
+    )
+}
+
+fn decide_inner<O: ChaseObserver + ?Sized>(
     set: &TgdSet,
     vocab: &Vocabulary,
     config: &DeciderConfig,

@@ -155,6 +155,9 @@ mod tests {
         assert!(r.contains("telemetry:"), "{r}");
         assert!(r.contains("sticky.emptiness"), "{r}");
         assert!(r.contains(chase_telemetry::names::AUTOMATON_STATES), "{r}");
+        // Histogram rows carry the log₂-bucket quantile columns.
+        assert!(r.contains("p50"), "{r}");
+        assert!(r.contains("p99"), "{r}");
         // Without a summary the section is absent.
         let r2 = explain(&verdict, &set, &vocab, None, None);
         assert!(!r2.contains("telemetry:"));

@@ -35,4 +35,29 @@ cargo test --offline -q -p chase-engine faults
 echo "== hot-path smoke report (seed vs optimised bit-identity + timing sanity) =="
 scripts/bench.sh smoke
 
+echo "== zero-alloc proof (NullObserver hot path) =="
+cargo test --offline -q -p chase-bench --test hotpath_alloc
+
+echo "== profiler smoke gate (overhead <= ${PROFILE_GATE_OVERHEAD:-10}% + report round-trip) =="
+# The overhead estimate (median of interleaved paired ratios) is
+# robust to short interference, but a noise burst outlasting a whole
+# invocation can still poison it on a busy host — so the gate allows
+# ${PROFILE_GATE_ATTEMPTS:-3} attempts. A real overhead regression
+# fails every attempt; a noisy neighbour does not.
+cargo build --offline -q --release -p chase-cli
+for attempt in $(seq 1 "${PROFILE_GATE_ATTEMPTS:-3}"); do
+    if target/release/chasectl profile examples/rules/closure.chase \
+        --runs "${PROFILE_GATE_RUNS:-9}" \
+        --max-overhead "${PROFILE_GATE_OVERHEAD:-10}" \
+        --json target/profile_smoke.json; then
+        break
+    elif [ "$attempt" -eq "${PROFILE_GATE_ATTEMPTS:-3}" ]; then
+        echo "profiler smoke gate: overhead above the budget on all attempts" >&2
+        exit 1
+    else
+        echo "profiler smoke gate: attempt $attempt over budget (likely machine noise), retrying" >&2
+    fi
+done
+target/release/chasectl stats target/profile_smoke.json
+
 echo "All checks passed."

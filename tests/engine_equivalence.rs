@@ -111,4 +111,31 @@ proptest! {
             prop_assert!(satisfies_all(&run.instance, &set));
         }
     }
+
+    /// Profiling is still equivalence-preserving: the optimised engine
+    /// under a profiling span observer remains bit-identical to the
+    /// frozen seed engine, every strategy, both parallelism settings.
+    #[test]
+    fn profiled_restricted_equals_seed(seed in 0u64..2_500, db_seed in 0u64..2_500) {
+        let (_vocab, set, db) = build(seed, db_seed);
+        let budget = Budget::new(200, 2_000);
+        for strategy in [Strategy::Fifo, Strategy::PriorityTgd] {
+            let reference = SeedRestrictedChase::new(&set).strategy(strategy).run(&db, budget);
+            for parallelism in [Parallelism::Off, Parallelism::On] {
+                let mut obs = restricted_chase::telemetry::SpanObserver::new();
+                let profiled = RestrictedChase::new(&set)
+                    .strategy(strategy)
+                    .parallelism(parallelism)
+                    .parallel_threshold(0)
+                    .heartbeat_every(16)
+                    .run_observed(&db, budget, &mut obs);
+                assert_runs_equal(
+                    &reference,
+                    &profiled,
+                    &format!("profiled {strategy:?}/{parallelism:?}"),
+                )?;
+                prop_assert_eq!(obs.profile().unbalanced, 0, "{:?}", parallelism);
+            }
+        }
+    }
 }

@@ -8,8 +8,11 @@ use proptest::prelude::*;
 use restricted_chase::prelude::*;
 // `proptest::prelude` exports a `Strategy` trait that shadows the
 // chase engine's `Strategy` enum in glob imports; re-import explicitly.
+use restricted_chase::engine::driver::Parallelism;
 use restricted_chase::engine::restricted::Strategy;
-use restricted_chase::telemetry::{names, CountingObserver, Event, RecordingObserver};
+use restricted_chase::telemetry::{
+    names, spans, CountingObserver, Event, Profiled, RecordingObserver,
+};
 
 /// Parses a generated (rules, database) pair.
 fn build(seed: u64, db_seed: u64) -> (Vocabulary, TgdSet, Instance) {
@@ -121,5 +124,91 @@ proptest! {
         prop_assert_eq!(plain.outcome, observed.outcome);
         prop_assert_eq!(plain.steps, observed.steps);
         prop_assert_eq!(plain.instance, observed.instance);
+    }
+
+    /// The profiling span stream is a well-nested word: every exit
+    /// matches the innermost open span, the stream closes everything
+    /// it opens, and no child interval outlasts its parent.
+    #[test]
+    fn profiled_span_stream_is_well_nested(seed in 0u64..5_000, db_seed in 0u64..5_000) {
+        let (_vocab, set, db) = build(seed, db_seed);
+        let mut rec = Profiled(RecordingObserver::default());
+        RestrictedChase::new(&set)
+            .strategy(Strategy::Fifo)
+            .heartbeat_every(7)
+            .run_observed(&db, Budget::new(300, 3_000), &mut rec);
+        // Stack frames: (span, tgd, longest child duration seen).
+        let mut stack: Vec<(&'static str, u32, u64)> = Vec::new();
+        let mut run_spans = 0u64;
+        for event in &rec.0.events {
+            match event {
+                Event::SpanEntered { span, tgd } => stack.push((span, *tgd, 0)),
+                Event::SpanExited { span, tgd, nanos } => {
+                    let (open_span, open_tgd, max_child) = stack
+                        .pop()
+                        .ok_or_else(|| TestCaseError::fail("span exit with no open span"))?;
+                    prop_assert_eq!(open_span, *span, "exit must match the innermost span");
+                    prop_assert_eq!(open_tgd, *tgd, "exit must match the innermost tgd");
+                    prop_assert!(
+                        max_child <= *nanos,
+                        "child span ({max_child} ns) outlasted parent {span} ({nanos} ns)"
+                    );
+                    if *span == spans::RUN {
+                        run_spans += 1;
+                    }
+                    if let Some(parent) = stack.last_mut() {
+                        parent.2 = parent.2.max(*nanos);
+                    }
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(stack.is_empty(), "unclosed spans: {stack:?}");
+        prop_assert_eq!(run_spans, 1, "exactly one run span per run");
+    }
+
+    /// Parallel discovery emits the same span tree as sequential
+    /// discovery — same spans, same order, same TGD attribution —
+    /// once the per-worker timing spans (parallel-only by nature) are
+    /// set aside. Timings differ; shape may not.
+    #[test]
+    fn parallel_profiling_has_the_same_span_shape(seed in 0u64..2_500, db_seed in 0u64..2_500) {
+        let (_vocab, set, db) = build(seed, db_seed);
+        let shape = |parallelism: Parallelism| {
+            let mut rec = Profiled(RecordingObserver::default());
+            RestrictedChase::new(&set)
+                .strategy(Strategy::Fifo)
+                .parallelism(parallelism)
+                .parallel_threshold(0)
+                .run_observed(&db, Budget::new(200, 2_000), &mut rec);
+            rec.0
+                .events
+                .iter()
+                .filter_map(|event| match event {
+                    Event::SpanEntered { span, tgd } if *span != spans::WORKER => {
+                        Some(("enter", *span, *tgd))
+                    }
+                    Event::SpanExited { span, tgd, .. } if *span != spans::WORKER => {
+                        Some(("exit", *span, *tgd))
+                    }
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(shape(Parallelism::Off), shape(Parallelism::On));
+    }
+
+    /// Profiling is pure: a run under a profiling observer returns
+    /// exactly what the plain run returns.
+    #[test]
+    fn profiling_never_changes_the_run(seed in 0u64..5_000, db_seed in 0u64..5_000) {
+        let (_vocab, set, db) = build(seed, db_seed);
+        let engine = RestrictedChase::new(&set).strategy(Strategy::Fifo).heartbeat_every(5);
+        let plain = engine.run(&db, Budget::new(200, 2_000));
+        let mut obs = Profiled(CountingObserver::new());
+        let profiled = engine.run_observed(&db, Budget::new(200, 2_000), &mut obs);
+        prop_assert_eq!(plain.outcome, profiled.outcome);
+        prop_assert_eq!(plain.steps, profiled.steps);
+        prop_assert_eq!(plain.instance, profiled.instance);
     }
 }
