@@ -20,8 +20,16 @@
 //!
 //! Each row also carries a span-attribution profile (one profiled run
 //! per workload: wall-clock per engine phase plus peak instance
-//! bytes), and the report ends with a 1/2/4/8-thread scaling curve of
-//! the parallel driver on the fan workload.
+//! bytes), and the report ends with 1/2/4/8-thread scaling curves of
+//! the parallel driver: one on the small fan workload and one per
+//! ontology-scale generator workload (hundreds of TGDs, ≥10⁵ atoms in
+//! full mode; see `chase_workloads::scale`). Every scaling point
+//! carries the run's peak instance bytes.
+//!
+//! In smoke mode the scaling curves also act as a regression gate: the
+//! 2-thread parallel run must reach at least `SCALING_GATE_TOLERANCE`
+//! (default 0.95) times the sequential engine's speed on every curve —
+//! i.e. parallelism may never cost more than ~5% over sequential.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -37,6 +45,7 @@ use chase_engine::oblivious::ObliviousChase;
 use chase_engine::restricted::{Budget, RestrictedChase};
 use chase_engine::seed::{SeedObliviousChase, SeedRestrictedChase};
 use chase_telemetry::{spans, SpanObserver};
+use chase_workloads::scale::{scale_workload, ScaleParams, Shape};
 
 /// Phase attribution from one profiled run of a workload: where the
 /// wall-clock inside the engine actually went.
@@ -74,6 +83,23 @@ impl Row {
 struct ScalePoint {
     threads: usize,
     ns: u128,
+    peak_bytes: u64,
+}
+
+/// One workload's thread-scaling curve, with a sequential
+/// (`Parallelism::Off`) reference for the regression gate.
+struct ScaleCurve {
+    workload: String,
+    steps: usize,
+    atoms: usize,
+    seq_ns: u128,
+    points: Vec<ScalePoint>,
+}
+
+impl ScaleCurve {
+    fn point(&self, threads: usize) -> Option<&ScalePoint> {
+        self.points.iter().find(|p| p.threads == threads)
+    }
 }
 
 /// Minimum wall-clock nanoseconds over `runs` invocations of `f`.
@@ -235,17 +261,22 @@ fn oblivious_row(
     }
 }
 
-/// Times the parallel restricted driver at fixed worker caps. The cap
-/// is still bounded by the TGD count (the partition is by TGD index),
-/// so the curve flattens once `threads` exceeds the workload's rules.
+/// Times the parallel restricted driver at fixed worker caps against a
+/// sequential reference, re-verifying bit-identity at every cap. Work
+/// is partitioned over discovery cells (slot × TGD) and shard-disjoint
+/// check batches, so the curve keeps scaling past the TGD count on
+/// delta-heavy workloads.
 fn scaling_curve(
+    workload: String,
     set: &TgdSet,
     db: &Instance,
     budget: Budget,
     runs: usize,
     thread_counts: &[usize],
-) -> Vec<ScalePoint> {
-    thread_counts
+) -> ScaleCurve {
+    let seq_engine = RestrictedChase::new(set).record_derivation(false);
+    let reference = seq_engine.run(db, budget);
+    let points = thread_counts
         .iter()
         .map(|&threads| {
             // Production parallel configuration (default threshold):
@@ -255,22 +286,58 @@ fn scaling_curve(
                 .record_derivation(false)
                 .parallelism(Parallelism::On)
                 .workers(threads);
+            let run = engine.run(db, budget);
+            assert_eq!(
+                reference.steps, run.steps,
+                "{workload}/{threads}t: step mismatch"
+            );
+            assert_eq!(
+                reference.instance, run.instance,
+                "{workload}/{threads}t: instance mismatch"
+            );
+            // Peak bytes come from a separate profiled run (default
+            // sampling cadence) so the timed runs stay unobserved.
+            let peak_bytes = {
+                let mut obs = SpanObserver::new();
+                black_box(engine.run_observed(db, budget, &mut obs));
+                obs.profile().peak_bytes
+            };
             ScalePoint {
                 threads,
                 ns: min_ns(runs, || {
                     black_box(engine.run(db, budget));
                 }),
+                peak_bytes,
             }
         })
-        .collect()
+        .collect();
+    ScaleCurve {
+        workload,
+        steps: reference.steps,
+        atoms: reference.instance.len(),
+        seq_ns: min_ns(runs, || {
+            black_box(seq_engine.run(db, budget));
+        }),
+        points,
+    }
 }
 
-fn write_json(path: &str, mode: &str, rows: &[Row], scaling: &[ScalePoint]) -> std::io::Result<()> {
+fn write_json(
+    path: &str,
+    mode: &str,
+    host_cpus: usize,
+    rows: &[Row],
+    scaling: &[ScaleCurve],
+) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(
         "  \"generated_by\": \"cargo run --release -p chase-bench --bin hotpath_report\",\n",
     );
+    // Scaling points are only measured up to the host's parallelism
+    // (oversubscribing a smaller machine measures scheduler thrash,
+    // not the driver), so curves must be read against this figure.
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     out.push_str(
         "  \"baseline\": \"seed engines (frozen recursive matcher; shares the optimised \
          instance/atom layers, so baseline times improve as those layers do)\",\n",
@@ -302,21 +369,33 @@ fn write_json(path: &str, mode: &str, rows: &[Row], scaling: &[ScalePoint]) -> s
         ));
     }
     out.push_str("  ],\n");
-    out.push_str("  \"scaling\": {\n");
-    out.push_str("    \"workload\": \"fan_restricted\",\n");
-    out.push_str("    \"engine\": \"parallel restricted driver (worker cap, TGD-partitioned)\",\n");
-    out.push_str("    \"points\": [\n");
-    let base_ns = scaling.first().map(|p| p.ns).unwrap_or(1);
-    for (i, p) in scaling.iter().enumerate() {
+    out.push_str("  \"scaling\": [\n");
+    for (c, curve) in scaling.iter().enumerate() {
         out.push_str(&format!(
-            "      {{\"threads\": {}, \"ns\": {}, \"speedup_vs_1\": {:.2}}}{}\n",
-            p.threads,
-            p.ns,
-            base_ns as f64 / p.ns.max(1) as f64,
-            if i + 1 == scaling.len() { "" } else { "," }
+            "    {{\"workload\": \"{}\", \"engine\": \"parallel restricted driver \
+             (persistent pool, cell-partitioned discovery, shard-batched checks)\", \
+             \"steps\": {}, \"atoms\": {}, \"sequential_ns\": {}, \"points\": [\n",
+            curve.workload, curve.steps, curve.atoms, curve.seq_ns
+        ));
+        let base_ns = curve.points.first().map(|p| p.ns).unwrap_or(1);
+        for (i, p) in curve.points.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"threads\": {}, \"ns\": {}, \"speedup_vs_1\": {:.2}, \
+                 \"speedup_vs_sequential\": {:.2}, \"peak_bytes\": {}}}{}\n",
+                p.threads,
+                p.ns,
+                base_ns as f64 / p.ns.max(1) as f64,
+                curve.seq_ns as f64 / p.ns.max(1) as f64,
+                p.peak_bytes,
+                if i + 1 == curve.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if c + 1 == scaling.len() { "" } else { "," }
         ));
     }
-    out.push_str("    ]\n  }\n}\n");
+    out.push_str("  ]\n}\n");
     std::fs::write(path, out)
 }
 
@@ -361,9 +440,68 @@ fn main() {
         oblivious_row("existential_oblivious", &eset, &edb, budget, runs),
     ];
 
-    // The fan workload has one TGD per spoke kind, so it is the one
-    // macro workload where a worker cap above 1 actually fans out.
-    let scaling = scaling_curve(&fset, &fdb, budget, runs, &[1, 2, 4, 8]);
+    // Thread-scaling curves: the small fan workload (one TGD per spoke
+    // kind) plus the ontology-scale generator workloads — hundreds of
+    // TGDs over 10⁵+ facts in full mode, where the persistent pool's
+    // cell-partitioned discovery and shard-batched restriction checks
+    // carry the speedup.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Never oversubscribe: points beyond the host's cores measure
+    // scheduler thrash, not the driver. A single-CPU host gets the
+    // 1-thread point only (which doubles as the "parallelism must not
+    // cost anything" comparison against the sequential engine).
+    let threads: Vec<usize> = [1, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= host_cpus)
+        .collect();
+    let scale_runs = if smoke { 2 } else { 3 };
+    // Facts stay above the engines' default `parallel_threshold`
+    // (32768) even in smoke mode, so the curves exercise the same
+    // gating decisions the full run does — just with fewer rules.
+    let chain_params = ScaleParams {
+        shape: Shape::Chain,
+        predicates: if smoke { 40 } else { 200 },
+        facts: if smoke { 40_000 } else { 150_000 },
+        constants: 64,
+        existential_density: 0.9,
+        shards: 64,
+        seed: 7,
+    };
+    // Smoke keeps a full-rule component (mixed insert/check load);
+    // the full-size clique is pure-existential so the pair-copy
+    // closure cannot blow through the step budget at 10⁵ facts.
+    let clique_params = ScaleParams {
+        shape: Shape::Clique,
+        predicates: if smoke { 8 } else { 12 },
+        facts: if smoke { 40_000 } else { 120_000 },
+        constants: if smoke { 48 } else { 64 },
+        existential_density: if smoke { 0.85 } else { 1.0 },
+        shards: 64,
+        seed: 7,
+    };
+    let (_v, chain_set, chain_db) = scale_workload(&chain_params);
+    let (_v, clique_set, clique_db) = scale_workload(&clique_params);
+    let scaling = vec![
+        scaling_curve("fan_restricted".into(), &fset, &fdb, budget, runs, &threads),
+        scaling_curve(
+            chain_params.name(),
+            &chain_set,
+            &chain_db,
+            budget,
+            scale_runs,
+            &threads,
+        ),
+        scaling_curve(
+            clique_params.name(),
+            &clique_set,
+            &clique_db,
+            budget,
+            scale_runs,
+            &threads,
+        ),
+    ];
 
     println!(
         "hot-path report ({}):",
@@ -380,14 +518,26 @@ fn main() {
             "", p.match_ns, p.check_ns, p.insert_ns, p.seed_ns, p.index_ns, p.peak_bytes
         );
     }
-    println!("scaling (fan_restricted, parallel driver):");
-    for p in &scaling {
-        println!("  threads={} ns={}", p.threads, p.ns);
+    for curve in &scaling {
+        println!(
+            "scaling ({}, steps={}, atoms={}, sequential={}ns):",
+            curve.workload, curve.steps, curve.atoms, curve.seq_ns
+        );
+        for p in &curve.points {
+            println!(
+                "  threads={} ns={} vs_seq={:.2}x peak={}B",
+                p.threads,
+                p.ns,
+                curve.seq_ns as f64 / p.ns.max(1) as f64,
+                p.peak_bytes
+            );
+        }
     }
 
     write_json(
         &out_path,
         if smoke { "smoke" } else { "full" },
+        host_cpus,
         &rows,
         &scaling,
     )
@@ -415,5 +565,41 @@ fn main() {
             std::process::exit(1);
         }
         println!("perf gate passed (optimised <= {tolerance:.2}x seed on every workload)");
+
+        // Scaling gate: parallelism must never cost more than ~5%
+        // over the sequential engine. On hosts with two or more cores
+        // the 2-thread point carries the comparison; a single-CPU host
+        // falls back to the 1-thread point (where the parallel engine
+        // must track the sequential one — no fan-out to hide behind).
+        // Like the hot-path gate, the tolerance absorbs smoke-size
+        // timer noise.
+        let scaling_tolerance: f64 = std::env::var("SCALING_GATE_TOLERANCE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.95);
+        let gate_threads = if host_cpus >= 2 { 2 } else { 1 };
+        let mut failed = false;
+        for curve in &scaling {
+            let Some(point) = curve.point(gate_threads) else {
+                continue;
+            };
+            let vs_seq = curve.seq_ns as f64 / point.ns.max(1) as f64;
+            if vs_seq < scaling_tolerance {
+                eprintln!(
+                    "SCALING GATE: {} {gate_threads}-thread parallel reaches only \
+                     {vs_seq:.2}x of sequential (tolerance {scaling_tolerance:.2}x)",
+                    curve.workload
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "scaling gate passed ({gate_threads}-thread parallel >= \
+             {scaling_tolerance:.2}x sequential on every curve; host has \
+             {host_cpus} cpu(s))"
+        );
     }
 }

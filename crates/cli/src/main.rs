@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! chasectl classify <file>          structural class profile
-//! chasectl chase <file> [--steps N] [--strategy fifo|lifo|random|priority] [--seed N]
-//! chasectl oblivious <file> [--steps N] [--semi]
+//! chasectl chase <file> [--steps N] [--strategy fifo|lifo|random|priority] [--seed N] [--threads N]
+//! chasectl oblivious <file> [--steps N] [--semi] [--threads N]
 //! chasectl decide <file>            all-instances termination verdict
 //! chasectl profile <file>           profiled run: span/memory report + overhead gate
 //! chasectl dot <file> [--steps N]   chase, then emit the derivation as graphviz
@@ -46,6 +46,7 @@ use std::time::Duration;
 
 use chase_core::parser::parse_program;
 use chase_core::vocab::Vocabulary;
+use chase_engine::driver::Parallelism;
 use chase_engine::faults::FaultPlan;
 use chase_engine::governor::ResourceGovernor;
 use chase_engine::oblivious::ObliviousChase;
@@ -156,6 +157,7 @@ fn usage() -> String {
      \u{20}        --profile     include the span/memory profiling stream (chase|oblivious|decide)\n\
      \u{20}        --deadline-ms N  wall-clock deadline (chase|oblivious|decide)\n\
      \u{20}        --cancel-after N cancel after N chase steps (chase|oblivious)\n\
+     \u{20}        --threads N   worker cap for the parallel driver (chase|oblivious|profile)\n\
      profile: --runs N --heartbeat-every N --sample-every N --json F --folded F\n\
      \u{20}        --max-overhead PCT (spans are 1-in-64 sampled by default; --sample-every 1 = exhaustive)\n\
      \u{20}        (plus --steps/--strategy/--seed/--trace; --oblivious [--semi] switches engine)\n\
@@ -267,6 +269,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                         "--steps",
                         "--strategy",
                         "--seed",
+                        "--threads",
                         "--trace",
                         "--deadline-ms",
                         "--cancel-after",
@@ -275,7 +278,13 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 )?,
                 "oblivious" => check_flags(
                     rest,
-                    &["--steps", "--trace", "--deadline-ms", "--cancel-after"],
+                    &[
+                        "--steps",
+                        "--threads",
+                        "--trace",
+                        "--deadline-ms",
+                        "--cancel-after",
+                    ],
                     &["--semi", "--metrics", "--profile"],
                 )?,
                 "decide" => check_flags(
@@ -289,6 +298,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                         "--steps",
                         "--strategy",
                         "--seed",
+                        "--threads",
                         "--runs",
                         "--heartbeat-every",
                         "--sample-every",
@@ -337,12 +347,14 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                         eprintln!("chasectl: note: --seed only affects --strategy random");
                     }
                     let gov = governor_from_flags(args, steps)?;
+                    let threads = threads_from_flags(args)?;
                     let mut telemetry = CliTelemetry::from_args(args)?;
                     let outcome = cmd_chase(
                         &program.database,
                         &set,
                         &vocab,
                         strategy,
+                        threads,
                         &gov,
                         &mut telemetry,
                     )?;
@@ -351,12 +363,14 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                 }
                 "oblivious" => {
                     let gov = governor_from_flags(args, steps)?;
+                    let threads = threads_from_flags(args)?;
                     let mut telemetry = CliTelemetry::from_args(args)?;
                     let outcome = cmd_oblivious(
                         &program.database,
                         &set,
                         &vocab,
                         args.iter().any(|a| a == "--semi"),
+                        threads,
                         &gov,
                         &mut telemetry,
                     )?;
@@ -403,6 +417,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                         strategy,
                         oblivious: args.iter().any(|a| a == "--oblivious"),
                         semi: args.iter().any(|a| a == "--semi"),
+                        threads: threads_from_flags(args)?,
                         runs: parse_u64("--runs")?
                             .map(|n| n as usize)
                             .unwrap_or(defaults.runs),
@@ -445,6 +460,22 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
             None => Err(CliError::Usage(format!("{flag} requires a value"))),
         },
     }
+}
+
+/// Parses `--threads N` into a worker cap for the engines' parallel
+/// driver, if present. `N >= 1`; 1 keeps everything on the calling
+/// thread (the parallel driver's single-worker path is the sequential
+/// enumeration), larger values cap the persistent pool.
+fn threads_from_flags(args: &[String]) -> Result<Option<usize>, CliError> {
+    flag_value(args, "--threads")?
+        .map(|s| match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(_) => Err(CliError::Usage(
+                "--threads must be at least 1 (1 = sequential)".into(),
+            )),
+            Err(e) => Err(CliError::Usage(format!("invalid --threads '{s}': {e}"))),
+        })
+        .transpose()
 }
 
 /// Parses a `--seed` value, accepting decimal or `0x`-prefixed hex.
@@ -636,13 +667,16 @@ fn cmd_chase(
     set: &chase_core::tgd::TgdSet,
     vocab: &Vocabulary,
     strategy: Strategy,
+    threads: Option<usize>,
     gov: &ResourceGovernor,
     telemetry: &mut CliTelemetry,
 ) -> Result<Outcome, String> {
     let run = time_phase(telemetry, "chase", |obs| {
-        RestrictedChase::new(set)
-            .strategy(strategy)
-            .run_governed_observed(db, gov, obs)
+        let mut engine = RestrictedChase::new(set).strategy(strategy);
+        if let Some(n) = threads {
+            engine = engine.parallelism(Parallelism::On).workers(n);
+        }
+        engine.run_governed_observed(db, gov, obs)
     });
     println!(
         "restricted chase ({strategy:?}): {} after {} steps, {} atoms",
@@ -661,14 +695,18 @@ fn cmd_oblivious(
     set: &chase_core::tgd::TgdSet,
     vocab: &Vocabulary,
     semi: bool,
+    threads: Option<usize>,
     gov: &ResourceGovernor,
     telemetry: &mut CliTelemetry,
 ) -> Result<Outcome, String> {
-    let engine = if semi {
+    let mut engine = if semi {
         ObliviousChase::new(set).semi_oblivious()
     } else {
         ObliviousChase::new(set)
     };
+    if let Some(n) = threads {
+        engine = engine.parallelism(Parallelism::On).workers(n);
+    }
     let run = time_phase(telemetry, "chase", |obs| {
         engine.run_governed_observed(db, gov, obs)
     });

@@ -35,6 +35,7 @@ use std::time::Instant;
 use chase_core::instance::Instance;
 use chase_core::tgd::TgdSet;
 use chase_core::vocab::Vocabulary;
+use chase_engine::driver::Parallelism;
 use chase_engine::oblivious::ObliviousChase;
 use chase_engine::restricted::{Budget, Outcome, RestrictedChase, Strategy};
 use chase_engine::DEFAULT_PROFILE_SAMPLE_EVERY;
@@ -72,6 +73,10 @@ pub struct ProfileOptions {
     pub trace: Option<String>,
     /// Fail (exit 1) when profiling overhead exceeds this percentage.
     pub max_overhead_pct: Option<u64>,
+    /// Worker cap for the parallel driver (`None` leaves the engines
+    /// sequential; `Some(1)` exercises the parallel path on one
+    /// worker, which the engines collapse back to the inline driver).
+    pub threads: Option<usize>,
 }
 
 impl Default for ProfileOptions {
@@ -88,6 +93,7 @@ impl Default for ProfileOptions {
             folded: None,
             trace: None,
             max_overhead_pct: None,
+            threads: None,
         }
     }
 }
@@ -116,15 +122,21 @@ fn run_once<O: ChaseObserver + ?Sized>(
         if opts.semi {
             engine = engine.semi_oblivious();
         }
+        if let Some(n) = opts.threads {
+            engine = engine.parallelism(Parallelism::On).workers(n);
+        }
         let run = engine.run_observed(db, budget, obs);
         (run.outcome, run.steps, run.instance)
     } else {
-        let run = RestrictedChase::new(set)
+        let mut engine = RestrictedChase::new(set)
             .strategy(opts.strategy)
             .record_derivation(false)
             .heartbeat_every(opts.heartbeat_every)
-            .profile_sample_every(sample_every)
-            .run_observed(db, budget, obs);
+            .profile_sample_every(sample_every);
+        if let Some(n) = opts.threads {
+            engine = engine.parallelism(Parallelism::On).workers(n);
+        }
+        let run = engine.run_observed(db, budget, obs);
         (run.outcome, run.steps, run.instance)
     };
     let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);

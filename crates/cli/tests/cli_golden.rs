@@ -166,6 +166,30 @@ fn malformed_flag_values_are_usage_errors() {
         &run(&["chase", path, "--cancel-after"]),
         "flag without value",
     );
+    assert_usage_error(&run(&["chase", path, "--threads", "0"]), "zero threads");
+    assert_usage_error(
+        &run(&["oblivious", path, "--threads", "lots"]),
+        "bad threads",
+    );
+}
+
+/// `--threads` routes through the parallel driver, which must agree
+/// with the sequential engines on every workload.
+#[test]
+fn threads_flag_matches_sequential_output() {
+    let rules = rule_file("threads", FINITE);
+    let path = rules.to_str().unwrap();
+    let seq = run(&["chase", path]);
+    let par = run(&["chase", path, "--threads", "2"]);
+    assert_eq!(code(&seq), 0, "{}", stderr(&seq));
+    assert_eq!(code(&par), 0, "{}", stderr(&par));
+    assert_eq!(seq.stdout, par.stdout, "parallel run diverged");
+    let ob_seq = run(&["oblivious", path]);
+    let ob_par = run(&["oblivious", path, "--threads", "2"]);
+    assert_eq!(code(&ob_par), 0, "{}", stderr(&ob_par));
+    assert_eq!(ob_seq.stdout, ob_par.stdout, "parallel oblivious diverged");
+    let prof = run(&["profile", path, "--threads", "2", "--runs", "1"]);
+    assert_eq!(code(&prof), 0, "{}", stderr(&prof));
 }
 
 #[test]

@@ -1,6 +1,29 @@
 //! Instances and databases: duplicate-free, insertion-ordered sets of
 //! ground atoms with inverted indexes for homomorphism search.
 //!
+//! ## Sharded layout
+//!
+//! Storage and indexes are partitioned into `N` **shards** (default
+//! [`DEFAULT_SHARD_COUNT`]; choose with [`Instance::with_shards`]).
+//! An atom's *home shard* is `fx(pred, first_arg) mod N` — the
+//! predicate × hash-of-first-argument partition used by large-scale
+//! chase systems — and holds the atom's storage and its dedup-map
+//! entry. Index *cells* are sharded by the hash of their own key, so
+//! every `(pred, position, term)` (and composite pair) cell lives
+//! wholly inside one shard and still answers probes with a single
+//! contiguous ascending slot list.
+//!
+//! Slot identifiers stay **global and insertion-ordered** for every
+//! shard count: a slot directory maps each global slot to its
+//! `(shard, local)` storage cell, so engines, derivations and the
+//! seed oracle observe bit-identical slot assignment whether an
+//! instance has 1 shard or 64. Sharding is therefore invisible to
+//! correctness and exists for scale: per-shard dedup/index maps stay
+//! small and cache-resident on million-atom instances, and the home
+//! shard gives the parallel chase driver its conflict rule (triggers
+//! whose head atoms target disjoint shard sets commute — see
+//! `chase-engine`).
+//!
 //! ## Index layout
 //!
 //! Three index families back the matcher, all storing ascending slot
@@ -9,7 +32,8 @@
 //! slots, so the common case clones by `memcpy` and never touches the
 //! heap):
 //!
-//! * a **per-predicate** list (dense `Vec` indexed by predicate id);
+//! * a **per-predicate** list (dense `Vec` indexed by predicate id,
+//!   global — predicates are few and the list is probed hot);
 //! * a **single-position** inverted index `(pred, position, term) →
 //!   slots` — the PR-2 workhorse;
 //! * **composite two-position** indexes `(pred, posA, posB, termA,
@@ -28,7 +52,7 @@
 use std::hash::{Hash, Hasher};
 
 use crate::atom::Atom;
-use crate::ids::{fx_map, fx_set, FxHashMap, FxHasher, PredId};
+use crate::ids::{fx_set, FxHashMap, FxHasher, PredId};
 use crate::term::Term;
 use crate::vocab::Vocabulary;
 
@@ -49,6 +73,19 @@ pub enum IndexMode {
     /// [`Instance::register_pair_index`] is a no-op.
     PredicateOnly,
 }
+
+/// Default number of storage/index shards (see the module docs).
+///
+/// Eight balances parallel-application fan-out (the engine's conflict
+/// rule needs distinct home shards to overlap rarely) against per-shard
+/// map overhead on tiny instances; both extremes remain available via
+/// [`Instance::with_shards`]. Results are bit-identical for every
+/// count.
+pub const DEFAULT_SHARD_COUNT: usize = 8;
+
+/// Upper bound accepted by [`Instance::with_shards`]; beyond this the
+/// per-shard maps are so sparse that sharding only wastes memory.
+pub const MAX_SHARD_COUNT: usize = 1024;
 
 /// Number of slots a [`SlotList`] stores inline before spilling.
 const SLOT_INLINE: usize = 3;
@@ -117,11 +154,12 @@ impl SlotList {
 /// [`Instance::memory_footprint`]). All figures are bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MemoryFootprint {
-    /// The atom vector's reserved capacity (inline atom storage).
+    /// Atom storage: per-shard atom vectors plus the global slot
+    /// directory.
     pub atom_bytes: u64,
     /// Spilled `ArgVec` argument storage across all atoms.
     pub arg_spill_bytes: u64,
-    /// The dedup hash map, including spilled slot lists.
+    /// The per-shard dedup hash maps, including spilled slot lists.
     pub dedup_bytes: u64,
     /// The per-predicate, single-position and composite pair indexes,
     /// including spilled slot lists.
@@ -141,28 +179,73 @@ fn map_heap_bytes<K, V>(map: &FxHashMap<K, V>) -> usize {
     map.capacity() * (std::mem::size_of::<(K, V)>() + 1)
 }
 
+/// Where a global slot's atom lives: which shard, and at which local
+/// index within that shard's atom vector.
+#[derive(Debug, Clone, Copy)]
+struct SlotRef {
+    shard: u32,
+    local: u32,
+}
+
+/// One storage/index shard: a slice of the atom set (home-sharded by
+/// `(pred, first_arg)`) with its dedup entries, plus the index cells
+/// whose keys hash into this shard. All slot lists store **global**
+/// slots.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    atoms: Vec<Atom>,
+    /// Dedup index: atom hash → candidate global slots. Storing slots
+    /// instead of owned `Atom` keys means `Instance::clone` — the
+    /// first thing every engine run does to the caller's database —
+    /// never re-clones an atom's argument vector for the map; equality
+    /// is resolved against the stored atom on (rare) colliding
+    /// lookups.
+    dedup: FxHashMap<u64, SlotList>,
+    by_pos: FxHashMap<(PredId, u16, Term), SlotList>,
+    by_pair: FxHashMap<(PredId, u16, u16, Term, Term), SlotList>,
+}
+
+impl Shard {
+    fn heap_bytes_dedup(&self) -> usize {
+        map_heap_bytes(&self.dedup) + self.dedup.values().map(SlotList::heap_bytes).sum::<usize>()
+    }
+
+    fn heap_bytes_index(&self) -> usize {
+        map_heap_bytes(&self.by_pos)
+            + self
+                .by_pos
+                .values()
+                .map(SlotList::heap_bytes)
+                .sum::<usize>()
+            + map_heap_bytes(&self.by_pair)
+            + self
+                .by_pair
+                .values()
+                .map(SlotList::heap_bytes)
+                .sum::<usize>()
+    }
+}
+
 /// A (finite) instance: a duplicate-free set of ground atoms over
 /// constants and nulls, remembering insertion order.
 ///
 /// Insertion order matters because chase derivations are sequences;
-/// the engines identify atoms by their *slot* (insertion index).
+/// the engines identify atoms by their *slot* (insertion index), which
+/// is global and independent of the shard count (see the module docs).
 #[derive(Debug, Clone)]
 pub struct Instance {
-    atoms: Vec<Atom>,
-    /// Dedup index: atom hash → candidate slots. Storing slots instead
-    /// of owned `Atom` keys means `Instance::clone` — the first thing
-    /// every engine run does to the caller's database — never re-clones
-    /// an atom's argument vector for the map; equality is resolved
-    /// against `atoms[slot]` on the (rare) colliding lookups.
-    dedup: FxHashMap<u64, SlotList>,
+    shards: Vec<Shard>,
+    /// Global slot → storage cell, in insertion order. The length of
+    /// this vector is the instance size and the source of slot ids.
+    directory: Vec<SlotRef>,
     /// Dense per-predicate slot lists, indexed by `PredId::index()`.
+    /// Global (not sharded): the list is hot, predicates are few, and
+    /// slicing it per shard would force probe-time merging.
     by_pred: Vec<SlotList>,
-    by_pos: FxHashMap<(PredId, u16, Term), SlotList>,
     /// Registered composite position pairs per predicate (dense by
     /// predicate id; `(a, b)` normalised to `a < b`). Empty until an
     /// engine registers pairs from its join plans.
     pair_plans: Vec<Vec<(u16, u16)>>,
-    by_pair: FxHashMap<(PredId, u16, u16, Term, Term), SlotList>,
     mode: IndexMode,
 }
 
@@ -173,20 +256,36 @@ impl Default for Instance {
 }
 
 impl Instance {
-    /// Creates an empty, fully indexed instance.
+    /// Creates an empty, fully indexed instance with
+    /// [`DEFAULT_SHARD_COUNT`] shards.
     pub fn new() -> Self {
         Self::with_mode(IndexMode::Full)
     }
 
-    /// Creates an empty instance with the given index mode.
+    /// Creates an empty instance with the given index mode and the
+    /// default shard count.
     pub fn with_mode(mode: IndexMode) -> Self {
+        Self::with_mode_and_shards(mode, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Creates an empty, fully indexed instance partitioned into
+    /// `shards` shards (clamped to `1..=`[`MAX_SHARD_COUNT`]). Shard
+    /// count never changes observable behaviour — slot ids, iteration
+    /// order and index answers are bit-identical for every count — only
+    /// memory locality and the parallel driver's conflict granularity.
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_mode_and_shards(IndexMode::Full, shards)
+    }
+
+    /// Creates an empty instance with the given index mode and shard
+    /// count (clamped to `1..=`[`MAX_SHARD_COUNT`]).
+    pub fn with_mode_and_shards(mode: IndexMode, shards: usize) -> Self {
+        let n = shards.clamp(1, MAX_SHARD_COUNT);
         Instance {
-            atoms: Vec::new(),
-            dedup: fx_map(),
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            directory: Vec::new(),
             by_pred: Vec::new(),
-            by_pos: fx_map(),
             pair_plans: Vec::new(),
-            by_pair: fx_map(),
             mode,
         }
     }
@@ -209,30 +308,88 @@ impl Instance {
         self.mode
     }
 
+    /// The number of storage/index shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The home shard of an atom of predicate `pred` whose first
+    /// argument is `first_arg` (`None` for zero-arity atoms): the
+    /// shard that would store it and dedup it. This is the unit of the
+    /// parallel driver's conflict rule — two trigger applications
+    /// whose head atoms have disjoint home-shard sets cannot witness
+    /// each other's restriction checks.
+    #[inline]
+    pub fn shard_for(&self, pred: PredId, first_arg: Option<Term>) -> usize {
+        Self::storage_shard(self.shards.len(), pred, first_arg)
+    }
+
+    /// The home shard of `atom` (see [`Instance::shard_for`]).
+    #[inline]
+    pub fn shard_of_atom(&self, atom: &Atom) -> usize {
+        self.shard_for(atom.pred, atom.args.first().copied())
+    }
+
+    #[inline]
+    fn storage_shard(n: usize, pred: PredId, first_arg: Option<Term>) -> usize {
+        if n == 1 {
+            return 0;
+        }
+        let mut h = FxHasher::default();
+        pred.hash(&mut h);
+        first_arg.hash(&mut h);
+        (h.finish() % n as u64) as usize
+    }
+
+    #[inline]
+    fn pos_cell_shard(n: usize, cell: &(PredId, u16, Term)) -> usize {
+        if n == 1 {
+            return 0;
+        }
+        let mut h = FxHasher::default();
+        cell.hash(&mut h);
+        (h.finish() % n as u64) as usize
+    }
+
+    #[inline]
+    fn pair_cell_shard(n: usize, cell: &(PredId, u16, u16, Term, Term)) -> usize {
+        if n == 1 {
+            return 0;
+        }
+        let mut h = FxHasher::default();
+        cell.hash(&mut h);
+        (h.finish() % n as u64) as usize
+    }
+
     /// Estimated heap footprint of the instance's containers, for the
     /// profiler's memory samples: exact reserved capacities for the
-    /// vectors, a capacity-based model for the hash maps. This walks
-    /// every atom and index cell (O(atoms + cells)), so engines only
-    /// call it at heartbeat boundaries of profiling runs.
+    /// vectors, a capacity-based model for the hash maps (the fixed
+    /// per-shard struct scaffolding is excluded, like the `Instance`
+    /// struct itself). This walks every atom and index cell
+    /// (O(atoms + cells)), so engines only call it at heartbeat
+    /// boundaries of profiling runs.
     pub fn memory_footprint(&self) -> MemoryFootprint {
         use std::mem::size_of;
-        let atom_bytes = self.atoms.capacity() * size_of::<Atom>();
-        let arg_spill_bytes: usize = self.atoms.iter().map(Atom::heap_bytes).sum();
-        let dedup_bytes = map_heap_bytes(&self.dedup)
-            + self.dedup.values().map(SlotList::heap_bytes).sum::<usize>();
+        let atom_bytes = self.directory.capacity() * size_of::<SlotRef>()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.atoms.capacity() * size_of::<Atom>())
+                .sum::<usize>();
+        let arg_spill_bytes: usize = self
+            .shards
+            .iter()
+            .flat_map(|s| s.atoms.iter())
+            .map(Atom::heap_bytes)
+            .sum();
+        let dedup_bytes: usize = self.shards.iter().map(Shard::heap_bytes_dedup).sum();
         let index_bytes = self.by_pred.capacity() * size_of::<SlotList>()
             + self.by_pred.iter().map(SlotList::heap_bytes).sum::<usize>()
-            + map_heap_bytes(&self.by_pos)
             + self
-                .by_pos
-                .values()
-                .map(SlotList::heap_bytes)
-                .sum::<usize>()
-            + map_heap_bytes(&self.by_pair)
-            + self
-                .by_pair
-                .values()
-                .map(SlotList::heap_bytes)
+                .shards
+                .iter()
+                .map(Shard::heap_bytes_index)
                 .sum::<usize>();
         MemoryFootprint {
             atom_bytes: atom_bytes as u64,
@@ -252,14 +409,16 @@ impl Instance {
     pub fn insert(&mut self, atom: Atom) -> (usize, bool) {
         debug_assert!(atom.is_ground(), "instances hold ground atoms only");
         let key = Self::atom_key(&atom);
-        if let Some(bucket) = self.dedup.get(&key) {
+        let n = self.shards.len();
+        let home = Self::storage_shard(n, atom.pred, atom.args.first().copied());
+        if let Some(bucket) = self.shards[home].dedup.get(&key) {
             for &s in bucket.as_slice() {
-                if self.atoms[s] == atom {
+                if *self.atom(s) == atom {
                     return (s, false);
                 }
             }
         }
-        let slot = self.atoms.len();
+        let slot = self.directory.len();
         let pred_idx = atom.pred.index();
         if pred_idx >= self.by_pred.len() {
             self.by_pred.resize_with(pred_idx + 1, SlotList::default);
@@ -267,28 +426,32 @@ impl Instance {
         self.by_pred[pred_idx].push(slot);
         if self.mode == IndexMode::Full {
             for (i, &t) in atom.args.iter().enumerate() {
-                self.by_pos
-                    .entry((atom.pred, i as u16, t))
-                    .or_default()
-                    .push(slot);
+                let cell = (atom.pred, i as u16, t);
+                let cs = Self::pos_cell_shard(n, &cell);
+                self.shards[cs].by_pos.entry(cell).or_default().push(slot);
             }
             if let Some(plan) = self.pair_plans.get(pred_idx) {
                 for &(a, b) in plan {
-                    self.by_pair
-                        .entry((
-                            atom.pred,
-                            a,
-                            b,
-                            atom.args[a as usize],
-                            atom.args[b as usize],
-                        ))
-                        .or_default()
-                        .push(slot);
+                    let cell = (
+                        atom.pred,
+                        a,
+                        b,
+                        atom.args[a as usize],
+                        atom.args[b as usize],
+                    );
+                    let cs = Self::pair_cell_shard(n, &cell);
+                    self.shards[cs].by_pair.entry(cell).or_default().push(slot);
                 }
             }
         }
-        self.dedup.entry(key).or_default().push(slot);
-        self.atoms.push(atom);
+        let shard = &mut self.shards[home];
+        shard.dedup.entry(key).or_default().push(slot);
+        let local = shard.atoms.len() as u32;
+        shard.atoms.push(atom);
+        self.directory.push(SlotRef {
+            shard: home as u32,
+            local,
+        });
         (slot, true)
     }
 
@@ -333,19 +496,25 @@ impl Instance {
             return;
         }
         self.pair_plans[pred_idx].push((a, b));
-        // Backfill from the atoms already present.
-        let slots = self
+        // Backfill from the atoms already present. The slot list is
+        // copied out so atom reads (immutable borrows of the shards)
+        // and cell pushes (mutable borrows) do not overlap; this is
+        // cold code, paid once per registered pair.
+        let slots: Vec<usize> = self
             .by_pred
             .get(pred_idx)
             .map(SlotList::as_slice)
-            .unwrap_or(&[]);
-        for &slot in slots {
-            let atom = &self.atoms[slot];
-            debug_assert!((b as usize) < atom.arity(), "pair position out of arity");
-            self.by_pair
-                .entry((pred, a, b, atom.args[a as usize], atom.args[b as usize]))
-                .or_default()
-                .push(slot);
+            .unwrap_or(&[])
+            .to_vec();
+        let n = self.shards.len();
+        for slot in slots {
+            let cell = {
+                let atom = self.atom(slot);
+                debug_assert!((b as usize) < atom.arity(), "pair position out of arity");
+                (pred, a, b, atom.args[a as usize], atom.args[b as usize])
+            };
+            let cs = Self::pair_cell_shard(n, &cell);
+            self.shards[cs].by_pair.entry(cell).or_default().push(slot);
         }
     }
 
@@ -368,38 +537,43 @@ impl Instance {
         self.slot_of(atom).is_some()
     }
 
-    /// Finds the slot of an atom, if present (one hash lookup).
+    /// Finds the slot of an atom, if present (one hash lookup in its
+    /// home shard).
     #[inline]
     pub fn slot_of(&self, atom: &Atom) -> Option<usize> {
-        let bucket = self.dedup.get(&Self::atom_key(atom))?;
+        let home = Self::storage_shard(self.shards.len(), atom.pred, atom.args.first().copied());
+        let bucket = self.shards[home].dedup.get(&Self::atom_key(atom))?;
         bucket
             .as_slice()
             .iter()
             .copied()
-            .find(|&s| self.atoms[s] == *atom)
+            .find(|&s| self.atom(s) == atom)
     }
 
     /// Number of atoms.
     #[inline]
     pub fn len(&self) -> usize {
-        self.atoms.len()
+        self.directory.len()
     }
 
     /// Whether the instance is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.atoms.is_empty()
+        self.directory.is_empty()
     }
 
     /// The atom stored at `slot`.
     #[inline]
     pub fn atom(&self, slot: usize) -> &Atom {
-        &self.atoms[slot]
+        let r = self.directory[slot];
+        &self.shards[r.shard as usize].atoms[r.local as usize]
     }
 
     /// Iterates over atoms in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Atom> {
-        self.atoms.iter()
+        self.directory
+            .iter()
+            .map(|r| &self.shards[r.shard as usize].atoms[r.local as usize])
     }
 
     /// Slots of all atoms with the given predicate, ascending.
@@ -423,9 +597,12 @@ impl Instance {
         if self.mode != IndexMode::Full {
             return None;
         }
+        let cell = (pred, position as u16, term);
+        let cs = Self::pos_cell_shard(self.shards.len(), &cell);
         Some(
-            self.by_pos
-                .get(&(pred, position as u16, term))
+            self.shards[cs]
+                .by_pos
+                .get(&cell)
                 .map(SlotList::as_slice)
                 .unwrap_or(&[]),
         )
@@ -461,9 +638,12 @@ impl Instance {
         {
             return None;
         }
+        let cell = (pred, a, b, ta, tb);
+        let cs = Self::pair_cell_shard(self.shards.len(), &cell);
         Some(
-            self.by_pair
-                .get(&(pred, a, b, ta, tb))
+            self.shards[cs]
+                .by_pair
+                .get(&cell)
                 .map(SlotList::as_slice)
                 .unwrap_or(&[]),
         )
@@ -474,7 +654,7 @@ impl Instance {
     pub fn active_domain(&self) -> Vec<Term> {
         let mut seen = fx_set();
         let mut out = Vec::new();
-        for atom in &self.atoms {
+        for atom in self.iter() {
             for &t in &atom.args {
                 if seen.insert(t) {
                     out.push(t);
@@ -487,17 +667,32 @@ impl Instance {
     /// Returns `true` if every atom is a fact (constants only), i.e.
     /// the instance is a *database*.
     pub fn is_database(&self) -> bool {
-        self.atoms.iter().all(Atom::is_fact)
+        self.iter().all(Atom::is_fact)
     }
 
     /// Renders the instance for diagnostics, atoms sorted textually.
     pub fn display(&self, vocab: &Vocabulary) -> String {
-        crate::atom::display_atoms(self.atoms.iter(), vocab)
+        crate::atom::display_atoms(self.iter(), vocab)
     }
 
     /// Consumes the instance, returning its atoms in insertion order.
     pub fn into_atoms(self) -> Vec<Atom> {
-        self.atoms
+        let Instance {
+            shards, directory, ..
+        } = self;
+        // Within each shard, atoms appear in (shard-local) insertion
+        // order, so draining each shard front-to-back while following
+        // the directory reproduces the global order.
+        let mut drains: Vec<std::vec::IntoIter<Atom>> =
+            shards.into_iter().map(|s| s.atoms.into_iter()).collect();
+        directory
+            .into_iter()
+            .map(|r| {
+                drains[r.shard as usize]
+                    .next()
+                    .expect("directory and shard storage agree")
+            })
+            .collect()
     }
 }
 
@@ -508,10 +703,10 @@ impl FromIterator<Atom> for Instance {
 }
 
 impl PartialEq for Instance {
-    /// Set equality (insertion order, index mode and registered pair
-    /// indexes are irrelevant).
+    /// Set equality (insertion order, index mode, shard count and
+    /// registered pair indexes are irrelevant).
     fn eq(&self, other: &Self) -> bool {
-        self.atoms.len() == other.atoms.len() && self.atoms.iter().all(|a| other.contains(a))
+        self.len() == other.len() && self.iter().all(|a| other.contains(a))
     }
 }
 impl Eq for Instance {}
@@ -773,5 +968,121 @@ mod tests {
         let mut wide = Instance::new();
         wide.insert(atom(1, &[c(0), c(1), c(2), c(3), c(4), c(5)]));
         assert!(wide.memory_footprint().arg_spill_bytes > 0);
+    }
+
+    /// Every shard count yields the same global slot assignment, the
+    /// same index answers, and the same iteration order — sharding is
+    /// invisible to everything but memory layout.
+    #[test]
+    fn shard_count_is_observationally_invisible() {
+        let build = |shards: usize| {
+            let mut inst = Instance::with_shards(shards);
+            inst.register_pair_index(PredId(0), 0, 1);
+            for i in 0..40u32 {
+                inst.insert(atom(i % 3, &[c(i % 7), c(i % 5)]));
+            }
+            // Interleave duplicates.
+            for i in 0..40u32 {
+                inst.insert(atom(i % 3, &[c(i % 7), c(i % 5)]));
+            }
+            inst
+        };
+        let reference = build(1);
+        for shards in [2usize, 4, 7, 64] {
+            let inst = build(shards);
+            assert_eq!(inst.shard_count(), shards);
+            assert_eq!(inst.len(), reference.len(), "shards={shards}");
+            for (a, b) in inst.iter().zip(reference.iter()) {
+                assert_eq!(a, b, "iteration order, shards={shards}");
+            }
+            for slot in 0..reference.len() {
+                assert_eq!(inst.atom(slot), reference.atom(slot), "shards={shards}");
+                assert_eq!(
+                    inst.slot_of(reference.atom(slot)),
+                    Some(slot),
+                    "shards={shards}"
+                );
+            }
+            for p in 0..3u32 {
+                assert_eq!(
+                    inst.slots_with_pred(PredId(p)),
+                    reference.slots_with_pred(PredId(p)),
+                    "shards={shards}"
+                );
+                for t in 0..7u32 {
+                    assert_eq!(
+                        inst.slots_with_pred_pos(PredId(p), 0, c(t)),
+                        reference.slots_with_pred_pos(PredId(p), 0, c(t)),
+                        "shards={shards}"
+                    );
+                }
+            }
+            for ta in 0..7u32 {
+                for tb in 0..5u32 {
+                    assert_eq!(
+                        inst.slots_with_pred_pair(PredId(0), 0, c(ta), 1, c(tb)),
+                        reference.slots_with_pred_pair(PredId(0), 0, c(ta), 1, c(tb)),
+                        "shards={shards}"
+                    );
+                }
+            }
+            assert_eq!(inst, reference, "set equality, shards={shards}");
+            assert_eq!(
+                inst.clone().into_atoms(),
+                reference.clone().into_atoms(),
+                "into_atoms order, shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_for_agrees_with_storage() {
+        let mut inst = Instance::with_shards(4);
+        for i in 0..32u32 {
+            let a = atom(i % 5, &[c(i), c(0)]);
+            let predicted = inst.shard_of_atom(&a);
+            let (slot, fresh) = inst.insert(a.clone());
+            assert!(fresh);
+            // The directory must point the slot into the predicted
+            // home shard.
+            let r = inst.directory[slot];
+            assert_eq!(r.shard as usize, predicted);
+            assert_eq!(
+                predicted,
+                inst.shard_for(a.pred, a.args.first().copied()),
+                "shard_for is a pure function of (pred, first arg)"
+            );
+            assert!(predicted < inst.shard_count());
+        }
+        // Zero-arity atoms have a home shard too.
+        let z = atom(9, &[]);
+        assert!(inst.shard_of_atom(&z) < inst.shard_count());
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(Instance::with_shards(0).shard_count(), 1);
+        assert_eq!(Instance::with_shards(1).shard_count(), 1);
+        assert_eq!(
+            Instance::with_shards(usize::MAX).shard_count(),
+            MAX_SHARD_COUNT
+        );
+        // Clone preserves the shard count.
+        assert_eq!(Instance::with_shards(7).clone().shard_count(), 7);
+    }
+
+    #[test]
+    fn default_shard_count_spreads_atoms() {
+        // Statistical smoke: with many distinct first arguments, more
+        // than one shard must end up owning atoms.
+        let mut inst = Instance::new();
+        for i in 0..64u32 {
+            inst.insert(atom(0, &[c(i), c(0)]));
+        }
+        let mut used = fx_set();
+        for slot in 0..inst.len() {
+            used.insert(inst.directory[slot].shard);
+        }
+        assert!(used.len() > 1, "all atoms landed in one shard");
     }
 }

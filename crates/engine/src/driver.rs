@@ -4,8 +4,11 @@
 //! batch (all triggers on the database) and, after each application,
 //! the delta batch (triggers whose body uses a newly inserted atom).
 //! This module evaluates a batch either sequentially or fanned out
-//! over [`std::thread::scope`] workers, partitioned round-robin by
-//! TGD.
+//! over the engine's persistent [`DiscoveryPool`] workers, which
+//! *steal* work at `(slot, TGD)` cell granularity: an atomic cursor
+//! hands out chunks of the slot-major cell grid, so an uneven cell
+//! (one TGD with a quadratic join against one hot slot) no longer
+//! serialises the batch the way the old static per-TGD partition did.
 //!
 //! ## Determinism invariants
 //!
@@ -14,11 +17,11 @@
 //! 1. Workers only *read* the instance; all mutation (seen-set
 //!    insertion, queue pushes, telemetry) happens on the driving
 //!    thread after the merge.
-//! 2. Every `(slot, TGD)` pair is enumerated wholly by one worker, in
+//! 2. Every `(slot, TGD)` cell is enumerated wholly by one worker, in
 //!    the matcher's canonical order, so a stable sort of the combined
 //!    output by `(slot position, TGD id)` reproduces the exact
-//!    sequential discovery order regardless of scheduling or worker
-//!    count.
+//!    sequential discovery order regardless of scheduling, stealing
+//!    order or worker count.
 //! 3. Workers may *pre-screen* activeness. The result is attached as
 //!    [`Discovered::inactive_hint`], never used to drop a trigger:
 //!    queue length and contents stay identical to the sequential run,
@@ -33,9 +36,11 @@
 //! deterministic in shape only: per-worker `worker` spans appear in
 //! worker-index order with run-varying timings.
 //!
-//! Worker scratches are allocated per batch, so the parallel path is
-//! *not* allocation-free — it trades allocations for cores and only
-//! engages above the engine's `parallel_threshold`.
+//! Worker threads and their scratches live in the engine-owned
+//! [`DiscoveryPool`] for the whole run (see [`crate::pool`]); a batch
+//! costs a condvar wake instead of the thread spawns + scratch
+//! allocations PR 2 paid, which is what fixed the negative scaling
+//! this crate used to show on small-batch workloads.
 
 use chase_core::cancel::CancelToken;
 use chase_core::hom::HomScratch;
@@ -43,13 +48,17 @@ use chase_core::ids::VarId;
 use chase_core::instance::Instance;
 use chase_core::tgd::{Tgd, TgdId, TgdSet};
 
+use crate::pool::DiscoveryPool;
 use crate::trigger::{
     for_each_trigger_of_tgd_using_with, for_each_trigger_of_tgd_with, head_satisfied_with, Trigger,
     TriggerFp,
 };
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Whether a chase engine may fan trigger discovery out over threads.
+/// Whether a chase engine may fan trigger discovery (and, for the
+/// restricted engine, restriction checking) out over threads.
 ///
 /// `On` is observationally identical to `Off` — same final instance,
 /// same step count, same telemetry stream — by the invariants
@@ -60,7 +69,8 @@ pub enum Parallelism {
     #[default]
     Off,
     /// Discovery batches above the engine's `parallel_threshold` are
-    /// evaluated by a scoped thread pool partitioned by TGD.
+    /// evaluated by the persistent worker pool, work-stealing over
+    /// `(slot, TGD)` cells.
     On,
 }
 
@@ -108,8 +118,7 @@ pub struct Discovered {
 }
 
 /// Minimum number of batch rows (delta slots, or seed atoms) before
-/// parallel discovery can amortise its per-batch thread-spawn and
-/// scratch-allocation overhead.
+/// parallel discovery can amortise its dispatch overhead.
 pub const MIN_PARALLEL_ROWS: usize = 2;
 
 /// Cap on the per-row fan-out factor charged to join bodies in
@@ -190,75 +199,63 @@ fn collect_cell(
     };
 }
 
-/// Worker loop: enumerate every `(slot, tgd)` cell whose TGD index is
-/// congruent to `worker` modulo `workers`, slot-major then TGD-minor,
-/// so each worker's output is already in canonical order. A set
-/// `cancel` token is polled between cells; a cancelled worker returns
-/// its partial output (the governed engine then stops before consuming
-/// it, so determinism is unaffected).
-#[allow(clippy::too_many_arguments)]
-fn worker_collect(
-    set: &TgdSet,
-    instance: &Instance,
-    slots: Option<&[usize]>,
-    vars: FpVars,
-    check_active: bool,
-    worker: usize,
-    workers: usize,
-    cancel: Option<&CancelToken>,
-) -> Vec<Keyed> {
-    let mut scratch = HomScratch::new();
-    let mut probe = HomScratch::new();
-    let mut out = Vec::new();
-    match slots {
-        None => {
-            for (idx, (id, tgd)) in set.iter().enumerate() {
-                if idx % workers != worker {
-                    continue;
-                }
-                if cancel.is_some_and(|c| c.is_cancelled()) {
-                    return out;
-                }
-                collect_cell(
-                    &mut scratch,
-                    &mut probe,
-                    id,
-                    tgd,
-                    instance,
-                    0,
-                    None,
-                    vars,
-                    check_active,
-                    &mut out,
-                );
-            }
-        }
-        Some(slots) => {
-            for (ord, &slot) in slots.iter().enumerate() {
-                for (idx, (id, tgd)) in set.iter().enumerate() {
-                    if idx % workers != worker {
-                        continue;
-                    }
-                    if cancel.is_some_and(|c| c.is_cancelled()) {
-                        return out;
-                    }
-                    collect_cell(
-                        &mut scratch,
-                        &mut probe,
-                        id,
-                        tgd,
-                        instance,
-                        ord as u32,
-                        Some(slot),
-                        vars,
-                        check_active,
-                        &mut out,
-                    );
-                }
-            }
+/// The batch's cell grid: slot-major, TGD-minor, so cell index `i`
+/// maps to `(slot_ord, tgd) = (i / ntgds, i % ntgds)`. Seed batches
+/// are a single row of `ntgds` cells.
+#[derive(Clone, Copy)]
+struct CellGrid<'a> {
+    slots: Option<&'a [usize]>,
+    ntgds: usize,
+    ncells: usize,
+}
+
+impl<'a> CellGrid<'a> {
+    fn new(set: &TgdSet, slots: Option<&'a [usize]>) -> Self {
+        let ntgds = set.len();
+        let ncells = slots.map_or(1, <[usize]>::len).saturating_mul(ntgds);
+        CellGrid {
+            slots,
+            ntgds,
+            ncells,
         }
     }
-    out
+
+    /// Enumerates cells `range` (cell indices) in order into `out`,
+    /// polling `cancel` between cells.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_range(
+        &self,
+        scratch: &mut HomScratch,
+        probe: &mut HomScratch,
+        set: &TgdSet,
+        instance: &Instance,
+        vars: FpVars,
+        check_active: bool,
+        cancel: Option<&CancelToken>,
+        range: std::ops::Range<usize>,
+        out: &mut Vec<Keyed>,
+    ) -> ControlFlow<()> {
+        for cell in range {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return ControlFlow::Break(());
+            }
+            let slot_ord = cell / self.ntgds;
+            let id = TgdId((cell % self.ntgds) as u32);
+            collect_cell(
+                scratch,
+                probe,
+                id,
+                set.tgd(id),
+                instance,
+                slot_ord as u32,
+                self.slots.map(|s| s[slot_ord]),
+                vars,
+                check_active,
+                out,
+            );
+        }
+        ControlFlow::Continue(())
+    }
 }
 
 /// Out-of-band controls for one discovery batch: a cancellation token
@@ -270,12 +267,12 @@ pub struct BatchControl<'a> {
     /// early with partial output, which the governed engine then
     /// discards by stopping at its next poll point.
     pub cancel: Option<&'a CancelToken>,
-    /// Fault injection: the worker with this index (if spawned) panics
+    /// Fault injection: the worker with this index (if drafted) panics
     /// instead of enumerating. `None` in production.
     pub inject_panic_worker: Option<u32>,
-    /// Caps the worker count (`None` = one per available core). Still
-    /// bounded by the TGD count — the partition is by TGD index, so
-    /// extra workers would idle. Used by the bench harness's thread
+    /// Caps the worker count for this batch below the pool's size
+    /// (`None` = use the whole pool). Always bounded by the cell count
+    /// — extra workers would idle. Used by the bench harness's thread
     /// scaling curve and the engines' `workers` builder knob.
     pub worker_cap: Option<usize>,
 }
@@ -285,7 +282,7 @@ pub struct BatchControl<'a> {
 pub struct Batch {
     /// Discovered triggers in canonical (sequential) discovery order.
     pub discovered: Vec<Discovered>,
-    /// Number of workers whose join reported a panic. Non-zero means
+    /// Number of workers whose batch reported a panic. Non-zero means
     /// the partial parallel output was discarded and the whole batch
     /// recomputed sequentially, so `discovered` is complete and
     /// bit-identical to a panic-free run either way.
@@ -298,10 +295,12 @@ pub struct Batch {
     pub worker_nanos: Vec<u64>,
 }
 
-/// Evaluates a discovery batch in parallel and returns the discovered
-/// triggers in canonical (sequential) discovery order. `slots` of
-/// `None` requests the seed batch (full enumeration); otherwise the
-/// delta batch over the given new slots.
+/// Evaluates a discovery batch (spinning up a throwaway pool) and
+/// returns the discovered triggers in canonical (sequential) discovery
+/// order. `slots` of `None` requests the seed batch (full
+/// enumeration); otherwise the delta batch over the given new slots.
+/// Engines use [`collect_batch`] with their own persistent pool; this
+/// entry point exists for one-shot callers and tests.
 pub fn collect_parallel(
     set: &TgdSet,
     instance: &Instance,
@@ -309,6 +308,7 @@ pub fn collect_parallel(
     vars: FpVars,
     check_active: bool,
 ) -> Vec<Discovered> {
+    let mut pool = DiscoveryPool::new(None);
     collect_batch(
         set,
         instance,
@@ -316,12 +316,25 @@ pub fn collect_parallel(
         vars,
         check_active,
         BatchControl::default(),
+        &mut pool,
     )
     .discovered
 }
 
-/// [`collect_parallel`] with out-of-band [`BatchControl`]s, reporting
-/// worker panics instead of propagating them.
+/// Evaluates a discovery batch on `pool`'s persistent workers, with
+/// out-of-band [`BatchControl`]s, reporting worker panics instead of
+/// propagating them.
+///
+/// ## Scheduling
+///
+/// The batch is a slot-major grid of `(slot, TGD)` cells. Workers
+/// claim chunks of consecutive cells from an atomic cursor
+/// (work-stealing): a skewed cell costs its own worker but never
+/// idles the rest, and because each cell is still enumerated wholly
+/// by one worker the canonical merge order is unaffected. Batches
+/// that resolve to a single worker run inline on the calling thread
+/// with the pool's resident scratch — no dispatch, no allocation
+/// beyond the output.
 ///
 /// ## Panic safety
 ///
@@ -332,7 +345,8 @@ pub fn collect_parallel(
 /// discards all partial output and recomputes the batch sequentially
 /// on the calling thread. The recomputation enumerates cells in
 /// canonical order, so the result is bit-identical to a panic-free
-/// batch; the panic count is surfaced for telemetry.
+/// batch; the panic count is surfaced for telemetry. The pool itself
+/// survives (workers catch their panics and park again).
 pub fn collect_batch(
     set: &TgdSet,
     instance: &Instance,
@@ -340,69 +354,88 @@ pub fn collect_batch(
     vars: FpVars,
     check_active: bool,
     ctrl: BatchControl<'_>,
+    pool: &mut DiscoveryPool,
 ) -> Batch {
-    let workers = ctrl
-        .worker_cap
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .min(set.len())
+    let grid = CellGrid::new(set, slots);
+    let workers = pool
+        .target_workers()
+        .min(ctrl.worker_cap.unwrap_or(usize::MAX))
+        .min(grid.ncells)
         .max(1);
-    let mut panicked = 0u32;
-    let mut worker_nanos: Vec<u64> = Vec::with_capacity(workers);
-    let timed_collect = |worker: usize, workers: usize| {
+    let inline = |pool: &mut DiscoveryPool| {
         let start = std::time::Instant::now();
-        let out = worker_collect(
+        let scratch = pool.inline_scratch();
+        let mut out = Vec::new();
+        let _ = grid.collect_range(
+            &mut scratch.matcher,
+            &mut scratch.probe,
             set,
             instance,
-            slots,
             vars,
             check_active,
-            worker,
-            workers,
             ctrl.cancel,
+            0..grid.ncells,
+            &mut out,
         );
-        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        (out, nanos)
+        (out, elapsed_nanos(start))
     };
+    let mut panicked = 0u32;
+    let mut worker_nanos: Vec<u64> = Vec::with_capacity(workers);
     let mut keyed: Vec<Keyed> = if workers == 1 {
-        let (out, nanos) = timed_collect(0, 1);
+        let (out, nanos) = inline(pool);
         worker_nanos.push(nanos);
         out
     } else {
-        let mut parts: Vec<Vec<Keyed>> = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let inject = ctrl.inject_panic_worker == Some(w as u32);
-                    let timed_collect = &timed_collect;
-                    scope.spawn(move || {
-                        if inject {
-                            crate::faults::inject_worker_panic();
-                        }
-                        timed_collect(w, workers)
-                    })
-                })
-                .collect();
-            for h in handles {
-                match h.join() {
-                    Ok((part, nanos)) => {
-                        parts.push(part);
-                        worker_nanos.push(nanos);
-                    }
-                    Err(_panic_payload) => panicked += 1,
+        // Chunked work-stealing cursor: small enough chunks to balance
+        // skew, large enough to keep cursor contention negligible.
+        let chunk = (grid.ncells / (workers * 4)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let outputs: Vec<Mutex<(Vec<Keyed>, u64)>> =
+            (0..workers).map(|_| Mutex::new((Vec::new(), 0))).collect();
+        let job = |w: usize, scratch: &mut crate::pool::WorkerScratch| {
+            let start = std::time::Instant::now();
+            let mut out = Vec::new();
+            loop {
+                let begin = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if begin >= grid.ncells {
+                    break;
+                }
+                let end = (begin + chunk).min(grid.ncells);
+                if grid
+                    .collect_range(
+                        &mut scratch.matcher,
+                        &mut scratch.probe,
+                        set,
+                        instance,
+                        vars,
+                        check_active,
+                        ctrl.cancel,
+                        begin..end,
+                        &mut out,
+                    )
+                    .is_break()
+                {
+                    break;
                 }
             }
-        });
+            *outputs[w].lock().unwrap() = (out, elapsed_nanos(start));
+        };
+        panicked = pool
+            .pool()
+            .run_batch(workers, ctrl.inject_panic_worker, &job);
         if panicked > 0 {
-            let (out, nanos) = timed_collect(0, 1);
-            worker_nanos.clear();
+            // Canonical sequential recompute; partial output discarded.
+            let (out, nanos) = inline(pool);
             worker_nanos.push(nanos);
             out
         } else {
-            parts.into_iter().flatten().collect()
+            let mut merged = Vec::new();
+            for slot in &outputs {
+                let (part, nanos) = std::mem::take(&mut *slot.lock().unwrap());
+                merged.extend(part);
+                worker_nanos.push(nanos);
+            }
+            merged
         }
     };
     // Each (slot_ord, tgd) cell lives wholly in one worker's output in
@@ -414,6 +447,11 @@ pub fn collect_batch(
         panicked_workers: panicked,
         worker_nanos,
     }
+}
+
+#[inline]
+fn elapsed_nanos(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -473,6 +511,7 @@ mod tests {
         .unwrap();
         let set = p.tgd_set(&vocab).unwrap();
         let free = collect_parallel(&set, &p.database, None, FpVars::SortedBody, true);
+        let mut pool = DiscoveryPool::new(None);
         for cap in [1usize, 2, 8] {
             let batch = collect_batch(
                 &set,
@@ -484,14 +523,52 @@ mod tests {
                     worker_cap: Some(cap),
                     ..BatchControl::default()
                 },
+                &mut pool,
             );
-            // One timing per spawned worker, capped by the request and
-            // the TGD count.
+            // One timing per drafted worker, capped by the request and
+            // the seed batch's cell count (one cell per TGD).
             assert!(!batch.worker_nanos.is_empty());
             assert!(batch.worker_nanos.len() <= cap.min(set.len()));
             assert_eq!(batch.discovered.len(), free.len(), "cap={cap}");
             for (a, b) in batch.discovered.iter().zip(free.iter()) {
                 assert_eq!(a.trigger, b.trigger, "cap={cap}");
+            }
+        }
+        // cap=1 batches run inline: the pool never spawned for them
+        // alone, but the uncapped/over-1 batches above did.
+        assert!(pool.spawned() || pool.target_workers() == 1);
+    }
+
+    #[test]
+    fn pool_reuse_across_batches_is_bit_identical() {
+        // The same pool serving many batches (the engine's real usage
+        // pattern) must give the same answers as throwaway pools.
+        let mut vocab = Vocabulary::new();
+        let p = parse_program(
+            "R(a,b). R(b,c). R(c,a). S(a).
+             R(x,y), R(y,z) -> exists w. R(z,w).
+             S(x) -> exists u. T(x,u).
+             R(x,y) -> S(y).",
+            &mut vocab,
+        )
+        .unwrap();
+        let set = p.tgd_set(&vocab).unwrap();
+        let reference = collect_parallel(&set, &p.database, None, FpVars::SortedBody, true);
+        let mut pool = DiscoveryPool::new(Some(3));
+        for round in 0..10 {
+            let batch = collect_batch(
+                &set,
+                &p.database,
+                None,
+                FpVars::SortedBody,
+                true,
+                BatchControl::default(),
+                &mut pool,
+            );
+            assert_eq!(batch.discovered.len(), reference.len(), "round {round}");
+            for (a, b) in batch.discovered.iter().zip(reference.iter()) {
+                assert_eq!(a.trigger, b.trigger, "round {round}");
+                assert_eq!(a.inactive_hint, b.inactive_hint, "round {round}");
             }
         }
     }

@@ -17,6 +17,8 @@
 //! * [`trigger`] / [`skolem`] — triggers, activeness, null invention;
 //! * [`driver`] — batched, optionally parallel, panic-safe trigger
 //!   discovery;
+//! * [`pool`] — the persistent work-stealing worker pool behind
+//!   parallel discovery and parallel restriction checks;
 //! * [`governor`] — budgets, deadlines and cooperative cancellation
 //!   for chase runs;
 //! * [`faults`] — deterministic fault injection for resilience tests;
@@ -24,7 +26,10 @@
 //!   and benchmark baseline).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool ([`pool`])
+// needs one audited lifetime-erasure site; every other module stays
+// unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod chaseable;
 pub mod critical;
@@ -35,6 +40,7 @@ pub mod fairness;
 pub mod faults;
 pub mod governor;
 pub mod oblivious;
+pub mod pool;
 pub(crate) mod profiling;
 pub use profiling::DEFAULT_PROFILE_SAMPLE_EVERY;
 pub mod query;

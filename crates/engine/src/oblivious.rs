@@ -29,6 +29,7 @@ use crate::driver::{
     collect_batch, estimated_batch_work, BatchControl, FpVars, Parallelism, MIN_PARALLEL_ROWS,
 };
 use crate::governor::{Budget, Outcome, ResourceGovernor};
+use crate::pool::DiscoveryPool;
 use crate::profiling::{
     emit_profile_sample, emit_worker_spans, DEFAULT_HEARTBEAT_EVERY, DEFAULT_PROFILE_SAMPLE_EVERY,
 };
@@ -232,10 +233,18 @@ impl<'a> ObliviousChase<'a> {
         let mut queue: VecDeque<Trigger> = VecDeque::new();
         let mut applied: chase_core::ids::FxHashSet<TriggerFp> = fx_set();
         let mut enum_scratch = HomScratch::new();
+        // One persistent pool handle per run; threads are spawned
+        // lazily on the first batch that fans out, then reused (with
+        // their resident scratches) for every later batch.
+        let mut pool = DiscoveryPool::new(self.workers);
+        // Single-worker pools skip the batch path entirely — it could
+        // only add per-trigger clones and a merge on the calling thread
+        // (see the restricted engine for the same reasoning).
+        let fan_out = pool.target_workers() > 1;
 
         let mut batch_idx: u32 = 0;
         let seed_guard = span_enter(obs, spans::SEED, NO_TGD);
-        if self.go_parallel(instance.len()) {
+        if fan_out && self.go_parallel(instance.len()) {
             let batch = collect_batch(
                 self.set,
                 &instance,
@@ -247,6 +256,7 @@ impl<'a> ObliviousChase<'a> {
                     inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
                     worker_cap: self.workers,
                 },
+                &mut pool,
             );
             batch_idx += 1;
             emit_worker_spans(obs, &batch.worker_nanos);
@@ -389,7 +399,7 @@ impl<'a> ObliviousChase<'a> {
             });
             let match_guard =
                 span_enter_sampled(obs, spans::MATCH, trigger.tgd.0, sampled, insert_end);
-            if !new_slots.is_empty() && self.go_parallel(new_slots.len()) {
+            if fan_out && !new_slots.is_empty() && self.go_parallel(new_slots.len()) {
                 let batch = collect_batch(
                     self.set,
                     &instance,
@@ -401,6 +411,7 @@ impl<'a> ObliviousChase<'a> {
                         inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
                         worker_cap: self.workers,
                     },
+                    &mut pool,
                 );
                 batch_idx += 1;
                 emit_worker_spans(obs, &batch.worker_nanos);

@@ -43,6 +43,7 @@
 
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use chase_core::hom::HomScratch;
 use chase_core::ids::{fx_set, VarId};
@@ -60,6 +61,7 @@ use crate::driver::{
     collect_batch, estimated_batch_work, BatchControl, FpVars, Parallelism, MIN_PARALLEL_ROWS,
 };
 use crate::governor::ResourceGovernor;
+use crate::pool::{DiscoveryPool, WorkerScratch};
 use crate::profiling::{
     emit_profile_sample, emit_worker_spans, DEFAULT_HEARTBEAT_EVERY, DEFAULT_PROFILE_SAMPLE_EVERY,
 };
@@ -245,6 +247,15 @@ impl TriggerQueue {
         }
     }
 
+    /// The trigger the next `Fifo` pop would return, without popping
+    /// (used by the parallel-check batcher, which is FIFO-only).
+    fn peek_front(&self) -> Option<&Queued> {
+        match self {
+            TriggerQueue::Deque(d) => d.front(),
+            TriggerQueue::Buckets { .. } => None,
+        }
+    }
+
     fn pop(&mut self, strategy: Strategy, rng: &mut Option<XorShift64>) -> Option<Queued> {
         match self {
             TriggerQueue::Deque(queue) => {
@@ -278,6 +289,146 @@ impl TriggerQueue {
             }
         }
     }
+}
+
+/// Activeness verdicts carried by batched candidates: either the
+/// verdict was precomputed on the pool (against a snapshot that the
+/// shard-disjointness rule proves equivalent to the sequential check),
+/// or the step body computes it inline as before.
+const CHECK_NONE: u8 = 0;
+const CHECK_SATISFIED: u8 = 1;
+const CHECK_ACTIVE: u8 = 2;
+
+/// The instance shards a queued trigger could touch: the home shards
+/// of every atom it may insert *and* of every atom that could witness
+/// its head. Returns `None` when the set is not computable from the
+/// binding alone (some head atom's first argument is existential, so
+/// its shard depends on a yet-uninvented null) — such a member must
+/// run strictly sequentially.
+///
+/// Hinted-inactive members return an empty mask: they skip their check
+/// and never insert, so they conflict with nothing.
+///
+/// This is the conflict rule behind parallel restriction checks
+/// (DESIGN.md §15): two triggers with disjoint masks cannot affect
+/// each other's activeness verdict, because any atom one of them
+/// inserts home-shards inside its own mask, while any witness for the
+/// other's head home-shards inside *that* member's mask.
+fn target_shard_mask(
+    set: &TgdSet,
+    instance: &Instance,
+    arena: &[(VarId, Term)],
+    q: &Queued,
+) -> Option<u128> {
+    if q.inactive_hint {
+        return Some(0);
+    }
+    let plan = set.tgd(q.tgd).head_shard_plan()?;
+    let pairs = q.pairs(arena);
+    let mut mask = 0u128;
+    for &(pred, var) in plan {
+        let first = match var {
+            // Frontier variables are always bound by the stored span.
+            Some(v) => Some(pairs.iter().find(|&&(pv, _)| pv == v)?.1),
+            None => None,
+        };
+        mask |= 1u128 << instance.shard_for(pred, first);
+    }
+    Some(mask)
+}
+
+/// Pops a run of shard-compatible FIFO candidates (starting with the
+/// already-popped `first`) into `pending` and precomputes their
+/// activeness verdicts concurrently on the pool. The caller then
+/// replays `pending` through the unchanged sequential step body, so
+/// event streams, null invention and slot assignment stay bit-identical
+/// to a sequential run. Returns the number of panicked workers; on any
+/// panic the verdicts are discarded and the replay recomputes inline.
+fn fill_check_batch(
+    set: &TgdSet,
+    instance: &Instance,
+    arena: &[(VarId, Term)],
+    queue: &mut TriggerQueue,
+    first: Queued,
+    pool: &mut DiscoveryPool,
+    pending: &mut VecDeque<(Queued, u8)>,
+) -> u32 {
+    pending.push_back((first, CHECK_NONE));
+    // The batch head needs a mask too: its own verdict is trivially
+    // sequential-equivalent, but its *inserts* must be provably unable
+    // to flip the verdicts precomputed for the members behind it.
+    let Some(mut used) = target_shard_mask(set, instance, arena, &first) else {
+        return 0;
+    };
+    let cap = pool.target_workers().saturating_mul(4).max(2);
+    while pending.len() < cap {
+        let Some(next) = queue.peek_front() else {
+            break;
+        };
+        let Some(mask) = target_shard_mask(set, instance, arena, next) else {
+            break;
+        };
+        if used & mask != 0 {
+            break; // first conflict ends the batch (FIFO order is sacred)
+        }
+        used |= mask;
+        let q = queue
+            .pop(Strategy::Fifo, &mut None)
+            .expect("peeked member still queued");
+        pending.push_back((q, CHECK_NONE));
+    }
+    let check_idx: Vec<usize> = pending
+        .iter()
+        .enumerate()
+        .filter(|(_, (q, _))| !q.inactive_hint)
+        .map(|(i, _)| i)
+        .collect();
+    // Dispatching to the pool costs a condvar round trip, so it only
+    // pays when the batch holds enough *expensive* checks: a
+    // single-atom head resolves with one ground probe, and a non-zero
+    // watermark means an earlier check already refuted everything below
+    // it — both are cheaper inline than the wakeup. Multi-atom heads
+    // with no covering watermark are real conjunctive queries over the
+    // instance; two or more of those amortise the dispatch.
+    let expensive = pending
+        .iter()
+        .filter(|(q, _)| !q.inactive_hint && q.watermark == 0 && set.tgd(q.tgd).head().len() > 1)
+        .count();
+    if expensive < 2 {
+        return 0; // nothing worth fanning out; replay computes inline
+    }
+    let members: Vec<Queued> = pending.iter().map(|&(q, _)| q).collect();
+    let results: Vec<AtomicU8> = members.iter().map(|_| AtomicU8::new(CHECK_NONE)).collect();
+    let workers = pool.target_workers().min(check_idx.len());
+    let job = |w: usize, scratch: &mut WorkerScratch| {
+        let WorkerScratch { probe, binding, .. } = scratch;
+        let mut i = w;
+        while i < check_idx.len() {
+            let q = &members[check_idx[i]];
+            binding.clear();
+            for &(v, t) in q.pairs(arena) {
+                binding.push(v, t);
+            }
+            let sat = head_satisfied_with(probe, set.tgd(q.tgd), instance, binding, {
+                q.watermark as usize
+            });
+            results[check_idx[i]].store(
+                if sat { CHECK_SATISFIED } else { CHECK_ACTIVE },
+                Ordering::Relaxed,
+            );
+            i += workers;
+        }
+    };
+    // Not a fault-injection target: `FaultPlan` batch indices refer to
+    // discovery batches only, so injecting here would desynchronise
+    // the numbering the resilience suite pins down.
+    let panicked = pool.pool().run_batch(workers, None, &job);
+    if panicked == 0 {
+        for (i, (_, check)) in pending.iter_mut().enumerate() {
+            *check = results[i].load(Ordering::Relaxed);
+        }
+    }
+    panicked
 }
 
 /// A configured restricted-chase engine.
@@ -487,14 +638,36 @@ impl<'a> RestrictedChase<'a> {
         };
         let mut enum_scratch = HomScratch::new();
         let mut active_scratch = HomScratch::new();
+        // One persistent worker pool for the whole run: spawned lazily
+        // on the first parallel batch, reused (threads and per-worker
+        // scratches) by every discovery and restriction-check batch
+        // after it. Sequential runs never spawn a thread.
+        let mut pool = DiscoveryPool::new(self.workers);
+        // Parallel restriction checks are FIFO-only: a batch is a run
+        // of *consecutive* queue-front candidates, so replaying it in
+        // order is exactly the sequential pop order. The u128 conflict
+        // mask caps the shard counts this fast path supports.
+        let par_checks = self.parallelism == Parallelism::On
+            && self.strategy == Strategy::Fifo
+            && pool.target_workers() > 1
+            && instance.shard_count() <= 128;
+        // Popped-but-unprocessed batch members with their precomputed
+        // verdicts; always drained before the queue is popped again.
+        let mut pending: VecDeque<(Queued, u8)> = VecDeque::new();
 
         // Parallel discovery batches are numbered in execution order so
         // the fault plan can target one deterministically.
         let mut batch_idx: u32 = 0;
 
+        // A pool of one can't fan anything out: the batch path would
+        // only add per-trigger clones and a merge sort on the calling
+        // thread, so single-worker runs (the default on a single-CPU
+        // host) keep the plain sequential enumeration.
+        let fan_out = pool.target_workers() > 1;
+
         // Seed: all triggers on the database.
         let seed_guard = span_enter(obs, spans::SEED, NO_TGD);
-        if self.go_parallel(instance.len()) {
+        if fan_out && self.go_parallel(instance.len()) {
             let batch = collect_batch(
                 self.set,
                 &instance,
@@ -506,6 +679,7 @@ impl<'a> RestrictedChase<'a> {
                     inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
                     worker_cap: self.workers,
                 },
+                &mut pool,
             );
             batch_idx += 1;
             emit_worker_spans(obs, &batch.worker_nanos);
@@ -574,7 +748,9 @@ impl<'a> RestrictedChase<'a> {
                         start,
                         &instance,
                         steps as u64,
-                        queue.len() as u64,
+                        // Batch members popped ahead of processing are
+                        // still pending work.
+                        (queue.len() + pending.len()) as u64,
                     );
                 }
                 return ChaseRun {
@@ -584,8 +760,37 @@ impl<'a> RestrictedChase<'a> {
                     derivation,
                 };
             }
-            let Some(popped) = queue.pop(self.strategy, &mut rng) else {
-                break;
+            let (popped, precheck) = match pending.pop_front() {
+                Some(entry) => entry,
+                None => {
+                    let Some(first) = queue.pop(self.strategy, &mut rng) else {
+                        break;
+                    };
+                    if par_checks
+                        && (self.parallel_threshold == 0
+                            || instance.len() >= self.parallel_threshold)
+                    {
+                        let panicked = fill_check_batch(
+                            self.set,
+                            &instance,
+                            &arena,
+                            &mut queue,
+                            first,
+                            &mut pool,
+                            &mut pending,
+                        );
+                        if panicked > 0 {
+                            emit(obs, || Event::WorkerPanicked {
+                                engine: ENGINE,
+                                step: steps as u64,
+                                panics: panicked,
+                            });
+                        }
+                        pending.pop_front().expect("batch contains its head")
+                    } else {
+                        (first, CHECK_NONE)
+                    }
+                }
             };
             let sampled = pop_idx.is_multiple_of(self.profile_sample_every);
             pop_idx += 1;
@@ -609,14 +814,24 @@ impl<'a> RestrictedChase<'a> {
                 sampled,
                 step_guard.start(),
             );
-            let active = !popped.inactive_hint
-                && !head_satisfied_with(
-                    &mut active_scratch,
-                    tgd,
-                    &instance,
-                    &check_binding,
-                    popped.watermark as usize,
-                );
+            // A precomputed verdict (checked on the pool against the
+            // batch-formation snapshot) equals the inline answer: the
+            // shard-disjointness rule bars earlier batch members'
+            // inserts from witnessing this member's head.
+            let active = match precheck {
+                CHECK_SATISFIED => false,
+                CHECK_ACTIVE => true,
+                _ => {
+                    !popped.inactive_hint
+                        && !head_satisfied_with(
+                            &mut active_scratch,
+                            tgd,
+                            &instance,
+                            &check_binding,
+                            popped.watermark as usize,
+                        )
+                }
+            };
             let check_end = check_guard.exit_now(obs);
             emit_detail(obs, || Event::TriggerChecked {
                 engine: ENGINE,
@@ -634,10 +849,17 @@ impl<'a> RestrictedChase<'a> {
                 continue; // deactivated since discovery — monotone, stays so
             }
             if gov.budget_exhausted(steps, instance.len()) {
-                // Put it back so the caller can inspect pending work.
-                // The activeness check above just refuted satisfaction
-                // over the instance as it stands, so the re-queued
-                // trigger's watermark advances to the full length.
+                // Put it back so the caller can inspect pending work —
+                // along with any batch members popped ahead of time,
+                // restoring the exact sequential queue. The activeness
+                // check just refuted satisfaction (a snapshot verdict
+                // extends to the live instance: atoms inserted since
+                // can't witness this head, by shard disjointness), so
+                // the re-queued trigger's watermark advances to the
+                // full length.
+                while let Some((q, _)) = pending.pop_back() {
+                    queue.unpop(q);
+                }
                 queue.unpop(Queued {
                     watermark: instance.len() as u32,
                     ..popped
@@ -711,7 +933,7 @@ impl<'a> RestrictedChase<'a> {
             // Delta discovery: only triggers using a fresh atom.
             let match_guard =
                 span_enter_sampled(obs, spans::MATCH, popped.tgd.0, sampled, insert_end);
-            if !new_slots.is_empty() && self.go_parallel(new_slots.len()) {
+            if fan_out && !new_slots.is_empty() && self.go_parallel(new_slots.len()) {
                 let batch = collect_batch(
                     self.set,
                     &instance,
@@ -723,6 +945,7 @@ impl<'a> RestrictedChase<'a> {
                         inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
                         worker_cap: self.workers,
                     },
+                    &mut pool,
                 );
                 batch_idx += 1;
                 emit_worker_spans(obs, &batch.worker_nanos);
@@ -772,10 +995,13 @@ impl<'a> RestrictedChase<'a> {
                 }
             }
             let match_end = match_guard.exit_now(obs);
+            // Depth counts batch members popped ahead of processing as
+            // still queued, so batched and sequential runs report the
+            // same numbers at the same points.
             emit_detail(obs, || Event::QueueDepth {
                 engine: ENGINE,
                 step: steps as u64,
-                depth: queue.len() as u64,
+                depth: (queue.len() + pending.len()) as u64,
             });
             step_guard.exit_at(obs, match_end);
             if let Some(start) = run_start {
@@ -786,7 +1012,7 @@ impl<'a> RestrictedChase<'a> {
                         start,
                         &instance,
                         steps as u64,
-                        queue.len() as u64,
+                        (queue.len() + pending.len()) as u64,
                     );
                 }
             }

@@ -32,7 +32,10 @@ cargo test --offline -q --workspace
 echo "== fault-injection suite (chase-engine faults) =="
 cargo test --offline -q -p chase-engine faults
 
-echo "== hot-path smoke report (seed vs optimised bit-identity + timing sanity) =="
+echo "== hot-path smoke report (bit-identity + timing sanity + thread-scaling gate) =="
+# Includes the scaling smoke gate: parallel at the gate thread count
+# (2 on multi-core hosts, 1 on single-core ones) must be at least
+# ${SCALING_GATE_TOLERANCE:-0.95}x sequential on the gate workloads.
 scripts/bench.sh smoke
 
 echo "== zero-alloc proof (NullObserver hot path) =="

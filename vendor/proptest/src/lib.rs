@@ -56,6 +56,23 @@ pub mod strategy {
 
     impl_int_strategy!(u8, u16, u32, u64, usize);
 
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A / 0, B / 1)
+        (A / 0, B / 1, C / 2)
+        (A / 0, B / 1, C / 2, D / 3)
+    }
+
     /// String strategies: a `&str` is interpreted as a regex the way
     /// proptest does. The stub understands the `.{lo,hi}` shape used
     /// in this repository (arbitrary strings with a length range) and
