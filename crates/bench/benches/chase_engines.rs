@@ -93,7 +93,7 @@ fn e9_index_ablation(c: &mut Criterion) {
         .instance;
     let mut unindexed = Instance::with_mode(IndexMode::PredicateOnly);
     for atom in closed.iter() {
-        unindexed.insert(atom.clone());
+        unindexed.insert(atom.to_atom());
     }
     let mut group = c.benchmark_group("e9_index_ablation");
     group.bench_function("enumerate_triggers_indexed", |b| {

@@ -462,17 +462,26 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
     }
 }
 
+/// Hard ceiling on `--threads`: the instance layer shards work across
+/// at most [`chase_core::instance::MAX_SHARD_COUNT`] shards, so
+/// workers beyond that can never be scheduled — a larger request is a
+/// typo, not a tuning choice.
+const MAX_THREADS: usize = chase_core::instance::MAX_SHARD_COUNT;
+
 /// Parses `--threads N` into a worker cap for the engines' parallel
-/// driver, if present. `N >= 1`; 1 keeps everything on the calling
-/// thread (the parallel driver's single-worker path is the sequential
-/// enumeration), larger values cap the persistent pool.
+/// driver, if present. `1 <= N <= MAX_THREADS`; 1 keeps everything on
+/// the calling thread (the parallel driver's single-worker path is the
+/// sequential enumeration), larger values cap the persistent pool.
 fn threads_from_flags(args: &[String]) -> Result<Option<usize>, CliError> {
     flag_value(args, "--threads")?
         .map(|s| match s.parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(n),
-            Ok(_) => Err(CliError::Usage(
+            Ok(0) => Err(CliError::Usage(
                 "--threads must be at least 1 (1 = sequential)".into(),
             )),
+            Ok(n) if n > MAX_THREADS => Err(CliError::Usage(format!(
+                "--threads must be at most {MAX_THREADS} (got {n})"
+            ))),
+            Ok(n) => Ok(n),
             Err(e) => Err(CliError::Usage(format!("invalid --threads '{s}': {e}"))),
         })
         .transpose()

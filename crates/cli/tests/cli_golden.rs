@@ -173,6 +173,42 @@ fn malformed_flag_values_are_usage_errors() {
     );
 }
 
+/// `--threads` outside `1..=1024` is a usage error with an exact,
+/// actionable message (1024 is the instance layer's shard ceiling —
+/// more workers can never be scheduled).
+#[test]
+fn threads_flag_bounds_are_usage_errors_with_exact_messages() {
+    let rules = rule_file("threads-bounds", FINITE);
+    let path = rules.to_str().unwrap();
+    let zero = run(&["chase", path, "--threads", "0"]);
+    assert_usage_error(&zero, "zero threads");
+    assert!(
+        stderr(&zero).contains("--threads must be at least 1 (1 = sequential)"),
+        "zero-threads message: {}",
+        stderr(&zero)
+    );
+    for over in ["1025", "4096"] {
+        let out = run(&["chase", path, "--threads", over]);
+        assert_usage_error(&out, "oversized threads");
+        assert!(
+            stderr(&out).contains(&format!("--threads must be at most 1024 (got {over})")),
+            "oversized-threads message: {}",
+            stderr(&out)
+        );
+    }
+    // The ceiling itself is accepted (and the boundary below it).
+    let ok = run(&["chase", path, "--threads", "1024"]);
+    assert_eq!(code(&ok), 0, "{}", stderr(&ok));
+    // Oblivious and profile share the same parser.
+    let ob = run(&["oblivious", path, "--threads", "2000"]);
+    assert_usage_error(&ob, "oblivious oversized threads");
+    assert!(
+        stderr(&ob).contains("must be at most 1024"),
+        "{}",
+        stderr(&ob)
+    );
+}
+
 /// `--threads` routes through the parallel driver, which must agree
 /// with the sequential engines on every workload.
 #[test]

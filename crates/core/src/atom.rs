@@ -21,8 +21,12 @@ impl Position {
     }
 }
 
-/// Number of argument terms an [`ArgVec`] stores inline.
-const ARG_INLINE: usize = 4;
+/// Number of argument terms an [`ArgVec`] stores inline. Also the
+/// arity threshold below which the columnar instance storage keeps an
+/// atom's arguments in its contiguous inline column (wider atoms go to
+/// the shard's spill arena) — keeping the two aligned means converting
+/// between row and columnar form never changes which atoms allocate.
+pub const ARG_INLINE: usize = 4;
 
 /// The argument list of an atom: inline up to [`ARG_INLINE`] terms,
 /// spilling to a heap `Vec` only for wider predicates. Instances clone
@@ -138,6 +142,20 @@ impl From<Vec<Term>> for ArgVec {
             out
         } else {
             ArgVec::Spill(v)
+        }
+    }
+}
+
+impl From<&[Term]> for ArgVec {
+    fn from(s: &[Term]) -> Self {
+        if s.len() <= ARG_INLINE {
+            let mut out = ArgVec::new();
+            for &t in s {
+                out.push(t);
+            }
+            out
+        } else {
+            ArgVec::Spill(s.to_vec())
         }
     }
 }
@@ -290,6 +308,81 @@ impl Atom {
     pub fn display(&self, vocab: &Vocabulary) -> String {
         let args: Vec<String> = self.args.iter().map(|&t| vocab.term_to_string(t)).collect();
         format!("{}({})", vocab.pred_name(self.pred), args.join(","))
+    }
+}
+
+/// A borrowed view of an atom stored in an instance's columnar shard
+/// layout. The predicate id and the argument slice point straight into
+/// the shard's struct-of-arrays columns, so producing one is two array
+/// reads and no copy — reading `instance.atom(slot)` used to hand out
+/// `&Atom` rows; it now hands out one of these.
+///
+/// `AtomRef` is `Copy` and compares equal to an [`Atom`] with the same
+/// predicate and arguments, in either direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomRef<'a> {
+    /// The predicate symbol.
+    pub pred: PredId,
+    /// The argument terms, borrowed from the shard columns.
+    pub args: &'a [Term],
+}
+
+impl<'a> AtomRef<'a> {
+    /// The arity of the atom.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The term at position `i` (0-based).
+    #[inline]
+    pub fn term_at(&self, i: usize) -> Term {
+        self.args[i]
+    }
+
+    /// Returns `true` if every argument is a constant (a *fact*).
+    pub fn is_fact(&self) -> bool {
+        self.args.iter().all(|t| t.is_const())
+    }
+
+    /// Returns `true` if no argument is a variable.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| t.is_ground())
+    }
+
+    /// Copies the borrowed view into an owned [`Atom`].
+    pub fn to_atom(&self) -> Atom {
+        Atom::new(self.pred, self.args)
+    }
+
+    /// Renders the atom using the vocabulary.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        let args: Vec<String> = self.args.iter().map(|&t| vocab.term_to_string(t)).collect();
+        format!("{}({})", vocab.pred_name(self.pred), args.join(","))
+    }
+}
+
+impl<'a> From<&'a Atom> for AtomRef<'a> {
+    #[inline]
+    fn from(a: &'a Atom) -> Self {
+        AtomRef {
+            pred: a.pred,
+            args: a.args.as_slice(),
+        }
+    }
+}
+
+impl PartialEq<Atom> for AtomRef<'_> {
+    #[inline]
+    fn eq(&self, other: &Atom) -> bool {
+        self.pred == other.pred && self.args == other.args.as_slice()
+    }
+}
+
+impl PartialEq<AtomRef<'_>> for Atom {
+    #[inline]
+    fn eq(&self, other: &AtomRef<'_>) -> bool {
+        other == self
     }
 }
 

@@ -27,7 +27,7 @@
 use std::cell::RefCell;
 use std::ops::ControlFlow;
 
-use crate::atom::Atom;
+use crate::atom::{Atom, AtomRef};
 use crate::ids::{PredId, VarId};
 use crate::instance::Instance;
 use crate::subst::Binding;
@@ -38,7 +38,7 @@ use crate::tgd::{Tgd, TgdSet};
 /// ground atom `target` under `binding`, extending the binding.
 /// Returns `Some(mark)` (the trail mark to truncate to on undo) on
 /// success, `None` on failure (in which case the binding is restored).
-fn unify_atom(pattern: &Atom, target: &Atom, binding: &mut Binding) -> Option<usize> {
+fn unify_atom(pattern: &Atom, target: AtomRef<'_>, binding: &mut Binding) -> Option<usize> {
     debug_assert_eq!(pattern.pred, target.pred);
     debug_assert_eq!(pattern.arity(), target.arity());
     let mark = binding.mark();
@@ -809,7 +809,7 @@ mod tests {
     fn works_without_position_index() {
         let mut inst = Instance::with_mode(crate::instance::IndexMode::PredicateOnly);
         for a in triangle().iter() {
-            inst.insert(a.clone());
+            inst.insert(a.to_atom());
         }
         let homs = all_homomorphisms(&[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])], &inst);
         assert_eq!(homs.len(), 3);

@@ -50,8 +50,9 @@
 //! what keeps the optimised engines bit-identical to the seed oracle.
 
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use crate::atom::Atom;
+use crate::atom::{Atom, AtomRef, ARG_INLINE};
 use crate::ids::{fx_set, FxHashMap, FxHasher, PredId};
 use crate::term::Term;
 use crate::vocab::Vocabulary;
@@ -187,13 +188,39 @@ struct SlotRef {
     local: u32,
 }
 
+/// Arity mask of a packed [`Shard::meta`] word: the low 16 bits hold
+/// the arity, the remaining high bits the column offset.
+const META_ARITY_BITS: u32 = 16;
+const META_ARITY_MASK: u64 = (1 << META_ARITY_BITS) - 1;
+
 /// One storage/index shard: a slice of the atom set (home-sharded by
 /// `(pred, first_arg)`) with its dedup entries, plus the index cells
 /// whose keys hash into this shard. All slot lists store **global**
 /// slots.
+///
+/// Atom storage is **columnar** (struct-of-arrays): instead of a
+/// `Vec<Atom>` of rows, a shard keeps one column of predicate ids, one
+/// packed `meta` word per atom (arity + argument offset), and two
+/// argument arenas — `inline_args` for atoms of arity ≤
+/// [`ARG_INLINE`] and `spill` for wider ones. Rows are variable-stride
+/// (no padding): an atom's arguments are the `arity` terms starting at
+/// its offset in whichever arena its arity selects. Discovery's
+/// chunked scans and the matcher's probe loops then stream contiguous
+/// `Term` columns instead of striding over 56-byte `Atom` rows, and
+/// reading an atom ([`Instance::atom`]) hands out a borrowed
+/// [`AtomRef`] — two array reads, no clone.
 #[derive(Debug, Clone, Default)]
 struct Shard {
-    atoms: Vec<Atom>,
+    /// Predicate ids, one per shard-local atom.
+    preds: Vec<PredId>,
+    /// Packed per-atom metadata: arity in the low 16 bits, offset into
+    /// `inline_args` (arity ≤ [`ARG_INLINE`]) or `spill` (wider) in
+    /// the high bits.
+    meta: Vec<u64>,
+    /// Argument arena for atoms of arity ≤ [`ARG_INLINE`].
+    inline_args: Vec<Term>,
+    /// Argument arena for atoms of arity > [`ARG_INLINE`].
+    spill: Vec<Term>,
     /// Dedup index: atom hash → candidate global slots. Storing slots
     /// instead of owned `Atom` keys means `Instance::clone` — the
     /// first thing every engine run does to the caller's database —
@@ -206,6 +233,47 @@ struct Shard {
 }
 
 impl Shard {
+    /// Number of atoms stored in this shard.
+    #[inline]
+    fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Appends an atom's columns; returns its shard-local index.
+    #[inline]
+    fn push_atom(&mut self, pred: PredId, args: &[Term]) -> u32 {
+        debug_assert!((args.len() as u64) <= META_ARITY_MASK, "arity overflow");
+        let local = self.preds.len() as u32;
+        self.preds.push(pred);
+        let arena = if args.len() <= ARG_INLINE {
+            &mut self.inline_args
+        } else {
+            &mut self.spill
+        };
+        self.meta
+            .push(((arena.len() as u64) << META_ARITY_BITS) | args.len() as u64);
+        arena.extend_from_slice(args);
+        local
+    }
+
+    /// The atom at shard-local index `local`, as a borrowed view into
+    /// the columns.
+    #[inline]
+    fn atom_ref(&self, local: u32) -> AtomRef<'_> {
+        let m = self.meta[local as usize];
+        let arity = (m & META_ARITY_MASK) as usize;
+        let off = (m >> META_ARITY_BITS) as usize;
+        let arena = if arity <= ARG_INLINE {
+            &self.inline_args
+        } else {
+            &self.spill
+        };
+        AtomRef {
+            pred: self.preds[local as usize],
+            args: &arena[off..off + arity],
+        }
+    }
+
     fn heap_bytes_dedup(&self) -> usize {
         map_heap_bytes(&self.dedup) + self.dedup.values().map(SlotList::heap_bytes).sum::<usize>()
     }
@@ -247,6 +315,17 @@ pub struct Instance {
     /// engine registers pairs from its join plans.
     pair_plans: Vec<Vec<(u16, u16)>>,
     mode: IndexMode,
+    /// Logical visibility bound for reads (`usize::MAX` = unbounded).
+    /// While set, `len`, `iter`, `slot_of`/`contains` and every index
+    /// probe behave as if only slots `< scan_bound` existed. The
+    /// parallel-apply engine commits a whole mask-disjoint batch of
+    /// atoms at once and then replays each member's delta discovery
+    /// with the bound at that member's sequential instance length, so
+    /// later members' atoms stay invisible exactly as they would have
+    /// been under sequential application. [`Instance::atom`] is
+    /// deliberately exempt: slots above the bound are already-reserved
+    /// identities, not probe results.
+    scan_bound: usize,
 }
 
 impl Default for Instance {
@@ -287,6 +366,7 @@ impl Instance {
             by_pred: Vec::new(),
             pair_plans: Vec::new(),
             mode,
+            scan_bound: usize::MAX,
         }
     }
 
@@ -375,13 +455,16 @@ impl Instance {
             + self
                 .shards
                 .iter()
-                .map(|s| s.atoms.capacity() * size_of::<Atom>())
+                .map(|s| {
+                    s.preds.capacity() * size_of::<PredId>()
+                        + s.meta.capacity() * size_of::<u64>()
+                        + s.inline_args.capacity() * size_of::<Term>()
+                })
                 .sum::<usize>();
         let arg_spill_bytes: usize = self
             .shards
             .iter()
-            .flat_map(|s| s.atoms.iter())
-            .map(Atom::heap_bytes)
+            .map(|s| s.spill.capacity() * size_of::<Term>())
             .sum();
         let dedup_bytes: usize = self.shards.iter().map(Shard::heap_bytes_dedup).sum();
         let index_bytes = self.by_pred.capacity() * size_of::<SlotList>()
@@ -408,12 +491,16 @@ impl Instance {
     /// composite pair cells — untouched.
     pub fn insert(&mut self, atom: Atom) -> (usize, bool) {
         debug_assert!(atom.is_ground(), "instances hold ground atoms only");
+        debug_assert!(
+            self.scan_bound == usize::MAX,
+            "no direct inserts while a scan bound is active"
+        );
         let key = Self::atom_key(&atom);
         let n = self.shards.len();
         let home = Self::storage_shard(n, atom.pred, atom.args.first().copied());
         if let Some(bucket) = self.shards[home].dedup.get(&key) {
             for &s in bucket.as_slice() {
-                if *self.atom(s) == atom {
+                if self.atom(s) == atom {
                     return (s, false);
                 }
             }
@@ -446,8 +533,7 @@ impl Instance {
         }
         let shard = &mut self.shards[home];
         shard.dedup.entry(key).or_default().push(slot);
-        let local = shard.atoms.len() as u32;
-        shard.atoms.push(atom);
+        let local = shard.push_atom(atom.pred, &atom.args);
         self.directory.push(SlotRef {
             shard: home as u32,
             local,
@@ -531,6 +617,32 @@ impl Instance {
             .is_some_and(|plan| plan.contains(&(a, b)))
     }
 
+    /// Sets the logical visibility bound: reads behave as if only
+    /// slots `< bound` existed (see the field docs). The parallel
+    /// engine sets this while replaying delta discovery for a batch
+    /// member whose successors' atoms are already committed.
+    #[inline]
+    pub fn set_scan_bound(&mut self, bound: usize) {
+        self.scan_bound = bound;
+    }
+
+    /// Clears the logical visibility bound.
+    #[inline]
+    pub fn clear_scan_bound(&mut self) {
+        self.scan_bound = usize::MAX;
+    }
+
+    /// Truncates an ascending slot list to the visible prefix under
+    /// the current scan bound. The unbounded case is a branch, not a
+    /// search.
+    #[inline]
+    fn bounded<'s>(&self, slots: &'s [usize]) -> &'s [usize] {
+        if self.scan_bound == usize::MAX {
+            return slots;
+        }
+        &slots[..slots.partition_point(|&s| s < self.scan_bound)]
+    }
+
     /// Membership test.
     #[inline]
     pub fn contains(&self, atom: &Atom) -> bool {
@@ -547,41 +659,45 @@ impl Instance {
             .as_slice()
             .iter()
             .copied()
-            .find(|&s| self.atom(s) == atom)
+            .find(|&s| s < self.scan_bound && self.atom(s) == *atom)
     }
 
     /// Number of atoms.
     #[inline]
     pub fn len(&self) -> usize {
-        self.directory.len()
+        self.directory.len().min(self.scan_bound)
     }
 
     /// Whether the instance is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.directory.is_empty()
+        self.len() == 0
     }
 
-    /// The atom stored at `slot`.
+    /// The atom stored at `slot`, as a borrowed view into the shard
+    /// columns. Exempt from the scan bound: a slot id in hand is an
+    /// identity, not a probe result.
     #[inline]
-    pub fn atom(&self, slot: usize) -> &Atom {
+    pub fn atom(&self, slot: usize) -> AtomRef<'_> {
         let r = self.directory[slot];
-        &self.shards[r.shard as usize].atoms[r.local as usize]
+        self.shards[r.shard as usize].atom_ref(r.local)
     }
 
     /// Iterates over atoms in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
-        self.directory
+    pub fn iter(&self) -> impl Iterator<Item = AtomRef<'_>> {
+        self.directory[..self.len()]
             .iter()
-            .map(|r| &self.shards[r.shard as usize].atoms[r.local as usize])
+            .map(|r| self.shards[r.shard as usize].atom_ref(r.local))
     }
 
     /// Slots of all atoms with the given predicate, ascending.
     pub fn slots_with_pred(&self, pred: PredId) -> &[usize] {
-        self.by_pred
-            .get(pred.index())
-            .map(SlotList::as_slice)
-            .unwrap_or(&[])
+        self.bounded(
+            self.by_pred
+                .get(pred.index())
+                .map(SlotList::as_slice)
+                .unwrap_or(&[]),
+        )
     }
 
     /// Slots of all atoms with `pred` whose argument at `position`
@@ -600,11 +716,13 @@ impl Instance {
         let cell = (pred, position as u16, term);
         let cs = Self::pos_cell_shard(self.shards.len(), &cell);
         Some(
-            self.shards[cs]
-                .by_pos
-                .get(&cell)
-                .map(SlotList::as_slice)
-                .unwrap_or(&[]),
+            self.bounded(
+                self.shards[cs]
+                    .by_pos
+                    .get(&cell)
+                    .map(SlotList::as_slice)
+                    .unwrap_or(&[]),
+            ),
         )
     }
 
@@ -641,11 +759,13 @@ impl Instance {
         let cell = (pred, a, b, ta, tb);
         let cs = Self::pair_cell_shard(self.shards.len(), &cell);
         Some(
-            self.shards[cs]
-                .by_pair
-                .get(&cell)
-                .map(SlotList::as_slice)
-                .unwrap_or(&[]),
+            self.bounded(
+                self.shards[cs]
+                    .by_pair
+                    .get(&cell)
+                    .map(SlotList::as_slice)
+                    .unwrap_or(&[]),
+            ),
         )
     }
 
@@ -655,7 +775,7 @@ impl Instance {
         let mut seen = fx_set();
         let mut out = Vec::new();
         for atom in self.iter() {
-            for &t in &atom.args {
+            for &t in atom.args {
                 if seen.insert(t) {
                     out.push(t);
                 }
@@ -667,32 +787,282 @@ impl Instance {
     /// Returns `true` if every atom is a fact (constants only), i.e.
     /// the instance is a *database*.
     pub fn is_database(&self) -> bool {
-        self.iter().all(Atom::is_fact)
+        self.iter().all(|a| a.is_fact())
     }
 
     /// Renders the instance for diagnostics, atoms sorted textually.
     pub fn display(&self, vocab: &Vocabulary) -> String {
-        crate::atom::display_atoms(self.iter(), vocab)
+        let mut parts: Vec<String> = self.iter().map(|a| a.display(vocab)).collect();
+        parts.sort();
+        format!("{{{}}}", parts.join(", "))
     }
 
     /// Consumes the instance, returning its atoms in insertion order.
     pub fn into_atoms(self) -> Vec<Atom> {
+        (0..self.len()).map(|s| self.atom(s).to_atom()).collect()
+    }
+
+    /// Starts staging a batch of inserts against the current state.
+    ///
+    /// Staging separates slot *assignment* from the physical dedup /
+    /// storage / index work so the parallel engine can reserve the
+    /// batch's global slot-id range in sequential order up front and
+    /// then fan the per-shard work out to the pool. `stage_insert`
+    /// answers exactly what a sequence of [`Instance::insert`] calls
+    /// would have answered; [`Instance::commit_stage`] (or the
+    /// parallel committer) then makes the instance agree.
+    pub fn begin_insert_stage(&self) -> InsertStage {
+        InsertStage {
+            fresh: Vec::new(),
+            staged_keys: FxHashMap::default(),
+            next_local: self.shards.iter().map(|s| s.len() as u32).collect(),
+            base_len: self.directory.len(),
+        }
+    }
+
+    /// Stages an insert: returns `(slot, fresh)` exactly as
+    /// [`Instance::insert`] would if every previously staged fresh
+    /// atom had already been inserted, without mutating the instance.
+    pub fn stage_insert(&self, stage: &mut InsertStage, atom: Atom) -> (usize, bool) {
+        debug_assert!(atom.is_ground(), "instances hold ground atoms only");
+        debug_assert_eq!(stage.base_len, self.directory.len(), "stale stage");
+        if let Some(s) = self.slot_of(&atom) {
+            return (s, false);
+        }
+        let key = Self::atom_key(&atom);
+        if let Some(bucket) = stage.staged_keys.get(&key) {
+            for &i in bucket.as_slice() {
+                if stage.fresh[i].atom == atom {
+                    return (stage.fresh[i].slot, false);
+                }
+            }
+        }
+        let home = Self::storage_shard(self.shards.len(), atom.pred, atom.args.first().copied());
+        let local = stage.next_local[home];
+        stage.next_local[home] += 1;
+        let slot = stage.base_len + stage.fresh.len();
+        stage
+            .staged_keys
+            .entry(key)
+            .or_default()
+            .push(stage.fresh.len());
+        stage.fresh.push(StagedAtom {
+            atom,
+            key,
+            home: home as u32,
+            local,
+            slot,
+        });
+        (slot, true)
+    }
+
+    /// Commits a staged batch sequentially: directory and global
+    /// per-predicate index first, then every shard's dedup / storage /
+    /// index-cell work. Equivalent to having called
+    /// [`Instance::insert`] for each staged atom in slot order.
+    pub fn commit_stage(&mut self, stage: &InsertStage) {
+        self.commit_stage_directory(stage);
+        let n = self.shards.len();
+        for s in 0..n {
+            commit_stage_shard(
+                &mut self.shards[s],
+                s,
+                n,
+                self.mode,
+                &self.pair_plans,
+                stage,
+            );
+        }
+    }
+
+    /// Commits the sequential (directory + global index) part of a
+    /// staged batch and returns a committer that parallelises the
+    /// per-shard work: workers call [`StageCommitter::run_worker`],
+    /// then exactly one caller runs [`StageCommitter::finish`] to
+    /// repair shards left untouched by panicked or absent workers.
+    pub fn commit_stage_parallel<'a>(&'a mut self, stage: &'a InsertStage) -> StageCommitter<'a> {
+        self.commit_stage_directory(stage);
+        let n = self.shards.len();
         let Instance {
-            shards, directory, ..
+            shards,
+            pair_plans,
+            mode,
+            ..
         } = self;
-        // Within each shard, atoms appear in (shard-local) insertion
-        // order, so draining each shard front-to-back while following
-        // the directory reproduces the global order.
-        let mut drains: Vec<std::vec::IntoIter<Atom>> =
-            shards.into_iter().map(|s| s.atoms.into_iter()).collect();
-        directory
-            .into_iter()
-            .map(|r| {
-                drains[r.shard as usize]
-                    .next()
-                    .expect("directory and shard storage agree")
-            })
-            .collect()
+        StageCommitter {
+            shards: shards.iter_mut().map(std::sync::Mutex::new).collect(),
+            pair_plans,
+            mode: *mode,
+            stage,
+            started: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            done: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    fn commit_stage_directory(&mut self, stage: &InsertStage) {
+        debug_assert_eq!(stage.base_len, self.directory.len(), "stale stage");
+        debug_assert!(
+            self.scan_bound == usize::MAX,
+            "no commits while a scan bound is active"
+        );
+        for e in &stage.fresh {
+            let pred_idx = e.atom.pred.index();
+            if pred_idx >= self.by_pred.len() {
+                self.by_pred.resize_with(pred_idx + 1, SlotList::default);
+            }
+            self.by_pred[pred_idx].push(e.slot);
+            self.directory.push(SlotRef {
+                shard: e.home,
+                local: e.local,
+            });
+        }
+    }
+}
+
+/// A batch of inserts staged against a frozen instance state: the
+/// fresh atoms in slot order with their pre-assigned `(shard, local)`
+/// placement, plus an intra-batch dedup map. Created by
+/// [`Instance::begin_insert_stage`].
+#[derive(Debug)]
+pub struct InsertStage {
+    /// Fresh atoms in global slot order.
+    fresh: Vec<StagedAtom>,
+    /// Atom hash → indices into `fresh`, for intra-stage dedup.
+    staged_keys: FxHashMap<u64, SlotList>,
+    /// Next shard-local index per shard (base lengths plus staged).
+    next_local: Vec<u32>,
+    /// Instance length when staging began; the first staged slot.
+    base_len: usize,
+}
+
+impl InsertStage {
+    /// Number of staged fresh atoms.
+    #[inline]
+    pub fn fresh_count(&self) -> usize {
+        self.fresh.len()
+    }
+
+    /// The instance length after this stage commits.
+    #[inline]
+    pub fn staged_len(&self) -> usize {
+        self.base_len + self.fresh.len()
+    }
+}
+
+#[derive(Debug)]
+struct StagedAtom {
+    atom: Atom,
+    key: u64,
+    home: u32,
+    local: u32,
+    slot: usize,
+}
+
+/// Applies a staged batch's contributions to one shard: index cells
+/// that hash here, then (for home atoms) the dedup entry and the
+/// column push. Iterating the staged atoms in slot order keeps every
+/// per-cell slot list ascending, exactly as sequential inserts would.
+/// Each worker walks the whole batch and filters by shard — redundant
+/// hashing, but it keeps all writes to a shard on a single thread with
+/// no cross-worker routing structures.
+fn commit_stage_shard(
+    shard: &mut Shard,
+    s: usize,
+    n: usize,
+    mode: IndexMode,
+    pair_plans: &[Vec<(u16, u16)>],
+    stage: &InsertStage,
+) {
+    for e in &stage.fresh {
+        let atom = &e.atom;
+        if mode == IndexMode::Full {
+            for (i, &t) in atom.args.iter().enumerate() {
+                let cell = (atom.pred, i as u16, t);
+                if Instance::pos_cell_shard(n, &cell) == s {
+                    shard.by_pos.entry(cell).or_default().push(e.slot);
+                }
+            }
+            if let Some(plan) = pair_plans.get(atom.pred.index()) {
+                for &(a, b) in plan {
+                    let cell = (
+                        atom.pred,
+                        a,
+                        b,
+                        atom.args[a as usize],
+                        atom.args[b as usize],
+                    );
+                    if Instance::pair_cell_shard(n, &cell) == s {
+                        shard.by_pair.entry(cell).or_default().push(e.slot);
+                    }
+                }
+            }
+        }
+        if e.home as usize == s {
+            shard.dedup.entry(e.key).or_default().push(e.slot);
+            let local = shard.push_atom(atom.pred, &atom.args);
+            debug_assert_eq!(local, e.local, "staged local index agrees with storage");
+        }
+    }
+}
+
+/// Parallel per-shard committer for a staged batch, returned by
+/// [`Instance::commit_stage_parallel`]. Shard ownership is modular —
+/// worker `w` of `W` commits shards `s ≡ w (mod W)` — so no two
+/// workers ever touch the same shard; the mutexes are uncontended and
+/// exist to make the aliasing safe. Per-shard `started`/`done` flags
+/// let [`StageCommitter::finish`] repair shards whose worker panicked
+/// before reaching them (fault injection fires before the job body, so
+/// a skipped shard is untouched and safely redone inline); a shard
+/// caught mid-mutation (`started` without `done`) is unrecoverable and
+/// reported as corruption.
+pub struct StageCommitter<'a> {
+    shards: Vec<std::sync::Mutex<&'a mut Shard>>,
+    pair_plans: &'a [Vec<(u16, u16)>],
+    mode: IndexMode,
+    stage: &'a InsertStage,
+    started: Vec<AtomicBool>,
+    done: Vec<AtomicBool>,
+}
+
+impl StageCommitter<'_> {
+    /// Commits worker `w`'s share of the shards (those `≡ w mod
+    /// workers`). Call from `workers` pool workers with distinct `w`.
+    pub fn run_worker(&self, w: usize, workers: usize) {
+        let mut s = w;
+        while s < self.shards.len() {
+            self.commit_shard(s);
+            s += workers;
+        }
+    }
+
+    fn commit_shard(&self, s: usize) {
+        self.started[s].store(true, Ordering::Relaxed);
+        let mut guard = self.shards[s].lock().expect("shard committer poisoned");
+        commit_stage_shard(
+            &mut guard,
+            s,
+            self.shards.len(),
+            self.mode,
+            self.pair_plans,
+            self.stage,
+        );
+        self.done[s].store(true, Ordering::Release);
+    }
+
+    /// Finishes the commit after all workers returned: repairs shards
+    /// no worker reached (inline, sequentially) and reports whether
+    /// the instance is intact. `false` means a worker panicked *inside*
+    /// a shard mutation and the instance must be abandoned.
+    pub fn finish(self) -> bool {
+        for s in 0..self.shards.len() {
+            if !self.done[s].load(Ordering::Acquire) {
+                if self.started[s].load(Ordering::Relaxed) {
+                    return false;
+                }
+                self.commit_shard(s);
+            }
+        }
+        true
     }
 }
 
@@ -706,7 +1076,7 @@ impl PartialEq for Instance {
     /// Set equality (insertion order, index mode, shard count and
     /// registered pair indexes are irrelevant).
     fn eq(&self, other: &Self) -> bool {
-        self.len() == other.len() && self.iter().all(|a| other.contains(a))
+        self.len() == other.len() && self.iter().all(|a| other.contains(&a.to_atom()))
     }
 }
 impl Eq for Instance {}
@@ -951,11 +1321,15 @@ mod tests {
             inst.insert(atom(0, &[c(i), c(i + 1)]));
         }
         let fp = inst.memory_footprint();
-        assert!(
-            fp.atom_bytes >= (100 * std::mem::size_of::<Atom>()) as u64,
-            "{fp:?}"
-        );
-        // Arity 2 stays inline.
+        // 100 atoms of arity 2: a directory entry, a predicate id, a
+        // meta word and two inline column terms each (capacities only
+        // grow beyond that).
+        let per_atom = std::mem::size_of::<SlotRef>()
+            + std::mem::size_of::<PredId>()
+            + std::mem::size_of::<u64>()
+            + 2 * std::mem::size_of::<Term>();
+        assert!(fp.atom_bytes >= (100 * per_atom) as u64, "{fp:?}");
+        // Arity 2 stays in the inline column, not the spill arena.
         assert_eq!(fp.arg_spill_bytes, 0);
         assert!(fp.dedup_bytes > 0, "{fp:?}");
         assert!(fp.index_bytes > 0, "{fp:?}");
@@ -998,7 +1372,7 @@ mod tests {
             for slot in 0..reference.len() {
                 assert_eq!(inst.atom(slot), reference.atom(slot), "shards={shards}");
                 assert_eq!(
-                    inst.slot_of(reference.atom(slot)),
+                    inst.slot_of(&reference.atom(slot).to_atom()),
                     Some(slot),
                     "shards={shards}"
                 );
@@ -1069,6 +1443,150 @@ mod tests {
         );
         // Clone preserves the shard count.
         assert_eq!(Instance::with_shards(7).clone().shard_count(), 7);
+    }
+
+    /// Staged inserts answer exactly what sequential inserts would,
+    /// and committing (sequentially or via the parallel committer)
+    /// leaves an instance indistinguishable from one built by plain
+    /// `insert` calls — slots, indexes, iteration order and all.
+    #[test]
+    fn staged_inserts_match_sequential_inserts() {
+        for shards in [1usize, 2, 4, 7] {
+            let seed: Vec<Atom> = (0..20u32).map(|i| atom(i % 3, &[c(i % 5), c(i)])).collect();
+            let batch: Vec<Atom> = (0..30u32)
+                .map(|i| atom(i % 4, &[c(i % 6), c(i % 3)]))
+                .collect();
+
+            let mut reference = Instance::with_shards(shards);
+            reference.register_pair_index(PredId(0), 0, 1);
+            for a in &seed {
+                reference.insert(a.clone());
+            }
+            let expected: Vec<(usize, bool)> =
+                batch.iter().map(|a| reference.insert(a.clone())).collect();
+
+            for parallel in [false, true] {
+                let mut inst = Instance::with_shards(shards);
+                inst.register_pair_index(PredId(0), 0, 1);
+                for a in &seed {
+                    inst.insert(a.clone());
+                }
+                let mut stage = inst.begin_insert_stage();
+                let got: Vec<(usize, bool)> = batch
+                    .iter()
+                    .map(|a| inst.stage_insert(&mut stage, a.clone()))
+                    .collect();
+                assert_eq!(got, expected, "shards={shards} parallel={parallel}");
+                if parallel {
+                    let committer = inst.commit_stage_parallel(&stage);
+                    std::thread::scope(|scope| {
+                        for w in 0..3 {
+                            let committer = &committer;
+                            scope.spawn(move || committer.run_worker(w, 3));
+                        }
+                    });
+                    assert!(committer.finish());
+                } else {
+                    inst.commit_stage(&stage);
+                }
+                assert_eq!(inst.len(), reference.len());
+                for slot in 0..reference.len() {
+                    assert_eq!(inst.atom(slot), reference.atom(slot), "shards={shards}");
+                    assert_eq!(
+                        inst.slot_of(&reference.atom(slot).to_atom()),
+                        Some(slot),
+                        "shards={shards}"
+                    );
+                }
+                for p in 0..4u32 {
+                    assert_eq!(
+                        inst.slots_with_pred(PredId(p)),
+                        reference.slots_with_pred(PredId(p))
+                    );
+                    for t in 0..6u32 {
+                        assert_eq!(
+                            inst.slots_with_pred_pos(PredId(p), 0, c(t)),
+                            reference.slots_with_pred_pos(PredId(p), 0, c(t))
+                        );
+                    }
+                }
+                for ta in 0..6u32 {
+                    for tb in 0..5u32 {
+                        assert_eq!(
+                            inst.slots_with_pred_pair(PredId(0), 0, c(ta), 1, c(tb)),
+                            reference.slots_with_pred_pair(PredId(0), 0, c(ta), 1, c(tb))
+                        );
+                    }
+                }
+                // Inserting after the commit continues the slot
+                // sequence exactly as the reference does.
+                let next = atom(0, &[c(40), c(40)]);
+                assert_eq!(
+                    inst.insert(next.clone()),
+                    reference.clone().insert(next.clone())
+                );
+            }
+        }
+    }
+
+    /// A committer abandoned by its workers repairs every shard in
+    /// `finish`.
+    #[test]
+    fn stage_committer_repairs_unvisited_shards() {
+        let mut reference = Instance::with_shards(4);
+        let mut inst = Instance::with_shards(4);
+        let batch: Vec<Atom> = (0..16u32).map(|i| atom(0, &[c(i), c(0)])).collect();
+        for a in &batch {
+            reference.insert(a.clone());
+        }
+        let mut stage = inst.begin_insert_stage();
+        for a in &batch {
+            inst.stage_insert(&mut stage, a.clone());
+        }
+        let committer = inst.commit_stage_parallel(&stage);
+        // No worker runs at all: finish does the whole job inline.
+        assert!(committer.finish());
+        assert_eq!(inst, reference);
+        assert_eq!(
+            inst.slots_with_pred(PredId(0)),
+            reference.slots_with_pred(PredId(0))
+        );
+    }
+
+    /// With a scan bound set, every read behaves as if the instance
+    /// had been frozen at that length — except `atom`, which resolves
+    /// already-issued slot ids.
+    #[test]
+    fn scan_bound_freezes_reads() {
+        let mut inst = Instance::new();
+        inst.register_pair_index(PredId(0), 0, 1);
+        for i in 0..10u32 {
+            inst.insert(atom(0, &[c(0), c(i)]));
+        }
+        inst.set_scan_bound(4);
+        assert_eq!(inst.len(), 4);
+        assert_eq!(inst.iter().count(), 4);
+        assert_eq!(inst.slots_with_pred(PredId(0)), &[0, 1, 2, 3]);
+        assert_eq!(
+            inst.slots_with_pred_pos(PredId(0), 0, c(0)).unwrap(),
+            &[0, 1, 2, 3]
+        );
+        assert_eq!(
+            inst.slots_with_pred_pair(PredId(0), 0, c(0), 1, c(2))
+                .unwrap(),
+            &[2]
+        );
+        assert!(inst
+            .slots_with_pred_pair(PredId(0), 0, c(0), 1, c(7))
+            .unwrap()
+            .is_empty());
+        assert!(inst.contains(&atom(0, &[c(0), c(3)])));
+        assert!(!inst.contains(&atom(0, &[c(0), c(7)])));
+        // Slot ids above the bound still resolve.
+        assert_eq!(inst.atom(7), atom(0, &[c(0), c(7)]));
+        inst.clear_scan_bound();
+        assert_eq!(inst.len(), 10);
+        assert!(inst.contains(&atom(0, &[c(0), c(7)])));
     }
 
     #[test]

@@ -110,6 +110,7 @@ impl RealOchase {
         let mut created = fx_set();
 
         for atom in database.iter() {
+            let atom = atom.to_atom();
             let id = NodeId(nodes.len() as u32);
             nodes.push(OchaseNode {
                 atom: atom.clone(),

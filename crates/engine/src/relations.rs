@@ -61,7 +61,7 @@ pub fn active_iff_unstopped(
     let frontier_positions = Trigger::frontier_positions(tgd);
     let unstopped = !instance
         .iter()
-        .any(|alpha| stops(alpha, result, &frontier_positions));
+        .any(|alpha| stops(&alpha.to_atom(), result, &frontier_positions));
     (active, unstopped)
 }
 

@@ -45,6 +45,7 @@ use std::collections::VecDeque;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use chase_core::atom::Atom;
 use chase_core::hom::HomScratch;
 use chase_core::ids::{fx_set, VarId};
 use chase_core::instance::Instance;
@@ -299,6 +300,44 @@ const CHECK_NONE: u8 = 0;
 const CHECK_SATISFIED: u8 = 1;
 const CHECK_ACTIVE: u8 = 2;
 
+/// A batch member popped ahead of processing: the queued candidate,
+/// its (possibly precomputed) activeness verdict, and — when the
+/// apply phase ran ahead too — the member's fully staged application.
+struct PendingEntry {
+    q: Queued,
+    check: u8,
+    staged: Option<StagedApply>,
+}
+
+impl PendingEntry {
+    fn new(q: Queued) -> Self {
+        PendingEntry {
+            q,
+            check: CHECK_NONE,
+            staged: None,
+        }
+    }
+}
+
+/// The pre-applied result of one active batch member: everything the
+/// sequential step body would have computed, recorded at stage time so
+/// the replay emits a bit-identical event stream without touching the
+/// Skolem table or the instance's write path again.
+struct StagedApply {
+    /// The head instantiation, in `Trigger::result` order.
+    added: Vec<Atom>,
+    /// `(slot, fresh)` per added atom, aligned with `added`.
+    results: Vec<(usize, bool)>,
+    /// Skolem counter before/after this member's null invention.
+    nulls_before: u32,
+    nulls_after: u32,
+    /// The instance length right after this member's inserts — the
+    /// scan bound under which its delta discovery must run, since
+    /// later members' atoms are committed physically but are still
+    /// logically in this member's future.
+    end_len: usize,
+}
+
 /// The instance shards a queued trigger could touch: the home shards
 /// of every atom it may insert *and* of every atom that could witness
 /// its head. Returns `None` when the set is not computable from the
@@ -351,9 +390,9 @@ fn fill_check_batch(
     queue: &mut TriggerQueue,
     first: Queued,
     pool: &mut DiscoveryPool,
-    pending: &mut VecDeque<(Queued, u8)>,
+    pending: &mut VecDeque<PendingEntry>,
 ) -> u32 {
-    pending.push_back((first, CHECK_NONE));
+    pending.push_back(PendingEntry::new(first));
     // The batch head needs a mask too: its own verdict is trivially
     // sequential-equivalent, but its *inserts* must be provably unable
     // to flip the verdicts precomputed for the members behind it.
@@ -375,12 +414,12 @@ fn fill_check_batch(
         let q = queue
             .pop(Strategy::Fifo, &mut None)
             .expect("peeked member still queued");
-        pending.push_back((q, CHECK_NONE));
+        pending.push_back(PendingEntry::new(q));
     }
     let check_idx: Vec<usize> = pending
         .iter()
         .enumerate()
-        .filter(|(_, (q, _))| !q.inactive_hint)
+        .filter(|(_, e)| !e.q.inactive_hint)
         .map(|(i, _)| i)
         .collect();
     // Dispatching to the pool costs a condvar round trip, so it only
@@ -392,12 +431,12 @@ fn fill_check_batch(
     // instance; two or more of those amortise the dispatch.
     let expensive = pending
         .iter()
-        .filter(|(q, _)| !q.inactive_hint && q.watermark == 0 && set.tgd(q.tgd).head().len() > 1)
+        .filter(|e| !e.q.inactive_hint && e.q.watermark == 0 && set.tgd(e.q.tgd).head().len() > 1)
         .count();
     if expensive < 2 {
         return 0; // nothing worth fanning out; replay computes inline
     }
-    let members: Vec<Queued> = pending.iter().map(|&(q, _)| q).collect();
+    let members: Vec<Queued> = pending.iter().map(|e| e.q).collect();
     let results: Vec<AtomicU8> = members.iter().map(|_| AtomicU8::new(CHECK_NONE)).collect();
     let workers = pool.target_workers().min(check_idx.len());
     let job = |w: usize, scratch: &mut WorkerScratch| {
@@ -424,11 +463,146 @@ fn fill_check_batch(
     // the numbering the resilience suite pins down.
     let panicked = pool.pool().run_batch(workers, None, &job);
     if panicked == 0 {
-        for (i, (_, check)) in pending.iter_mut().enumerate() {
-            *check = results[i].load(Ordering::Relaxed);
+        for (i, entry) in pending.iter_mut().enumerate() {
+            entry.check = results[i].load(Ordering::Relaxed);
         }
     }
     panicked
+}
+
+/// Minimum staged fresh atoms before the commit fans out to the pool
+/// under a non-zero `parallel_threshold`: below this, the per-shard
+/// dispatch round trip costs more than the sequential commit loop.
+const PARALLEL_COMMIT_MIN_FRESH: usize = 64;
+
+/// Runs the *apply* phase of a shard-disjoint batch ahead of the
+/// sequential replay (DESIGN.md §16). For each member, in FIFO order:
+/// resolve its activeness verdict (reusing the pool-precomputed one
+/// when present — both are sequential-equivalent by the conflict
+/// rule, since co-members' inserts land in shards disjoint from this
+/// member's witness shards), then, if active and within budget,
+/// invent its nulls and stage its head atoms against a private
+/// [`InsertStage`](chase_core::instance::InsertStage). Global slot
+/// ids are pre-reserved in strict sequential order at commit time, so
+/// slot numbering, iteration order and the event stream replayed from
+/// the recorded [`StagedApply`]s are bit-identical to a sequential
+/// run for every thread and shard count.
+///
+/// The per-shard dedup/storage/index work of the single commit then
+/// runs on the persistent pool (one worker per shard residue class)
+/// when it is large enough to pay for the dispatch; a worker felled
+/// by an injected panic leaves its shards untouched (injection fires
+/// before the job body), so `finish` repairs them inline.
+///
+/// Returns the number of panicked commit workers. Bails out (staging
+/// nothing) when an injected interrupt could fire during the replay
+/// horizon: interrupt polling is deferred while staged members are
+/// pending, so the batch must be provably interrupt-free to stage.
+#[allow(clippy::too_many_arguments)]
+fn stage_apply_batch(
+    set: &TgdSet,
+    instance: &mut Instance,
+    arena: &[(VarId, Term)],
+    pending: &mut VecDeque<PendingEntry>,
+    skolem: &mut SkolemTable,
+    scratch: &mut HomScratch,
+    binding: &mut Binding,
+    gov: &ResourceGovernor,
+    steps: usize,
+    pool: &mut DiscoveryPool,
+    parallel_threshold: usize,
+    apply_batch_idx: &mut u32,
+) -> u32 {
+    // Replaying the whole batch advances `steps` by at most
+    // `pending.len()`; both injected interrupts are monotone in the
+    // step count, so a clean horizon check covers every intermediate
+    // poll the sequential run would have made.
+    let horizon = steps + pending.len();
+    if gov.faults().deadline_due(horizon) || gov.faults().cancel_due(horizon) {
+        return 0;
+    }
+    let mut stage = instance.begin_insert_stage();
+    let mut virtual_steps = steps;
+    for entry in pending.iter_mut() {
+        let q = entry.q;
+        let active = match entry.check {
+            CHECK_SATISFIED => false,
+            CHECK_ACTIVE => true,
+            _ => {
+                if q.inactive_hint {
+                    false
+                } else {
+                    // Equal to the sequential verdict: atoms staged by
+                    // earlier members home-shard inside their own
+                    // masks, disjoint from this member's witness
+                    // shards, so checking the pre-batch snapshot
+                    // cannot flip the answer.
+                    binding.clear();
+                    for &(v, t) in q.pairs(arena) {
+                        binding.push(v, t);
+                    }
+                    let sat = head_satisfied_with(
+                        scratch,
+                        set.tgd(q.tgd),
+                        instance,
+                        binding,
+                        q.watermark as usize,
+                    );
+                    entry.check = if sat { CHECK_SATISFIED } else { CHECK_ACTIVE };
+                    !sat
+                }
+            }
+        };
+        if !active {
+            continue;
+        }
+        // The sequential loop checks the budget after the activeness
+        // check and before applying; mirror it on the virtual
+        // counters. The tripping member (and everything behind it)
+        // stays unstaged — its cached verdict makes the live replay
+        // check trip at identical values.
+        if gov.budget_exhausted(virtual_steps, stage.staged_len()) {
+            break;
+        }
+        let tgd = set.tgd(q.tgd);
+        let trigger = Trigger {
+            tgd: q.tgd,
+            binding: Binding::from_pairs(q.pairs(arena).iter().copied()),
+        };
+        let nulls_before = skolem.invented();
+        let added = trigger.result(tgd, skolem);
+        let nulls_after = skolem.invented();
+        let mut results = Vec::with_capacity(added.len());
+        for atom in &added {
+            results.push(instance.stage_insert(&mut stage, atom.clone()));
+        }
+        entry.staged = Some(StagedApply {
+            added,
+            results,
+            nulls_before,
+            nulls_after,
+            end_len: stage.staged_len(),
+        });
+        virtual_steps += 1;
+    }
+    if stage.fresh_count() == 0 {
+        return 0; // every staged head was already present; nothing to commit
+    }
+    let workers = pool.target_workers().min(instance.shard_count());
+    if workers > 1 && (parallel_threshold == 0 || stage.fresh_count() >= PARALLEL_COMMIT_MIN_FRESH)
+    {
+        let inject = gov.faults().panic_worker_in_insert(*apply_batch_idx);
+        *apply_batch_idx += 1;
+        let committer = instance.commit_stage_parallel(&stage);
+        let job = |w: usize, _scratch: &mut WorkerScratch| committer.run_worker(w, workers);
+        let panicked = pool.pool().run_batch(workers, inject, &job);
+        let clean = committer.finish();
+        assert!(clean, "insert-commit worker died mid-shard");
+        panicked
+    } else {
+        instance.commit_stage(&stage);
+        0
+    }
 }
 
 /// A configured restricted-chase engine.
@@ -652,12 +826,16 @@ impl<'a> RestrictedChase<'a> {
             && pool.target_workers() > 1
             && instance.shard_count() <= 128;
         // Popped-but-unprocessed batch members with their precomputed
-        // verdicts; always drained before the queue is popped again.
-        let mut pending: VecDeque<(Queued, u8)> = VecDeque::new();
+        // verdicts (and, under parallel apply, their staged
+        // applications); always drained before the queue is popped
+        // again.
+        let mut pending: VecDeque<PendingEntry> = VecDeque::new();
 
         // Parallel discovery batches are numbered in execution order so
         // the fault plan can target one deterministically.
         let mut batch_idx: u32 = 0;
+        // Parallel insert-commit batches are numbered independently.
+        let mut apply_batch_idx: u32 = 0;
 
         // A pool of one can't fan anything out: the batch path would
         // only add per-trigger clones and a merge sort on the calling
@@ -732,35 +910,46 @@ impl<'a> RestrictedChase<'a> {
         let mut derivation = Derivation::default();
         let mut new_slots: Vec<usize> = Vec::new();
         loop {
-            if let Some(outcome) = gov.interrupted(steps) {
-                emit(obs, || Event::RunInterrupted {
-                    engine: ENGINE,
-                    step: steps as u64,
-                    // Total: `interrupted` only returns interrupt outcomes.
-                    reason: outcome
-                        .interrupt_reason()
-                        .unwrap_or(chase_telemetry::InterruptReason::Deadline),
-                });
-                if let Some(start) = run_start {
-                    emit_profile_sample(
-                        obs,
-                        ENGINE,
-                        start,
-                        &instance,
-                        steps as u64,
-                        // Batch members popped ahead of processing are
-                        // still pending work.
-                        (queue.len() + pending.len()) as u64,
-                    );
+            // Interrupt polling is deferred while staged applications
+            // are pending: their atoms are already committed, so the
+            // run may only stop once every staged member has been
+            // replayed (counted in steps, events and the derivation) —
+            // otherwise the partial result would not be truthful. The
+            // deferral window is one batch (a handful of steps), and
+            // `stage_apply_batch` refuses to stage across an injected
+            // interrupt, so deterministic runs never defer a due poll.
+            let staged_pending = pending.iter().any(|e| e.staged.is_some());
+            if !staged_pending {
+                if let Some(outcome) = gov.interrupted(steps) {
+                    emit(obs, || Event::RunInterrupted {
+                        engine: ENGINE,
+                        step: steps as u64,
+                        // Total: `interrupted` only returns interrupt outcomes.
+                        reason: outcome
+                            .interrupt_reason()
+                            .unwrap_or(chase_telemetry::InterruptReason::Deadline),
+                    });
+                    if let Some(start) = run_start {
+                        emit_profile_sample(
+                            obs,
+                            ENGINE,
+                            start,
+                            &instance,
+                            steps as u64,
+                            // Batch members popped ahead of processing are
+                            // still pending work.
+                            (queue.len() + pending.len()) as u64,
+                        );
+                    }
+                    return ChaseRun {
+                        outcome,
+                        instance,
+                        steps,
+                        derivation,
+                    };
                 }
-                return ChaseRun {
-                    outcome,
-                    instance,
-                    steps,
-                    derivation,
-                };
             }
-            let (popped, precheck) = match pending.pop_front() {
+            let entry = match pending.pop_front() {
                 Some(entry) => entry,
                 None => {
                     let Some(first) = queue.pop(self.strategy, &mut rng) else {
@@ -786,12 +975,45 @@ impl<'a> RestrictedChase<'a> {
                                 panics: panicked,
                             });
                         }
+                        // Apply phase runs ahead over the same
+                        // mask-disjoint batch: verdicts, nulls and
+                        // slot ids are staged in FIFO order, the
+                        // per-shard commit work fans out, and the
+                        // replay below emits the sequential stream.
+                        if pending.len() > 1 {
+                            let panicked = stage_apply_batch(
+                                self.set,
+                                &mut instance,
+                                &arena,
+                                &mut pending,
+                                &mut skolem,
+                                &mut active_scratch,
+                                &mut check_binding,
+                                gov,
+                                steps,
+                                &mut pool,
+                                self.parallel_threshold,
+                                &mut apply_batch_idx,
+                            );
+                            if panicked > 0 {
+                                emit(obs, || Event::WorkerPanicked {
+                                    engine: ENGINE,
+                                    step: steps as u64,
+                                    panics: panicked,
+                                });
+                            }
+                        }
                         pending.pop_front().expect("batch contains its head")
                     } else {
-                        (first, CHECK_NONE)
+                        PendingEntry::new(first)
                     }
                 }
             };
+            let PendingEntry {
+                q: popped,
+                check: precheck,
+                staged,
+            } = entry;
             let sampled = pop_idx.is_multiple_of(self.profile_sample_every);
             pop_idx += 1;
             let step_guard = span_enter_sampled(obs, spans::STEP, popped.tgd.0, sampled, None);
@@ -848,7 +1070,12 @@ impl<'a> RestrictedChase<'a> {
                 step_guard.exit_at(obs, check_end);
                 continue; // deactivated since discovery — monotone, stays so
             }
-            if gov.budget_exhausted(steps, instance.len()) {
+            // A staged member already passed this check at stage time,
+            // on identical virtual counters; the live instance length
+            // is inflated by later batch members' committed atoms, so
+            // rechecking here would trip early and diverge from the
+            // sequential run.
+            if staged.is_none() && gov.budget_exhausted(steps, instance.len()) {
                 // Put it back so the caller can inspect pending work —
                 // along with any batch members popped ahead of time,
                 // restoring the exact sequential queue. The activeness
@@ -856,9 +1083,12 @@ impl<'a> RestrictedChase<'a> {
                 // extends to the live instance: atoms inserted since
                 // can't witness this head, by shard disjointness), so
                 // the re-queued trigger's watermark advances to the
-                // full length.
-                while let Some((q, _)) = pending.pop_back() {
-                    queue.unpop(q);
+                // full length. Staged members never land here (staging
+                // stops at the first budget trip), so nothing behind us
+                // holds committed-but-unreplayed atoms.
+                while let Some(e) = pending.pop_back() {
+                    debug_assert!(e.staged.is_none(), "staged member behind a budget trip");
+                    queue.unpop(e.q);
                 }
                 queue.unpop(Queued {
                     watermark: instance.len() as u32,
@@ -890,24 +1120,51 @@ impl<'a> RestrictedChase<'a> {
             };
             let insert_guard =
                 span_enter_sampled(obs, spans::INSERT, popped.tgd.0, sampled, check_end);
-            let nulls_before = skolem.invented();
-            let added = trigger.result(tgd, &mut skolem);
-            let nulls_after = skolem.invented();
             new_slots.clear();
             let mut fresh_atoms = 0u32;
-            for atom in &added {
-                let (slot, fresh) = instance.insert(atom.clone());
-                emit_detail(obs, || Event::AtomInserted {
-                    engine: ENGINE,
-                    predicate: atom.pred.0,
-                    step: steps as u64 + 1,
-                    fresh,
-                });
-                if fresh {
-                    fresh_atoms += 1;
-                    new_slots.push(slot);
+            let (added, nulls_before, nulls_after) = match staged {
+                // Replay the staged application: nulls, slots and
+                // dedup verdicts were pre-assigned in sequential order
+                // at stage time, and the atoms are already committed.
+                // Freeze reads at this member's sequential length so
+                // later members' committed atoms stay invisible to its
+                // delta discovery.
+                Some(sa) => {
+                    for (atom, &(slot, fresh)) in sa.added.iter().zip(&sa.results) {
+                        emit_detail(obs, || Event::AtomInserted {
+                            engine: ENGINE,
+                            predicate: atom.pred.0,
+                            step: steps as u64 + 1,
+                            fresh,
+                        });
+                        if fresh {
+                            fresh_atoms += 1;
+                            new_slots.push(slot);
+                        }
+                    }
+                    instance.set_scan_bound(sa.end_len);
+                    (sa.added, sa.nulls_before, sa.nulls_after)
                 }
-            }
+                None => {
+                    let nulls_before = skolem.invented();
+                    let added = trigger.result(tgd, &mut skolem);
+                    let nulls_after = skolem.invented();
+                    for atom in &added {
+                        let (slot, fresh) = instance.insert(atom.clone());
+                        emit_detail(obs, || Event::AtomInserted {
+                            engine: ENGINE,
+                            predicate: atom.pred.0,
+                            step: steps as u64 + 1,
+                            fresh,
+                        });
+                        if fresh {
+                            fresh_atoms += 1;
+                            new_slots.push(slot);
+                        }
+                    }
+                    (added, nulls_before, nulls_after)
+                }
+            };
             let insert_end = insert_guard.exit_now(obs);
             steps += 1;
             for null in nulls_before..nulls_after {
@@ -1016,6 +1273,9 @@ impl<'a> RestrictedChase<'a> {
                     );
                 }
             }
+            // Lift the replay scan bound (a no-op store for unstaged
+            // steps): the next member's sequential prefix is longer.
+            instance.clear_scan_bound();
         }
         // Final sample: a terminated run has drained its queue, even
         // when the tail of the queue was all deactivated triggers

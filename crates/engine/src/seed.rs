@@ -67,7 +67,7 @@ fn seed_for_each_trigger_using(
     new_slot: usize,
     f: &mut dyn FnMut(Trigger) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
-    let new_atom = instance.atom(new_slot).clone();
+    let new_atom = instance.atom(new_slot);
     for (id, tgd) in set.iter() {
         for (i, body_atom) in tgd.body().iter().enumerate() {
             if body_atom.pred != new_atom.pred {

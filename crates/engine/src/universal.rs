@@ -83,10 +83,10 @@ pub fn core_of(instance: &Instance) -> Instance {
             let mut seen = fx_map();
             let mut out = Vec::new();
             for atom in current.iter() {
-                for t in &atom.args {
+                for &t in atom.args {
                     if let Term::Null(n) = t {
-                        if seen.insert(*n, ()).is_none() {
-                            out.push(*n);
+                        if seen.insert(n, ()).is_none() {
+                            out.push(n);
                         }
                     }
                 }
@@ -111,7 +111,9 @@ pub fn core_of(instance: &Instance) -> Instance {
 /// Whether `instance` is its own core (no null can be retracted away).
 pub fn is_core(instance: &Instance) -> bool {
     core_of(instance).len() == instance.len()
-        && core_of(instance).iter().all(|a| instance.contains(a))
+        && core_of(instance)
+            .iter()
+            .all(|a| instance.contains(&a.to_atom()))
 }
 
 #[cfg(test)]

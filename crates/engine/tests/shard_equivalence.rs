@@ -64,7 +64,7 @@ fn parse(rules: usize, facts: &[(usize, usize, usize)]) -> (Vocabulary, TgdSet, 
     let mut vocab = Vocabulary::new();
     let program = parse_program(&text, &mut vocab).expect("generated program parses");
     let set = program.tgd_set(&vocab).expect("generated rules are TGDs");
-    let atoms: Vec<Atom> = program.database.iter().cloned().collect();
+    let atoms: Vec<Atom> = program.database.iter().map(|a| a.to_atom()).collect();
     (vocab, set, atoms)
 }
 
@@ -79,16 +79,31 @@ fn db_with_shards(atoms: &[Atom], shards: usize) -> Instance {
 }
 
 fn observe_restricted(set: &TgdSet, db: &Instance, parallel: bool) -> Observed {
+    observe_restricted_with(set, db, parallel, None)
+}
+
+/// `observe_restricted` with an explicit worker-thread cap, so the
+/// parallel check/apply fast path engages regardless of host core
+/// count (a single-core host otherwise never fans out).
+fn observe_restricted_with(
+    set: &TgdSet,
+    db: &Instance,
+    parallel: bool,
+    workers: Option<usize>,
+) -> Observed {
     let mut rec = RecordingObserver::default();
     let mut engine = RestrictedChase::new(set);
     if parallel {
         engine = engine.parallelism(Parallelism::On).parallel_threshold(0);
     }
+    if let Some(w) = workers {
+        engine = engine.workers(w);
+    }
     let run = engine.run_observed(db, Budget::steps(STEPS), &mut rec);
     Observed {
         outcome: run.outcome,
         steps: run.steps,
-        slots: run.instance.iter().cloned().collect(),
+        slots: run.instance.iter().map(|a| a.to_atom()).collect(),
         events: rec.events,
     }
 }
@@ -99,7 +114,7 @@ fn observe_oblivious(set: &TgdSet, db: &Instance) -> Observed {
     Observed {
         outcome: run.outcome,
         steps: run.steps,
-        slots: run.instance.iter().cloned().collect(),
+        slots: run.instance.iter().map(|a| a.to_atom()).collect(),
         events: rec.events,
     }
 }
@@ -148,6 +163,36 @@ proptest! {
         for &n in &SHARD_COUNTS {
             let other = observe_restricted(&set, &db_with_shards(&atoms, n), true);
             assert_same(&format!("rules {rules}, {n} shards, parallel"), &base, &other)?;
+        }
+    }
+
+    /// Parallel trigger *application* (DESIGN.md §16): mask-disjoint
+    /// batches stage their verdicts, nulls and pre-reserved slot ids
+    /// ahead of the replay, and the per-shard commit work fans out
+    /// over the pool. Across worker counts {1, 2, 4} × shard counts
+    /// {1, 2, 4, 7}, outcome, step count, every slot id and the full
+    /// telemetry stream must equal the unsharded sequential baseline.
+    #[test]
+    fn parallel_apply_is_bit_identical_across_threads_and_shards(
+        rules in 0usize..RULES.len(),
+        facts in facts_strategy(),
+    ) {
+        let (_vocab, set, atoms) = parse(rules, &facts);
+        let base = observe_restricted(&set, &db_with_shards(&atoms, SHARD_COUNTS[0]), false);
+        for &n in &SHARD_COUNTS {
+            for threads in [1usize, 2, 4] {
+                let other = observe_restricted_with(
+                    &set,
+                    &db_with_shards(&atoms, n),
+                    true,
+                    Some(threads),
+                );
+                assert_same(
+                    &format!("rules {rules}, {n} shards, {threads} threads, parallel apply"),
+                    &base,
+                    &other,
+                )?;
+            }
         }
     }
 

@@ -135,7 +135,7 @@ pub fn acyclic_seeds(set: &TgdSet, vocab: &mut Vocabulary, max_seeds: usize) -> 
                 let mut merged: Vec<chase_core::atom::Atom> = canonical[i]
                     .iter()
                     .chain(canonical[j].iter())
-                    .cloned()
+                    .map(|a| a.to_atom())
                     .collect();
                 // Positionwise unification side ↔ head: where the
                 // head has a frontier variable, rename the side's

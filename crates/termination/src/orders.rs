@@ -30,7 +30,7 @@ use chase_engine::trigger::active_triggers;
 /// again (one refinement round is enough in practice; imperfect
 /// canonicalisation only weakens memoisation, never soundness).
 fn canonical_key(instance: &Instance) -> Vec<Atom> {
-    let mut atoms: Vec<Atom> = instance.iter().cloned().collect();
+    let mut atoms: Vec<Atom> = instance.iter().map(|a| a.to_atom()).collect();
     atoms.sort();
     let mut rename: FxHashMap<NullId, NullId> = fx_map();
     let mut next = 0u32;

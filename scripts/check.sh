@@ -26,6 +26,14 @@ cargo test --offline -q
 echo "== incremental-equivalence property suite (watermarks vs seed) =="
 cargo test --offline -q --test incremental_equivalence
 
+echo "== parallel-apply equivalence suite (staged apply vs seed oracle, threads x shards) =="
+# Bit-identity of the staged apply phase: outcome, step count, slot
+# ids, telemetry stream and derivation replay must match the
+# sequential run for every tested worker x shard combination. Worker
+# counts are forced (`.workers(n)`), so this holds on any host.
+cargo test --offline -q --test incremental_equivalence parallel_apply
+cargo test --offline -q -p chase-engine --test shard_equivalence parallel_apply
+
 echo "== cargo test -q --workspace =="
 cargo test --offline -q --workspace
 
@@ -36,7 +44,26 @@ echo "== hot-path smoke report (bit-identity + timing sanity + thread-scaling ga
 # Includes the scaling smoke gate: parallel at the gate thread count
 # (2 on multi-core hosts, 1 on single-core ones) must be at least
 # ${SCALING_GATE_TOLERANCE:-0.95}x sequential on the gate workloads.
-scripts/bench.sh smoke
+# On hosts with >= 2 cpus the report also runs a 2-thread bit-identity
+# check (telemetry stream included); single-cpu hosts print a skip
+# notice and rely on the forced-worker equivalence suites above.
+# Like the profiler gate below, the timing side gets
+# ${BENCH_GATE_ATTEMPTS:-3} attempts: even paired-ratio medians jitter
+# a few percent on busy single-CPU hosts, and a real regression fails
+# every attempt while a noisy neighbour does not. Bit-identity
+# violations fail hard on the first attempt (they assert, exit 101).
+for attempt in $(seq 1 "${BENCH_GATE_ATTEMPTS:-3}"); do
+    if scripts/bench.sh smoke; then
+        break
+    else
+        status=$?
+        if [ "$status" -ne 1 ] || [ "$attempt" -eq "${BENCH_GATE_ATTEMPTS:-3}" ]; then
+            echo "hot-path smoke gate: failed (status $status) on attempt $attempt" >&2
+            exit 1
+        fi
+        echo "hot-path smoke gate: attempt $attempt over tolerance (likely machine noise), retrying" >&2
+    fi
+done
 
 echo "== zero-alloc proof (NullObserver hot path) =="
 cargo test --offline -q -p chase-bench --test hotpath_alloc

@@ -156,6 +156,49 @@ proptest! {
         prop_assert_eq!(seq_obs.events, par_obs.events);
     }
 
+    /// Parallel trigger application against the frozen seed oracle:
+    /// with the apply phase staging verdicts, nulls and slot ids ahead
+    /// of the replay and committing per-shard on the pool, every
+    /// worker count {1, 2, 4} × shard count {1, 2, 4, 7} must still
+    /// equal the seed run (outcome, steps, instance), emit the exact
+    /// sequential telemetry stream, and record a derivation that
+    /// replays cleanly through `Derivation::validate`.
+    #[test]
+    fn parallel_apply_equals_seed_across_threads_and_shards(
+        seed in 0u64..5_000,
+        db_seed in 0u64..5_000,
+    ) {
+        let (_vocab, set, db) = build(seed, db_seed);
+        let budget = Budget::new(200, 2_000);
+        let reference = SeedRestrictedChase::new(&set).run(&db, budget);
+        let mut seq_obs = RecordingObserver::default();
+        let seq = RestrictedChase::new(&set).run_observed(&db, budget, &mut seq_obs);
+        for shards in [1usize, 2, 4, 7] {
+            let mut sdb = Instance::with_shards(shards);
+            for atom in db.iter() {
+                sdb.insert(atom.to_atom());
+            }
+            for threads in [1usize, 2, 4] {
+                let label = format!("{shards} shards / {threads} threads");
+                let mut obs = RecordingObserver::default();
+                let run = RestrictedChase::new(&set)
+                    .parallelism(Parallelism::On)
+                    .parallel_threshold(0)
+                    .workers(threads)
+                    .run_observed(&sdb, budget, &mut obs);
+                prop_assert_eq!(reference.outcome, run.outcome, "outcome: {}", &label);
+                prop_assert_eq!(reference.steps, run.steps, "steps: {}", &label);
+                prop_assert_eq!(&reference.instance, &run.instance, "instance: {}", &label);
+                prop_assert_eq!(&seq_obs.events, &obs.events, "telemetry: {}", &label);
+                let must_saturate = run.outcome == Outcome::Terminated;
+                let replayed = run.derivation.validate(&sdb, &set, must_saturate)
+                    .map_err(|f| TestCaseError::fail(format!("{label}: replay fault: {f}")))?;
+                prop_assert_eq!(&replayed, &run.instance, "replay: {}", &label);
+                prop_assert_eq!(&seq.instance, &run.instance, "seq instance: {}", &label);
+            }
+        }
+    }
+
     /// The default parallel gating heuristic (delta size × body width)
     /// must never change results — whichever side of the threshold a
     /// batch lands on, the run is the same.

@@ -89,7 +89,11 @@ fn cores_of_chase_results_are_minimal_universal_models() {
         );
         // The database atoms always survive in the core.
         for atom in db.iter() {
-            assert!(core.contains(atom), "{}: database atom dropped", entry.name);
+            assert!(
+                core.contains(&atom.to_atom()),
+                "{}: database atom dropped",
+                entry.name
+            );
         }
         // Oblivious results, where they terminate, can be non-core;
         // their core is never larger than the restricted result.
