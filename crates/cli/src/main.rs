@@ -10,6 +10,8 @@
 //! chasectl dot <file> [--steps N]   chase, then emit the derivation as graphviz
 //! chasectl suite [--metrics]        run the deciders over the labelled suite
 //! chasectl stats <path>...          aggregate --trace files into a counter table
+//! chasectl serve --socket E         resident chase server on unix:PATH or tcp:HOST:PORT
+//! chasectl client E <op> [<file>]   submit ping|shutdown|cancel|chase|decide to a server
 //! ```
 //!
 //! `chase`, `oblivious` and `decide` additionally accept the telemetry
@@ -26,6 +28,12 @@
 //! `stats --follow <file>` tails a growing trace live, with
 //! `--idle-exit-ms <N>` to stop once the producer goes quiet.
 //!
+//! `serve` and `client` are the resident-server pair (DESIGN.md §17):
+//! `serve` keeps warm worker pools across requests and multiplexes
+//! concurrent, governed sessions; `client` submits one session,
+//! relays its telemetry (`--telemetry`) and retries `overloaded`
+//! sheds with exponential backoff (`--retries N`).
+//!
 //! ## Exit codes
 //!
 //! | code | meaning                                                |
@@ -36,6 +44,7 @@
 //! | 3    | chase stopped: budget exhausted                        |
 //! | 4    | stopped: wall-clock deadline exceeded                  |
 //! | 5    | stopped: cancelled                                     |
+//! | 6    | server overloaded after every client retry             |
 //!
 //! Rule files contain TGDs and facts in the syntax of DESIGN.md §5.
 
@@ -60,6 +69,7 @@ use chase_workloads::runner::run_labelled_suite;
 use tgd_classes::profile::ClassProfile;
 
 mod profile;
+mod serve;
 mod stats;
 
 /// Counts every allocation (and reallocation) into
@@ -109,6 +119,7 @@ const EXIT_USAGE: u8 = 2;
 const EXIT_BUDGET: u8 = 3;
 const EXIT_DEADLINE: u8 = 4;
 const EXIT_CANCELLED: u8 = 5;
+const EXIT_OVERLOADED: u8 = 6;
 
 /// A CLI failure, split by who got it wrong: `Usage` is the caller's
 /// command line (exit code 2, with a usage hint); `Runtime` is
@@ -143,13 +154,14 @@ fn main() -> ExitCode {
 
 /// The one-line hint appended to every usage error.
 fn usage_hint() -> String {
-    "usage: chasectl <classify|chase|oblivious|decide|profile|dot|suite|stats> [<file>] \
-     [options] (run 'chasectl help' for details)"
+    "usage: chasectl <classify|chase|oblivious|decide|profile|dot|suite|stats|serve|client> \
+     [<file>] [options] (run 'chasectl help' for details)"
         .to_string()
 }
 
 fn usage() -> String {
-    "usage: chasectl <classify|chase|oblivious|decide|profile|dot|suite|stats> [<file>] [options]\n\
+    "usage: chasectl <classify|chase|oblivious|decide|profile|dot|suite|stats|serve|client> \
+     [<file>] [options]\n\
      options: --steps N     --strategy fifo|lifo|random|priority   --semi\n\
      \u{20}        --seed N      RNG seed for --strategy random (default 0xC0FFEE)\n\
      \u{20}        --trace F     write one JSON event per line to F (chase|oblivious|decide|profile)\n\
@@ -164,8 +176,14 @@ fn usage() -> String {
      stats:   <path>... (files or directories of .jsonl traces, merged)\n\
      \u{20}        --follow      tail one growing trace live, printing heartbeats\n\
      \u{20}        --idle-exit-ms N  with --follow: exit after N ms without new events\n\
+     serve:   --socket unix:PATH|tcp:HOST:PORT  (required)\n\
+     \u{20}        --runners N --tenant-queue-cap N --global-queue-cap N --retry-after-ms N\n\
+     client:  <endpoint> ping|shutdown|cancel|chase|decide [<file>]\n\
+     \u{20}        cancel: --id S;  chase/decide: --id S --tenant S --deadline-ms N\n\
+     \u{20}        --telemetry (relay event lines) --retries N (overload backoff)\n\
+     \u{20}        chase also: --strategy --seed --steps --max-atoms --threads\n\
      exit codes: 0 ok, 1 runtime error, 2 usage error, 3 budget exhausted,\n\
-     \u{20}           4 deadline exceeded, 5 cancelled"
+     \u{20}           4 deadline exceeded, 5 cancelled, 6 server overloaded"
         .to_string()
 }
 
@@ -211,6 +229,8 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
             cmd_suite(args.iter().any(|a| a == "--metrics"))?;
             Ok(ExitCode::SUCCESS)
         }
+        "serve" => serve::cmd_serve(&args[1..]),
+        "client" => serve::cmd_client(&args[1..]),
         "stats" => {
             check_flags(&args[1..], &["--idle-exit-ms"], &["--follow"])?;
             let follow = args.iter().any(|a| a == "--follow");

@@ -1,0 +1,383 @@
+//! `chasectl serve` and `chasectl client` — the resident chase server
+//! (DESIGN.md §17) and its line-protocol client.
+//!
+//! `serve` binds the endpoint, prints the resolved address on stdout
+//! (a `tcp:HOST:0` bind reports the actual port, so wrapper scripts
+//! can parse it) and blocks until an in-band `{"op":"shutdown"}`
+//! request completes its graceful drain.
+//!
+//! `client` connects, submits one operation and maps the typed reply
+//! onto the CLI's exit-code table: chase outcomes get the same codes
+//! as a direct `chasectl chase` run, and an `overloaded` shed that
+//! survives every retry is exit code 6 — distinguishable from a
+//! runtime failure, so callers can re-queue instead of alerting.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use chase_server::client::{request_once, run_session, ClientConfig, ClientError};
+use chase_server::protocol::Reply;
+use chase_server::scheduler::SchedulerConfig;
+use chase_server::server::{Endpoint, Server, ServerConfig};
+use chase_telemetry::event::escape_json;
+use chase_telemetry::json::Scalar;
+
+use crate::{
+    check_flags, flag_value, CliError, EXIT_BUDGET, EXIT_CANCELLED, EXIT_DEADLINE, EXIT_FAILURE,
+    EXIT_OVERLOADED,
+};
+
+/// Parses an integer-valued flag, if present.
+fn num_flag(args: &[String], flag: &str) -> Result<Option<u64>, CliError> {
+    flag_value(args, flag)?
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|e| CliError::Usage(format!("invalid {flag} '{s}': {e}")))
+        })
+        .transpose()
+}
+
+/// `chasectl serve --socket <endpoint>` plus scheduler knobs.
+pub fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
+    check_flags(
+        args,
+        &[
+            "--socket",
+            "--runners",
+            "--tenant-queue-cap",
+            "--global-queue-cap",
+            "--retry-after-ms",
+        ],
+        &[],
+    )?;
+    let socket = flag_value(args, "--socket")?.ok_or_else(|| {
+        CliError::Usage("serve requires --socket <unix:PATH|tcp:HOST:PORT>".into())
+    })?;
+    let endpoint = Endpoint::parse(&socket).map_err(CliError::Usage)?;
+    let mut scheduler = SchedulerConfig::default();
+    if let Some(n) = num_flag(args, "--runners")? {
+        if n == 0 {
+            return Err(CliError::Usage("--runners must be at least 1".into()));
+        }
+        scheduler.runners = n as usize;
+    }
+    if let Some(n) = num_flag(args, "--tenant-queue-cap")? {
+        scheduler.tenant_queue_cap = n as usize;
+    }
+    if let Some(n) = num_flag(args, "--global-queue-cap")? {
+        scheduler.global_queue_cap = n as usize;
+    }
+    if let Some(n) = num_flag(args, "--retry-after-ms")? {
+        scheduler.retry_after_ms = n;
+    }
+    let server = Server::bind(&endpoint, ServerConfig { scheduler })
+        .map_err(|e| CliError::Runtime(format!("cannot bind {endpoint}: {e}")))?;
+    println!("chase-server: listening on {}", server.endpoint());
+    // Wrapper scripts block on this line before connecting.
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::Runtime(format!("cannot flush stdout: {e}")))?;
+    server
+        .run()
+        .map_err(|e| CliError::Runtime(format!("server failed: {e}")))?;
+    eprintln!("chase-server: drained, exiting");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `chasectl client <endpoint> <ping|shutdown|cancel|chase|decide> ...`
+pub fn cmd_client(args: &[String]) -> Result<ExitCode, CliError> {
+    let endpoint_str = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("client requires an <endpoint> operand".into()))?;
+    let endpoint = Endpoint::parse(endpoint_str).map_err(CliError::Usage)?;
+    let op = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| {
+            CliError::Usage(
+                "client requires an operation: ping|shutdown|cancel|chase|decide".into(),
+            )
+        })?;
+    match op.as_str() {
+        "ping" => {
+            check_flags(&args[2..], &[], &[])?;
+            let reply = control(&endpoint, &Reply::request("ping").finish())?;
+            println!("{}", render_flat(&reply));
+            Ok(ExitCode::SUCCESS)
+        }
+        "shutdown" => {
+            check_flags(&args[2..], &[], &[])?;
+            let reply = control(&endpoint, &Reply::request("shutdown").finish())?;
+            println!("{}", render_flat(&reply));
+            Ok(ExitCode::SUCCESS)
+        }
+        "cancel" => {
+            check_flags(&args[2..], &["--id"], &[])?;
+            let id = flag_value(args, "--id")?
+                .ok_or_else(|| CliError::Usage("client cancel requires --id <session>".into()))?;
+            let reply = control(&endpoint, &Reply::request("cancel").str("id", &id).finish())?;
+            println!("{}", render_flat(&reply));
+            let known = reply.get("known").and_then(Scalar::as_str) == Some("true");
+            if known {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                eprintln!("chasectl: no live session \"{id}\"");
+                Ok(ExitCode::from(EXIT_FAILURE))
+            }
+        }
+        "chase" => cmd_client_chase(&endpoint, args),
+        "decide" => cmd_client_decide(&endpoint, args),
+        other => Err(CliError::Usage(format!(
+            "unknown client operation '{other}'"
+        ))),
+    }
+}
+
+/// Sends one control-plane request (`ping`/`cancel`/`shutdown`).
+fn control(endpoint: &Endpoint, line: &str) -> Result<BTreeMap<String, Scalar>, CliError> {
+    request_once(endpoint, line).map_err(|e| CliError::Runtime(e.to_string()))
+}
+
+fn cmd_client_chase(endpoint: &Endpoint, args: &[String]) -> Result<ExitCode, CliError> {
+    let path = args
+        .get(2)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("client chase requires a rule <file>".into()))?;
+    check_flags(
+        &args[3..],
+        &[
+            "--id",
+            "--tenant",
+            "--strategy",
+            "--seed",
+            "--steps",
+            "--max-atoms",
+            "--deadline-ms",
+            "--threads",
+            "--retries",
+        ],
+        &["--telemetry"],
+    )?;
+    let program = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let id = flag_value(args, "--id")?.unwrap_or_else(default_session_id);
+    let mut line = Reply::request("chase")
+        .str("id", &id)
+        .str("program", &program);
+    if let Some(tenant) = flag_value(args, "--tenant")? {
+        line = line.str("tenant", &tenant);
+    }
+    if let Some(strategy) = flag_value(args, "--strategy")? {
+        if !matches!(strategy.as_str(), "fifo" | "lifo" | "random" | "priority") {
+            return Err(CliError::Usage(format!("unknown strategy '{strategy}'")));
+        }
+        line = line.str("strategy", &strategy);
+    }
+    if let Some(seed) = flag_value(args, "--seed")? {
+        line = line.num("seed", crate::parse_seed(&seed)?);
+    }
+    // The server-side default budget is unbounded; mirror the direct
+    // `chasectl chase` default so a non-terminating program submitted
+    // without --steps cannot occupy a runner forever.
+    line = line.num("max_steps", num_flag(args, "--steps")?.unwrap_or(10_000));
+    if let Some(atoms) = num_flag(args, "--max-atoms")? {
+        line = line.num("max_atoms", atoms);
+    }
+    if let Some(ms) = num_flag(args, "--deadline-ms")? {
+        line = line.num("deadline_ms", ms);
+    }
+    if let Some(threads) = crate::threads_from_flags(args)? {
+        line = line.num("threads", threads as u64);
+    }
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    if telemetry {
+        line = line.bool("telemetry", true);
+    }
+    let result = submit(endpoint, &line.finish(), args, telemetry)?;
+    let Some(result) = result else {
+        return Ok(ExitCode::from(EXIT_OVERLOADED));
+    };
+    match result.get("status").and_then(Scalar::as_str).unwrap_or("") {
+        "ok" => {
+            let get_num = |key: &str| result.get(key).and_then(Scalar::as_num).unwrap_or(0);
+            let outcome = result
+                .get("outcome")
+                .and_then(Scalar::as_str)
+                .unwrap_or("?")
+                .to_string();
+            println!(
+                "session {id}: {} after {} steps, {} atoms (fingerprint {}, {} event(s) sent, {} dropped)",
+                outcome.replace('_', " "),
+                get_num("steps"),
+                get_num("atoms"),
+                result
+                    .get("fingerprint")
+                    .and_then(Scalar::as_str)
+                    .unwrap_or("?"),
+                get_num("events_sent"),
+                get_num("events_dropped"),
+            );
+            let code = match outcome.as_str() {
+                "terminated" => 0,
+                "budget_exhausted" => EXIT_BUDGET,
+                "deadline_exceeded" => EXIT_DEADLINE,
+                "cancelled" => EXIT_CANCELLED,
+                _ => EXIT_FAILURE,
+            };
+            Ok(ExitCode::from(code))
+        }
+        status => session_failure(&id, status, &result),
+    }
+}
+
+fn cmd_client_decide(endpoint: &Endpoint, args: &[String]) -> Result<ExitCode, CliError> {
+    let path = args
+        .get(2)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("client decide requires a rule <file>".into()))?;
+    check_flags(
+        &args[3..],
+        &["--id", "--tenant", "--deadline-ms", "--retries"],
+        &["--telemetry"],
+    )?;
+    let program = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let id = flag_value(args, "--id")?.unwrap_or_else(default_session_id);
+    let mut line = Reply::request("decide")
+        .str("id", &id)
+        .str("program", &program);
+    if let Some(tenant) = flag_value(args, "--tenant")? {
+        line = line.str("tenant", &tenant);
+    }
+    if let Some(ms) = num_flag(args, "--deadline-ms")? {
+        line = line.num("deadline_ms", ms);
+    }
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    if telemetry {
+        line = line.bool("telemetry", true);
+    }
+    let result = submit(endpoint, &line.finish(), args, telemetry)?;
+    let Some(result) = result else {
+        return Ok(ExitCode::from(EXIT_OVERLOADED));
+    };
+    match result.get("status").and_then(Scalar::as_str).unwrap_or("") {
+        "ok" => {
+            let verdict = result
+                .get("verdict")
+                .and_then(Scalar::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let reason = result.get("reason").and_then(Scalar::as_str);
+            match reason {
+                Some(reason) => println!("session {id}: verdict {verdict} ({reason})"),
+                None => println!("session {id}: verdict {verdict}"),
+            }
+            // Mirror `chasectl decide`: interrupted Unknowns get the
+            // deadline/cancel codes; honest verdicts are success.
+            let code = match reason {
+                Some(r) if r.starts_with("deadline exceeded") => EXIT_DEADLINE,
+                Some(r) if r.starts_with("cancelled") => EXIT_CANCELLED,
+                _ => 0,
+            };
+            Ok(ExitCode::from(code))
+        }
+        status => session_failure(&id, status, &result),
+    }
+}
+
+/// Drives one session to its result, relaying telemetry event lines to
+/// stdout when requested. `Ok(None)` means the submission was shed on
+/// every attempt (the overloaded exit code); other client errors are
+/// runtime failures.
+fn submit(
+    endpoint: &Endpoint,
+    request_line: &str,
+    args: &[String],
+    relay_events: bool,
+) -> Result<Option<BTreeMap<String, Scalar>>, CliError> {
+    let config = ClientConfig {
+        retries: num_flag(args, "--retries")?
+            .map(|n| n as u32)
+            .unwrap_or(ClientConfig::default().retries),
+        ..ClientConfig::default()
+    };
+    let outcome = run_session(endpoint, request_line, &config, |line| {
+        if relay_events && line.get("type").and_then(Scalar::as_str) == Some("event") {
+            println!("{}", render_flat(line));
+        }
+    });
+    match outcome {
+        Ok(session) => Ok(Some(session.result)),
+        Err(ClientError::Overloaded(attempts)) => {
+            eprintln!("chasectl: server overloaded after {attempts} attempt(s)");
+            Ok(None)
+        }
+        Err(e) => Err(CliError::Runtime(e.to_string())),
+    }
+}
+
+/// Renders a `parse_error`/`panicked`/unknown result and exits 1.
+fn session_failure(
+    id: &str,
+    status: &str,
+    result: &BTreeMap<String, Scalar>,
+) -> Result<ExitCode, CliError> {
+    let error = result
+        .get("error")
+        .and_then(Scalar::as_str)
+        .unwrap_or("no detail");
+    eprintln!("chasectl: session {id}: {status}: {error}");
+    Ok(ExitCode::from(EXIT_FAILURE))
+}
+
+/// A collision-resistant default session id: pid + sub-second clock.
+fn default_session_id() -> String {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    format!("cli-{}-{nanos:08x}", std::process::id())
+}
+
+/// Re-encodes a parsed reply line as flat JSON (keys in `BTreeMap`
+/// order — stable, though not necessarily the wire order).
+fn render_flat(map: &BTreeMap<String, Scalar>) -> String {
+    let mut out = String::with_capacity(64);
+    out.push('{');
+    for (i, (key, value)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(&mut out, key);
+        out.push_str("\":");
+        match value {
+            Scalar::Str(s) => {
+                out.push('"');
+                escape_json(&mut out, s);
+                out.push('"');
+            }
+            Scalar::Num(n) => out.push_str(&n.to_string()),
+            Scalar::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_flat_round_trips_through_the_shared_parser() {
+        let mut map = BTreeMap::new();
+        map.insert("type".to_string(), Scalar::Str("result\"x".into()));
+        map.insert("steps".to_string(), Scalar::Num(9));
+        map.insert("ok".to_string(), Scalar::Bool(true));
+        let line = render_flat(&map);
+        let parsed = chase_telemetry::json::parse_line(&line).unwrap();
+        assert_eq!(parsed, map);
+    }
+}

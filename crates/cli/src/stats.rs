@@ -3,10 +3,12 @@
 //! prints.
 //!
 //! Each line of a trace is one flat JSON object (see the event schema
-//! in the `chase-telemetry` crate docs). A tiny hand-rolled parser for
-//! exactly that shape — string, integer and boolean values, no nesting
-//! — keeps the CLI dependency-free; a malformed line is a hard error
-//! with its line number, so `stats` doubles as a trace validator.
+//! in the `chase-telemetry` crate docs), decoded by the shared
+//! [`chase_telemetry::json`] parser — the same grammar the
+//! `chase-server` wire protocol speaks, so a captured session
+//! transcript aggregates like any other trace. A malformed line is a
+//! hard error with its line number, so `stats` doubles as a trace
+//! validator.
 //!
 //! Several files (or a directory of `*.jsonl` files) merge into one
 //! combined table; `--follow` tails a growing trace, rendering each
@@ -18,196 +20,7 @@ use std::collections::BTreeMap;
 use chase_telemetry::summary::format_nanos;
 use chase_telemetry::{names, HistogramSnapshot, TelemetrySummary};
 
-/// One scalar value of a flat JSON event object.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Scalar {
-    /// A JSON string (unescaped).
-    Str(String),
-    /// A non-negative JSON integer.
-    Num(u64),
-    /// A JSON boolean.
-    Bool(bool),
-}
-
-impl Scalar {
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Scalar::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_num(&self) -> Option<u64> {
-        match self {
-            Scalar::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn as_bool(&self) -> Option<bool> {
-        match self {
-            Scalar::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-}
-
-/// Parses one trace line: a flat JSON object with scalar values.
-pub fn parse_line(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
-    let mut p = Parser {
-        bytes: line.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    p.expect(b'{')?;
-    let mut out = BTreeMap::new();
-    p.skip_ws();
-    if p.peek() == Some(b'}') {
-        p.pos += 1;
-    } else {
-        loop {
-            p.skip_ws();
-            let key = p.string()?;
-            p.skip_ws();
-            p.expect(b':')?;
-            p.skip_ws();
-            let value = p.scalar()?;
-            if out.insert(key.clone(), value).is_some() {
-                return Err(format!("duplicate key \"{key}\""));
-            }
-            p.skip_ws();
-            match p.next() {
-                Some(b',') => continue,
-                Some(b'}') => break,
-                Some(c) => return Err(format!("expected ',' or '}}', found '{}'", c as char)),
-                None => return Err("unterminated object".into()),
-            }
-        }
-    }
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing content after object at byte {}", p.pos));
-    }
-    Ok(out)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn next(&mut self) -> Option<u8> {
-        let b = self.peek()?;
-        self.pos += 1;
-        Some(b)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, want: u8) -> Result<(), String> {
-        match self.next() {
-            Some(b) if b == want => Ok(()),
-            Some(b) => Err(format!(
-                "expected '{}', found '{}' at byte {}",
-                want as char,
-                b as char,
-                self.pos - 1
-            )),
-            None => Err(format!("expected '{}', found end of line", want as char)),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.next() {
-                Some(b'"') => return Ok(out),
-                Some(b'\\') => match self.next() {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let d = self
-                                .next()
-                                .and_then(|b| (b as char).to_digit(16))
-                                .ok_or("bad \\u escape")?;
-                            code = code * 16 + d;
-                        }
-                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                    }
-                    Some(c) => return Err(format!("bad escape '\\{}'", c as char)),
-                    None => return Err("unterminated string".into()),
-                },
-                Some(b) if b < 0x20 => return Err("raw control character in string".into()),
-                Some(b) => {
-                    // Multi-byte UTF-8 passes through byte-wise: the
-                    // input was a &str, so the bytes are valid UTF-8.
-                    let start = self.pos - 1;
-                    let mut end = self.pos;
-                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
-                        end += 1;
-                    }
-                    if b < 0x80 {
-                        out.push(b as char);
-                    } else {
-                        out.push_str(
-                            std::str::from_utf8(&self.bytes[start..end])
-                                .map_err(|_| "invalid UTF-8")?,
-                        );
-                        self.pos = end;
-                    }
-                }
-                None => return Err("unterminated string".into()),
-            }
-        }
-    }
-
-    fn scalar(&mut self) -> Result<Scalar, String> {
-        match self.peek() {
-            Some(b'"') => Ok(Scalar::Str(self.string()?)),
-            Some(b't') => self.literal("true").map(|()| Scalar::Bool(true)),
-            Some(b'f') => self.literal("false").map(|()| Scalar::Bool(false)),
-            Some(b'0'..=b'9') => {
-                let start = self.pos;
-                while matches!(self.peek(), Some(b'0'..=b'9')) {
-                    self.pos += 1;
-                }
-                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-                text.parse::<u64>()
-                    .map(Scalar::Num)
-                    .map_err(|e| format!("bad integer '{text}': {e}"))
-            }
-            Some(c) => Err(format!("unsupported value starting with '{}'", c as char)),
-            None => Err("expected a value, found end of line".into()),
-        }
-    }
-
-    fn literal(&mut self, word: &str) -> Result<(), String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(())
-        } else {
-            Err(format!("expected '{word}'"))
-        }
-    }
-}
+pub use chase_telemetry::json::{parse_line, Scalar};
 
 /// The aggregation of one whole trace file.
 #[derive(Debug, Default)]
@@ -455,11 +268,20 @@ fn heartbeat_line(event: &BTreeMap<String, Scalar>) -> String {
     )
 }
 
+/// Shortest and longest pauses of the follow-mode poll loop. An idle
+/// trace costs one `read` per [`FOLLOW_MAX_SLEEP_MS`] rather than a
+/// busy spin; the pause resets to [`FOLLOW_MIN_SLEEP_MS`] the moment
+/// data arrives so an active producer is still tailed promptly.
+const FOLLOW_MIN_SLEEP_MS: u64 = 10;
+const FOLLOW_MAX_SLEEP_MS: u64 = 250;
+
 /// The `chasectl stats --follow <file>` entry point: tails a growing
 /// trace, printing a progress line per heartbeat, and the merged table
 /// once the producer goes quiet for `idle_exit_ms` (forever if
 /// `None`). Only complete (newline-terminated) lines are consumed, so
-/// a line caught mid-write is never misparsed.
+/// a line caught mid-write is never misparsed. Polling backs off
+/// exponentially while the file is quiet (10ms doubling to a 250ms
+/// cap) and snaps back on new data.
 pub fn cmd_stats_follow(path: &str, idle_exit_ms: Option<u64>) -> Result<(), String> {
     use std::io::Read;
     let mut file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
@@ -467,20 +289,28 @@ pub fn cmd_stats_follow(path: &str, idle_exit_ms: Option<u64>) -> Result<(), Str
     let mut pending = String::new();
     let mut lines = 0usize;
     let mut last_data = std::time::Instant::now();
+    let mut sleep_ms = FOLLOW_MIN_SLEEP_MS;
     loop {
         let mut chunk = String::new();
         file.read_to_string(&mut chunk)
             .map_err(|e| format!("reading {path}: {e}"))?;
         if chunk.is_empty() {
+            let mut pause = sleep_ms;
             if let Some(ms) = idle_exit_ms {
-                if last_data.elapsed() >= std::time::Duration::from_millis(ms) {
+                let idle = std::time::Duration::from_millis(ms);
+                let elapsed = last_data.elapsed();
+                if elapsed >= idle {
                     break;
                 }
+                // Never sleep past the idle deadline.
+                pause = pause.min((idle - elapsed).as_millis().max(1) as u64);
             }
-            std::thread::sleep(std::time::Duration::from_millis(25));
+            std::thread::sleep(std::time::Duration::from_millis(pause));
+            sleep_ms = (sleep_ms * 2).min(FOLLOW_MAX_SLEEP_MS);
             continue;
         }
         last_data = std::time::Instant::now();
+        sleep_ms = FOLLOW_MIN_SLEEP_MS;
         pending.push_str(&chunk);
         while let Some(nl) = pending.find('\n') {
             let line: String = pending.drain(..=nl).collect();

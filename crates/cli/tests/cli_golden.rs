@@ -371,3 +371,135 @@ fn stats_usage_errors() {
         "follow with two files",
     );
 }
+
+/// Boots `chasectl serve` on a throwaway unix socket and blocks until
+/// it prints its listening line, so clients cannot race the bind.
+fn boot_server(tag: &str) -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let socket =
+        std::env::temp_dir().join(format!("chasectl-golden-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let endpoint = format!("unix:{}", socket.display());
+    let mut child = Command::new(BIN)
+        .args(["serve", "--socket", &endpoint])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn chasectl serve");
+    let stdout = child.stdout.take().expect("server stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listening line");
+    assert!(line.contains("listening on"), "{line}");
+    (child, endpoint)
+}
+
+#[test]
+fn serve_round_trips_chase_decide_and_control_ops() {
+    let (mut server, endpoint) = boot_server("roundtrip");
+    let finite = rule_file("srv-finite", FINITE);
+    let infinite = rule_file("srv-infinite", INFINITE);
+    let broken = rule_file("srv-broken", "this is not a rule file");
+
+    let out = run(&["client", &endpoint, "ping"]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pong"));
+
+    // A served chase matches the direct command's exit-code contract.
+    let out = run(&["client", &endpoint, "chase", finite.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("terminated"), "{stdout}");
+    assert!(stdout.contains("fingerprint"), "{stdout}");
+
+    let out = run(&[
+        "client",
+        &endpoint,
+        "chase",
+        infinite.to_str().unwrap(),
+        "--steps",
+        "5",
+    ]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+
+    let out = run(&[
+        "client",
+        &endpoint,
+        "chase",
+        infinite.to_str().unwrap(),
+        "--deadline-ms",
+        "0",
+    ]);
+    assert_eq!(code(&out), 4, "{}", stderr(&out));
+
+    // A parse failure is a typed per-session result, not a dead server.
+    let out = run(&["client", &endpoint, "chase", broken.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+    assert!(stderr(&out).contains("parse_error"), "{}", stderr(&out));
+
+    // Telemetry relays event lines in the shared flat-JSON grammar.
+    let out = run(&[
+        "client",
+        &endpoint,
+        "chase",
+        infinite.to_str().unwrap(),
+        "--steps",
+        "3",
+        "--telemetry",
+    ]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"type\":\"event\""), "{stdout}");
+    assert!(stdout.contains("\"event\":\"trigger_applied\""), "{stdout}");
+
+    let out = run(&["client", &endpoint, "decide", finite.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("verdict terminating"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Cancelling an unknown session is acknowledged but exits 1.
+    let out = run(&["client", &endpoint, "cancel", "--id", "no-such-session"]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cancel_ack"));
+
+    let out = run(&["client", &endpoint, "shutdown"]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("shutdown_ack"));
+
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "server exited {status:?}");
+}
+
+#[test]
+fn serve_and_client_usage_errors() {
+    assert_usage_error(&run(&["serve"]), "serve without --socket");
+    assert_usage_error(&run(&["serve", "--socket"]), "socket without value");
+    assert_usage_error(&run(&["client"]), "client without endpoint");
+    assert_usage_error(
+        &run(&["client", "unix:/tmp/x.sock"]),
+        "client without operation",
+    );
+    assert_usage_error(
+        &run(&["client", "unix:/tmp/x.sock", "frobnicate"]),
+        "unknown client operation",
+    );
+    assert_usage_error(
+        &run(&["client", "unix:/tmp/x.sock", "chase"]),
+        "client chase without file",
+    );
+    assert_usage_error(
+        &run(&["client", "unix:/tmp/x.sock", "cancel"]),
+        "cancel without --id",
+    );
+    assert_usage_error(&run(&["client", "nonsense", "ping"]), "bad endpoint");
+}
+
+#[test]
+fn client_against_no_server_is_a_runtime_error() {
+    let out = run(&["client", "unix:/tmp/chasectl-no-such-server.sock", "ping"]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+    assert!(stderr(&out).contains("i/o error"), "{}", stderr(&out));
+}

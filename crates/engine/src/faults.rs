@@ -52,6 +52,25 @@ pub struct FaultPlan {
     /// Fail every telemetry sink write after the first `n` succeed
     /// (consumed by [`FlakyWriter`]).
     pub sink_fail_after: Option<u64>,
+    /// Panic the session task itself once `steps >= n` (checked at
+    /// every governor poll): the deterministic stand-in for a poisoned
+    /// rule set blowing up mid-run. Unlike [`FaultPlan::worker_panic`]
+    /// — which the discovery driver contains *inside* the run — this
+    /// panic unwinds the whole engine call; only a task-level
+    /// `catch_unwind` boundary (see `chase_engine::task`, and the
+    /// chase server's per-session containment) survives it, which is
+    /// exactly what it exists to prove. Not drawn by
+    /// [`FaultPlan::from_seed`]: the seeded proptest suites assert
+    /// clean in-run recovery, and a task-level panic is by design not
+    /// recoverable in-run.
+    pub task_panic_at_step: Option<usize>,
+    /// Fail every *socket* write of the session's connection after the
+    /// first `n` succeed (consumed by the chase server's connection
+    /// writer, mirroring [`FaultPlan::sink_fail_after`] for the wire).
+    /// A degraded connection drops telemetry lines and keeps the
+    /// session running; the server process must survive. Not drawn by
+    /// [`FaultPlan::from_seed`] — it is meaningless outside a server.
+    pub socket_fail_after: Option<u64>,
 }
 
 impl FaultPlan {
@@ -89,6 +108,11 @@ impl FaultPlan {
             deadline_at_step,
             cancel_at_step,
             sink_fail_after,
+            // Deliberately never seeded (see the field docs): the
+            // seeded suites assert in-run recovery, and these two arms
+            // are only containable one level up (task / connection).
+            task_panic_at_step: None,
+            socket_fail_after: None,
         }
     }
 
@@ -100,6 +124,11 @@ impl FaultPlan {
     /// Whether the injected cancellation is due at `steps`.
     pub fn cancel_due(&self, steps: usize) -> bool {
         self.cancel_at_step.is_some_and(|n| steps >= n)
+    }
+
+    /// Whether the injected task-level panic is due at `steps`.
+    pub fn task_panic_due(&self, steps: usize) -> bool {
+        self.task_panic_at_step.is_some_and(|n| steps >= n)
     }
 
     /// The worker index instructed to panic in discovery batch
@@ -224,6 +253,25 @@ mod tests {
         assert!(!plan.cancel_due(4));
         assert!(plan.cancel_due(5));
         assert_eq!(plan.panic_worker_in(0), None);
+        let plan = FaultPlan {
+            task_panic_at_step: Some(2),
+            ..FaultPlan::default()
+        };
+        assert!(!plan.task_panic_due(1));
+        assert!(plan.task_panic_due(2));
+        assert!(plan.task_panic_due(9));
+    }
+
+    #[test]
+    fn task_level_arms_are_never_seeded() {
+        // The seeded proptest suites assert clean *in-run* recovery;
+        // the task-level arms are only containable one level up, so
+        // `from_seed` must never arm them.
+        for seed in 0..512 {
+            let plan = FaultPlan::from_seed(seed);
+            assert_eq!(plan.task_panic_at_step, None);
+            assert_eq!(plan.socket_fail_after, None);
+        }
     }
 
     #[test]

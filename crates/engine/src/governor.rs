@@ -187,7 +187,17 @@ impl ResourceGovernor {
     /// so cancellation (however requested) wins over deadlines; an
     /// injected deadline wins over the wall clock (which is only
     /// consulted when a deadline is actually set).
+    ///
+    /// An armed [`FaultPlan::task_panic_at_step`] fires here, before
+    /// anything else — a simulated crash does not negotiate with
+    /// cancellation. The panic unwinds the engine call; it is
+    /// contained only by a task-level `catch_unwind` boundary
+    /// ([`crate::task::run_chase_task`], the chase server's
+    /// per-session containment).
     pub fn interrupted(&self, steps: usize) -> Option<Outcome> {
+        if self.faults.task_panic_due(steps) {
+            crate::faults::inject_worker_panic();
+        }
         if self.faults.cancel_due(steps) {
             self.cancel.cancel();
         }

@@ -22,6 +22,8 @@
 //! * [`governor`] — budgets, deadlines and cooperative cancellation
 //!   for chase runs;
 //! * [`faults`] — deterministic fault injection for resilience tests;
+//! * [`task`] — owned, panic-contained chase tasks (the unit of work
+//!   a resident chase server schedules);
 //! * [`seed`] — frozen pre-optimisation engines (equivalence oracle
 //!   and benchmark baseline).
 
@@ -49,6 +51,7 @@ pub mod relations;
 pub mod restricted;
 pub mod seed;
 pub mod skolem;
+pub mod task;
 pub mod trigger;
 pub mod universal;
 
@@ -71,6 +74,7 @@ pub mod prelude {
     pub use crate::restricted::{Budget, ChaseRun, Outcome, RestrictedChase, Strategy};
     pub use crate::seed::{SeedObliviousChase, SeedRestrictedChase};
     pub use crate::skolem::{SkolemPolicy, SkolemTable};
+    pub use crate::task::{run_chase_task, ChaseTaskSpec, TaskEngine, TaskError, TaskOutput};
     pub use crate::trigger::{active_triggers, all_triggers, Trigger, TriggerFp};
     pub use crate::universal::{core_of, is_core};
 }

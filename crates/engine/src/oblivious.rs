@@ -185,8 +185,28 @@ impl<'a> ObliviousChase<'a> {
         gov: &ResourceGovernor,
         obs: &mut O,
     ) -> ObliviousRun {
+        // One persistent pool handle per run; threads are spawned
+        // lazily on the first batch that fans out, then reused (with
+        // their resident scratches) for every later batch.
+        let mut pool = DiscoveryPool::new(self.workers);
+        self.run_governed_observed_in(database, gov, obs, &mut pool)
+    }
+
+    /// [`ObliviousChase::run_governed_observed`] against a
+    /// caller-provided worker pool (see
+    /// [`crate::restricted::RestrictedChase::run_governed_observed_in`]
+    /// for the sharing contract: the pool must target
+    /// [`ObliviousChase::workers`], and carries no run-scoped state, so
+    /// reuse across runs is bit-identical to a fresh pool).
+    pub fn run_governed_observed_in<O: ChaseObserver + ?Sized>(
+        &self,
+        database: &Instance,
+        gov: &ResourceGovernor,
+        obs: &mut O,
+        pool: &mut DiscoveryPool,
+    ) -> ObliviousRun {
         let run_guard = span_enter(obs, spans::RUN, NO_TGD);
-        let run = self.run_inner(database, gov, obs);
+        let run = self.run_inner(database, gov, obs, pool);
         run_guard.exit(obs);
         run
     }
@@ -196,6 +216,7 @@ impl<'a> ObliviousChase<'a> {
         database: &Instance,
         gov: &ResourceGovernor,
         obs: &mut O,
+        pool: &mut DiscoveryPool,
     ) -> ObliviousRun {
         let run_start = (obs.enabled() && obs.profiling()).then(std::time::Instant::now);
         let engine_kind = match self.policy {
@@ -233,10 +254,6 @@ impl<'a> ObliviousChase<'a> {
         let mut queue: VecDeque<Trigger> = VecDeque::new();
         let mut applied: chase_core::ids::FxHashSet<TriggerFp> = fx_set();
         let mut enum_scratch = HomScratch::new();
-        // One persistent pool handle per run; threads are spawned
-        // lazily on the first batch that fans out, then reused (with
-        // their resident scratches) for every later batch.
-        let mut pool = DiscoveryPool::new(self.workers);
         // Single-worker pools skip the batch path entirely — it could
         // only add per-trigger clones and a merge on the calling thread
         // (see the restricted engine for the same reasoning).
@@ -256,7 +273,7 @@ impl<'a> ObliviousChase<'a> {
                     inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
                     worker_cap: self.workers,
                 },
-                &mut pool,
+                &mut *pool,
             );
             batch_idx += 1;
             emit_worker_spans(obs, &batch.worker_nanos);
@@ -411,7 +428,7 @@ impl<'a> ObliviousChase<'a> {
                         inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
                         worker_cap: self.workers,
                     },
-                    &mut pool,
+                    &mut *pool,
                 );
                 batch_idx += 1;
                 emit_worker_spans(obs, &batch.worker_nanos);

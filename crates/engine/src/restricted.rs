@@ -752,8 +752,37 @@ impl<'a> RestrictedChase<'a> {
         gov: &ResourceGovernor,
         obs: &mut O,
     ) -> ChaseRun {
+        // One persistent worker pool for the whole run: spawned lazily
+        // on the first parallel batch, reused (threads and per-worker
+        // scratches) by every discovery and restriction-check batch
+        // after it. Sequential runs never spawn a thread.
+        let mut pool = DiscoveryPool::new(self.workers);
+        self.run_governed_observed_in(database, gov, obs, &mut pool)
+    }
+
+    /// [`RestrictedChase::run_governed_observed`] against a
+    /// caller-provided worker pool, so a resident process (the chase
+    /// server's session runners) can keep one warm [`DiscoveryPool`]
+    /// per thread configuration and reuse its spawned workers and
+    /// scratches across many runs instead of re-parking threads per
+    /// request.
+    ///
+    /// The pool must target the same worker count this engine was
+    /// configured with ([`RestrictedChase::workers`]); parallel gating
+    /// consults `pool.target_workers()`, so a mismatched pool would
+    /// make the run's fan-out decisions differ from a fresh-pool run.
+    /// The run is bit-identical to [`RestrictedChase::run_governed_observed`]
+    /// whenever that invariant holds — the pool carries no run-scoped
+    /// state, only threads and reusable scratch arenas.
+    pub fn run_governed_observed_in<O: ChaseObserver + ?Sized>(
+        &self,
+        database: &Instance,
+        gov: &ResourceGovernor,
+        obs: &mut O,
+        pool: &mut DiscoveryPool,
+    ) -> ChaseRun {
         let run_guard = span_enter(obs, spans::RUN, NO_TGD);
-        let run = self.run_inner(database, gov, obs);
+        let run = self.run_inner(database, gov, obs, pool);
         run_guard.exit(obs);
         run
     }
@@ -763,6 +792,7 @@ impl<'a> RestrictedChase<'a> {
         database: &Instance,
         gov: &ResourceGovernor,
         obs: &mut O,
+        pool: &mut DiscoveryPool,
     ) -> ChaseRun {
         const ENGINE: EngineKind = EngineKind::Restricted;
         // `Some` exactly when the observer opted into profiling;
@@ -812,11 +842,6 @@ impl<'a> RestrictedChase<'a> {
         };
         let mut enum_scratch = HomScratch::new();
         let mut active_scratch = HomScratch::new();
-        // One persistent worker pool for the whole run: spawned lazily
-        // on the first parallel batch, reused (threads and per-worker
-        // scratches) by every discovery and restriction-check batch
-        // after it. Sequential runs never spawn a thread.
-        let mut pool = DiscoveryPool::new(self.workers);
         // Parallel restriction checks are FIFO-only: a batch is a run
         // of *consecutive* queue-front candidates, so replaying it in
         // order is exactly the sequential pop order. The u128 conflict
@@ -857,7 +882,7 @@ impl<'a> RestrictedChase<'a> {
                     inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
                     worker_cap: self.workers,
                 },
-                &mut pool,
+                &mut *pool,
             );
             batch_idx += 1;
             emit_worker_spans(obs, &batch.worker_nanos);
@@ -965,7 +990,7 @@ impl<'a> RestrictedChase<'a> {
                             &arena,
                             &mut queue,
                             first,
-                            &mut pool,
+                            &mut *pool,
                             &mut pending,
                         );
                         if panicked > 0 {
@@ -991,7 +1016,7 @@ impl<'a> RestrictedChase<'a> {
                                 &mut check_binding,
                                 gov,
                                 steps,
-                                &mut pool,
+                                &mut *pool,
                                 self.parallel_threshold,
                                 &mut apply_batch_idx,
                             );
@@ -1202,7 +1227,7 @@ impl<'a> RestrictedChase<'a> {
                         inject_panic_worker: gov.faults().panic_worker_in(batch_idx),
                         worker_cap: self.workers,
                     },
-                    &mut pool,
+                    &mut *pool,
                 );
                 batch_idx += 1;
                 emit_worker_spans(obs, &batch.worker_nanos);

@@ -1,0 +1,467 @@
+//! The resident server: socket accept loop, per-connection protocol
+//! handling, session registry and graceful drain.
+//!
+//! One process, one [`Scheduler`]; any number of client connections,
+//! each carrying any number of interleaved sessions. Replies for all
+//! sessions of a connection are multiplexed onto its single writer
+//! (every line carries the session `id`), so clients demultiplex by
+//! `id` rather than by stream.
+//!
+//! Shutdown is an in-band `{"op":"shutdown"}` request (any connection
+//! may send it — the server fleet's supervisor owns the socket, so
+//! in-band is the honest interface in a `std`-only process with no
+//! signal-handler access): admission stops immediately with typed
+//! `shutting_down` replies, queued and running sessions finish and
+//! deliver their results, runner threads exit, the accept loop wakes
+//! and returns. Every session's [`CancelToken`] is registered in a
+//! [`CancelGroup`], so an *abortive* variant (`{"op":"shutdown",
+//! "abort":true}` in a future PR) only needs one `cancel_all` call.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use chase_core::cancel::{CancelGroup, CancelToken};
+
+use crate::protocol::{event_reply, parse_request, Reply, Request};
+use crate::scheduler::{Rejected, RunnerCtx, Scheduler, SchedulerConfig};
+use crate::session::{run_chase_session, run_decide_session};
+
+/// Where the server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7878` (port 0 picks a free one).
+    Tcp(String),
+    /// A unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `unix:PATH`, `tcp:ADDR`, a bare path (contains `/`) or a
+    /// bare TCP address.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            return Ok(Endpoint::Tcp(addr.to_string()));
+        }
+        if s.contains('/') {
+            return Ok(Endpoint::Unix(PathBuf::from(s)));
+        }
+        if s.contains(':') {
+            return Ok(Endpoint::Tcp(s.to_string()));
+        }
+        Err(format!(
+            "cannot interpret endpoint '{s}': use unix:PATH or tcp:HOST:PORT"
+        ))
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Scheduler knobs (runners, queue caps, retry hint).
+    pub scheduler: SchedulerConfig,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn split(self) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        match self {
+            Stream::Tcp(s) => Ok((Box::new(s.try_clone()?), Box::new(s))),
+            Stream::Unix(s) => Ok((Box::new(s.try_clone()?), Box::new(s))),
+        }
+    }
+}
+
+/// One connection's shared, mutex-guarded line writer. All sessions of
+/// the connection funnel through it; a write failure flips it into
+/// degraded mode (silently dropping further lines — the client is
+/// gone) after warning once on stderr.
+pub struct ConnWriter {
+    inner: Mutex<WriterInner>,
+}
+
+struct WriterInner {
+    stream: Box<dyn Write + Send>,
+    degraded: bool,
+    warned: bool,
+    dropped: u64,
+}
+
+impl ConnWriter {
+    fn new(stream: Box<dyn Write + Send>) -> Self {
+        ConnWriter {
+            inner: Mutex::new(WriterInner {
+                stream,
+                degraded: false,
+                warned: false,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Writes one line (newline appended). Returns `false` once the
+    /// connection has degraded; the caller decides what dropping a
+    /// line means (sessions count dropped events, results are
+    /// best-effort).
+    pub fn send_line(&self, line: &str) -> bool {
+        let mut inner = self.inner.lock().expect("connection writer poisoned");
+        if inner.degraded {
+            inner.dropped += 1;
+            return false;
+        }
+        let wrote = inner
+            .stream
+            .write_all(line.as_bytes())
+            .and_then(|()| inner.stream.write_all(b"\n"))
+            .and_then(|()| inner.stream.flush());
+        if let Err(e) = wrote {
+            inner.degraded = true;
+            inner.dropped += 1;
+            if !inner.warned {
+                inner.warned = true;
+                eprintln!("chase-server: connection write failed ({e}); dropping further replies");
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Sends one spliced telemetry event line for session `id`.
+    pub fn send_event(&self, id: &str, event_json: &str) -> bool {
+        self.send_line(&event_reply(id, event_json))
+    }
+
+    /// Lines dropped since the connection degraded.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("connection writer poisoned")
+            .dropped
+    }
+}
+
+/// Live-session registry: session id → cancel token, plus the group
+/// that lets shutdown reach everything at once.
+#[derive(Default)]
+struct Registry {
+    live: Mutex<HashMap<String, CancelToken>>,
+    group: CancelGroup,
+}
+
+impl Registry {
+    /// Registers a session's token; `false` if the id is already live
+    /// (duplicate ids are a protocol error — sessions are keyed by id).
+    fn insert(&self, id: &str, token: CancelToken) -> bool {
+        let mut live = self.live.lock().expect("registry poisoned");
+        if live.contains_key(id) {
+            return false;
+        }
+        self.group.adopt(token.clone());
+        live.insert(id.to_string(), token);
+        true
+    }
+
+    fn cancel(&self, id: &str) -> bool {
+        match self.live.lock().expect("registry poisoned").get(id) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn remove(&self, id: &str) {
+        self.live.lock().expect("registry poisoned").remove(id);
+        self.group.prune();
+    }
+}
+
+/// The resident chase server. [`Server::bind`] then [`Server::run`];
+/// `run` returns after a graceful drain.
+pub struct Server {
+    listener: Listener,
+    endpoint: Endpoint,
+    scheduler: Arc<Scheduler>,
+    registry: Arc<Registry>,
+    shutting_down: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the endpoint (an existing unix socket path is unlinked
+    /// first) and starts the scheduler's runner threads.
+    pub fn bind(endpoint: &Endpoint, config: ServerConfig) -> std::io::Result<Server> {
+        let (listener, endpoint) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                // Re-render with the actual port (`:0` binds pick one).
+                let actual = Endpoint::Tcp(listener.local_addr()?.to_string());
+                (Listener::Tcp(listener), actual)
+            }
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                (
+                    Listener::Unix(UnixListener::bind(path)?),
+                    Endpoint::Unix(path.clone()),
+                )
+            }
+        };
+        Ok(Server {
+            listener,
+            endpoint,
+            scheduler: Arc::new(Scheduler::new(config.scheduler)),
+            registry: Arc::new(Registry::default()),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound endpoint (with the real port for `:0` TCP binds).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Serves until a `shutdown` request completes its drain. Each
+    /// connection gets its own handler thread; sessions run on the
+    /// scheduler regardless of which connection submitted them.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut handlers = Vec::new();
+        loop {
+            let stream = match &self.listener {
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+                Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            };
+            if self.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("chase-server: accept failed: {e}");
+                    continue;
+                }
+            };
+            let ctx = HandlerCtx {
+                scheduler: Arc::clone(&self.scheduler),
+                registry: Arc::clone(&self.registry),
+                shutting_down: Arc::clone(&self.shutting_down),
+                endpoint: self.endpoint.clone(),
+            };
+            handlers.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
+        }
+        // Drain: finish queued + running sessions, join runners, then
+        // the handler threads (their clients have their results).
+        self.scheduler.shutdown();
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        Ok(())
+    }
+}
+
+struct HandlerCtx {
+    scheduler: Arc<Scheduler>,
+    registry: Arc<Registry>,
+    shutting_down: Arc<AtomicBool>,
+    endpoint: Endpoint,
+}
+
+impl HandlerCtx {
+    /// Wakes the blocking accept loop after shutdown was flagged.
+    fn poke_acceptor(&self) {
+        let _ = match &self.endpoint {
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(drop),
+            Endpoint::Unix(path) => UnixStream::connect(path).map(drop),
+        };
+    }
+}
+
+fn handle_connection(stream: Stream, ctx: &HandlerCtx) {
+    let (read, write) = match stream.split() {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("chase-server: cannot split connection: {e}");
+            return;
+        }
+    };
+    let conn = Arc::new(ConnWriter::new(write));
+    for line in BufReader::new(read).lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(msg) => {
+                conn.send_line(&Reply::new("error").str("message", &msg).finish());
+            }
+            Ok(Request::Ping) => {
+                conn.send_line(&Reply::new("pong").finish());
+            }
+            Ok(Request::Cancel { id }) => {
+                let hit = ctx.registry.cancel(&id);
+                conn.send_line(
+                    &Reply::new("cancel_ack")
+                        .str("id", &id)
+                        .str("known", if hit { "true" } else { "false" })
+                        .finish(),
+                );
+            }
+            Ok(Request::Shutdown) => {
+                conn.send_line(
+                    &Reply::new("shutdown_ack")
+                        .num("queued", ctx.scheduler.queued() as u64)
+                        .num("running", ctx.scheduler.running() as u64)
+                        .finish(),
+                );
+                if !ctx.shutting_down.swap(true, Ordering::SeqCst) {
+                    ctx.poke_acceptor();
+                }
+                // The reader keeps serving pings/cancels for this
+                // connection until the client hangs up; admission is
+                // already closed.
+            }
+            Ok(Request::Chase(req)) => {
+                let (id, tenant, token) = (req.id.clone(), req.tenant.clone(), req.cancel.clone());
+                submit_session(ctx, &conn, id, tenant, token, {
+                    let conn = Arc::clone(&conn);
+                    let registry = Arc::clone(&ctx.registry);
+                    move |runner: &mut RunnerCtx| {
+                        run_chase_session(&req, &conn, runner);
+                        registry.remove(&req.id);
+                    }
+                });
+            }
+            Ok(Request::Decide(req)) => {
+                let (id, tenant, token) = (req.id.clone(), req.tenant.clone(), req.cancel.clone());
+                submit_session(ctx, &conn, id, tenant, token, {
+                    let conn = Arc::clone(&conn);
+                    let registry = Arc::clone(&ctx.registry);
+                    move |_runner: &mut RunnerCtx| {
+                        run_decide_session(&req, &conn);
+                        registry.remove(&req.id);
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Admission control for one session: duplicate-id check, shutdown
+/// gate, scheduler submit with typed shed replies. `token` is a clone
+/// of the token the session will actually poll — registering anything
+/// else would make `cancel` requests no-ops.
+fn submit_session<F>(
+    ctx: &HandlerCtx,
+    conn: &Arc<ConnWriter>,
+    id: String,
+    tenant: String,
+    token: CancelToken,
+    job: F,
+) where
+    F: FnOnce(&mut RunnerCtx) + Send + 'static,
+{
+    if ctx.shutting_down.load(Ordering::SeqCst) {
+        conn.send_line(&Reply::new("shutting_down").str("id", &id).finish());
+        return;
+    }
+    if !ctx.registry.insert(&id, token) {
+        conn.send_line(
+            &Reply::new("error")
+                .str("id", &id)
+                .str("message", "session id already in use")
+                .finish(),
+        );
+        return;
+    }
+    match ctx.scheduler.submit(&tenant, Box::new(job)) {
+        Ok(()) => {
+            conn.send_line(&Reply::new("accepted").str("id", &id).finish());
+        }
+        Err(Rejected::Overloaded { retry_after_ms }) => {
+            ctx.registry.remove(&id);
+            conn.send_line(
+                &Reply::new("overloaded")
+                    .str("id", &id)
+                    .num("retry_after_ms", retry_after_ms)
+                    .finish(),
+            );
+        }
+        Err(Rejected::ShuttingDown) => {
+            ctx.registry.remove(&id);
+            conn.send_line(&Reply::new("shutting_down").str("id", &id).finish());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parsing_round_trips() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/x.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("/tmp/x.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:0").unwrap(),
+            Endpoint::Tcp("127.0.0.1:0".into())
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7878").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7878".into())
+        );
+        assert!(Endpoint::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn conn_writer_degrades_once_and_counts_drops() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let conn = ConnWriter::new(Box::new(Broken));
+        assert!(!conn.send_line("{\"type\":\"pong\"}"));
+        assert!(!conn.send_event("s1", "{\"event\":\"x\"}"));
+        assert_eq!(conn.dropped(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Session execution: one admitted request running on a scheduler
+//! runner, streaming telemetry back through its connection and ending
+//! in exactly one `result` line.
+//!
+//! Degradation contract: telemetry is best-effort, results are not. A
+//! session whose connection writes start failing (client gone, or an
+//! injected [`FaultPlan::socket_fail_after`]) keeps running, stops
+//! sending events, counts what it dropped, and still attempts the
+//! final `result` line (which reports `events_dropped`). A session
+//! that panics ([`TaskError::Panicked`]) reports `status:"panicked"`
+//! and costs nobody else anything — the runner and the server live on.
+//!
+//! [`FaultPlan::socket_fail_after`]: chase_engine::faults::FaultPlan::socket_fail_after
+//! [`TaskError::Panicked`]: chase_engine::task::TaskError::Panicked
+
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use chase_engine::task::{run_chase_task, ChaseTaskSpec, TaskError};
+use chase_telemetry::{LineObserver, NullObserver};
+use chase_termination::{decide_observed, DeciderConfig, TerminationVerdict};
+
+use crate::protocol::{outcome_name, DecideRequest, Reply, SessionRequest};
+use crate::scheduler::RunnerCtx;
+use crate::server::ConnWriter;
+
+/// Event-streaming state shared between a session and its observer
+/// closure: how many telemetry lines went out, how many were dropped
+/// after the connection degraded (for real or by injection).
+struct EventStream<'a> {
+    conn: &'a Arc<ConnWriter>,
+    id: &'a str,
+    fail_after: Option<u64>,
+    sent: Cell<u64>,
+    dropped: Cell<u64>,
+    degraded: Cell<bool>,
+}
+
+impl EventStream<'_> {
+    fn send(&self, event_json: &str) {
+        if self.degraded.get() {
+            self.dropped.set(self.dropped.get() + 1);
+            return;
+        }
+        // The injected socket fault mirrors a real mid-stream write
+        // failure: after `n` successful event writes, the "socket"
+        // breaks and stays broken for this session.
+        if self.fail_after.is_some_and(|n| self.sent.get() >= n) {
+            self.degraded.set(true);
+            self.dropped.set(self.dropped.get() + 1);
+            return;
+        }
+        if self.conn.send_event(self.id, event_json) {
+            self.sent.set(self.sent.get() + 1);
+        } else {
+            self.degraded.set(true);
+            self.dropped.set(self.dropped.get() + 1);
+        }
+    }
+}
+
+/// Runs one chase session to its terminal `result` line.
+pub fn run_chase_session(req: &SessionRequest, conn: &Arc<ConnWriter>, ctx: &mut RunnerCtx) {
+    let started = Instant::now();
+    let spec = ChaseTaskSpec {
+        source: req.program.clone(),
+        engine: req.engine,
+        budget: req.budget,
+        deadline: req.deadline,
+        threads: req.threads,
+        faults: req.faults,
+        cancel: req.cancel.clone(),
+    };
+    let stream = EventStream {
+        conn,
+        id: &req.id,
+        fail_after: req.faults.socket_fail_after,
+        sent: Cell::new(0),
+        dropped: Cell::new(0),
+        degraded: Cell::new(false),
+    };
+    let pool = Some(ctx.pool_for(req.threads));
+    let result = if req.telemetry {
+        let mut obs = LineObserver::new(|line: &str| stream.send(line));
+        run_chase_task(&spec, &mut obs, pool)
+    } else {
+        run_chase_task(&spec, &mut NullObserver, pool)
+    };
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    let line = match result {
+        Ok(out) => Reply::new("result")
+            .str("id", &req.id)
+            .str("status", "ok")
+            .str("outcome", outcome_name(out.outcome))
+            .num("steps", out.steps as u64)
+            .num("atoms", out.atoms() as u64)
+            .str("fingerprint", &format!("{:016x}", out.fingerprint()))
+            .num("events_sent", stream.sent.get())
+            .num("events_dropped", stream.dropped.get())
+            .num("elapsed_ms", elapsed_ms)
+            .finish(),
+        Err(TaskError::Parse(msg)) => Reply::new("result")
+            .str("id", &req.id)
+            .str("status", "parse_error")
+            .str("error", &msg)
+            .num("elapsed_ms", elapsed_ms)
+            .finish(),
+        Err(TaskError::Panicked(msg)) => Reply::new("result")
+            .str("id", &req.id)
+            .str("status", "panicked")
+            .str("error", &msg)
+            .num("elapsed_ms", elapsed_ms)
+            .finish(),
+    };
+    // Best effort: a fully dead connection can't carry the result
+    // either, but the session still completed server-side.
+    conn.send_line(&line);
+}
+
+/// Runs one decide session to its terminal `result` line.
+pub fn run_decide_session(req: &DecideRequest, conn: &Arc<ConnWriter>) {
+    let started = Instant::now();
+    let config = DeciderConfig {
+        deadline: req.deadline,
+        cancel: req.cancel.clone(),
+        ..DeciderConfig::default()
+    };
+    let stream = EventStream {
+        conn,
+        id: &req.id,
+        fail_after: None,
+        sent: Cell::new(0),
+        dropped: Cell::new(0),
+        degraded: Cell::new(false),
+    };
+    // Parse errors surface as a typed result, exactly like chase
+    // sessions; decide panics are caught by the runner boundary.
+    let mut vocab = chase_core::vocab::Vocabulary::new();
+    let parsed = chase_core::parser::parse_program(&req.program, &mut vocab)
+        .map_err(|e| e.to_string())
+        .and_then(|program| program.tgd_set(&vocab).map_err(|e| e.to_string()));
+    let line = match parsed {
+        Err(msg) => Reply::new("result")
+            .str("id", &req.id)
+            .str("status", "parse_error")
+            .str("error", &msg)
+            .finish(),
+        Ok(set) => {
+            let verdict = if req.telemetry {
+                let mut obs = LineObserver::new(|line: &str| stream.send(line));
+                decide_observed(&set, &vocab, &config, &mut obs)
+            } else {
+                decide_observed(&set, &vocab, &config, &mut NullObserver)
+            };
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            let reply = Reply::new("result")
+                .str("id", &req.id)
+                .str("status", "ok")
+                .str(
+                    "verdict",
+                    match &verdict {
+                        TerminationVerdict::AllInstancesTerminating(_) => "terminating",
+                        TerminationVerdict::NonTerminating(_) => "non_terminating",
+                        TerminationVerdict::Unknown { .. } => "unknown",
+                    },
+                )
+                .num("events_sent", stream.sent.get())
+                .num("events_dropped", stream.dropped.get())
+                .num("elapsed_ms", elapsed_ms);
+            match verdict {
+                TerminationVerdict::Unknown { reason } => reply.str("reason", &reason).finish(),
+                _ => reply.finish(),
+            }
+        }
+    };
+    conn.send_line(&line);
+}

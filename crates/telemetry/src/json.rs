@@ -1,0 +1,275 @@
+//! A tiny parser for **flat JSON objects** — the shape every trace
+//! event and every `chase-server` protocol message uses: one object
+//! per line, string/integer/boolean values, no nesting.
+//!
+//! The encoder side lives in [`crate::event`] ([`Event::write_json`]
+//! emits exactly this shape and [`escape_json`] escapes string
+//! values); this module is the matching decoder, shared by
+//! `chasectl stats` (trace aggregation) and the `chase-server` wire
+//! protocol so both ends of the system agree on one grammar. A
+//! malformed line is a hard error naming the offending byte, so the
+//! parser doubles as a validator.
+//!
+//! [`Event::write_json`]: crate::event::Event::write_json
+//! [`escape_json`]: crate::event::escape_json
+
+use std::collections::BTreeMap;
+
+/// One scalar value of a flat JSON object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scalar {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A non-negative JSON integer.
+    Num(u64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl Scalar {
+    /// The string payload, if this is a [`Scalar::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a [`Scalar::Num`].
+    pub fn as_num(&self) -> Option<u64> {
+        match self {
+            Scalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Scalar::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one line: a flat JSON object with scalar values. Duplicate
+/// keys, nesting, trailing content and raw control characters are all
+/// rejected.
+pub fn parse_line(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.scalar()?;
+            if out.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key \"{key}\""));
+            }
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                Some(c) => return Err(format!("expected ',' or '}}', found '{}'", c as char)),
+                None => return Err("unterminated object".into()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content after object at byte {}", p.pos));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            Some(b) => Err(format!(
+                "expected '{}', found '{}' at byte {}",
+                want as char,
+                b as char,
+                self.pos - 1
+            )),
+            None => Err(format!("expected '{}', found end of line", want as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    Some(c) => return Err(format!("bad escape '\\{}'", c as char)),
+                    None => return Err("unterminated string".into()),
+                },
+                Some(b) if b < 0x20 => return Err("raw control character in string".into()),
+                Some(b) => {
+                    // Multi-byte UTF-8 passes through byte-wise: the
+                    // input was a &str, so the bytes are valid UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..end])
+                                .map_err(|_| "invalid UTF-8")?,
+                        );
+                        self.pos = end;
+                    }
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Scalar::Str(self.string()?)),
+            Some(b't') => self.literal("true").map(|()| Scalar::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Scalar::Bool(false)),
+            Some(b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                text.parse::<u64>()
+                    .map(Scalar::Num)
+                    .map_err(|e| format!("bad integer '{text}': {e}"))
+            }
+            Some(c) => Err(format!("unsupported value starting with '{}'", c as char)),
+            None => Err("expected a value, found end of line".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{word}'"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let parsed = parse_line("{\"a\":1,\"b\":\"x\",\"c\":true,\"d\":false}").unwrap();
+        assert_eq!(parsed.get("a").and_then(Scalar::as_num), Some(1));
+        assert_eq!(parsed.get("b").and_then(Scalar::as_str), Some("x"));
+        assert_eq!(parsed.get("c").and_then(Scalar::as_bool), Some(true));
+        assert_eq!(parsed.get("d").and_then(Scalar::as_bool), Some(false));
+        assert!(parse_line("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("{").is_err());
+        assert!(parse_line("{\"a\":1,}").is_err());
+        assert!(parse_line("{\"a\":1} trailing").is_err());
+        assert!(parse_line("{\"a\":[1]}").is_err()); // nesting unsupported
+        assert!(parse_line("{\"a\":1,\"a\":2}").is_err()); // duplicate key
+        assert!(parse_line("[1,2]").is_err());
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        let parsed = parse_line("{\"s\":\"a\\\"b\\\\c\\nd\\u0041\"}").unwrap();
+        assert_eq!(
+            parsed.get("s").and_then(Scalar::as_str),
+            Some("a\"b\\c\nd\u{41}")
+        );
+    }
+
+    #[test]
+    fn round_trips_the_event_encoder() {
+        let mut line = String::new();
+        crate::event::Event::PhaseExited {
+            phase: "chase",
+            nanos: 42,
+        }
+        .write_json(&mut line);
+        let parsed = parse_line(&line).unwrap();
+        assert_eq!(
+            parsed.get("event").and_then(Scalar::as_str),
+            Some("phase_exited")
+        );
+        assert_eq!(parsed.get("nanos").and_then(Scalar::as_num), Some(42));
+    }
+
+    #[test]
+    fn round_trips_escaped_payloads() {
+        let mut value = String::from("{\"rules\":\"");
+        crate::event::escape_json(&mut value, "R(a,b).\nR(x,y) -> \"S\"(x).\t\\end");
+        value.push_str("\"}");
+        let parsed = parse_line(&value).unwrap();
+        assert_eq!(
+            parsed.get("rules").and_then(Scalar::as_str),
+            Some("R(a,b).\nR(x,y) -> \"S\"(x).\t\\end")
+        );
+    }
+}

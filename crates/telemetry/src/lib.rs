@@ -50,6 +50,7 @@
 pub mod alloc_track;
 pub mod counters;
 pub mod event;
+pub mod json;
 pub mod observer;
 pub mod profiler;
 pub mod sinks;
@@ -57,12 +58,13 @@ pub mod summary;
 
 pub use counters::{Counter, Counters, Histogram, HistogramSnapshot, MetricSnapshot};
 pub use event::{EngineKind, Event, InterruptReason, NO_TGD, SCHEMA_VERSION};
+pub use json::{parse_line, Scalar};
 pub use observer::{
     emit, emit_detail, in_span, span_enter, span_enter_at, span_enter_sampled, time_phase,
     ChaseObserver, NullObserver, Profiled, SpanGuard, Tee,
 };
 pub use profiler::{HeartbeatSample, MemorySample, PathStat, SpanObserver, SpanProfile, SpanStat};
-pub use sinks::{CountingObserver, JsonlWriter, RecordingObserver};
+pub use sinks::{CountingObserver, JsonlWriter, LineObserver, RecordingObserver};
 pub use summary::TelemetrySummary;
 
 /// Well-known span names of the profiling stream, shared by the

@@ -182,6 +182,14 @@ impl ChaseObserver for CountingObserver {
 /// writer buffers internally per event only; wrap the target in a
 /// [`std::io::BufWriter`] for file output.
 ///
+/// Degradation is reported **once**: with
+/// [`JsonlWriter::warn_on_degrade`] set, the writer prints a single
+/// stderr warning the first time a write fails, then counts every
+/// further drop silently — a resident server tailing a broken sink
+/// must not emit one warning line per dropped event. The final
+/// dropped-event count is the caller's to report at flush time (see
+/// `chasectl`'s trace summary).
+///
 /// Dropping the writer flushes it (errors ignored — `Drop` cannot
 /// report them), so a trace wrapped in a `BufWriter` does not lose
 /// its tail on an early return; call [`JsonlWriter::finish`] to
@@ -195,6 +203,12 @@ pub struct JsonlWriter<W: Write> {
     written: u64,
     io_errors: u64,
     first_error: Option<io::Error>,
+    /// Label prepended to the one-time degrade warning; `None`
+    /// disables the warning entirely (tests, in-memory sinks).
+    warn_label: Option<String>,
+    /// Degrade warnings actually emitted (0 or 1; observable so tests
+    /// can assert the dedupe).
+    warnings_emitted: u32,
 }
 
 impl<W: Write> JsonlWriter<W> {
@@ -206,7 +220,18 @@ impl<W: Write> JsonlWriter<W> {
             written: 0,
             io_errors: 0,
             first_error: None,
+            warn_label: None,
+            warnings_emitted: 0,
         }
+    }
+
+    /// Enables the one-time stderr warning on the first failed write,
+    /// prefixed with `label` (typically the sink's file name). Later
+    /// failures are counted silently; report
+    /// [`JsonlWriter::io_errors`] at flush time for the total.
+    pub fn warn_on_degrade(mut self, label: impl Into<String>) -> Self {
+        self.warn_label = Some(label.into());
+        self
     }
 
     /// Number of events successfully written.
@@ -225,13 +250,24 @@ impl<W: Write> JsonlWriter<W> {
         self.first_error.as_ref()
     }
 
+    /// Degrade warnings emitted so far — 0 before the first failed
+    /// write, 1 ever after (the warning is deduplicated).
+    pub fn degrade_warnings_emitted(&self) -> u32 {
+        self.warnings_emitted
+    }
+
     /// Flushes and returns the underlying writer. Dropped events are
     /// *not* an error here — check [`JsonlWriter::io_errors`]; only a
-    /// failing flush is reported.
+    /// failing flush is reported, and only for a sink that had not
+    /// already degraded (a degraded sink's flush failure is part of
+    /// the same breakage, already counted and warned about once).
     pub fn finish(mut self) -> io::Result<W> {
         let mut out = self.out.take().expect("writer present until finish");
-        out.flush()?;
-        Ok(out)
+        match out.flush() {
+            Ok(()) => Ok(out),
+            Err(_) if self.io_errors > 0 => Ok(out),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -257,10 +293,74 @@ impl<W: Write> ChaseObserver for JsonlWriter<W> {
             Err(err) => {
                 self.io_errors += 1;
                 if self.first_error.is_none() {
+                    // First failure: warn once (if asked to), then
+                    // degrade quietly — one warning per *sink*, never
+                    // one per dropped event.
+                    if let Some(label) = &self.warn_label {
+                        self.warnings_emitted += 1;
+                        eprintln!(
+                            "{label}: warning: trace sink degraded ({err}); further dropped \
+                             events are counted silently and reported at flush"
+                        );
+                    }
                     self.first_error = Some(err);
                 }
             }
         }
+    }
+}
+
+/// Serialises every event to its JSON line and hands the line to a
+/// callback — the building block for routing one engine run's
+/// telemetry into a larger multiplexed stream (the `chase-server`
+/// wire protocol tags each line with its session id and forwards it
+/// over the connection).
+///
+/// The closure receives the bare event object (no trailing newline);
+/// framing and routing are the callback's business. `profiling`
+/// controls whether the engines emit their span/memory/heartbeat
+/// stream into this sink.
+pub struct LineObserver<F: FnMut(&str)> {
+    sink: F,
+    buf: String,
+    profiling: bool,
+}
+
+impl<F: FnMut(&str)> LineObserver<F> {
+    /// An observer handing each event line to `sink`.
+    pub fn new(sink: F) -> Self {
+        LineObserver {
+            sink,
+            buf: String::with_capacity(128),
+            profiling: false,
+        }
+    }
+
+    /// Opts the observer into the profiling stream (spans, memory
+    /// samples, heartbeats).
+    pub fn with_profiling(mut self, profiling: bool) -> Self {
+        self.profiling = profiling;
+        self
+    }
+}
+
+impl<F: FnMut(&str)> std::fmt::Debug for LineObserver<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineObserver")
+            .field("profiling", &self.profiling)
+            .finish()
+    }
+}
+
+impl<F: FnMut(&str)> ChaseObserver for LineObserver<F> {
+    fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        self.buf.clear();
+        event.write_json(&mut self.buf);
+        (self.sink)(&self.buf);
     }
 }
 
@@ -406,6 +506,72 @@ mod tests {
         fn flush(&mut self) -> io::Result<()> {
             Ok(())
         }
+    }
+
+    #[test]
+    fn jsonl_writer_warns_exactly_once_on_degrade() {
+        let mut writer = JsonlWriter::new(FailingWriter).warn_on_degrade("test-sink");
+        assert_eq!(writer.degrade_warnings_emitted(), 0);
+        for _ in 0..5 {
+            writer.on_event(&Event::PhaseEntered { phase: "x" });
+        }
+        assert_eq!(writer.io_errors(), 5);
+        assert_eq!(
+            writer.degrade_warnings_emitted(),
+            1,
+            "one warning per sink, not one per dropped event"
+        );
+        // A degraded sink's flush failure is part of the same
+        // breakage: already counted, not a fresh error.
+        assert!(writer.finish().is_ok());
+    }
+
+    /// A writer whose writes succeed but whose flush fails.
+    struct FlushFailWriter;
+
+    impl Write for FlushFailWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::other("flush failed"))
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_still_reports_flush_failure_when_not_degraded() {
+        let mut writer = JsonlWriter::new(FlushFailWriter);
+        writer.on_event(&Event::PhaseEntered { phase: "x" });
+        assert_eq!(writer.io_errors(), 0);
+        assert!(writer.finish().is_err(), "healthy sink, failing flush");
+    }
+
+    #[test]
+    fn line_observer_routes_each_event_line() {
+        let mut lines: Vec<String> = Vec::new();
+        {
+            let mut obs = LineObserver::new(|line: &str| lines.push(line.to_string()));
+            assert!(obs.enabled());
+            assert!(!obs.profiling());
+            obs.on_event(&Event::PhaseEntered { phase: "x" });
+            obs.on_event(&Event::PhaseExited {
+                phase: "x",
+                nanos: 7,
+            });
+        }
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with("{\"event\":\""), "line: {line}");
+            assert!(line.ends_with('}'), "no newline framing: {line}");
+            assert!(crate::json::parse_line(line).is_ok());
+        }
+    }
+
+    #[test]
+    fn line_observer_profiling_gate() {
+        let mut obs = LineObserver::new(|_line: &str| {}).with_profiling(true);
+        assert!(obs.profiling());
+        obs.on_event(&Event::PhaseEntered { phase: "x" });
     }
 
     #[test]

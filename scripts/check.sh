@@ -40,6 +40,17 @@ cargo test --offline -q --workspace
 echo "== fault-injection suite (chase-engine faults) =="
 cargo test --offline -q -p chase-engine faults
 
+echo "== server isolation suite (concurrent faulty sessions vs direct runs) =="
+# Boots the resident chase server on throwaway unix sockets and drives
+# concurrent sessions — a non-terminating one killed by its deadline,
+# one cancelled mid-run, one panicking via FaultPlan — and asserts the
+# healthy sessions' result fingerprints are bit-identical to direct
+# engine runs, with the server surviving to serve a follow-up request.
+cargo test --offline -q -p chase-server --test server_isolation
+
+echo "== serve/client round trip (chasectl golden tests, real processes) =="
+cargo test --offline -q -p chase-cli --test cli_golden serve
+
 echo "== hot-path smoke report (bit-identity + timing sanity + thread-scaling gate) =="
 # Includes the scaling smoke gate: parallel at the gate thread count
 # (2 on multi-core hosts, 1 on single-core ones) must be at least
@@ -62,6 +73,20 @@ for attempt in $(seq 1 "${BENCH_GATE_ATTEMPTS:-3}"); do
             exit 1
         fi
         echo "hot-path smoke gate: attempt $attempt over tolerance (likely machine noise), retrying" >&2
+    fi
+done
+
+echo "== BENCH_hotpath.json schema gate (host-honesty fields) =="
+# The committed report must keep the honesty fields from PR 8:
+# host_cpus (always emitted), plus the truncation warning and
+# per-point parallel efficiency that keep a small-host regeneration
+# readable. A regeneration that silently drops them fails here — if a
+# many-core regeneration legitimately removes the truncation fields,
+# this gate is the place to say so deliberately.
+for field in '"host_cpus"' '"warning"' '"efficiency"'; do
+    if ! grep -q "$field" BENCH_hotpath.json; then
+        echo "BENCH_hotpath.json schema gate: missing required field $field" >&2
+        exit 1
     fi
 done
 

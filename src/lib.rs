@@ -18,7 +18,9 @@
 //! * [`workloads`] (`chase-workloads`) — families and the labelled
 //!   suite;
 //! * [`telemetry`] (`chase-telemetry`) — observer hooks, structured
-//!   events, counters and phase timing.
+//!   events, counters and phase timing;
+//! * [`server`] (`chase-server`) — the resident multi-tenant chase
+//!   server and its line-delimited JSON client.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@
 pub use chase_automata as automata;
 pub use chase_core as core;
 pub use chase_engine as engine;
+pub use chase_server as server;
 pub use chase_telemetry as telemetry;
 pub use chase_termination as termination;
 pub use chase_workloads as workloads;
