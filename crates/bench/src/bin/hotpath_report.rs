@@ -48,6 +48,7 @@ use chase_engine::driver::Parallelism;
 use chase_engine::oblivious::ObliviousChase;
 use chase_engine::restricted::{Budget, RestrictedChase};
 use chase_engine::seed::{SeedObliviousChase, SeedRestrictedChase};
+use chase_server::cache::{ProgramCache, ProgramCacheConfig};
 use chase_telemetry::{spans, RecordingObserver, SpanObserver};
 use chase_workloads::scale::{scale_workload, ScaleParams, Shape};
 
@@ -80,6 +81,73 @@ impl Row {
 
     fn par_speedup(&self) -> f64 {
         self.seed_ns as f64 / self.par_ns.max(1) as f64
+    }
+}
+
+/// Cold-compile vs warm cache-hit cost of the server's program cache
+/// on a many-rule program (DESIGN.md §18): `cold_ns` is a fresh
+/// cache's `resolve_source` (parse + plans + fingerprint), `warm_ns`
+/// the same call against a pre-warmed cache (source-alias lookup, no
+/// parse). The gap is what a resident server saves every time a tenant
+/// resubmits a rule set.
+struct ServerWarm {
+    rules: usize,
+    source_bytes: usize,
+    cold_ns: u128,
+    warm_ns: u128,
+}
+
+impl ServerWarm {
+    fn speedup(&self) -> f64 {
+        self.cold_ns as f64 / self.warm_ns.max(1) as f64
+    }
+}
+
+/// A synthetic many-rule program: layered chains with existential
+/// heads, rendered as source text — the cache is addressed by text, so
+/// the benchmark must pay the same parse the server would.
+fn synthetic_program_text(rules: usize) -> String {
+    let mut out = String::with_capacity(rules * 32 + 64);
+    out.push_str("P0(c0,c1).\nP0(c1,c2).\nP0(c2,c0).\n");
+    for i in 0..rules {
+        let a = i % 97;
+        let b = (i + 1) % 97;
+        if i % 3 == 0 {
+            out.push_str(&format!("P{a}(x,y) -> exists z. P{b}(y,z).\n"));
+        } else {
+            out.push_str(&format!("P{a}(x,y), P{b}(y,w) -> P{a}(w,x).\n"));
+        }
+    }
+    out
+}
+
+fn server_warm_section(rules: usize, runs: usize) -> ServerWarm {
+    let source = synthetic_program_text(rules);
+    let cold_ns = min_ns(runs, || {
+        // A fresh cache per run: every resolve is a full compile.
+        let cache = ProgramCache::new(ProgramCacheConfig::default());
+        black_box(
+            cache
+                .resolve_source(&source, "bench")
+                .expect("synthetic program compiles"),
+        );
+    });
+    let warm_cache = ProgramCache::new(ProgramCacheConfig::default());
+    warm_cache
+        .resolve_source(&source, "bench")
+        .expect("synthetic program compiles");
+    let warm_ns = min_ns(runs.max(5), || {
+        black_box(
+            warm_cache
+                .resolve_source(&source, "bench")
+                .expect("warm resolve"),
+        );
+    });
+    ServerWarm {
+        rules,
+        source_bytes: source.len(),
+        cold_ns,
+        warm_ns,
     }
 }
 
@@ -357,6 +425,7 @@ fn write_json(
     requested_max_threads: usize,
     rows: &[Row],
     scaling: &[ScaleCurve],
+    server_warm: &ServerWarm,
 ) -> std::io::Result<()> {
     // When the host cannot realise the requested curve, say so in the
     // artifact itself — a reader comparing reports across machines
@@ -412,6 +481,16 @@ fn write_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"server_warm\": {{\"workload\": \"program cache resolve (cold compile vs \
+         warm content-addressed hit)\", \"rules\": {}, \"source_bytes\": {}, \
+         \"cold_ns\": {}, \"warm_ns\": {}, \"speedup\": {:.2}}},\n",
+        server_warm.rules,
+        server_warm.source_bytes,
+        server_warm.cold_ns,
+        server_warm.warm_ns,
+        server_warm.speedup(),
+    ));
     out.push_str("  \"scaling\": [\n");
     for (c, curve) in scaling.iter().enumerate() {
         out.push_str(&format!(
@@ -537,6 +616,9 @@ fn main() {
     };
     let (_v, chain_set, chain_db) = scale_workload(&chain_params);
     let (_v, clique_set, clique_db) = scale_workload(&clique_params);
+    // Program-cache warm/cold comparison: hundreds of rules so the
+    // cold compile is a realistic multi-millisecond admission cost.
+    let server_warm = server_warm_section(if smoke { 150 } else { 500 }, runs);
     let scaling = vec![
         scaling_curve("fan_restricted".into(), &fset, &fdb, budget, runs, &threads),
         scaling_curve(
@@ -584,6 +666,14 @@ fn main() {
             );
         }
     }
+    println!(
+        "server_warm: rules={} source={}B cold={}ns warm={}ns speedup={:.2}x",
+        server_warm.rules,
+        server_warm.source_bytes,
+        server_warm.cold_ns,
+        server_warm.warm_ns,
+        server_warm.speedup(),
+    );
 
     write_json(
         &out_path,
@@ -592,6 +682,7 @@ fn main() {
         requested_max,
         &rows,
         &scaling,
+        &server_warm,
     )
     .expect("write report");
     println!("wrote {out_path}");
@@ -660,6 +751,28 @@ fn main() {
             "scaling gate passed ({gate_threads}-thread parallel >= \
              {scaling_tolerance:.2}x sequential on every curve; host has \
              {host_cpus} cpu(s))"
+        );
+
+        // Program-cache gate: a warm content-addressed hit must be at
+        // least `SERVER_WARM_GATE` (default 5×) faster than the cold
+        // compile — the entire point of caching compiled programs. The
+        // real gap is orders of magnitude; 5× only catches the cache
+        // silently recompiling.
+        let warm_gate: f64 = std::env::var("SERVER_WARM_GATE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5.0);
+        let warm_speedup = server_warm.speedup();
+        if warm_speedup < warm_gate {
+            eprintln!(
+                "SERVER WARM GATE: warm program-cache resolve is only {warm_speedup:.2}x \
+                 the cold compile (tolerance {warm_gate:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "server warm gate passed (warm resolve {warm_speedup:.2}x >= \
+             {warm_gate:.2}x cold compile)"
         );
 
         // 2-thread bit-identity smoke: on multi-core hosts, re-run the

@@ -12,6 +12,8 @@
 //! chasectl stats <path>...          aggregate --trace files into a counter table
 //! chasectl serve --socket E         resident chase server on unix:PATH or tcp:HOST:PORT
 //! chasectl client E <op> [<file>]   submit ping|shutdown|cancel|chase|decide to a server
+//!                                   (chase/decide take --program-ref <fp> to reuse a
+//!                                   cached program; shutdown takes --abort)
 //! ```
 //!
 //! `chase`, `oblivious` and `decide` additionally accept the telemetry
@@ -53,7 +55,7 @@ use std::io::BufWriter;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use chase_core::parser::parse_program;
+use chase_core::compile::compile;
 use chase_core::vocab::Vocabulary;
 use chase_engine::driver::Parallelism;
 use chase_engine::faults::FaultPlan;
@@ -334,9 +336,10 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
             }
             let src =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let mut vocab = Vocabulary::new();
-            let program = parse_program(&src, &mut vocab).map_err(|e| e.to_string())?;
-            let set = program.tgd_set(&vocab).map_err(|e| e.to_string())?;
+            // One compile() call replaces the parse → vocab → tgd_set
+            // boilerplate; the same bundle the server caches.
+            let compiled = compile(&src).map_err(|e| e.to_string())?;
+            let (set, vocab) = (compiled.tgd_set(), compiled.vocab());
             let steps_flag = flag_value(args, "--steps")?
                 .map(|s| {
                     s.parse::<usize>()
@@ -346,7 +349,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
             let steps = steps_flag.unwrap_or(10_000);
             match command.as_str() {
                 "classify" => {
-                    cmd_classify(&set, &vocab)?;
+                    cmd_classify(set, vocab)?;
                     Ok(ExitCode::SUCCESS)
                 }
                 "chase" => {
@@ -370,9 +373,9 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                     let threads = threads_from_flags(args)?;
                     let mut telemetry = CliTelemetry::from_args(args)?;
                     let outcome = cmd_chase(
-                        &program.database,
-                        &set,
-                        &vocab,
+                        compiled.database(),
+                        set,
+                        vocab,
                         strategy,
                         threads,
                         &gov,
@@ -386,9 +389,9 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                     let threads = threads_from_flags(args)?;
                     let mut telemetry = CliTelemetry::from_args(args)?;
                     let outcome = cmd_oblivious(
-                        &program.database,
-                        &set,
-                        &vocab,
+                        compiled.database(),
+                        set,
+                        vocab,
                         args.iter().any(|a| a == "--semi"),
                         threads,
                         &gov,
@@ -403,7 +406,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                         ..DeciderConfig::default()
                     };
                     let mut telemetry = CliTelemetry::from_args(args)?;
-                    let verdict = cmd_decide(&set, &vocab, &config, &mut telemetry)?;
+                    let verdict = cmd_decide(set, vocab, &config, &mut telemetry)?;
                     // `explain` already embedded the metrics table.
                     telemetry.finish(false)?;
                     Ok(ExitCode::from(verdict_exit(&verdict)))
@@ -456,11 +459,11 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
                                 .into(),
                         ));
                     }
-                    profile::cmd_profile(&program.database, &set, &vocab, &opts)?;
+                    profile::cmd_profile(compiled.database(), set, vocab, &opts)?;
                     Ok(ExitCode::SUCCESS)
                 }
                 "dot" => {
-                    cmd_dot(&program.database, &set, &vocab, steps_flag)?;
+                    cmd_dot(compiled.database(), set, vocab, steps_flag)?;
                     Ok(ExitCode::SUCCESS)
                 }
                 _ => unreachable!(),

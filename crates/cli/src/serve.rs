@@ -4,7 +4,13 @@
 //! `serve` binds the endpoint, prints the resolved address on stdout
 //! (a `tcp:HOST:0` bind reports the actual port, so wrapper scripts
 //! can parse it) and blocks until an in-band `{"op":"shutdown"}`
-//! request completes its graceful drain.
+//! request completes its graceful drain (`shutdown --abort` instead
+//! cancels every queued and running session before exiting).
+//!
+//! `client chase`/`client decide` accept `--program-ref <fingerprint>`
+//! to submit by content address instead of shipping rule text; with
+//! both a file and a ref, the ref-only line goes first and the full
+//! source is resubmitted automatically on an `unknown_program` miss.
 //!
 //! `client` connects, submits one operation and maps the typed reply
 //! onto the CLI's exit-code table: chase outcomes get the same codes
@@ -17,7 +23,7 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use chase_server::client::{request_once, run_session, ClientConfig, ClientError};
+use chase_server::client::{request_once, run_session_with_fallback, ClientConfig, ClientError};
 use chase_server::protocol::Reply;
 use chase_server::scheduler::SchedulerConfig;
 use chase_server::server::{Endpoint, Server, ServerConfig};
@@ -72,8 +78,14 @@ pub fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     if let Some(n) = num_flag(args, "--retry-after-ms")? {
         scheduler.retry_after_ms = n;
     }
-    let server = Server::bind(&endpoint, ServerConfig { scheduler })
-        .map_err(|e| CliError::Runtime(format!("cannot bind {endpoint}: {e}")))?;
+    let server = Server::bind(
+        &endpoint,
+        ServerConfig {
+            scheduler,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| CliError::Runtime(format!("cannot bind {endpoint}: {e}")))?;
     println!("chase-server: listening on {}", server.endpoint());
     // Wrapper scripts block on this line before connecting.
     std::io::stdout()
@@ -109,8 +121,12 @@ pub fn cmd_client(args: &[String]) -> Result<ExitCode, CliError> {
             Ok(ExitCode::SUCCESS)
         }
         "shutdown" => {
-            check_flags(&args[2..], &[], &[])?;
-            let reply = control(&endpoint, &Reply::request("shutdown").finish())?;
+            check_flags(&args[2..], &[], &["--abort"])?;
+            let mut line = Reply::request("shutdown");
+            if args.iter().any(|a| a == "--abort") {
+                line = line.str("mode", "abort");
+            }
+            let reply = control(&endpoint, &line.finish())?;
             println!("{}", render_flat(&reply));
             Ok(ExitCode::SUCCESS)
         }
@@ -142,12 +158,10 @@ fn control(endpoint: &Endpoint, line: &str) -> Result<BTreeMap<String, Scalar>, 
 }
 
 fn cmd_client_chase(endpoint: &Endpoint, args: &[String]) -> Result<ExitCode, CliError> {
-    let path = args
-        .get(2)
-        .filter(|a| !a.starts_with("--"))
-        .ok_or_else(|| CliError::Usage("client chase requires a rule <file>".into()))?;
+    let path = args.get(2).filter(|a| !a.starts_with("--"));
+    let flags_from = if path.is_some() { 3 } else { 2 };
     check_flags(
-        &args[3..],
+        &args[flags_from..],
         &[
             "--id",
             "--tenant",
@@ -158,44 +172,60 @@ fn cmd_client_chase(endpoint: &Endpoint, args: &[String]) -> Result<ExitCode, Cl
             "--deadline-ms",
             "--threads",
             "--retries",
+            "--program-ref",
         ],
         &["--telemetry"],
     )?;
-    let program = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let id = flag_value(args, "--id")?.unwrap_or_else(default_session_id);
-    let mut line = Reply::request("chase")
-        .str("id", &id)
-        .str("program", &program);
-    if let Some(tenant) = flag_value(args, "--tenant")? {
-        line = line.str("tenant", &tenant);
-    }
-    if let Some(strategy) = flag_value(args, "--strategy")? {
-        if !matches!(strategy.as_str(), "fifo" | "lifo" | "random" | "priority") {
-            return Err(CliError::Usage(format!("unknown strategy '{strategy}'")));
+    let program_ref = flag_value(args, "--program-ref")?;
+    let source = match path {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?)
         }
-        line = line.str("strategy", &strategy);
-    }
-    if let Some(seed) = flag_value(args, "--seed")? {
-        line = line.num("seed", crate::parse_seed(&seed)?);
-    }
-    // The server-side default budget is unbounded; mirror the direct
-    // `chasectl chase` default so a non-terminating program submitted
-    // without --steps cannot occupy a runner forever.
-    line = line.num("max_steps", num_flag(args, "--steps")?.unwrap_or(10_000));
-    if let Some(atoms) = num_flag(args, "--max-atoms")? {
-        line = line.num("max_atoms", atoms);
-    }
-    if let Some(ms) = num_flag(args, "--deadline-ms")? {
-        line = line.num("deadline_ms", ms);
-    }
-    if let Some(threads) = crate::threads_from_flags(args)? {
-        line = line.num("threads", threads as u64);
-    }
+        None if program_ref.is_none() => {
+            return Err(CliError::Usage(
+                "client chase requires a rule <file> (or --program-ref <fingerprint>)".into(),
+            ))
+        }
+        None => None,
+    };
+    let id = flag_value(args, "--id")?.unwrap_or_else(default_session_id);
+    let build = |program_key: &str, program_value: &str| -> Result<String, CliError> {
+        let mut line = Reply::request("chase")
+            .str("id", &id)
+            .str(program_key, program_value);
+        if let Some(tenant) = flag_value(args, "--tenant")? {
+            line = line.str("tenant", &tenant);
+        }
+        if let Some(strategy) = flag_value(args, "--strategy")? {
+            if !matches!(strategy.as_str(), "fifo" | "lifo" | "random" | "priority") {
+                return Err(CliError::Usage(format!("unknown strategy '{strategy}'")));
+            }
+            line = line.str("strategy", &strategy);
+        }
+        if let Some(seed) = flag_value(args, "--seed")? {
+            line = line.num("seed", crate::parse_seed(&seed)?);
+        }
+        // The server-side default budget is unbounded; mirror the direct
+        // `chasectl chase` default so a non-terminating program submitted
+        // without --steps cannot occupy a runner forever.
+        line = line.num("max_steps", num_flag(args, "--steps")?.unwrap_or(10_000));
+        if let Some(atoms) = num_flag(args, "--max-atoms")? {
+            line = line.num("max_atoms", atoms);
+        }
+        if let Some(ms) = num_flag(args, "--deadline-ms")? {
+            line = line.num("deadline_ms", ms);
+        }
+        if let Some(threads) = crate::threads_from_flags(args)? {
+            line = line.num("threads", threads as u64);
+        }
+        if args.iter().any(|a| a == "--telemetry") {
+            line = line.bool("telemetry", true);
+        }
+        Ok(line.finish())
+    };
     let telemetry = args.iter().any(|a| a == "--telemetry");
-    if telemetry {
-        line = line.bool("telemetry", true);
-    }
-    let result = submit(endpoint, &line.finish(), args, telemetry)?;
+    let (primary, fallback) = program_lines(&build, program_ref.as_deref(), source.as_deref())?;
+    let result = submit(endpoint, &primary, fallback.as_deref(), args, telemetry)?;
     let Some(result) = result else {
         return Ok(ExitCode::from(EXIT_OVERLOADED));
     };
@@ -233,31 +263,50 @@ fn cmd_client_chase(endpoint: &Endpoint, args: &[String]) -> Result<ExitCode, Cl
 }
 
 fn cmd_client_decide(endpoint: &Endpoint, args: &[String]) -> Result<ExitCode, CliError> {
-    let path = args
-        .get(2)
-        .filter(|a| !a.starts_with("--"))
-        .ok_or_else(|| CliError::Usage("client decide requires a rule <file>".into()))?;
+    let path = args.get(2).filter(|a| !a.starts_with("--"));
+    let flags_from = if path.is_some() { 3 } else { 2 };
     check_flags(
-        &args[3..],
-        &["--id", "--tenant", "--deadline-ms", "--retries"],
+        &args[flags_from..],
+        &[
+            "--id",
+            "--tenant",
+            "--deadline-ms",
+            "--retries",
+            "--program-ref",
+        ],
         &["--telemetry"],
     )?;
-    let program = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program_ref = flag_value(args, "--program-ref")?;
+    let source = match path {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?)
+        }
+        None if program_ref.is_none() => {
+            return Err(CliError::Usage(
+                "client decide requires a rule <file> (or --program-ref <fingerprint>)".into(),
+            ))
+        }
+        None => None,
+    };
     let id = flag_value(args, "--id")?.unwrap_or_else(default_session_id);
-    let mut line = Reply::request("decide")
-        .str("id", &id)
-        .str("program", &program);
-    if let Some(tenant) = flag_value(args, "--tenant")? {
-        line = line.str("tenant", &tenant);
-    }
-    if let Some(ms) = num_flag(args, "--deadline-ms")? {
-        line = line.num("deadline_ms", ms);
-    }
+    let build = |program_key: &str, program_value: &str| -> Result<String, CliError> {
+        let mut line = Reply::request("decide")
+            .str("id", &id)
+            .str(program_key, program_value);
+        if let Some(tenant) = flag_value(args, "--tenant")? {
+            line = line.str("tenant", &tenant);
+        }
+        if let Some(ms) = num_flag(args, "--deadline-ms")? {
+            line = line.num("deadline_ms", ms);
+        }
+        if args.iter().any(|a| a == "--telemetry") {
+            line = line.bool("telemetry", true);
+        }
+        Ok(line.finish())
+    };
     let telemetry = args.iter().any(|a| a == "--telemetry");
-    if telemetry {
-        line = line.bool("telemetry", true);
-    }
-    let result = submit(endpoint, &line.finish(), args, telemetry)?;
+    let (primary, fallback) = program_lines(&build, program_ref.as_deref(), source.as_deref())?;
+    let result = submit(endpoint, &primary, fallback.as_deref(), args, telemetry)?;
     let Some(result) = result else {
         return Ok(ExitCode::from(EXIT_OVERLOADED));
     };
@@ -286,6 +335,23 @@ fn cmd_client_decide(endpoint: &Endpoint, args: &[String]) -> Result<ExitCode, C
     }
 }
 
+/// Chooses the primary request line (and a full-source fallback, when
+/// both `--program-ref` and a rule file were given) for a chase/decide
+/// submission. A ref-only line keeps the wire payload to 32 hex digits
+/// on the warm path; the fallback covers the server-side cache miss.
+fn program_lines(
+    build: &dyn Fn(&str, &str) -> Result<String, CliError>,
+    program_ref: Option<&str>,
+    source: Option<&str>,
+) -> Result<(String, Option<String>), CliError> {
+    match (program_ref, source) {
+        (Some(fp), Some(src)) => Ok((build("program_ref", fp)?, Some(build("program", src)?))),
+        (Some(fp), None) => Ok((build("program_ref", fp)?, None)),
+        (None, Some(src)) => Ok((build("program", src)?, None)),
+        (None, None) => unreachable!("callers require a file or --program-ref"),
+    }
+}
+
 /// Drives one session to its result, relaying telemetry event lines to
 /// stdout when requested. `Ok(None)` means the submission was shed on
 /// every attempt (the overloaded exit code); other client errors are
@@ -293,6 +359,7 @@ fn cmd_client_decide(endpoint: &Endpoint, args: &[String]) -> Result<ExitCode, C
 fn submit(
     endpoint: &Endpoint,
     request_line: &str,
+    fallback_line: Option<&str>,
     args: &[String],
     relay_events: bool,
 ) -> Result<Option<BTreeMap<String, Scalar>>, CliError> {
@@ -302,11 +369,12 @@ fn submit(
             .unwrap_or(ClientConfig::default().retries),
         ..ClientConfig::default()
     };
-    let outcome = run_session(endpoint, request_line, &config, |line| {
-        if relay_events && line.get("type").and_then(Scalar::as_str) == Some("event") {
-            println!("{}", render_flat(line));
-        }
-    });
+    let outcome =
+        run_session_with_fallback(endpoint, request_line, fallback_line, &config, |line| {
+            if relay_events && line.get("type").and_then(Scalar::as_str) == Some("event") {
+                println!("{}", render_flat(line));
+            }
+        });
     match outcome {
         Ok(session) => Ok(Some(session.result)),
         Err(ClientError::Overloaded(attempts)) => {

@@ -1,0 +1,315 @@
+//! One-shot program compilation: parse → vocabulary → [`TgdSet`] with
+//! every per-TGD plan precomputed, bundled into an immutable,
+//! [`Arc`]-shared [`CompiledProgram`] addressed by a canonical content
+//! fingerprint.
+//!
+//! Every consumer that used to hand-roll the
+//! `Vocabulary::new` → `parse_program` → `tgd_set` pipeline (the CLI
+//! subcommands, the server's sessions, the task runner) goes through
+//! [`compile`] instead: one code path, one error surface, and a
+//! product that can be cached and shared across threads without
+//! re-deriving anything.
+//!
+//! ## Canonical fingerprint
+//!
+//! The fingerprint is content-addressed, not text-addressed: it hashes
+//! a *normalized* rendering of the program, so it is stable under
+//!
+//! - rule reordering (rule renderings are sorted before hashing),
+//! - whitespace and comment formatting (the renderer works from the
+//!   parsed structure, not the source text),
+//! - rule-local variable names (variables are renumbered positionally,
+//!   in first-occurrence order, body before head).
+//!
+//! Interned ids ([`PredId`], [`VarId`]) depend on parse order, so the
+//! renderer resolves everything back to predicate/constant *names*.
+//! Two programs get the same fingerprint iff they normalize to the
+//! same rule multiset and fact set — semantically different programs
+//! render differently and (modulo 128-bit collisions) hash apart.
+//!
+//! [`PredId`]: crate::ids::PredId
+//! [`VarId`]: crate::ids::VarId
+
+use std::hash::Hasher;
+use std::sync::Arc;
+
+use crate::atom::Atom;
+use crate::error::CoreError;
+use crate::ids::{fx_map, FxHasher};
+use crate::instance::Instance;
+use crate::parser::parse_program;
+use crate::term::Term;
+use crate::tgd::{Tgd, TgdSet};
+use crate::vocab::Vocabulary;
+
+/// A 128-bit canonical content fingerprint of a compiled program,
+/// rendered as 32 lowercase hex digits on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramFingerprint(pub u128);
+
+impl ProgramFingerprint {
+    /// The canonical wire rendering: 32 lowercase hex digits.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the wire rendering back; `None` unless the input is
+    /// exactly 32 hex digits.
+    pub fn parse_hex(s: &str) -> Option<ProgramFingerprint> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(ProgramFingerprint)
+    }
+}
+
+impl std::fmt::Display for ProgramFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl std::fmt::Debug for ProgramFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProgramFingerprint({:032x})", self.0)
+    }
+}
+
+/// An immutable compiled program: vocabulary, initial database and the
+/// [`TgdSet`] with all per-TGD artifacts (frontier, sorted body vars,
+/// pair-index join plans, head probes, shard plans) precomputed.
+///
+/// Produced once by [`compile`] and shared as `Arc<CompiledProgram>`;
+/// engines, deciders and the seed oracle consume it without
+/// re-parsing. The struct is deliberately field-private: a compiled
+/// program never changes after construction, which is what makes
+/// content-addressed caching sound.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    vocab: Vocabulary,
+    database: Instance,
+    set: TgdSet,
+    fingerprint: ProgramFingerprint,
+    approx_bytes: usize,
+}
+
+impl CompiledProgram {
+    /// The interned vocabulary the program was compiled against.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The initial database (may be empty for decide-only programs).
+    pub fn database(&self) -> &Instance {
+        &self.database
+    }
+
+    /// The rule set with all precomputed plans.
+    pub fn tgd_set(&self) -> &TgdSet {
+        &self.set
+    }
+
+    /// The canonical content fingerprint.
+    pub fn fingerprint(&self) -> ProgramFingerprint {
+        self.fingerprint
+    }
+
+    /// Approximate resident size in bytes, for cache byte-accounting.
+    /// Counts the database's container footprint plus a per-rule and
+    /// per-symbol estimate for the plans and interning tables; the
+    /// point is a stable, monotone-in-program-size figure for LRU
+    /// caps, not allocator-exact truth.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+}
+
+/// Compiles program source (facts + TGDs) into a shared
+/// [`CompiledProgram`]. This is *the* parse→vocab→`tgd_set` pipeline;
+/// callers that need only pieces of it still go through here so every
+/// error surfaces the same way.
+pub fn compile(source: &str) -> Result<Arc<CompiledProgram>, CoreError> {
+    let mut vocab = Vocabulary::new();
+    let program = parse_program(source, &mut vocab)?;
+    let set = program.tgd_set(&vocab)?;
+    let fingerprint = canonical_fingerprint(&set, &program.database, &vocab);
+    let approx_bytes = approx_bytes(source, &set, &program.database, &vocab);
+    Ok(Arc::new(CompiledProgram {
+        vocab,
+        database: program.database,
+        set,
+        fingerprint,
+        approx_bytes,
+    }))
+}
+
+/// Renders one atom with canonical, rule-local positional variable
+/// numbering (`v0`, `v1`, … in first-occurrence order).
+fn render_atom(
+    out: &mut String,
+    atom: &Atom,
+    vocab: &Vocabulary,
+    numbering: &mut crate::ids::FxHashMap<crate::ids::VarId, usize>,
+) {
+    out.push_str(vocab.pred_name(atom.pred));
+    out.push('(');
+    for (i, term) in atom.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match *term {
+            Term::Var(v) => {
+                let next = numbering.len();
+                let n = *numbering.entry(v).or_insert(next);
+                out.push('v');
+                out.push_str(&n.to_string());
+            }
+            // Rules are constant-free and null-free by construction
+            // ([`Tgd::new`] rejects both), but render defensively so a
+            // future relaxation cannot silently alias distinct rules.
+            Term::Const(c) => {
+                out.push('"');
+                out.push_str(vocab.const_name(c));
+                out.push('"');
+            }
+            Term::Null(n) => {
+                out.push_str("_:");
+                out.push_str(&n.index().to_string());
+            }
+        }
+    }
+    out.push(')');
+}
+
+/// Renders one rule canonically: body atoms, `->`, head atoms, with
+/// variables renumbered positionally (body first).
+fn render_rule(tgd: &Tgd, vocab: &Vocabulary) -> String {
+    let mut numbering = fx_map();
+    let mut out = String::with_capacity(64);
+    for (i, atom) in tgd.body().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_atom(&mut out, atom, vocab, &mut numbering);
+    }
+    out.push_str("->");
+    for (i, atom) in tgd.head().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_atom(&mut out, atom, vocab, &mut numbering);
+    }
+    out
+}
+
+/// Computes the canonical fingerprint of a parsed program: sorted
+/// canonical rule renderings, then the (already name-sorted) database
+/// display, hashed twice with domain-separated seeds into 128 bits.
+pub fn canonical_fingerprint(
+    set: &TgdSet,
+    database: &Instance,
+    vocab: &Vocabulary,
+) -> ProgramFingerprint {
+    let mut rules: Vec<String> = set.tgds().iter().map(|t| render_rule(t, vocab)).collect();
+    rules.sort_unstable();
+    let mut text = String::with_capacity(rules.iter().map(|r| r.len() + 1).sum::<usize>() + 64);
+    for rule in &rules {
+        text.push_str(rule);
+        text.push('\n');
+    }
+    text.push_str("=facts=\n");
+    // `Instance::display` renders atoms by name and sorts them, which
+    // is exactly the canonical fact-set rendering we need.
+    text.push_str(&database.display(vocab));
+
+    let mut lo = FxHasher::default();
+    lo.write(b"chase-program-fp/lo");
+    lo.write(text.as_bytes());
+    let mut hi = FxHasher::default();
+    hi.write(b"chase-program-fp/hi");
+    hi.write(text.as_bytes());
+    ProgramFingerprint(((hi.finish() as u128) << 64) | lo.finish() as u128)
+}
+
+/// The byte estimate backing [`CompiledProgram::approx_bytes`].
+fn approx_bytes(source: &str, set: &TgdSet, database: &Instance, vocab: &Vocabulary) -> usize {
+    let atoms: usize = set
+        .tgds()
+        .iter()
+        .map(|t| t.body().len() + t.head().len())
+        .sum();
+    database.memory_footprint().total() as usize
+        + source.len()
+        + set.len() * 512 // per-rule plans: frontier, sorted vars, pair plans, probes
+        + atoms * 64 // per-atom storage inside the rule vectors
+        + (vocab.pred_count() + vocab.const_count()) * 48 // interning tables
+        + std::mem::size_of::<CompiledProgram>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The whole point of `Arc<CompiledProgram>` is cross-thread
+    // sharing from the server's program cache.
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn compiled_programs_are_send_and_sync() {
+        assert_send_sync::<CompiledProgram>();
+    }
+
+    const PROGRAM: &str = "R(a,b).\nR(x,y) -> S(x).\nS(x) -> exists z. R(x,z).\n";
+
+    #[test]
+    fn compile_produces_a_usable_bundle() {
+        let p = compile(PROGRAM).unwrap();
+        assert_eq!(p.tgd_set().len(), 2);
+        assert_eq!(p.database().len(), 1);
+        assert!(p.vocab().lookup_pred("R").is_some());
+        assert!(p.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn parse_errors_surface_as_core_errors() {
+        assert!(matches!(
+            compile("this is not a program"),
+            Err(CoreError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_under_rule_reordering() {
+        let a = compile("R(a,b).\nR(x,y) -> S(x).\nS(x) -> exists z. R(x,z).\n").unwrap();
+        let b = compile("S(x) -> exists z. R(x,z).\nR(x,y) -> S(x).\nR(a,b).\n").unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_under_whitespace_and_variable_names() {
+        let a = compile("R(a,b).\nR(x,y) -> S(x).\n").unwrap();
+        let b = compile("  R( a , b ).\n\n\nR(u, w)   ->   S(u).").unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn semantically_different_programs_hash_apart() {
+        let base = compile("R(a,b).\nR(x,y) -> S(x).\n").unwrap();
+        let different_rule = compile("R(a,b).\nR(x,y) -> S(y).\n").unwrap();
+        let different_fact = compile("R(b,a).\nR(x,y) -> S(x).\n").unwrap();
+        let extra_rule = compile("R(a,b).\nR(x,y) -> S(x).\nS(x) -> T(x).\n").unwrap();
+        assert_ne!(base.fingerprint(), different_rule.fingerprint());
+        assert_ne!(base.fingerprint(), different_fact.fingerprint());
+        assert_ne!(base.fingerprint(), extra_rule.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_hex_round_trips() {
+        let fp = compile(PROGRAM).unwrap().fingerprint();
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(ProgramFingerprint::parse_hex(&hex), Some(fp));
+        assert_eq!(ProgramFingerprint::parse_hex("xyz"), None);
+        assert_eq!(ProgramFingerprint::parse_hex(&hex[..31]), None);
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod atom;
 pub mod cancel;
+pub mod compile;
 pub mod eqtype;
 pub mod error;
 pub mod hom;
@@ -46,6 +47,7 @@ pub mod vocab;
 pub mod prelude {
     pub use crate::atom::{Atom, Position};
     pub use crate::cancel::CancelToken;
+    pub use crate::compile::{compile, CompiledProgram, ProgramFingerprint};
     pub use crate::eqtype::{EqType, LabeledEqType};
     pub use crate::error::CoreError;
     pub use crate::hom::{

@@ -7,9 +7,10 @@
 //! process that dies with the run. A resident server needs the
 //! opposite: an **owned** description of the whole job
 //! ([`ChaseTaskSpec`], `Send` by construction, so it can hop onto a
-//! scheduler thread), parsing included, and a hard containment
+//! scheduler thread), compilation included, and a hard containment
 //! boundary so one poisoned session cannot take the process down.
-//! [`run_chase_task`] is that boundary: it parses, builds the engine,
+//! [`run_chase_task`] is that boundary: it compiles (unless handed a
+//! pre-compiled [`ProgramInput::Compiled`] bundle), builds the engine,
 //! runs it under the spec's governor, and converts any panic — real or
 //! injected via [`FaultPlan::task_panic_at_step`] — into
 //! [`TaskError::Panicked`].
@@ -23,11 +24,13 @@
 //! isolation suite asserts.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Duration;
 
 use chase_core::cancel::CancelToken;
+use chase_core::compile::{compile, CompiledProgram};
 use chase_core::instance::Instance;
-use chase_core::parser::parse_program;
+use chase_core::tgd::TgdSet;
 use chase_core::vocab::Vocabulary;
 use chase_telemetry::ChaseObserver;
 
@@ -53,15 +56,33 @@ pub enum TaskEngine {
     },
 }
 
-/// An owned, `Send` description of one chase run: program source plus
-/// everything needed to execute and stop it. Cloning is cheap relative
-/// to a run; the spec is immutable once built.
+/// What a task runs: raw source (compiled inside the containment
+/// boundary) or an already-compiled, `Arc`-shared program.
+///
+/// Raw source keeps the original contract — parse errors and parse
+/// panics are contained per task, which is what one-shot callers want.
+/// A [`CompiledProgram`] skips compilation entirely: the server's
+/// program cache compiles once at admission and every session sharing
+/// the rule set starts from the same immutable bundle. Results are
+/// bit-identical either way ([`TaskOutput::fingerprint`] proves it in
+/// the test suite).
+#[derive(Debug, Clone)]
+pub enum ProgramInput {
+    /// Program text (database facts + TGDs) in the `chasectl` surface
+    /// syntax; compiled inside the task so parse panics are contained
+    /// too.
+    Source(String),
+    /// A pre-compiled program; the task clones nothing but the `Arc`.
+    Compiled(Arc<CompiledProgram>),
+}
+
+/// An owned, `Send` description of one chase run: program (source or
+/// compiled) plus everything needed to execute and stop it. Cloning is
+/// cheap relative to a run; the spec is immutable once built.
 #[derive(Debug, Clone)]
 pub struct ChaseTaskSpec {
-    /// Program text (database facts + TGDs) in the `chasectl` surface
-    /// syntax; parsed inside the task so parse panics are contained
-    /// too.
-    pub source: String,
+    /// The program to run.
+    pub program: ProgramInput,
     /// Which engine to run.
     pub engine: TaskEngine,
     /// Step/atom budget.
@@ -84,7 +105,23 @@ impl ChaseTaskSpec {
     /// else (FIFO, unbounded budget, no deadline, sequential).
     pub fn restricted(source: impl Into<String>) -> Self {
         ChaseTaskSpec {
-            source: source.into(),
+            program: ProgramInput::Source(source.into()),
+            engine: TaskEngine::Restricted {
+                strategy: Strategy::Fifo,
+            },
+            budget: Budget::unbounded(),
+            deadline: None,
+            threads: None,
+            faults: FaultPlan::none(),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// A restricted-chase task over a pre-compiled program, defaults
+    /// everywhere else; the task shares the `Arc` instead of parsing.
+    pub fn compiled(program: Arc<CompiledProgram>) -> Self {
+        ChaseTaskSpec {
+            program: ProgramInput::Compiled(program),
             engine: TaskEngine::Restricted {
                 strategy: Strategy::Fifo,
             },
@@ -220,12 +257,25 @@ fn run_task_inner<O: ChaseObserver + ?Sized>(
     obs: &mut O,
     pool: Option<&mut DiscoveryPool>,
 ) -> Result<TaskOutput, TaskError> {
-    let mut vocab = Vocabulary::new();
-    let program =
-        parse_program(&spec.source, &mut vocab).map_err(|e| TaskError::Parse(e.to_string()))?;
-    let set = program
-        .tgd_set(&vocab)
-        .map_err(|e| TaskError::Parse(e.to_string()))?;
+    // Source input compiles here, inside the containment boundary;
+    // compiled input is consumed by reference so a cache-hit session
+    // does zero re-parse/re-plan work.
+    match &spec.program {
+        ProgramInput::Source(source) => {
+            let compiled = compile(source).map_err(|e| TaskError::Parse(e.to_string()))?;
+            run_task_on(spec, &compiled, obs, pool)
+        }
+        ProgramInput::Compiled(compiled) => run_task_on(spec, compiled, obs, pool),
+    }
+}
+
+fn run_task_on<O: ChaseObserver + ?Sized>(
+    spec: &ChaseTaskSpec,
+    program: &CompiledProgram,
+    obs: &mut O,
+    pool: Option<&mut DiscoveryPool>,
+) -> Result<TaskOutput, TaskError> {
+    let set: &TgdSet = program.tgd_set();
     let gov = spec.governor();
     // A fresh fallback pool for pool-less callers, constructed exactly
     // as the engines' own entry points would (same `workers` argument),
@@ -237,23 +287,23 @@ fn run_task_inner<O: ChaseObserver + ?Sized>(
     };
     let (outcome, steps, instance) = match spec.engine {
         TaskEngine::Restricted { strategy } => {
-            let mut engine = RestrictedChase::new(&set).strategy(strategy);
+            let mut engine = RestrictedChase::new(set).strategy(strategy);
             if let Some(n) = spec.threads {
                 engine = engine.parallelism(Parallelism::On).workers(n);
             }
-            let run = engine.run_governed_observed_in(&program.database, &gov, obs, pool);
+            let run = engine.run_governed_observed_in(program.database(), &gov, obs, pool);
             (run.outcome, run.steps, run.instance)
         }
         TaskEngine::Oblivious { semi } => {
             let mut engine = if semi {
-                ObliviousChase::new(&set).semi_oblivious()
+                ObliviousChase::new(set).semi_oblivious()
             } else {
-                ObliviousChase::new(&set)
+                ObliviousChase::new(set)
             };
             if let Some(n) = spec.threads {
                 engine = engine.parallelism(Parallelism::On).workers(n);
             }
-            let run = engine.run_governed_observed_in(&program.database, &gov, obs, pool);
+            let run = engine.run_governed_observed_in(program.database(), &gov, obs, pool);
             (run.outcome, run.steps, run.instance)
         }
     };
@@ -261,7 +311,7 @@ fn run_task_inner<O: ChaseObserver + ?Sized>(
         outcome,
         steps,
         instance,
-        vocab,
+        vocab: program.vocab().clone(),
     })
 }
 
@@ -329,6 +379,26 @@ mod tests {
         for _ in 0..3 {
             let shared = run_chase_task(&spec, &mut NullObserver, Some(&mut pool)).unwrap();
             assert_eq!(shared.fingerprint(), fresh.fingerprint());
+        }
+    }
+
+    #[test]
+    fn compiled_input_is_bit_identical_to_source_input() {
+        for (source, cap) in [(FINITE, usize::MAX), (INFINITE, 40)] {
+            let mut from_source = ChaseTaskSpec::restricted(source);
+            from_source.budget = Budget::steps(cap);
+            let cold = run_chase_task(&from_source, &mut NullObserver, None).unwrap();
+
+            let program = compile(source).unwrap();
+            let mut from_compiled = ChaseTaskSpec::compiled(Arc::clone(&program));
+            from_compiled.budget = Budget::steps(cap);
+            // Re-running the same Arc many times mirrors a cache-hit
+            // session storm: every run must match the cold compile.
+            for _ in 0..3 {
+                let warm = run_chase_task(&from_compiled, &mut NullObserver, None).unwrap();
+                assert_eq!(warm.fingerprint(), cold.fingerprint());
+                assert_eq!(warm.steps, cold.steps);
+            }
         }
     }
 

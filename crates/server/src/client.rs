@@ -56,6 +56,10 @@ pub enum ClientError {
     Overloaded(u32),
     /// The server is draining; the session was not admitted.
     ShuttingDown,
+    /// A `program_ref` submission missed the server's program cache
+    /// and no full-source fallback was available; the payload is the
+    /// unknown fingerprint.
+    UnknownProgram(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -67,6 +71,9 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server overloaded after {attempts} attempts")
             }
             ClientError::ShuttingDown => write!(f, "server is shutting down"),
+            ClientError::UnknownProgram(fp) => {
+                write!(f, "program_ref {fp} is not cached (resubmit full source)")
+            }
         }
     }
 }
@@ -148,6 +155,25 @@ pub fn run_session<F>(
     endpoint: &Endpoint,
     request_line: &str,
     config: &ClientConfig,
+    on_line: F,
+) -> Result<SessionResult, ClientError>
+where
+    F: FnMut(&BTreeMap<String, Scalar>),
+{
+    run_session_with_fallback(endpoint, request_line, None, config, on_line)
+}
+
+/// [`run_session`] with a full-source fallback line for `program_ref`
+/// submissions: when the server replies `unknown_program` (cache
+/// miss), the fallback is submitted immediately on a fresh connection
+/// — one extra round trip, no backoff, and the server caches the
+/// program for next time. Without a fallback the miss surfaces as
+/// [`ClientError::UnknownProgram`].
+pub fn run_session_with_fallback<F>(
+    endpoint: &Endpoint,
+    request_line: &str,
+    fallback_line: Option<&str>,
+    config: &ClientConfig,
     mut on_line: F,
 ) -> Result<SessionResult, ClientError>
 where
@@ -155,9 +181,10 @@ where
 {
     let mut jitter = Jitter(config.jitter_seed);
     let mut attempts = 0u32;
+    let mut line = request_line;
     loop {
         attempts += 1;
-        match drive_once(endpoint, request_line, &mut on_line) {
+        match drive_once(endpoint, line, &mut on_line) {
             Ok(Driven::Finished { result, events }) => {
                 return Ok(SessionResult {
                     result,
@@ -180,6 +207,14 @@ where
                 std::thread::sleep(wait);
             }
             Ok(Driven::ShuttingDown) => return Err(ClientError::ShuttingDown),
+            Ok(Driven::UnknownProgram { program_ref }) => match fallback_line {
+                // Resubmit the full-source line at once — the miss is
+                // not a load condition, so no backoff applies. If the
+                // fallback itself misses (it can't: it carries source),
+                // the second arm stops any theoretical loop.
+                Some(fallback) if line != fallback => line = fallback,
+                _ => return Err(ClientError::UnknownProgram(program_ref)),
+            },
             Err(e) => return Err(e),
         }
     }
@@ -194,6 +229,9 @@ enum Driven {
         retry_after_ms: u64,
     },
     ShuttingDown,
+    UnknownProgram {
+        program_ref: String,
+    },
 }
 
 fn drive_once<F>(
@@ -240,6 +278,14 @@ where
                 return Ok(Driven::Overloaded { retry_after_ms });
             }
             "shutting_down" => return Ok(Driven::ShuttingDown),
+            "unknown_program" => {
+                let program_ref = parsed
+                    .get("program_ref")
+                    .and_then(Scalar::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                return Ok(Driven::UnknownProgram { program_ref });
+            }
             "error" => {
                 let msg = parsed
                     .get("message")

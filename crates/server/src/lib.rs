@@ -28,21 +28,33 @@
 //!   results still delivered); shutdown drains queued and running
 //!   sessions before exit.
 //!
+//! * **Program caching** — programs are compiled once
+//!   ([`chase_core::compile`]) at admission and shared as
+//!   `Arc<CompiledProgram>`; the content-addressed [`cache`] layer
+//!   answers repeated rule sets without re-parsing, memoizes
+//!   termination verdicts, and lets clients submit by fingerprint
+//!   (`program_ref`).
+//!
 //! Module map: [`protocol`] (wire grammar), [`scheduler`] (fair-share
-//! execution), [`session`] (one request's lifecycle), [`server`]
-//! (sockets, registry, drain), [`client`] (submission + retry with
-//! backoff and jitter).
+//! execution), [`cache`] (compiled programs + decide memoization),
+//! [`session`] (one request's lifecycle), [`server`] (sockets,
+//! registry, drain), [`client`] (submission + retry with backoff and
+//! jitter).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
 pub mod session;
 
-pub use client::{run_session, ClientConfig, ClientError, SessionResult};
+pub use cache::{Caches, DecideCache, ProgramCache, ProgramCacheConfig};
+pub use client::{
+    run_session, run_session_with_fallback, ClientConfig, ClientError, SessionResult,
+};
 pub use protocol::{parse_request, Reply, Request};
 pub use scheduler::{Rejected, Scheduler, SchedulerConfig};
 pub use server::{ConnWriter, Endpoint, Server, ServerConfig};

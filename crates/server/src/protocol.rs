@@ -10,11 +10,19 @@
 //!
 //! | `op`       | fields |
 //! |------------|--------|
-//! | `chase`    | `id`, `program`; optional `tenant`, `engine` (`restricted`\|`oblivious`\|`semi`), `strategy` (`fifo`\|`lifo`\|`random`\|`priority`), `seed`, `max_steps`, `max_atoms`, `deadline_ms`, `threads`, `telemetry` (bool), fault arms below |
-//! | `decide`   | `id`, `program`; optional `tenant`, `deadline_ms`, `telemetry` |
+//! | `chase`    | `id`, `program` and/or `program_ref`; optional `tenant`, `engine` (`restricted`\|`oblivious`\|`semi`), `strategy` (`fifo`\|`lifo`\|`random`\|`priority`), `seed`, `max_steps`, `max_atoms`, `deadline_ms`, `threads`, `telemetry` (bool), fault arms below |
+//! | `decide`   | `id`, `program` and/or `program_ref`; optional `tenant`, `deadline_ms`, `telemetry` |
 //! | `cancel`   | `id` — trips the session's [`CancelToken`] |
 //! | `ping`     | liveness probe |
-//! | `shutdown` | graceful drain: stop admitting, finish queued + running sessions, exit |
+//! | `shutdown` | optional `mode` (`graceful` default \| `abort`): stop admitting; graceful finishes queued + running sessions, abort additionally trips every live session's cancel token so they wind down with `outcome:"cancelled"` |
+//!
+//! `program_ref` is the canonical 32-hex-digit content fingerprint of
+//! a previously compiled program
+//! ([`chase_core::compile::ProgramFingerprint`]): the server answers
+//! from its program cache, or replies `unknown_program` so the client
+//! falls back to resubmitting full source. When both `program` and
+//! `program_ref` are present the reference is tried first and the
+//! source is the in-line fallback (one round trip instead of two).
 //!
 //! Fault arms (tests and the isolation suite only): `fault_cancel_at`,
 //! `fault_deadline_at`, `fault_task_panic_at` (step-indexed) and
@@ -25,18 +33,20 @@
 //!
 //! | `type`         | meaning |
 //! |----------------|---------|
-//! | `accepted`     | session admitted; events/result follow (any interleaving with other sessions on the same connection) |
+//! | `accepted`     | session admitted; carries `program` (the canonical fingerprint, usable as `program_ref` later); events/result follow (any interleaving with other sessions on the same connection) |
 //! | `event`        | one telemetry event of session `id`, spliced verbatim |
-//! | `result`       | terminal: `status` is `ok`, `parse_error` or `panicked`; `ok` chase results carry `outcome`, `steps`, `atoms`, `fingerprint` (hex), `events_dropped`; `ok` decide results carry `verdict` (+ `reason` when unknown) |
+//! | `result`       | terminal: `status` is `ok`, `parse_error` or `panicked`; `ok` chase results carry `outcome`, `steps`, `atoms`, `fingerprint` (hex), `events_dropped`; `ok` decide results carry `verdict` (+ `reason` when unknown) and `cached` (memoized verdict, no decider ran). `parse_error` is produced at admission — malformed programs never occupy a scheduler slot |
+//! | `unknown_program` | the `program_ref` fingerprint is not cached and no in-line `program` fallback was supplied; resubmit with full source |
 //! | `overloaded`   | load-shed: not admitted, retry after `retry_after_ms` |
 //! | `shutting_down`| not admitted: the server is draining |
-//! | `cancel_ack` / `pong` / `shutdown_ack` | control-plane acknowledgements |
+//! | `cancel_ack` / `pong` / `shutdown_ack` | control-plane acknowledgements (`shutdown_ack` echoes `mode`) |
 //! | `error`        | malformed request (the connection stays up) |
 
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 use chase_core::cancel::CancelToken;
+use chase_core::compile::ProgramFingerprint;
 use chase_engine::faults::FaultPlan;
 use chase_engine::governor::Budget;
 use chase_engine::restricted::Strategy;
@@ -53,8 +63,14 @@ pub const DEFAULT_RANDOM_SEED: u64 = 0x9E3779B97F4A7C15;
 pub enum Request {
     /// Liveness probe.
     Ping,
-    /// Graceful drain + exit.
-    Shutdown,
+    /// Drain + exit; `abort` additionally cancels every live session.
+    Shutdown {
+        /// `true` for `mode:"abort"`: trip the registry's
+        /// [`CancelGroup`](chase_core::cancel::CancelGroup) so running
+        /// sessions wind down with `outcome:"cancelled"` instead of
+        /// finishing their work.
+        abort: bool,
+    },
     /// Cancel the named session.
     Cancel {
         /// The session to cancel.
@@ -74,8 +90,12 @@ pub struct SessionRequest {
     /// Fair-share tenant; sessions of one tenant queue behind each
     /// other, not behind other tenants'.
     pub tenant: String,
-    /// Program source (database + TGDs).
-    pub program: String,
+    /// Program source (database + TGDs); `None` for a pure
+    /// `program_ref` submission.
+    pub program: Option<String>,
+    /// Canonical fingerprint of a previously compiled program; the
+    /// server resolves it against its program cache first.
+    pub program_ref: Option<ProgramFingerprint>,
     /// Engine selection.
     pub engine: TaskEngine,
     /// Step/atom budget.
@@ -100,8 +120,11 @@ pub struct DecideRequest {
     pub id: String,
     /// Fair-share tenant.
     pub tenant: String,
-    /// Program source (the database part may be empty).
-    pub program: String,
+    /// Program source (the database part may be empty); `None` for a
+    /// pure `program_ref` submission.
+    pub program: Option<String>,
+    /// Canonical fingerprint of a previously compiled program.
+    pub program_ref: Option<ProgramFingerprint>,
     /// Per-session deadline.
     pub deadline: Option<Duration>,
     /// Whether to stream telemetry events back.
@@ -142,6 +165,24 @@ fn require_id(map: &BTreeMap<String, Scalar>) -> Result<String, String> {
     Ok(id)
 }
 
+/// Extracts the `program` / `program_ref` pair, requiring at least
+/// one and validating the fingerprint's 32-hex-digit shape.
+fn parse_program_fields(
+    map: &BTreeMap<String, Scalar>,
+) -> Result<(Option<String>, Option<ProgramFingerprint>), String> {
+    let program = get_str(map, "program")?;
+    let program_ref = match get_str(map, "program_ref")? {
+        None => None,
+        Some(hex) => Some(ProgramFingerprint::parse_hex(&hex).ok_or_else(|| {
+            format!("field \"program_ref\" must be 32 hex digits, got \"{hex}\"")
+        })?),
+    };
+    if program.is_none() && program_ref.is_none() {
+        return Err("missing required field \"program\" (or \"program_ref\")".into());
+    }
+    Ok((program, program_ref))
+}
+
 fn parse_faults(map: &BTreeMap<String, Scalar>) -> Result<FaultPlan, String> {
     Ok(FaultPlan {
         cancel_at_step: get_num(map, "fault_cancel_at")?.map(|n| n as usize),
@@ -159,13 +200,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let op = get_str(&map, "op")?.ok_or("missing required field \"op\"")?;
     match op.as_str() {
         "ping" => Ok(Request::Ping),
-        "shutdown" => Ok(Request::Shutdown),
+        "shutdown" => Ok(Request::Shutdown {
+            abort: match get_str(&map, "mode")?.as_deref() {
+                None | Some("graceful") => false,
+                Some("abort") => true,
+                Some(other) => return Err(format!("unknown shutdown mode \"{other}\"")),
+            },
+        }),
         "cancel" => Ok(Request::Cancel {
             id: require_id(&map)?,
         }),
         "chase" => {
             let id = require_id(&map)?;
-            let program = get_str(&map, "program")?.ok_or("missing required field \"program\"")?;
+            let (program, program_ref) = parse_program_fields(&map)?;
             let seed = get_num(&map, "seed")?;
             let strategy = match get_str(&map, "strategy")?.as_deref() {
                 None | Some("fifo") => Strategy::Fifo,
@@ -192,6 +239,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 id,
                 tenant: get_str(&map, "tenant")?.unwrap_or_else(|| "default".into()),
                 program,
+                program_ref,
                 engine,
                 budget,
                 deadline: get_num(&map, "deadline_ms")?.map(Duration::from_millis),
@@ -205,14 +253,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 cancel: CancelToken::new(),
             })))
         }
-        "decide" => Ok(Request::Decide(Box::new(DecideRequest {
-            id: require_id(&map)?,
-            tenant: get_str(&map, "tenant")?.unwrap_or_else(|| "default".into()),
-            program: get_str(&map, "program")?.ok_or("missing required field \"program\"")?,
-            deadline: get_num(&map, "deadline_ms")?.map(Duration::from_millis),
-            telemetry: get_bool(&map, "telemetry")?.unwrap_or(false),
-            cancel: CancelToken::new(),
-        }))),
+        "decide" => {
+            let (program, program_ref) = parse_program_fields(&map)?;
+            Ok(Request::Decide(Box::new(DecideRequest {
+                id: require_id(&map)?,
+                tenant: get_str(&map, "tenant")?.unwrap_or_else(|| "default".into()),
+                program,
+                program_ref,
+                deadline: get_num(&map, "deadline_ms")?.map(Duration::from_millis),
+                telemetry: get_bool(&map, "telemetry")?.unwrap_or(false),
+                cancel: CancelToken::new(),
+            })))
+        }
         other => Err(format!("unknown op \"{other}\"")),
     }
 }
@@ -377,6 +429,49 @@ mod tests {
     }
 
     #[test]
+    fn parses_program_refs_and_shutdown_modes() {
+        let fp = "0123456789abcdef0123456789abcdef";
+        match parse_request(&format!(
+            r#"{{"op":"chase","id":"s1","program_ref":"{fp}"}}"#
+        ))
+        .unwrap()
+        {
+            Request::Chase(req) => {
+                assert!(req.program.is_none());
+                assert_eq!(req.program_ref.unwrap().to_hex(), fp);
+            }
+            other => panic!("expected chase, got {other:?}"),
+        }
+        match parse_request(&format!(
+            r#"{{"op":"decide","id":"d1","program":"R(x,y) -> S(x).","program_ref":"{fp}"}}"#
+        ))
+        .unwrap()
+        {
+            Request::Decide(req) => {
+                assert!(req.program.is_some());
+                assert!(req.program_ref.is_some());
+            }
+            other => panic!("expected decide, got {other:?}"),
+        }
+        assert!(
+            parse_request(r#"{"op":"chase","id":"s1","program_ref":"zz"}"#)
+                .unwrap_err()
+                .contains("32 hex digits")
+        );
+        match parse_request(r#"{"op":"shutdown"}"#).unwrap() {
+            Request::Shutdown { abort } => assert!(!abort),
+            other => panic!("expected shutdown, got {other:?}"),
+        }
+        match parse_request(r#"{"op":"shutdown","mode":"abort"}"#).unwrap() {
+            Request::Shutdown { abort } => assert!(abort),
+            other => panic!("expected shutdown, got {other:?}"),
+        }
+        assert!(parse_request(r#"{"op":"shutdown","mode":"violent"}"#)
+            .unwrap_err()
+            .contains("shutdown mode"));
+    }
+
+    #[test]
     fn replies_are_valid_flat_json() {
         let line = Reply::new("result")
             .str("id", "s\"1")
@@ -402,7 +497,7 @@ mod tests {
                 assert_eq!(req.id, "s1");
                 assert_eq!(req.budget.max_steps, 100);
                 assert!(req.telemetry);
-                assert!(req.program.contains('\n'));
+                assert!(req.program.as_deref().unwrap().contains('\n'));
             }
             other => panic!("expected chase, got {other:?}"),
         }

@@ -14,19 +14,32 @@
 //! `shutting_down` replies, queued and running sessions finish and
 //! deliver their results, runner threads exit, the accept loop wakes
 //! and returns. Every session's [`CancelToken`] is registered in a
-//! [`CancelGroup`], so an *abortive* variant (`{"op":"shutdown",
-//! "abort":true}` in a future PR) only needs one `cancel_all` call.
+//! [`CancelGroup`], so the *abortive* variant
+//! (`{"op":"shutdown","mode":"abort"}`) is exactly one `cancel_all`
+//! call on top of the graceful path: every live session winds down
+//! with `outcome:"cancelled"`, results still delivered.
+//!
+//! Admission also owns program resolution: the request's `program` /
+//! `program_ref` is resolved against the content-addressed
+//! [`ProgramCache`](crate::cache::ProgramCache) *before* a scheduler
+//! slot is taken, so repeated rule sets share one compiled bundle and
+//! malformed programs are rejected with a typed `parse_error` result
+//! without ever occupying a runner.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use chase_core::cancel::{CancelGroup, CancelToken};
+use chase_core::compile::{CompiledProgram, ProgramFingerprint};
+use chase_telemetry::{names, Event};
 
+use crate::cache::{Caches, DecideCache, ProgramCache, ProgramCacheConfig, Resolution};
 use crate::protocol::{event_reply, parse_request, Reply, Request};
 use crate::scheduler::{Rejected, RunnerCtx, Scheduler, SchedulerConfig};
 use crate::session::{run_chase_session, run_decide_session};
@@ -76,6 +89,26 @@ impl std::fmt::Display for Endpoint {
 pub struct ServerConfig {
     /// Scheduler knobs (runners, queue caps, retry hint).
     pub scheduler: SchedulerConfig,
+    /// Program-cache caps (entries, bytes).
+    pub cache: CacheConfig,
+}
+
+/// Cache sizing for [`ServerConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Compiled-program cache caps.
+    pub programs: ProgramCacheConfig,
+    /// Maximum memoized decide verdicts.
+    pub decide_entries: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            programs: ProgramCacheConfig::default(),
+            decide_entries: 1024,
+        }
+    }
 }
 
 enum Listener {
@@ -200,6 +233,14 @@ impl Registry {
         self.live.lock().expect("registry poisoned").remove(id);
         self.group.prune();
     }
+
+    /// Abortive shutdown: one call trips every live session's token
+    /// (queued sessions registered at admission included), so each
+    /// winds down with `outcome:"cancelled"` and still delivers its
+    /// result line.
+    fn abort_all(&self) {
+        self.group.cancel_all();
+    }
 }
 
 /// The resident chase server. [`Server::bind`] then [`Server::run`];
@@ -209,6 +250,7 @@ pub struct Server {
     endpoint: Endpoint,
     scheduler: Arc<Scheduler>,
     registry: Arc<Registry>,
+    caches: Arc<Caches>,
     shutting_down: Arc<AtomicBool>,
 }
 
@@ -236,6 +278,10 @@ impl Server {
             endpoint,
             scheduler: Arc::new(Scheduler::new(config.scheduler)),
             registry: Arc::new(Registry::default()),
+            caches: Arc::new(Caches {
+                programs: ProgramCache::new(config.cache.programs),
+                decide: DecideCache::new(config.cache.decide_entries),
+            }),
             shutting_down: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -268,6 +314,7 @@ impl Server {
             let ctx = HandlerCtx {
                 scheduler: Arc::clone(&self.scheduler),
                 registry: Arc::clone(&self.registry),
+                caches: Arc::clone(&self.caches),
                 shutting_down: Arc::clone(&self.shutting_down),
                 endpoint: self.endpoint.clone(),
             };
@@ -289,6 +336,7 @@ impl Server {
 struct HandlerCtx {
     scheduler: Arc<Scheduler>,
     registry: Arc<Registry>,
+    caches: Arc<Caches>,
     shutting_down: Arc<AtomicBool>,
     endpoint: Endpoint,
 }
@@ -336,9 +384,10 @@ fn handle_connection(stream: Stream, ctx: &HandlerCtx) {
                         .finish(),
                 );
             }
-            Ok(Request::Shutdown) => {
+            Ok(Request::Shutdown { abort }) => {
                 conn.send_line(
                     &Reply::new("shutdown_ack")
+                        .str("mode", if abort { "abort" } else { "graceful" })
                         .num("queued", ctx.scheduler.queued() as u64)
                         .num("running", ctx.scheduler.running() as u64)
                         .finish(),
@@ -346,32 +395,165 @@ fn handle_connection(stream: Stream, ctx: &HandlerCtx) {
                 if !ctx.shutting_down.swap(true, Ordering::SeqCst) {
                     ctx.poke_acceptor();
                 }
+                if abort {
+                    ctx.registry.abort_all();
+                }
                 // The reader keeps serving pings/cancels for this
                 // connection until the client hangs up; admission is
                 // already closed.
             }
             Ok(Request::Chase(req)) => {
+                let program = match resolve_program(
+                    ctx,
+                    &conn,
+                    &req.id,
+                    &req.tenant,
+                    req.telemetry,
+                    req.program.as_deref(),
+                    req.program_ref,
+                ) {
+                    Some(program) => program,
+                    None => continue,
+                };
+                let fp_hex = program.fingerprint().to_hex();
                 let (id, tenant, token) = (req.id.clone(), req.tenant.clone(), req.cancel.clone());
-                submit_session(ctx, &conn, id, tenant, token, {
+                submit_session(ctx, &conn, id, tenant, token, &fp_hex, {
                     let conn = Arc::clone(&conn);
                     let registry = Arc::clone(&ctx.registry);
                     move |runner: &mut RunnerCtx| {
-                        run_chase_session(&req, &conn, runner);
+                        run_chase_session(&req, &program, &conn, runner);
                         registry.remove(&req.id);
                     }
                 });
             }
             Ok(Request::Decide(req)) => {
+                let program = match resolve_program(
+                    ctx,
+                    &conn,
+                    &req.id,
+                    &req.tenant,
+                    req.telemetry,
+                    req.program.as_deref(),
+                    req.program_ref,
+                ) {
+                    Some(program) => program,
+                    None => continue,
+                };
+                let fp_hex = program.fingerprint().to_hex();
                 let (id, tenant, token) = (req.id.clone(), req.tenant.clone(), req.cancel.clone());
-                submit_session(ctx, &conn, id, tenant, token, {
+                submit_session(ctx, &conn, id, tenant, token, &fp_hex, {
                     let conn = Arc::clone(&conn);
                     let registry = Arc::clone(&ctx.registry);
+                    let caches = Arc::clone(&ctx.caches);
                     move |_runner: &mut RunnerCtx| {
-                        run_decide_session(&req, &conn);
+                        run_decide_session(&req, &program, &conn, &caches);
                         registry.remove(&req.id);
                     }
                 });
             }
+        }
+    }
+}
+
+/// Splices one cache counter into the session's telemetry stream (a
+/// regular `event` line carrying a `counter_add`, so `chasectl stats`
+/// aggregates it with the engine's own counters).
+fn emit_counter(conn: &ConnWriter, id: &str, telemetry: bool, name: &'static str, delta: u64) {
+    if !telemetry || delta == 0 {
+        return;
+    }
+    let mut buf = String::with_capacity(64);
+    Event::CounterAdd { name, delta }.write_json(&mut buf);
+    conn.send_event(id, &buf);
+}
+
+/// Admission-time program resolution: `program_ref` against the cache
+/// first, then source (alias hit or compile-and-insert). Returns
+/// `None` when a terminal reply has already been sent — shutdown gate,
+/// `unknown_program` miss, typed `parse_error`, or a contained compile
+/// panic. In every `None` case the request never touched the
+/// scheduler: a tenant spamming bad input cannot crowd out healthy
+/// sessions.
+fn resolve_program(
+    ctx: &HandlerCtx,
+    conn: &Arc<ConnWriter>,
+    id: &str,
+    tenant: &str,
+    telemetry: bool,
+    source: Option<&str>,
+    program_ref: Option<ProgramFingerprint>,
+) -> Option<Arc<CompiledProgram>> {
+    // Gate before compiling: a draining server should not burn CPU on
+    // admission work it will refuse anyway.
+    if ctx.shutting_down.load(Ordering::SeqCst) {
+        conn.send_line(&Reply::new("shutting_down").str("id", id).finish());
+        return None;
+    }
+    if let Some(fp) = program_ref {
+        if let Some(program) = ctx.caches.programs.lookup_ref(fp, tenant) {
+            emit_counter(conn, id, telemetry, names::PROGRAM_CACHE_HITS, 1);
+            return Some(program);
+        }
+        if source.is_none() {
+            conn.send_line(
+                &Reply::new("unknown_program")
+                    .str("id", id)
+                    .str("program_ref", &fp.to_hex())
+                    .finish(),
+            );
+            return None;
+        }
+        // A source fallback rode along: resolve it below (one round
+        // trip saved versus replying `unknown_program`).
+    }
+    let source = source.expect("protocol guarantees program or program_ref");
+    let resolved = catch_unwind(AssertUnwindSafe(|| {
+        ctx.caches.programs.resolve_source(source, tenant)
+    }));
+    match resolved {
+        Err(_) => {
+            conn.send_line(
+                &Reply::new("result")
+                    .str("id", id)
+                    .str("status", "panicked")
+                    .str("error", "program compilation panicked")
+                    .num("elapsed_ms", 0)
+                    .finish(),
+            );
+            None
+        }
+        Ok(Err(e)) => {
+            // Malformed programs are rejected here, before enqueue;
+            // the reply shape matches the old in-session parse_error
+            // result so clients are none the wiser.
+            conn.send_line(
+                &Reply::new("result")
+                    .str("id", id)
+                    .str("status", "parse_error")
+                    .str("error", &e.to_string())
+                    .num("elapsed_ms", 0)
+                    .finish(),
+            );
+            None
+        }
+        Ok(Ok(resolved)) => {
+            match resolved.resolution {
+                Resolution::Hit => {
+                    emit_counter(conn, id, telemetry, names::PROGRAM_CACHE_HITS, 1);
+                }
+                Resolution::Compiled => {
+                    emit_counter(conn, id, telemetry, names::PROGRAM_CACHE_MISSES, 1);
+                    emit_counter(conn, id, telemetry, names::PROGRAM_COMPILES, 1);
+                }
+            }
+            emit_counter(
+                conn,
+                id,
+                telemetry,
+                names::PROGRAM_CACHE_EVICTIONS,
+                resolved.evicted,
+            );
+            Some(resolved.program)
         }
     }
 }
@@ -386,6 +568,7 @@ fn submit_session<F>(
     id: String,
     tenant: String,
     token: CancelToken,
+    program_fp: &str,
     job: F,
 ) where
     F: FnOnce(&mut RunnerCtx) + Send + 'static,
@@ -403,9 +586,37 @@ fn submit_session<F>(
         );
         return;
     }
+    // A runner can pick the job up and reach its `result` line before
+    // this thread writes `accepted` — and `accepted` now carries the
+    // program fingerprint clients feed back as `program_ref`, so the
+    // ordering is part of the protocol. Gate the job on the accepted
+    // line being out first.
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let job = {
+        let gate = Arc::clone(&gate);
+        move |runner: &mut RunnerCtx| {
+            let (lock, cvar) = &*gate;
+            let mut admitted = lock.lock().expect("admission gate poisoned");
+            while !*admitted {
+                admitted = cvar.wait(admitted).expect("admission gate poisoned");
+            }
+            drop(admitted);
+            job(runner);
+        }
+    };
     match ctx.scheduler.submit(&tenant, Box::new(job)) {
         Ok(()) => {
-            conn.send_line(&Reply::new("accepted").str("id", &id).finish());
+            // `program` is the canonical fingerprint: clients may
+            // resubmit the same rule set by `program_ref` from now on.
+            conn.send_line(
+                &Reply::new("accepted")
+                    .str("id", &id)
+                    .str("program", program_fp)
+                    .finish(),
+            );
+            let (lock, cvar) = &*gate;
+            *lock.lock().expect("admission gate poisoned") = true;
+            cvar.notify_all();
         }
         Err(Rejected::Overloaded { retry_after_ms }) => {
             ctx.registry.remove(&id);

@@ -17,10 +17,12 @@ use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Instant;
 
-use chase_engine::task::{run_chase_task, ChaseTaskSpec, TaskError};
-use chase_telemetry::{LineObserver, NullObserver};
-use chase_termination::{decide_observed, DeciderConfig, TerminationVerdict};
+use chase_core::compile::CompiledProgram;
+use chase_engine::task::{run_chase_task, ChaseTaskSpec, ProgramInput, TaskError};
+use chase_telemetry::{names, Event, LineObserver, NullObserver};
+use chase_termination::{decide_observed, decider_class, DeciderConfig, TerminationVerdict};
 
+use crate::cache::Caches;
 use crate::protocol::{outcome_name, DecideRequest, Reply, SessionRequest};
 use crate::scheduler::RunnerCtx;
 use crate::server::ConnWriter;
@@ -58,13 +60,28 @@ impl EventStream<'_> {
             self.dropped.set(self.dropped.get() + 1);
         }
     }
+
+    /// Splices a named counter into the stream (if telemetry is on for
+    /// this session, which the caller gates).
+    fn send_counter(&self, name: &'static str, delta: u64) {
+        let mut buf = String::with_capacity(64);
+        Event::CounterAdd { name, delta }.write_json(&mut buf);
+        self.send(&buf);
+    }
 }
 
-/// Runs one chase session to its terminal `result` line.
-pub fn run_chase_session(req: &SessionRequest, conn: &Arc<ConnWriter>, ctx: &mut RunnerCtx) {
+/// Runs one chase session to its terminal `result` line. The program
+/// was compiled (or cache-resolved) at admission; the session shares
+/// the `Arc` and does zero parse/plan work of its own.
+pub fn run_chase_session(
+    req: &SessionRequest,
+    program: &Arc<CompiledProgram>,
+    conn: &Arc<ConnWriter>,
+    ctx: &mut RunnerCtx,
+) {
     let started = Instant::now();
     let spec = ChaseTaskSpec {
-        source: req.program.clone(),
+        program: ProgramInput::Compiled(Arc::clone(program)),
         engine: req.engine,
         budget: req.budget,
         deadline: req.deadline,
@@ -118,8 +135,21 @@ pub fn run_chase_session(req: &SessionRequest, conn: &Arc<ConnWriter>, ctx: &mut
     conn.send_line(&line);
 }
 
-/// Runs one decide session to its terminal `result` line.
-pub fn run_decide_session(req: &DecideRequest, conn: &Arc<ConnWriter>) {
+/// Runs one decide session to its terminal `result` line, consulting
+/// the decide-memoization cache first.
+///
+/// Verdicts are pure functions of the rule set given a dispatch
+/// policy, so the cache keys by program fingerprint × decider class; a
+/// hit replies without running any decider (the `result` line carries
+/// `cached:true` and the telemetry stream a `decide_cache.hits`
+/// counter). Only definitive verdicts are memoized — `Unknown`
+/// reflects the request's deadline/cancel budget, not the program.
+pub fn run_decide_session(
+    req: &DecideRequest,
+    program: &Arc<CompiledProgram>,
+    conn: &Arc<ConnWriter>,
+    caches: &Caches,
+) {
     let started = Instant::now();
     let config = DeciderConfig {
         deadline: req.deadline,
@@ -134,45 +164,57 @@ pub fn run_decide_session(req: &DecideRequest, conn: &Arc<ConnWriter>) {
         dropped: Cell::new(0),
         degraded: Cell::new(false),
     };
-    // Parse errors surface as a typed result, exactly like chase
-    // sessions; decide panics are caught by the runner boundary.
-    let mut vocab = chase_core::vocab::Vocabulary::new();
-    let parsed = chase_core::parser::parse_program(&req.program, &mut vocab)
-        .map_err(|e| e.to_string())
-        .and_then(|program| program.tgd_set(&vocab).map_err(|e| e.to_string()));
-    let line = match parsed {
-        Err(msg) => Reply::new("result")
-            .str("id", &req.id)
-            .str("status", "parse_error")
-            .str("error", &msg)
-            .finish(),
-        Ok(set) => {
+    let set = program.tgd_set();
+    let vocab = program.vocab();
+    let fp = program.fingerprint();
+    let class = decider_class(set);
+    let counters = caches.programs.counters();
+    let (verdict, cached) = match caches.decide.get(fp, class) {
+        Some(verdict) => {
+            counters
+                .decide_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if req.telemetry {
+                stream.send_counter(names::DECIDE_CACHE_HITS, 1);
+            }
+            (verdict, true)
+        }
+        None => {
+            counters
+                .decide_misses
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if req.telemetry {
+                stream.send_counter(names::DECIDE_CACHE_MISSES, 1);
+            }
             let verdict = if req.telemetry {
                 let mut obs = LineObserver::new(|line: &str| stream.send(line));
-                decide_observed(&set, &vocab, &config, &mut obs)
+                decide_observed(set, vocab, &config, &mut obs)
             } else {
-                decide_observed(&set, &vocab, &config, &mut NullObserver)
+                decide_observed(set, vocab, &config, &mut NullObserver)
             };
-            let elapsed_ms = started.elapsed().as_millis() as u64;
-            let reply = Reply::new("result")
-                .str("id", &req.id)
-                .str("status", "ok")
-                .str(
-                    "verdict",
-                    match &verdict {
-                        TerminationVerdict::AllInstancesTerminating(_) => "terminating",
-                        TerminationVerdict::NonTerminating(_) => "non_terminating",
-                        TerminationVerdict::Unknown { .. } => "unknown",
-                    },
-                )
-                .num("events_sent", stream.sent.get())
-                .num("events_dropped", stream.dropped.get())
-                .num("elapsed_ms", elapsed_ms);
-            match verdict {
-                TerminationVerdict::Unknown { reason } => reply.str("reason", &reason).finish(),
-                _ => reply.finish(),
-            }
+            caches.decide.insert(fp, class, &verdict);
+            (verdict, false)
         }
+    };
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    let reply = Reply::new("result")
+        .str("id", &req.id)
+        .str("status", "ok")
+        .str(
+            "verdict",
+            match &verdict {
+                TerminationVerdict::AllInstancesTerminating(_) => "terminating",
+                TerminationVerdict::NonTerminating(_) => "non_terminating",
+                TerminationVerdict::Unknown { .. } => "unknown",
+            },
+        )
+        .bool("cached", cached)
+        .num("events_sent", stream.sent.get())
+        .num("events_dropped", stream.dropped.get())
+        .num("elapsed_ms", elapsed_ms);
+    let line = match verdict {
+        TerminationVerdict::Unknown { reason } => reply.str("reason", &reason).finish(),
+        _ => reply.finish(),
     };
     conn.send_line(&line);
 }

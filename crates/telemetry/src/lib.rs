@@ -134,6 +134,20 @@ pub mod names {
     /// Histogram of sampled total instance heap bytes (profiling
     /// runs only).
     pub const MEMORY_BYTES: &str = "memory.instance_bytes";
+    /// Server program-cache lookups answered from cache (no compile).
+    pub const PROGRAM_CACHE_HITS: &str = "server.program_cache.hits";
+    /// Server program-cache lookups that required a fresh compile.
+    pub const PROGRAM_CACHE_MISSES: &str = "server.program_cache.misses";
+    /// Compiled programs evicted from the server cache (LRU, over the
+    /// entry or byte cap).
+    pub const PROGRAM_CACHE_EVICTIONS: &str = "server.program_cache.evictions";
+    /// Full `compile()` runs performed by the server at admission.
+    pub const PROGRAM_COMPILES: &str = "server.program_cache.compiles";
+    /// Decide verdicts answered from the memoization cache without
+    /// re-running a decider.
+    pub const DECIDE_CACHE_HITS: &str = "server.decide_cache.hits";
+    /// Decide requests that had to run a decider.
+    pub const DECIDE_CACHE_MISSES: &str = "server.decide_cache.misses";
 }
 
 #[cfg(test)]

@@ -112,6 +112,22 @@ fn decide_inner<O: ChaseObserver + ?Sized>(
     guarded::decide_guarded_observed(set, vocab, config, obs)
 }
 
+/// The decider class [`decide`] would dispatch `set` to: `"sticky"`,
+/// `"guarded"` or `"multi_head"` (the typed refusal). Purely
+/// syntactic, so it is cheap enough to compute per request — the
+/// server's decide-memoization cache keys verdicts by program
+/// fingerprint × this class, which keeps memoized verdicts honest if a
+/// later PR changes the dispatch (a class change invalidates the key).
+pub fn decider_class(set: &TgdSet) -> &'static str {
+    if set.require_single_head().is_err() {
+        "multi_head"
+    } else if is_sticky(set) {
+        "sticky"
+    } else {
+        "guarded"
+    }
+}
+
 /// [`decide`] with a [`TelemetrySummary`] attached: phase wall-clock,
 /// trigger/atom counters of the decider's internal chases, automaton
 /// state counts and seed counts. This is what `chasectl decide
@@ -136,7 +152,7 @@ pub mod prelude {
     pub use crate::orders::{all_orders_terminate, diverging_subset_run, OrderSearchLimits};
     pub use crate::report::explain;
     pub use crate::sticky::{decide_sticky, decide_sticky_observed};
-    pub use crate::{decide, decide_observed, decide_with_telemetry};
+    pub use crate::{decide, decide_observed, decide_with_telemetry, decider_class};
 }
 
 #[cfg(test)]

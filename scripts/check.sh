@@ -51,6 +51,18 @@ cargo test --offline -q -p chase-server --test server_isolation
 echo "== serve/client round trip (chasectl golden tests, real processes) =="
 cargo test --offline -q -p chase-cli --test cli_golden serve
 
+echo "== program cache suite (repeated rule sets hit, decide memoized, abort shutdown) =="
+# Boots a real server and submits the same rule set twice: the second
+# submission must be a cache hit (asserted via the streamed
+# server.program_cache.* telemetry counters) with a bit-identical
+# result fingerprint; decide verdicts must be served from the
+# memoization cache (cached:true + server.decide_cache.hits); and
+# {"op":"shutdown","mode":"abort"} must cancel in-flight sessions.
+cargo test --offline -q -p chase-server --test program_cache
+
+echo "== fingerprint canonicalization property suite (compile cache addressing) =="
+cargo test --offline -q -p chase-core --test compile_fingerprint
+
 echo "== hot-path smoke report (bit-identity + timing sanity + thread-scaling gate) =="
 # Includes the scaling smoke gate: parallel at the gate thread count
 # (2 on multi-core hosts, 1 on single-core ones) must be at least
@@ -83,7 +95,9 @@ echo "== BENCH_hotpath.json schema gate (host-honesty fields) =="
 # readable. A regeneration that silently drops them fails here — if a
 # many-core regeneration legitimately removes the truncation fields,
 # this gate is the place to say so deliberately.
-for field in '"host_cpus"' '"warning"' '"efficiency"'; do
+# "server_warm" (PR 10) carries the program-cache cold/warm comparison
+# and its >= 5x smoke gate.
+for field in '"host_cpus"' '"warning"' '"efficiency"' '"server_warm"'; do
     if ! grep -q "$field" BENCH_hotpath.json; then
         echo "BENCH_hotpath.json schema gate: missing required field $field" >&2
         exit 1
